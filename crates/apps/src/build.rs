@@ -1,0 +1,336 @@
+//! One-call build of any benchmark for any system under test.
+
+use std::error::Error;
+use std::fmt;
+
+use tics_baselines::{ChinchillaRuntime, NaiveCheckpoint, RatchetRuntime, TaskFlavor, TaskKernel};
+use tics_core::{TicsConfig, TicsRuntime};
+use tics_minic::opt::OptLevel;
+use tics_minic::{compile, passes, CompileError, Program};
+use tics_vm::{BareRuntime, IntermittentRuntime};
+
+use crate::{ar, bc, cuckoo, ghm};
+
+/// The benchmark applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// Activity recognition (plain / annotated / task variants chosen
+    /// per system).
+    Ar,
+    /// Bitcount with seven methods (recursive where supported).
+    Bc,
+    /// Cuckoo filter with sequence recovery.
+    Cuckoo,
+    /// Greenhouse monitoring, superloop form.
+    Ghm,
+    /// Greenhouse monitoring, TinyOS-style event-driven form.
+    GhmTinyos,
+}
+
+impl App {
+    /// Short display name matching the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Ar => "AR",
+            App::Bc => "BC",
+            App::Cuckoo => "CF",
+            App::Ghm => "GHM",
+            App::GhmTinyos => "GHM-TinyOS",
+        }
+    }
+}
+
+/// The systems compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemUnderTest {
+    /// Unprotected legacy code (restarts from `main`).
+    PlainC,
+    /// TICS (this paper).
+    Tics,
+    /// MementOS-style naive checkpointing.
+    Mementos,
+    /// Chinchilla.
+    Chinchilla,
+    /// Ratchet.
+    Ratchet,
+    /// Alpaca task kernel.
+    Alpaca,
+    /// InK task kernel.
+    Ink,
+    /// MayFly task kernel.
+    Mayfly,
+}
+
+impl SystemUnderTest {
+    /// All systems, in the paper's comparison order.
+    pub const ALL: [SystemUnderTest; 8] = [
+        SystemUnderTest::PlainC,
+        SystemUnderTest::Tics,
+        SystemUnderTest::Mementos,
+        SystemUnderTest::Chinchilla,
+        SystemUnderTest::Ratchet,
+        SystemUnderTest::Alpaca,
+        SystemUnderTest::Ink,
+        SystemUnderTest::Mayfly,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemUnderTest::PlainC => "plain-C",
+            SystemUnderTest::Tics => "TICS",
+            SystemUnderTest::Mementos => "MementOS",
+            SystemUnderTest::Chinchilla => "Chinchilla",
+            SystemUnderTest::Ratchet => "Ratchet",
+            SystemUnderTest::Alpaca => "Alpaca",
+            SystemUnderTest::Ink => "InK",
+            SystemUnderTest::Mayfly => "MayFly",
+        }
+    }
+
+    /// Whether this system runs task-graph ports instead of legacy code.
+    #[must_use]
+    pub fn is_task_based(self) -> bool {
+        matches!(
+            self,
+            SystemUnderTest::Alpaca | SystemUnderTest::Ink | SystemUnderTest::Mayfly
+        )
+    }
+
+    fn task_flavor(self) -> Option<TaskFlavor> {
+        match self {
+            SystemUnderTest::Alpaca => Some(TaskFlavor::Alpaca),
+            SystemUnderTest::Ink => Some(TaskFlavor::Ink),
+            SystemUnderTest::Mayfly => Some(TaskFlavor::Mayfly),
+            _ => None,
+        }
+    }
+}
+
+/// Why an app × system build is not possible.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The combination is infeasible — the paper's red ✗ cells.
+    Unsupported {
+        /// The app.
+        app: App,
+        /// The system.
+        system: SystemUnderTest,
+        /// Why (quoting the paper where applicable).
+        reason: String,
+    },
+    /// Compilation or instrumentation failed.
+    Compile(CompileError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Unsupported {
+                app,
+                system,
+                reason,
+            } => write!(f, "{} cannot run {}: {reason}", system.name(), app.name()),
+            BuildError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+impl From<CompileError> for BuildError {
+    fn from(e: CompileError) -> Self {
+        BuildError::Compile(e)
+    }
+}
+
+/// Workload scale for a build (iterations/windows/keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale(pub u32);
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale(24)
+    }
+}
+
+/// Builds (compiles + instruments) `app` for `system` at `opt`, using
+/// the right source variant per system. Returns the infeasible
+/// combinations as [`BuildError::Unsupported`]: BC (recursive) on
+/// Chinchilla, CF on MayFly, annotated sources on time-blind systems.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] as described above.
+pub fn build_app(
+    app: App,
+    system: SystemUnderTest,
+    opt: OptLevel,
+    scale: Scale,
+) -> Result<Program, BuildError> {
+    let n = scale.0;
+    let unsupported = |reason: &str| BuildError::Unsupported {
+        app,
+        system,
+        reason: reason.into(),
+    };
+
+    if let Some(flavor) = system.task_flavor() {
+        // Task kernels run hand-ported task graphs.
+        let (src, tasks): (String, &[&str]) = match app {
+            App::Ar => {
+                let timed = flavor != TaskFlavor::Alpaca;
+                (ar::task_src(n, timed), ar::TASK_FUNCTIONS)
+            }
+            App::Bc => (bc::task_src(n), bc::TASK_FUNCTIONS),
+            App::Cuckoo => {
+                if flavor == TaskFlavor::Mayfly {
+                    return Err(unsupported(
+                        "loops are not allowed in a MayFly task graph (§5.3)",
+                    ));
+                }
+                (cuckoo::task_src(n), cuckoo::TASK_FUNCTIONS)
+            }
+            App::Ghm | App::GhmTinyos => {
+                return Err(unsupported(
+                    "the Table 1 experiment runs GHM as legacy code, not a task port",
+                ));
+            }
+        };
+        let mut prog = compile(&src, opt)?;
+        passes::instrument_task_based(
+            &mut prog,
+            tasks,
+            flavor.runtime_text_bytes(),
+            flavor.runtime_data_bytes(),
+        )?;
+        return Ok(prog);
+    }
+
+    // Checkpointing systems run legacy sources.
+    let src = match (app, system) {
+        (App::Bc, SystemUnderTest::Chinchilla) => {
+            return Err(unsupported(
+                "recursive function calls cannot be supported: locals are \
+                 promoted to globals (§5.3.1)",
+            ));
+        }
+        (_, SystemUnderTest::Chinchilla) if opt != OptLevel::O0 => {
+            return Err(unsupported(
+                "chinchilla's toolchain requires -O0 (the paper's Figure 9 \
+                 marks every other optimization level with a red cross)",
+            ));
+        }
+        (App::Ar, SystemUnderTest::Tics) => ar::tics_src(n),
+        (App::Ar, _) => ar::plain_src(n),
+        (App::Bc, _) => bc::plain_src(n),
+        (App::Cuckoo, _) => cuckoo::plain_src(n),
+        (App::Ghm, _) => ghm::plain_src(n),
+        (App::GhmTinyos, _) => ghm::tinyos_src(n),
+    };
+    let mut prog = compile(&src, opt)?;
+    match system {
+        SystemUnderTest::PlainC => {}
+        SystemUnderTest::Tics => passes::instrument_tics(&mut prog)?,
+        SystemUnderTest::Mementos => passes::instrument_mementos(&mut prog)?,
+        SystemUnderTest::Chinchilla => passes::instrument_chinchilla(&mut prog)?,
+        SystemUnderTest::Ratchet => passes::instrument_ratchet(&mut prog)?,
+        _ => unreachable!("task systems handled above"),
+    }
+    Ok(prog)
+}
+
+/// Creates a default-configured runtime for `system`. The TICS segment
+/// size is raised to the program's largest frame when needed.
+#[must_use]
+pub fn make_runtime(system: SystemUnderTest, program: &Program) -> Box<dyn IntermittentRuntime> {
+    match system {
+        SystemUnderTest::PlainC => Box::new(BareRuntime::new()),
+        SystemUnderTest::Tics => {
+            let mut cfg = TicsConfig::s2_star();
+            let max_frame = program.max_frame_size();
+            if cfg.seg_size < max_frame {
+                cfg.seg_size = max_frame.next_multiple_of(64);
+            }
+            Box::new(TicsRuntime::new(cfg))
+        }
+        SystemUnderTest::Mementos => Box::new(NaiveCheckpoint::default()),
+        SystemUnderTest::Chinchilla => Box::new(ChinchillaRuntime::default()),
+        SystemUnderTest::Ratchet => Box::new(RatchetRuntime::default()),
+        SystemUnderTest::Alpaca => Box::new(TaskKernel::new(TaskFlavor::Alpaca)),
+        SystemUnderTest::Ink => Box::new(TaskKernel::new(TaskFlavor::Ink)),
+        SystemUnderTest::Mayfly => Box::new(TaskKernel::new(TaskFlavor::Mayfly)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasible_matrix_matches_figure9() {
+        // At -O0: everything except BC×Chinchilla and CF×MayFly (GHM is a
+        // Table 1 app, not a task-port subject). Above -O0, Chinchilla's
+        // toolchain drops out entirely (the Figure 9 red crosses).
+        for app in [App::Ar, App::Bc, App::Cuckoo] {
+            for system in SystemUnderTest::ALL {
+                for opt in OptLevel::ALL {
+                    let r = build_app(app, system, opt, Scale(8));
+                    let infeasible = matches!(
+                        (app, system),
+                        (App::Bc, SystemUnderTest::Chinchilla)
+                            | (App::Cuckoo, SystemUnderTest::Mayfly)
+                    ) || (system == SystemUnderTest::Chinchilla
+                        && opt != OptLevel::O0);
+                    assert_eq!(
+                        r.is_err(),
+                        infeasible,
+                        "{} x {} at {opt}: {:?}",
+                        app.name(),
+                        system.name(),
+                        r.err().map(|e| e.to_string())
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn built_programs_pass_their_runtimes_checks() {
+        for app in [App::Ar, App::Bc, App::Cuckoo] {
+            for system in SystemUnderTest::ALL {
+                let Ok(prog) = build_app(app, system, OptLevel::O2, Scale(8)) else {
+                    continue;
+                };
+                let rt = make_runtime(system, &prog);
+                rt.check_program(&prog).unwrap_or_else(|e| {
+                    panic!("{} x {}: {e}", app.name(), system.name());
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn ghm_builds_for_checkpointing_systems() {
+        for system in [
+            SystemUnderTest::PlainC,
+            SystemUnderTest::Tics,
+            SystemUnderTest::Mementos,
+        ] {
+            assert!(build_app(App::Ghm, system, OptLevel::O2, Scale(10)).is_ok());
+            assert!(build_app(App::GhmTinyos, system, OptLevel::O2, Scale(10)).is_ok());
+        }
+    }
+
+    #[test]
+    fn unsupported_errors_cite_reasons() {
+        let e =
+            build_app(App::Bc, SystemUnderTest::Chinchilla, OptLevel::O0, Scale(4)).unwrap_err();
+        assert!(e.to_string().contains("recursive"));
+        let e =
+            build_app(App::Cuckoo, SystemUnderTest::Mayfly, OptLevel::O0, Scale(4)).unwrap_err();
+        assert!(e.to_string().contains("loops"));
+    }
+}

@@ -1,0 +1,194 @@
+//! CRC-16/CCITT — a fourth MiBench-flavored legacy workload (§5.3 cites
+//! the MiBench suite the benchmarks come from).
+//!
+//! Two independent implementations — bitwise long division and a
+//! table-driven variant whose 256-entry table is built at startup — are
+//! cross-verified over pseudo-random frames and checked against fixed
+//! known-answer vectors. Like BC, the table initialization is a burst of
+//! global writes that stresses the undo log; unlike BC, there is no
+//! recursion, so every system in the comparison can run it.
+
+/// `mark` id: one frame checksummed and cross-verified.
+pub const MARK_FRAME: i32 = 1;
+
+/// CRC-16/CCITT-FALSE of `data` (init 0xFFFF, poly 0x1021) — the host
+/// oracle the device result is checked against in tests.
+#[must_use]
+pub fn crc16_reference(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in data {
+        crc ^= u16::from(b) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// The CRC benchmark over `frames` pseudo-random 16-byte frames.
+#[must_use]
+pub fn plain_src(frames: u32) -> String {
+    format!(
+        "// CRC-16/CCITT: bitwise vs table-driven, cross-verified.
+int crc_table[256];
+int table_ready;
+nv int frame_no;
+nv int mismatches;
+nv int checksum_xor;
+int frame[16];
+
+int crc_bitwise(int *data, int len) {{
+    int crc = 0xFFFF;
+    for (int i = 0; i < len; i++) {{
+        crc = crc ^ ((data[i] & 255) << 8);
+        for (int b = 0; b < 8; b++) {{
+            if (crc & 0x8000) {{ crc = ((crc << 1) ^ 0x1021) & 0xFFFF; }}
+            else {{ crc = (crc << 1) & 0xFFFF; }}
+        }}
+    }}
+    return crc;
+}}
+
+void build_table() {{
+    for (int n = 0; n < 256; n++) {{
+        int crc = (n << 8) & 0xFFFF;
+        for (int b = 0; b < 8; b++) {{
+            if (crc & 0x8000) {{ crc = ((crc << 1) ^ 0x1021) & 0xFFFF; }}
+            else {{ crc = (crc << 1) & 0xFFFF; }}
+        }}
+        crc_table[n] = crc;
+    }}
+    table_ready = 1;
+}}
+
+int crc_table_driven(int *data, int len) {{
+    if (table_ready == 0) {{ build_table(); }}
+    int crc = 0xFFFF;
+    for (int i = 0; i < len; i++) {{
+        int idx = ((crc >> 8) ^ (data[i] & 255)) & 255;
+        crc = ((crc << 8) ^ crc_table[idx]) & 0xFFFF;
+    }}
+    return crc;
+}}
+
+int main() {{
+    while (frame_no < {frames}) {{
+        for (int i = 0; i < 16; i++) {{ frame[i] = rand16() & 255; }}
+        int a = crc_bitwise(frame, 16);
+        int b = crc_table_driven(frame, 16);
+        if (a != b) {{ mismatches = mismatches + 1; }}
+        checksum_xor = checksum_xor ^ a;
+        mark({MARK_FRAME});
+        frame_no = frame_no + 1;
+    }}
+    if (mismatches) {{ return 0 - mismatches; }}
+    send(checksum_xor);
+    return checksum_xor + 1;
+}}
+"
+    )
+}
+
+/// A known-answer-test variant: checksums the fixed ASCII frame
+/// `\"123456789\"` and returns the CRC directly (expected `0x29B1`).
+#[must_use]
+pub fn kat_src() -> String {
+    "int msg[9] = {49, 50, 51, 52, 53, 54, 55, 56, 57};
+int crc_table[256];
+int table_ready;
+
+int crc_bitwise(int *data, int len) {
+    int crc = 0xFFFF;
+    for (int i = 0; i < len; i++) {
+        crc = crc ^ ((data[i] & 255) << 8);
+        for (int b = 0; b < 8; b++) {
+            if (crc & 0x8000) { crc = ((crc << 1) ^ 0x1021) & 0xFFFF; }
+            else { crc = (crc << 1) & 0xFFFF; }
+        }
+    }
+    return crc;
+}
+
+int main() {
+    return crc_bitwise(msg, 9);
+}
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tics_energy::{ContinuousPower, PeriodicTrace};
+    use tics_minic::{compile, opt::OptLevel, passes};
+    use tics_vm::{BareRuntime, Executor, Machine, MachineConfig};
+
+    #[test]
+    fn known_answer_vector_matches_reference() {
+        assert_eq!(crc16_reference(b"123456789"), 0x29B1);
+        let prog = compile(&kat_src(), OptLevel::O2).unwrap();
+        let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+        let mut rt = BareRuntime::new();
+        let out = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap();
+        assert_eq!(out.exit_code(), Some(0x29B1));
+    }
+
+    #[test]
+    fn bitwise_and_table_driven_agree() {
+        let prog = compile(&plain_src(30), OptLevel::O2).unwrap();
+        let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+        let mut rt = BareRuntime::new();
+        let out = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap();
+        assert!(out.exit_code().unwrap() > 0, "method mismatch");
+        assert_eq!(m.stats().mark_count(MARK_FRAME), 30);
+    }
+
+    #[test]
+    fn frames_are_deterministic_per_seed() {
+        // Frames come from the device PRNG; the host reference is covered
+        // by the known-answer test, so here we pin seed-determinism.
+        let run = |seed| {
+            let prog = compile(&plain_src(10), OptLevel::O2).unwrap();
+            let mut m = Machine::new(
+                prog,
+                MachineConfig {
+                    seed,
+                    ..MachineConfig::default()
+                },
+            )
+            .unwrap();
+            let mut rt = BareRuntime::new();
+            Executor::new()
+                .run(&mut m, &mut rt, &mut ContinuousPower::new())
+                .unwrap()
+                .exit_code()
+                .unwrap()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different frames, different checksum");
+    }
+
+    #[test]
+    fn survives_intermittent_power_under_tics() {
+        let mut prog = compile(&plain_src(25), OptLevel::O2).unwrap();
+        passes::instrument_tics(&mut prog).unwrap();
+        let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+        let mut rt =
+            tics_core::TicsRuntime::new(tics_core::TicsConfig::s2().with_timer(Some(3_000)));
+        let out = Executor::new()
+            .with_time_budget(5_000_000_000)
+            .run(&mut m, &mut rt, &mut PeriodicTrace::new(10_000, 800))
+            .unwrap();
+        assert!(out.exit_code().unwrap() > 0, "mismatch under intermittency");
+        assert!(m.stats().power_failures > 0);
+        assert!(m.stats().mark_count(MARK_FRAME) >= 25);
+    }
+}

@@ -1,0 +1,450 @@
+//! The user-study programs (§5.4, Figure 10) and their complexity
+//! metrics.
+//!
+//! The paper's study gave 90 participants three small programs — swap,
+//! bubble sort, and a timekeeping routine — each written in TICS style
+//! and in InK task style, each with exactly one planted bug, and
+//! measured bug-finding accuracy and time. A human study cannot be
+//! reproduced computationally; as DESIGN.md documents, we substitute a
+//! two-part proxy:
+//!
+//! 1. **Static complexity metrics** of the same program pairs (this
+//!    module): lines of code, branch count (a cyclomatic-complexity
+//!    stand-in), task/channel count, and how many scopes the mutated
+//!    state is spread across.
+//! 2. A **seeded synthetic-reviewer model** (in `tics-bench`) whose
+//!    error probability and search time grow with those metrics.
+//!
+//! Each program is provided in a correct and a buggy variant; the buggy
+//! line index is exposed so the reviewer model has ground truth.
+
+/// One study program: a correct source, a buggy source, and the
+/// (1-based) line of the planted bug.
+#[derive(Debug, Clone)]
+pub struct StudyProgram {
+    /// Program name ("swap", "bubble", "timekeeping").
+    pub name: &'static str,
+    /// Style: "tics" or "ink".
+    pub style: &'static str,
+    /// Correct source.
+    pub correct: String,
+    /// Source with exactly one planted bug.
+    pub buggy: String,
+    /// 1-based line number of the bug in `buggy`.
+    pub bug_line: u32,
+}
+
+/// Static complexity metrics of a source (the Figure 10 proxy inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Complexity {
+    /// Non-blank, non-comment lines.
+    pub loc: u32,
+    /// Branch/loop keywords (`if`, `while`, `for`, ternary) — a
+    /// cyclomatic-complexity stand-in.
+    pub branches: u32,
+    /// Function definitions (tasks + helpers + main).
+    pub functions: u32,
+    /// Global variables (task-shared state channels).
+    pub globals: u32,
+}
+
+impl Complexity {
+    /// A scalar difficulty score used by the synthetic reviewer: more
+    /// code, more control flow, and more cross-task state all make a
+    /// planted bug harder to localize.
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        f64::from(self.loc)
+            + 3.0 * f64::from(self.branches)
+            + 4.0 * f64::from(self.functions)
+            + 2.0 * f64::from(self.globals)
+    }
+}
+
+/// Computes [`Complexity`] for a mini-C source.
+#[must_use]
+pub fn complexity(source: &str) -> Complexity {
+    let mut loc = 0;
+    let mut branches = 0;
+    for line in source.lines() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with("//") {
+            continue;
+        }
+        loc += 1;
+        branches += t.matches("if ").count() as u32
+            + t.matches("if(").count() as u32
+            + t.matches("while ").count() as u32
+            + t.matches("while(").count() as u32
+            + t.matches("for ").count() as u32
+            + t.matches("for(").count() as u32
+            + t.matches('?').count() as u32;
+    }
+    let functions = source.matches(") {").count() as u32 + source.matches(") {{").count() as u32;
+    let globals = source
+        .lines()
+        .filter(|l| {
+            let t = l.trim_start();
+            (t.starts_with("int ") || t.starts_with("nv int "))
+                && t.ends_with(';')
+                && !t.contains('(')
+        })
+        .count() as u32;
+    Complexity {
+        loc,
+        branches,
+        functions,
+        globals,
+    }
+}
+
+/// The swap program, TICS style: straight-line legacy code.
+#[must_use]
+pub fn swap_tics() -> StudyProgram {
+    let correct = "\
+nv int a = 3;
+nv int b = 7;
+int main() {
+    a = a ^ b;
+    b = a ^ b;
+    a = a ^ b;
+    send(a);
+    send(b);
+    return a * 100 + b;
+}
+";
+    // Bug: the second xor uses the wrong operand order target.
+    let buggy = correct.replace("b = a ^ b;", "b = b ^ b;");
+    StudyProgram {
+        name: "swap",
+        style: "tics",
+        correct: correct.into(),
+        bug_line: 1 + buggy
+            .lines()
+            .position(|l| l.contains("b = b ^ b;"))
+            .unwrap() as u32,
+        buggy,
+    }
+}
+
+/// The swap program, InK task style: two tasks and a channel.
+#[must_use]
+pub fn swap_ink() -> StudyProgram {
+    let correct = "\
+nv int cur_task;
+nv int done;
+nv int ch_a = 3;
+nv int ch_b = 7;
+int t_xor1() {
+    ch_a = ch_a ^ ch_b;
+    return 1;
+}
+int t_xor2() {
+    ch_b = ch_a ^ ch_b;
+    ch_a = ch_a ^ ch_b;
+    send(ch_a);
+    send(ch_b);
+    done = 1;
+    return 1;
+}
+int main() {
+    while (done == 0) {
+        if (cur_task == 0) { cur_task = t_xor1(); }
+        else { cur_task = t_xor2(); }
+    }
+    return ch_a * 100 + ch_b;
+}
+";
+    let buggy = correct.replace("ch_b = ch_a ^ ch_b;", "ch_b = ch_b ^ ch_b;");
+    StudyProgram {
+        name: "swap",
+        style: "ink",
+        correct: correct.into(),
+        bug_line: 1 + buggy
+            .lines()
+            .position(|l| l.contains("ch_b = ch_b ^ ch_b;"))
+            .unwrap() as u32,
+        buggy,
+    }
+}
+
+/// Bubble sort, TICS style.
+#[must_use]
+pub fn bubble_tics() -> StudyProgram {
+    let correct = "\
+nv int data[8] = {5, 2, 8, 1, 9, 3, 7, 4};
+int main() {
+    for (int i = 0; i < 7; i++) {
+        for (int j = 0; j < 7 - i; j++) {
+            if (data[j] > data[j + 1]) {
+                int t = data[j];
+                data[j] = data[j + 1];
+                data[j + 1] = t;
+            }
+        }
+    }
+    int key = 0;
+    for (int i = 0; i < 8; i++) { key = key * 10 + data[i]; }
+    return key;
+}
+";
+    // Bug: comparison direction reversed.
+    let buggy = correct.replace("data[j] > data[j + 1]", "data[j] < data[j + 1]");
+    StudyProgram {
+        name: "bubble",
+        style: "tics",
+        correct: correct.into(),
+        bug_line: 1 + buggy
+            .lines()
+            .position(|l| l.contains("data[j] < data[j + 1]"))
+            .unwrap() as u32,
+        buggy,
+    }
+}
+
+/// Bubble sort, InK task style: one task per outer pass, swap state in
+/// channels.
+#[must_use]
+pub fn bubble_ink() -> StudyProgram {
+    let correct = "\
+nv int cur_task;
+nv int done;
+nv int data[8] = {5, 2, 8, 1, 9, 3, 7, 4};
+nv int pass;
+nv int j;
+int t_pass_init() {
+    j = 0;
+    return 1;
+}
+int t_compare_swap() {
+    if (data[j] > data[j + 1]) {
+        int t = data[j];
+        data[j] = data[j + 1];
+        data[j + 1] = t;
+    }
+    j = j + 1;
+    if (j < 7 - pass) { return 1; }
+    pass = pass + 1;
+    if (pass < 7) { return 0; }
+    done = 1;
+    return 0;
+}
+int main() {
+    while (done == 0) {
+        if (cur_task == 0) { cur_task = t_pass_init(); }
+        else { cur_task = t_compare_swap(); }
+    }
+    int key = 0;
+    for (int i = 0; i < 8; i++) { key = key * 10 + data[i]; }
+    return key;
+}
+";
+    // Bug: the inner-loop bound lost a pass in the task-decomposed
+    // restructure — the last comparison of each pass is skipped, so the
+    // array ends almost-but-not-quite sorted. (The bug terminates, so
+    // buggy study programs stay safely runnable.)
+    let buggy = correct.replace(
+        "if (j < 7 - pass) { return 1; }",
+        "if (j < 6 - pass) { return 1; }",
+    );
+    StudyProgram {
+        name: "bubble",
+        style: "ink",
+        correct: correct.into(),
+        bug_line: 1 + buggy
+            .lines()
+            .position(|l| l.contains("if (j < 6 - pass) { return 1; }"))
+            .unwrap() as u32,
+        buggy,
+    }
+}
+
+/// Timekeeping (variable expiration), TICS style: annotations do the
+/// work.
+#[must_use]
+pub fn timekeeping_tics() -> StudyProgram {
+    let correct = "\
+@expires_after = 100ms
+int reading;
+nv int fresh_used;
+nv int stale_seen;
+nv int iters;
+int main() {
+    while (iters < 10) {
+        reading @= sample();
+        @expires(reading) {
+            fresh_used = fresh_used + 1;
+        }
+        iters = iters + 1;
+    }
+    send(fresh_used);
+    return fresh_used;
+}
+";
+    // Bug: timestamped assignment replaced by a plain one, so the
+    // freshness guard tests a stale timestamp.
+    let buggy = correct.replace("reading @= sample();", "reading = sample();");
+    StudyProgram {
+        name: "timekeeping",
+        style: "tics",
+        correct: correct.into(),
+        bug_line: 1 + buggy
+            .lines()
+            .position(|l| l.contains("reading = sample();"))
+            .unwrap() as u32,
+        buggy,
+    }
+}
+
+/// Timekeeping, InK task style: manual timestamp channels.
+#[must_use]
+pub fn timekeeping_ink() -> StudyProgram {
+    let correct = "\
+nv int cur_task;
+nv int reading;
+nv int reading_ts;
+nv int fresh_used;
+nv int iters;
+int t_sample() {
+    reading = sample();
+    reading_ts = time_ms();
+    return 1;
+}
+int t_consume() {
+    int now = time_ms();
+    if (now - reading_ts < 100) {
+        fresh_used = fresh_used + 1;
+    }
+    iters = iters + 1;
+    return 0;
+}
+int main() {
+    while (iters < 10) {
+        if (cur_task == 0) { cur_task = t_sample(); }
+        else { cur_task = t_consume(); }
+    }
+    send(fresh_used);
+    return fresh_used;
+}
+";
+    // Bug: timestamp taken after a consumed-stale window — sample and
+    // timestamp swapped across the task boundary.
+    let buggy = correct.replace(
+        "    reading = sample();\n    reading_ts = time_ms();",
+        "    reading_ts = time_ms();\n    cur_task = 1;\n    reading = sample();",
+    );
+    StudyProgram {
+        name: "timekeeping",
+        style: "ink",
+        correct: correct.into(),
+        bug_line: 1 + buggy
+            .lines()
+            .position(|l| l.trim() == "cur_task = 1;")
+            .unwrap() as u32,
+        buggy,
+    }
+}
+
+/// All six study programs (three per style).
+#[must_use]
+pub fn all_programs() -> Vec<StudyProgram> {
+    vec![
+        swap_tics(),
+        swap_ink(),
+        bubble_tics(),
+        bubble_ink(),
+        timekeeping_tics(),
+        timekeeping_ink(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tics_minic::{compile, opt::OptLevel};
+    use tics_vm::{BareRuntime, Executor, Machine, MachineConfig};
+
+    fn run_plain(src: &str) -> i32 {
+        let prog = compile(src, OptLevel::O1).unwrap();
+        let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+        let mut rt = BareRuntime::new();
+        Executor::new()
+            .with_time_budget(50_000_000)
+            .run(&mut m, &mut rt, &mut tics_energy::ContinuousPower::new())
+            .unwrap()
+            .exit_code()
+            .unwrap()
+    }
+
+    #[test]
+    fn swap_pairs_compute_the_same_correct_answer() {
+        assert_eq!(run_plain(&swap_tics().correct), 703);
+        assert_eq!(run_plain(&swap_ink().correct), 703);
+        // The planted bugs change the result.
+        assert_ne!(run_plain(&swap_tics().buggy), 703);
+        assert_ne!(run_plain(&swap_ink().buggy), 703);
+    }
+
+    #[test]
+    fn bubble_pairs_sort_correctly() {
+        let sorted_key = 12345789;
+        assert_eq!(run_plain(&bubble_tics().correct), sorted_key);
+        assert_eq!(run_plain(&bubble_ink().correct), sorted_key);
+        assert_ne!(run_plain(&bubble_tics().buggy), sorted_key);
+        assert_ne!(run_plain(&bubble_ink().buggy), sorted_key);
+    }
+
+    #[test]
+    fn all_sources_compile() {
+        for p in all_programs() {
+            // TICS-annotated sources need annotation-aware compilation but
+            // still must parse and codegen.
+            assert!(
+                compile(&p.correct, OptLevel::O1).is_ok(),
+                "{} {} correct failed",
+                p.name,
+                p.style
+            );
+            assert!(
+                compile(&p.buggy, OptLevel::O1).is_ok(),
+                "{} {} buggy failed",
+                p.name,
+                p.style
+            );
+        }
+    }
+
+    #[test]
+    fn bug_lines_point_at_real_lines() {
+        for p in all_programs() {
+            let line = p
+                .buggy
+                .lines()
+                .nth(p.bug_line as usize - 1)
+                .unwrap_or_else(|| panic!("{} {}: bug line out of range", p.name, p.style));
+            assert!(!line.trim().is_empty());
+            assert_ne!(p.correct, p.buggy, "{} {}", p.name, p.style);
+        }
+    }
+
+    #[test]
+    fn ink_style_is_more_complex_than_tics_style() {
+        // The crux of Figure 10: the task decomposition adds control
+        // flow, functions, and shared state.
+        for (t, i) in [
+            (swap_tics(), swap_ink()),
+            (bubble_tics(), bubble_ink()),
+            (timekeeping_tics(), timekeeping_ink()),
+        ] {
+            let ct = complexity(&t.correct);
+            let ci = complexity(&i.correct);
+            assert!(
+                ci.score() > ct.score(),
+                "{}: ink {} <= tics {}",
+                t.name,
+                ci.score(),
+                ct.score()
+            );
+        }
+    }
+}

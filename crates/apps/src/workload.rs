@@ -1,0 +1,101 @@
+//! Deterministic sensor-trace generators.
+
+/// Simple xorshift for reproducible workloads (kept local so traces do
+/// not depend on `rand` version bumps).
+#[derive(Debug, Clone)]
+pub struct TraceRng(u64);
+
+impl TraceRng {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> TraceRng {
+        TraceRng(seed | 1)
+    }
+
+    /// Next value in `[0, bound)`.
+    pub fn next_below(&mut self, bound: u32) -> i32 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        ((x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) % u64::from(bound)) as i32
+    }
+}
+
+/// Accelerometer trace for the AR benchmark: alternating activity
+/// segments. Stationary windows read `512 ± 4`; moving windows read
+/// `512 ± 180` — far apart so the nearest-centroid classifier is
+/// unambiguous and the *expected* activity sequence is known.
+///
+/// Returns `(samples, expected_activity_per_window)`; samples are
+/// `windows * window_size` values.
+#[must_use]
+pub fn ar_trace(
+    windows: u32,
+    window_size: u32,
+    segment_len: u32,
+    seed: u64,
+) -> (Vec<i32>, Vec<i32>) {
+    assert!(segment_len > 0, "segment length must be positive");
+    let mut rng = TraceRng::new(seed);
+    let mut samples = Vec::new();
+    let mut expected = Vec::new();
+    for w in 0..windows {
+        let moving = (w / segment_len) % 2 == 1;
+        expected.push(i32::from(moving));
+        for _ in 0..window_size {
+            let noise = if moving {
+                rng.next_below(361) - 180
+            } else {
+                rng.next_below(9) - 4
+            };
+            samples.push(512 + noise);
+        }
+    }
+    (samples, expected)
+}
+
+/// Greenhouse sensor trace: interleaved moisture/temperature readings
+/// with slow drift, `rounds * 2 * per_routine` values (moisture first).
+#[must_use]
+pub fn ghm_trace(rounds: u32, per_routine: u32, seed: u64) -> Vec<i32> {
+    let mut rng = TraceRng::new(seed);
+    let mut out = Vec::new();
+    for r in 0..rounds {
+        for _ in 0..per_routine {
+            out.push(300 + (r as i32 % 50) + rng.next_below(10)); // moisture
+        }
+        for _ in 0..per_routine {
+            out.push(180 + (r as i32 % 20) + rng.next_below(6)); // temperature
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ar_trace_shapes_and_labels() {
+        let (samples, expected) = ar_trace(8, 6, 2, 7);
+        assert_eq!(samples.len(), 48);
+        assert_eq!(expected, vec![0, 0, 1, 1, 0, 0, 1, 1]);
+        // Stationary windows stay near 512.
+        for s in &samples[0..12] {
+            assert!((s - 512).abs() <= 4, "stationary sample {s}");
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        assert_eq!(ar_trace(4, 6, 2, 9).0, ar_trace(4, 6, 2, 9).0);
+        assert_eq!(ghm_trace(3, 4, 1), ghm_trace(3, 4, 1));
+    }
+
+    #[test]
+    fn ghm_trace_length() {
+        assert_eq!(ghm_trace(5, 4, 2).len(), 40);
+    }
+}

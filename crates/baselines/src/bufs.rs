@@ -1,0 +1,62 @@
+//! Shared helpers: control block and raw word access to simulated FRAM.
+
+use tics_mcu::Addr;
+use tics_vm::{Machine, VmError};
+
+type Result<T> = std::result::Result<T, VmError>;
+
+/// Magic marking an initialized control block.
+const MAGIC: u32 = 0xBA5E_C001;
+
+/// Size of the control block in bytes.
+pub(crate) const CTRL_SIZE: u32 = 12;
+
+/// A small persistent control block: `u32` magic, `u32` valid-buffer
+/// flag (0 = none, 1 = A, 2 = B), `u32` scratch word (undo count or
+/// similar), all in simulated FRAM.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CtrlBlock {
+    base: Addr,
+}
+
+impl CtrlBlock {
+    pub(crate) fn new(base: Addr) -> CtrlBlock {
+        CtrlBlock { base }
+    }
+
+    /// Initializes the block if this is the first boot on the image.
+    pub(crate) fn init_if_needed(&self, m: &mut Machine) -> Result<()> {
+        if peek_u32(m, self.base)? != MAGIC {
+            poke_u32(m, self.base, MAGIC)?;
+            poke_u32(m, self.base.offset(4), 0)?;
+            poke_u32(m, self.base.offset(8), 0)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn flag(&self, m: &Machine) -> Result<u32> {
+        peek_u32(m, self.base.offset(4))
+    }
+
+    pub(crate) fn set_flag(&self, m: &mut Machine, v: u32) -> Result<()> {
+        poke_u32(m, self.base.offset(4), v)
+    }
+
+    pub(crate) fn scratch(&self, m: &Machine) -> Result<u32> {
+        peek_u32(m, self.base.offset(8))
+    }
+
+    pub(crate) fn set_scratch(&self, m: &mut Machine, v: u32) -> Result<()> {
+        poke_u32(m, self.base.offset(8), v)
+    }
+}
+
+pub(crate) fn peek_u32(m: &Machine, a: Addr) -> Result<u32> {
+    let b = m.mem.peek_bytes(a, 4)?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+pub(crate) fn poke_u32(m: &mut Machine, a: Addr, v: u32) -> Result<()> {
+    m.mem.poke_bytes(a, &v.to_le_bytes())?;
+    Ok(())
+}

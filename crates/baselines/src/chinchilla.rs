@@ -1,0 +1,312 @@
+//! Chinchilla-style adaptive checkpointing over promoted statics.
+
+use tics_mcu::{Addr, Registers};
+use tics_minic::isa::CkptSite;
+use tics_minic::program::{Instrumentation, Program};
+use tics_vm::{
+    CheckpointKind, IntermittentRuntime, Machine, PortingEffort, ResumeAction, RuntimeCapabilities,
+    VmError,
+};
+
+use crate::bufs::{peek_u32, poke_u32, CtrlBlock, CTRL_SIZE};
+
+type Result<T> = std::result::Result<T, VmError>;
+
+/// A Chinchilla-style runtime (Maeng et al., OSDI 2018, as characterized
+/// in the paper's §5.3.1).
+///
+/// Runs programs transformed by
+/// [`tics_minic::passes::instrument_chinchilla`]: every local is promoted
+/// to a non-volatile global, which rules out recursion and explodes
+/// `.data`. The code is *over-instrumented* with checkpoint sites; a
+/// timing heuristic stands in for Chinchilla's dynamic enable/disable
+/// machinery — a site commits only when `min_interval_us` has elapsed.
+/// A checkpoint double-buffers the registers, the (small) frame stack,
+/// and the entire static area — original globals plus promoted locals —
+/// so its cost scales with program size (Table 5 "Poor" scalability).
+#[derive(Debug)]
+pub struct ChinchillaRuntime {
+    min_interval_us: u64,
+    last_ckpt_at: u64,
+    ctrl: Option<CtrlBlock>,
+    buf_a: Addr,
+    buf_b: Addr,
+    buf_bytes: u32,
+}
+
+impl ChinchillaRuntime {
+    /// Creates the runtime; `min_interval_us` is the heuristic's minimum
+    /// spacing between committed checkpoints.
+    #[must_use]
+    pub fn new(min_interval_us: u64) -> ChinchillaRuntime {
+        ChinchillaRuntime {
+            min_interval_us,
+            last_ckpt_at: 0,
+            ctrl: None,
+            buf_a: Addr(0),
+            buf_b: Addr(0),
+            buf_bytes: 0,
+        }
+    }
+
+    fn attach(&mut self, m: &mut Machine) -> Result<CtrlBlock> {
+        if let Some(c) = self.ctrl {
+            return Ok(c);
+        }
+        let base = m.runtime_area_base();
+        let sram = m.mem.layout().sram;
+        let statics = m.loaded().program.globals_size;
+        self.buf_bytes = 16 + 4 + sram.len() + statics;
+        self.buf_a = base.offset(CTRL_SIZE);
+        self.buf_b = self.buf_a.offset(self.buf_bytes);
+        let end = self.buf_b.offset(self.buf_bytes);
+        if !m.mem.layout().fram.contains(Addr(end.raw() - 1)) {
+            return Err(VmError::Load(
+                "chinchilla double buffers do not fit in FRAM (statics too large)".into(),
+            ));
+        }
+        let ctrl = CtrlBlock::new(base);
+        ctrl.init_if_needed(m)?;
+        self.ctrl = Some(ctrl);
+        Ok(ctrl)
+    }
+
+    fn commit(&mut self, m: &mut Machine) -> Result<()> {
+        let ctrl = self.attach(m)?;
+        let target = if ctrl.flag(m)? == 1 { 2 } else { 1 };
+        let buf = if target == 1 { self.buf_a } else { self.buf_b };
+        let sram = m.mem.layout().sram;
+        let used = m.regs.sp.raw().saturating_sub(sram.start.raw());
+        for (i, w) in m.regs.to_words().iter().enumerate() {
+            poke_u32(m, buf.offset(4 * i as u32), *w)?;
+        }
+        poke_u32(m, buf.offset(16), used)?;
+        if used > 0 {
+            let stack = m.mem.peek_bytes(sram.start, used)?;
+            m.mem.poke_bytes(buf.offset(20), &stack)?;
+        }
+        let statics_len = m.loaded().program.globals_size;
+        if statics_len > 0 {
+            let statics = m.mem.peek_bytes(m.data_base(), statics_len)?;
+            m.mem.poke_bytes(buf.offset(20 + sram.len()), &statics)?;
+        }
+        let bytes = 20 + used + statics_len;
+        let costs = m.mem.costs().clone();
+        let cost =
+            costs.ckpt_base + costs.ckpt_seg_fixed + costs.ckpt_seg_per_byte * u64::from(bytes);
+        self.last_ckpt_at = m.cycles();
+        if !m.charge_atomic(cost) {
+            return Ok(()); // died mid-commit: previous checkpoint stands
+        }
+        ctrl.set_flag(m, target)?;
+        let st = m.stats_mut();
+        st.checkpoints += 1;
+        st.checkpoint_bytes += u64::from(bytes);
+        Ok(())
+    }
+}
+
+impl Default for ChinchillaRuntime {
+    fn default() -> Self {
+        ChinchillaRuntime::new(3_000)
+    }
+}
+
+impl IntermittentRuntime for ChinchillaRuntime {
+    fn name(&self) -> &'static str {
+        "Chinchilla"
+    }
+
+    fn capabilities(&self) -> RuntimeCapabilities {
+        RuntimeCapabilities {
+            pointer_support: true,
+            recursion_support: false,
+            scalable: false,
+            timely_execution: false,
+            porting_effort: PortingEffort::None,
+        }
+    }
+
+    fn check_program(&self, program: &Program) -> Result<()> {
+        if program.instrumentation != Instrumentation::Chinchilla {
+            return Err(VmError::IncompatibleInstrumentation {
+                expected: "Chinchilla".into(),
+                found: format!("{:?}", program.instrumentation),
+            });
+        }
+        if program.has_recursion {
+            return Err(VmError::Load(
+                "chinchilla cannot run recursive programs (§5.3.1)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn on_boot(&mut self, m: &mut Machine) -> Result<ResumeAction> {
+        let ctrl = self.attach(m)?;
+        self.last_ckpt_at = m.cycles();
+        let flag = ctrl.flag(m)?;
+        if flag == 0 {
+            return Ok(ResumeAction::Restart {
+                reinit_globals: true,
+            });
+        }
+        let buf = if flag == 1 { self.buf_a } else { self.buf_b };
+        let mut words = [0u32; 4];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = peek_u32(m, buf.offset(4 * i as u32))?;
+        }
+        let used = peek_u32(m, buf.offset(16))?;
+        let sram = m.mem.layout().sram;
+        if used > 0 {
+            let stack = m.mem.peek_bytes(buf.offset(20), used)?;
+            m.mem.poke_bytes(sram.start, &stack)?;
+        }
+        let statics_len = m.loaded().program.globals_size;
+        if statics_len > 0 {
+            let statics = m.mem.peek_bytes(buf.offset(20 + sram.len()), statics_len)?;
+            m.mem.poke_bytes(m.data_base(), &statics)?;
+        }
+        m.regs = Registers::from_words(words);
+        let costs = m.mem.costs().clone();
+        let cost = costs.restore_base
+            + costs.restore_seg_fixed
+            + costs.restore_seg_per_byte * u64::from(20 + used + statics_len);
+        let _ = m.charge_atomic(cost);
+        m.stats_mut().restores += 1;
+        Ok(ResumeAction::Restored)
+    }
+
+    fn alloc_frame(
+        &mut self,
+        m: &mut Machine,
+        _fidx: u16,
+        frame_size: u32,
+        _arg_bytes: u32,
+    ) -> Result<Addr> {
+        let sram = m.mem.layout().sram;
+        let base = if m.regs.fp == Addr(0) && m.regs.sp == Addr(0) {
+            sram.start
+        } else {
+            m.regs.sp
+        };
+        if !sram.contains_range(base, frame_size) {
+            return Err(VmError::StackOverflow {
+                detail: format!("SRAM frame stack exhausted allocating {frame_size} bytes"),
+            });
+        }
+        Ok(base)
+    }
+
+    fn free_frame(&mut self, _m: &mut Machine, _fp: Addr) -> Result<()> {
+        Ok(())
+    }
+
+    fn logged_store(&mut self, _m: &mut Machine, _addr: Addr, _len: u32) -> Result<()> {
+        Ok(())
+    }
+
+    fn checkpoint(&mut self, m: &mut Machine, kind: CheckpointKind) -> Result<()> {
+        match kind {
+            CheckpointKind::Site(CkptSite::Auto | CkptSite::VoltageCheck)
+            | CheckpointKind::Timer
+            | CheckpointKind::Voltage => {
+                if m.cycles().saturating_sub(self.last_ckpt_at) >= self.min_interval_us {
+                    self.commit(m)?;
+                }
+                Ok(())
+            }
+            CheckpointKind::Site(_) => self.commit(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tics_energy::{ContinuousPower, PeriodicTrace};
+    use tics_minic::{compile, opt::OptLevel, passes};
+    use tics_vm::{Executor, MachineConfig};
+
+    fn chin_machine(src: &str) -> Machine {
+        let mut prog = compile(src, OptLevel::O1).unwrap();
+        passes::instrument_chinchilla(&mut prog).unwrap();
+        Machine::new(prog, MachineConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn completes_simple_programs() {
+        let mut m = chin_machine(
+            "int main() { int s = 0; for (int i = 0; i < 30; i++) { s += i; } return s; }",
+        );
+        let mut rt = ChinchillaRuntime::default();
+        let out = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap();
+        assert_eq!(out.exit_code(), Some(435));
+    }
+
+    #[test]
+    fn survives_power_failures() {
+        let mut m = chin_machine(
+            "int g;
+             int main() {
+                 for (int i = 0; i < 600; i++) { g = g + 1; }
+                 return g;
+             }",
+        );
+        let mut rt = ChinchillaRuntime::new(1_500);
+        let out = Executor::new()
+            .with_time_budget(500_000_000)
+            .run(&mut m, &mut rt, &mut PeriodicTrace::new(25_000, 500))
+            .unwrap();
+        assert_eq!(out.exit_code(), Some(600));
+        assert!(m.stats().power_failures > 0);
+    }
+
+    #[test]
+    fn rejects_recursive_programs() {
+        // instrument_chinchilla itself rejects; the runtime double-checks
+        // with a hand-tagged image.
+        let mut prog = compile(
+            "int fib(int n) { if (n < 2) return n; return fib(n-1)+fib(n-2); }
+             int main() { return fib(4); }",
+            OptLevel::O1,
+        )
+        .unwrap();
+        assert!(passes::instrument_chinchilla(&mut prog).is_err());
+        prog.instrumentation = Instrumentation::Chinchilla;
+        assert!(ChinchillaRuntime::default().check_program(&prog).is_err());
+    }
+
+    #[test]
+    fn checkpoints_scale_with_promoted_statics() {
+        let small = {
+            let mut m = chin_machine("int main() { int x = 1; checkpoint(); return x; }");
+            let mut rt = ChinchillaRuntime::default();
+            Executor::new()
+                .run(&mut m, &mut rt, &mut ContinuousPower::new())
+                .unwrap();
+            m.stats().mean_checkpoint_bytes().unwrap()
+        };
+        let big = {
+            let mut m = chin_machine(
+                "int main() { int blob[300]; blob[0] = 1; checkpoint(); return blob[0]; }",
+            );
+            let mut rt = ChinchillaRuntime::default();
+            Executor::new()
+                .run(&mut m, &mut rt, &mut ContinuousPower::new())
+                .unwrap();
+            m.stats().mean_checkpoint_bytes().unwrap()
+        };
+        // The local blob was promoted to statics, so the checkpoint grew
+        // by ~1200 bytes even though it is a *local* in the source.
+        assert!(big > small + 1_000.0, "{small} vs {big}");
+    }
+
+    #[test]
+    fn rejects_wrong_instrumentation() {
+        let prog = compile("int main() { return 0; }", OptLevel::O0).unwrap();
+        assert!(ChinchillaRuntime::default().check_program(&prog).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # tics-baselines — the systems TICS is evaluated against
+//!
+//! Faithful-behavior models of the five comparison systems from the
+//! paper's evaluation (§5.3, Table 5), each implemented as a
+//! [`tics_vm::IntermittentRuntime`]:
+//!
+//! * [`NaiveCheckpoint`] — "a naïve checkpoint-based system that logs the
+//!   complete stack and all global variables (which closely resembles
+//!   what MementOS does)": voltage-check sites, whole-state double
+//!   buffering, checkpoint cost that grows with program state.
+//! * [`ChinchillaRuntime`] — runs programs whose locals were promoted to
+//!   globals by [`tics_minic::passes::instrument_chinchilla`];
+//!   over-instrumented checkpoint sites thinned by a timing heuristic;
+//!   rejects recursion; `.data`-heavy double buffering.
+//! * [`RatchetRuntime`] — register-only checkpoints at every
+//!   idempotent-section boundary; all memory in FRAM. Cheap per
+//!   checkpoint but extremely frequent on pointer-heavy code.
+//! * [`TaskKernel`] — the task-based kernels (Alpaca, InK, MayFly as
+//!   [`TaskFlavor`]s): hand-ported task-graph programs, privatized
+//!   global writes (undo log), commits at task boundaries, and — for
+//!   InK/MayFly — time-aware extensions.
+//!
+//! As in `tics-core`, all persistent runtime state lives in simulated
+//! FRAM; reboots rebuild host-side caches from it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bufs;
+pub mod chinchilla;
+pub mod naive;
+pub mod ratchet;
+pub mod taskkernel;
+
+pub use chinchilla::ChinchillaRuntime;
+pub use naive::NaiveCheckpoint;
+pub use ratchet::RatchetRuntime;
+pub use taskkernel::{TaskFlavor, TaskKernel};

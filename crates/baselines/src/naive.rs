@@ -1,0 +1,329 @@
+//! MementOS-style naive checkpointing.
+
+use tics_mcu::{Addr, Registers};
+use tics_minic::isa::CkptSite;
+use tics_minic::program::{Instrumentation, Program};
+use tics_vm::{
+    CheckpointKind, IntermittentRuntime, Machine, PortingEffort, ResumeAction, RuntimeCapabilities,
+    VmError,
+};
+
+use crate::bufs::{peek_u32, poke_u32, CtrlBlock, CTRL_SIZE};
+
+type Result<T> = std::result::Result<T, VmError>;
+
+/// Cycles charged per voltage-probe site visit (ADC conversion time).
+const VOLTAGE_PROBE_US: u64 = 35;
+
+/// The paper's naive comparison point: "logs the complete stack and all
+/// global variables (which closely resembles what MementOS does)".
+///
+/// The stack lives in volatile SRAM. At each voltage-check site (loop
+/// latches and function entries, inserted by
+/// [`tics_minic::passes::instrument_mementos`]) the runtime commits a
+/// checkpoint if enough time has passed since the last one — modeling
+/// MementOS's intermittent voltage probes. A checkpoint copies the
+/// *entire used stack plus every global* into a double-buffered FRAM
+/// area, so its cost grows with program state: exactly the scalability
+/// failure the paper attributes to this class of systems.
+#[derive(Debug)]
+pub struct NaiveCheckpoint {
+    /// Minimum µs between committed checkpoints (the voltage-probe
+    /// hysteresis).
+    min_interval_us: u64,
+    last_ckpt_at: u64,
+    ctrl: Option<CtrlBlock>,
+    buf_a: Addr,
+    buf_b: Addr,
+    buf_bytes: u32,
+}
+
+impl NaiveCheckpoint {
+    /// Creates the runtime with a probe interval of `min_interval_us`.
+    #[must_use]
+    pub fn new(min_interval_us: u64) -> NaiveCheckpoint {
+        NaiveCheckpoint {
+            min_interval_us,
+            last_ckpt_at: 0,
+            ctrl: None,
+            buf_a: Addr(0),
+            buf_b: Addr(0),
+            buf_bytes: 0,
+        }
+    }
+
+    fn attach(&mut self, m: &mut Machine) -> Result<CtrlBlock> {
+        if let Some(c) = self.ctrl {
+            return Ok(c);
+        }
+        let base = m.runtime_area_base();
+        let sram = m.mem.layout().sram;
+        let globals = m.loaded().program.globals_size;
+        // Buffer: regs (16) + used-stack length (4) + stack + globals.
+        self.buf_bytes = 16 + 4 + sram.len() + globals;
+        self.buf_a = base.offset(CTRL_SIZE);
+        self.buf_b = self.buf_a.offset(self.buf_bytes);
+        let end = self.buf_b.offset(self.buf_bytes);
+        if !m.mem.layout().fram.contains(Addr(end.raw() - 1)) {
+            return Err(VmError::Load(
+                "naive checkpoint buffers do not fit in FRAM".into(),
+            ));
+        }
+        let ctrl = CtrlBlock::new(base);
+        ctrl.init_if_needed(m)?;
+        self.ctrl = Some(ctrl);
+        Ok(ctrl)
+    }
+
+    fn commit(&mut self, m: &mut Machine) -> Result<()> {
+        let ctrl = self.attach(m)?;
+        let target = if ctrl.flag(m)? == 1 { 2 } else { 1 };
+        let buf = if target == 1 { self.buf_a } else { self.buf_b };
+        let sram = m.mem.layout().sram;
+        let used = m.regs.sp.raw().saturating_sub(sram.start.raw());
+        let words = m.regs.to_words();
+        for (i, w) in words.iter().enumerate() {
+            poke_u32(m, buf.offset(4 * i as u32), *w)?;
+        }
+        poke_u32(m, buf.offset(16), used)?;
+        if used > 0 {
+            let stack = m.mem.peek_bytes(sram.start, used)?;
+            m.mem.poke_bytes(buf.offset(20), &stack)?;
+        }
+        let globals_len = m.loaded().program.globals_size;
+        if globals_len > 0 {
+            let globals = m.mem.peek_bytes(m.data_base(), globals_len)?;
+            m.mem.poke_bytes(buf.offset(20 + sram.len()), &globals)?;
+        }
+        let bytes = 20 + used + globals_len;
+        let costs = m.mem.costs().clone();
+        let cost =
+            costs.ckpt_base + costs.ckpt_seg_fixed + costs.ckpt_seg_per_byte * u64::from(bytes);
+        self.last_ckpt_at = m.cycles();
+        // The whole-state copy must fit in the remaining energy or the
+        // flag never flips — this is how naive checkpointing starves.
+        if !m.charge_atomic(cost) {
+            return Ok(());
+        }
+        ctrl.set_flag(m, target)?;
+        let st = m.stats_mut();
+        st.checkpoints += 1;
+        st.checkpoint_bytes += u64::from(bytes);
+        Ok(())
+    }
+}
+
+impl IntermittentRuntime for NaiveCheckpoint {
+    fn name(&self) -> &'static str {
+        "naive-mementos"
+    }
+
+    fn capabilities(&self) -> RuntimeCapabilities {
+        RuntimeCapabilities {
+            pointer_support: true,
+            recursion_support: true,
+            scalable: false,
+            timely_execution: false,
+            porting_effort: PortingEffort::None,
+        }
+    }
+
+    fn check_program(&self, program: &Program) -> Result<()> {
+        if program.instrumentation != Instrumentation::Mementos {
+            return Err(VmError::IncompatibleInstrumentation {
+                expected: "Mementos".into(),
+                found: format!("{:?}", program.instrumentation),
+            });
+        }
+        Ok(())
+    }
+
+    fn on_boot(&mut self, m: &mut Machine) -> Result<ResumeAction> {
+        let ctrl = self.attach(m)?;
+        self.last_ckpt_at = m.cycles();
+        let flag = ctrl.flag(m)?;
+        if flag == 0 {
+            return Ok(ResumeAction::Restart {
+                reinit_globals: true,
+            });
+        }
+        let buf = if flag == 1 { self.buf_a } else { self.buf_b };
+        let mut words = [0u32; 4];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = peek_u32(m, buf.offset(4 * i as u32))?;
+        }
+        let used = peek_u32(m, buf.offset(16))?;
+        let sram = m.mem.layout().sram;
+        if used > 0 {
+            let stack = m.mem.peek_bytes(buf.offset(20), used)?;
+            m.mem.poke_bytes(sram.start, &stack)?;
+        }
+        let globals_len = m.loaded().program.globals_size;
+        if globals_len > 0 {
+            let globals = m.mem.peek_bytes(buf.offset(20 + sram.len()), globals_len)?;
+            m.mem.poke_bytes(m.data_base(), &globals)?;
+        }
+        m.regs = Registers::from_words(words);
+        let costs = m.mem.costs().clone();
+        m.mem.add_cycles(
+            costs.restore_base
+                + costs.restore_seg_fixed
+                + costs.restore_seg_per_byte * u64::from(20 + used + globals_len),
+        );
+        m.stats_mut().restores += 1;
+        Ok(ResumeAction::Restored)
+    }
+
+    fn alloc_frame(
+        &mut self,
+        m: &mut Machine,
+        _fidx: u16,
+        frame_size: u32,
+        _arg_bytes: u32,
+    ) -> Result<Addr> {
+        let sram = m.mem.layout().sram;
+        let base = if m.regs.fp == Addr(0) && m.regs.sp == Addr(0) {
+            sram.start
+        } else {
+            m.regs.sp
+        };
+        if !sram.contains_range(base, frame_size) {
+            return Err(VmError::StackOverflow {
+                detail: format!("SRAM stack exhausted allocating {frame_size} bytes"),
+            });
+        }
+        Ok(base)
+    }
+
+    fn free_frame(&mut self, _m: &mut Machine, _fp: Addr) -> Result<()> {
+        Ok(())
+    }
+
+    fn logged_store(&mut self, _m: &mut Machine, _addr: Addr, _len: u32) -> Result<()> {
+        Ok(())
+    }
+
+    fn checkpoint(&mut self, m: &mut Machine, kind: CheckpointKind) -> Result<()> {
+        match kind {
+            CheckpointKind::Site(CkptSite::VoltageCheck) | CheckpointKind::Voltage => {
+                // Every site pays for the supply-voltage ADC probe — the
+                // dominant steady-state overhead of MementOS-style
+                // systems (≈35 µs per measurement on the MSP430).
+                m.mem.add_cycles(VOLTAGE_PROBE_US);
+                if m.cycles().saturating_sub(self.last_ckpt_at) >= self.min_interval_us {
+                    self.commit(m)?;
+                }
+                Ok(())
+            }
+            CheckpointKind::Site(CkptSite::Manual | CkptSite::TaskBoundary) => self.commit(m),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl Default for NaiveCheckpoint {
+    fn default() -> Self {
+        NaiveCheckpoint::new(2_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tics_energy::{ContinuousPower, PeriodicTrace};
+    use tics_minic::{compile, opt::OptLevel, passes};
+    use tics_vm::{Executor, MachineConfig};
+
+    fn naive_machine(src: &str) -> Machine {
+        let mut prog = compile(src, OptLevel::O1).unwrap();
+        passes::instrument_mementos(&mut prog).unwrap();
+        Machine::new(prog, MachineConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn completes_on_continuous_power() {
+        let mut m = naive_machine(
+            "int main() { int s = 0; for (int i = 0; i < 20; i++) { s += i; } return s; }",
+        );
+        let mut rt = NaiveCheckpoint::new(100); // probe interval shorter than the run
+        let out = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap();
+        assert_eq!(out.exit_code(), Some(190));
+        assert!(m.stats().checkpoints > 0, "voltage sites must commit");
+    }
+
+    #[test]
+    fn survives_power_failures_with_consistent_globals() {
+        let mut m = naive_machine(
+            "int g;
+             int main() {
+                 for (int i = 0; i < 400; i++) { g = g + 1; }
+                 return g;
+             }",
+        );
+        let mut rt = NaiveCheckpoint::new(1_000);
+        let out = Executor::new()
+            .with_time_budget(500_000_000)
+            .run(&mut m, &mut rt, &mut PeriodicTrace::new(20_000, 500))
+            .unwrap();
+        // Globals are checkpointed/restored together with the stack, so
+        // the increment count is exact.
+        assert_eq!(out.exit_code(), Some(400));
+        assert!(m.stats().power_failures > 0);
+        assert!(m.stats().restores > 0);
+    }
+
+    #[test]
+    fn checkpoint_size_grows_with_state() {
+        let small = {
+            let mut m = naive_machine("int main() { checkpoint(); return 0; }");
+            let mut rt = NaiveCheckpoint::default();
+            Executor::new()
+                .run(&mut m, &mut rt, &mut ContinuousPower::new())
+                .unwrap();
+            m.stats().mean_checkpoint_bytes().unwrap()
+        };
+        let big = {
+            let mut m =
+                naive_machine("int blob[200]; int main() { blob[0] = 1; checkpoint(); return 0; }");
+            let mut rt = NaiveCheckpoint::default();
+            Executor::new()
+                .run(&mut m, &mut rt, &mut ContinuousPower::new())
+                .unwrap();
+            m.stats().mean_checkpoint_bytes().unwrap()
+        };
+        assert!(
+            big > small + 700.0,
+            "naive checkpoints must scale with globals: {small} vs {big}"
+        );
+    }
+
+    #[test]
+    fn starves_when_checkpoint_exceeds_on_period() {
+        // Huge globals make every checkpoint cost > the on period.
+        let mut m = naive_machine(
+            "int blob[4000];
+             int main() {
+                 int i = 0;
+                 while (1) { blob[i % 4000] = i; i++; }
+                 return 0;
+             }",
+        );
+        let mut rt = NaiveCheckpoint::new(500);
+        let out = Executor::new()
+            .with_starvation_detection(20)
+            .run(&mut m, &mut rt, &mut PeriodicTrace::new(2_000, 100))
+            .unwrap();
+        assert!(
+            matches!(out, tics_vm::RunOutcome::Starved { .. }),
+            "got {out:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_instrumentation() {
+        let prog = compile("int main() { return 0; }", OptLevel::O0).unwrap();
+        assert!(NaiveCheckpoint::default().check_program(&prog).is_err());
+    }
+}

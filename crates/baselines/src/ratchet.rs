@@ -1,0 +1,260 @@
+//! Ratchet-style idempotent-boundary register checkpointing.
+
+use tics_mcu::{Addr, Region, Registers};
+use tics_minic::isa::CkptSite;
+use tics_minic::program::{Instrumentation, Program};
+use tics_vm::{
+    CheckpointKind, IntermittentRuntime, Machine, PortingEffort, ResumeAction, RuntimeCapabilities,
+    VmError,
+};
+
+use crate::bufs::{peek_u32, poke_u32, CtrlBlock, CTRL_SIZE};
+
+type Result<T> = std::result::Result<T, VmError>;
+
+/// A Ratchet-style runtime (Van Der Woude & Hicks, OSDI 2016).
+///
+/// All memory — including the stack — lives in non-volatile FRAM, so a
+/// checkpoint is just the registers: constant cost, taken at *every*
+/// idempotent-section boundary the compiler pass placed (before
+/// WAR-closing stores, and conservatively before every pointer access,
+/// since aliases cannot be resolved statically). On pointer-heavy code
+/// the boundaries are nearly back-to-back — the overhead the paper's
+/// §3.1 highlights.
+#[derive(Debug)]
+pub struct RatchetRuntime {
+    stack_bytes: u32,
+    ctrl: Option<CtrlBlock>,
+    buf_a: Addr,
+    buf_b: Addr,
+    stack: Region,
+}
+
+impl RatchetRuntime {
+    /// Creates the runtime with an FRAM stack region of `stack_bytes`.
+    #[must_use]
+    pub fn new(stack_bytes: u32) -> RatchetRuntime {
+        RatchetRuntime {
+            stack_bytes,
+            ctrl: None,
+            buf_a: Addr(0),
+            buf_b: Addr(0),
+            stack: Region::with_len(Addr(0), 0),
+        }
+    }
+
+    fn attach(&mut self, m: &mut Machine) -> Result<CtrlBlock> {
+        if let Some(c) = self.ctrl {
+            return Ok(c);
+        }
+        let base = m.runtime_area_base();
+        // A buffer holds the registers, the frame length, and the current
+        // frame image — this VM's analog of Ratchet's renamed register
+        // set (operand scratch lives in the frame here, not in registers).
+        let buf_bytes = 16 + 4 + m.loaded().program.max_frame_size();
+        self.buf_a = base.offset(CTRL_SIZE);
+        self.buf_b = self.buf_a.offset(buf_bytes);
+        let stack_start = self.buf_b.offset(buf_bytes);
+        self.stack = Region::with_len(stack_start, self.stack_bytes);
+        if !m.mem.layout().fram.contains(Addr(self.stack.end.raw() - 1)) {
+            return Err(VmError::Load("ratchet FRAM stack does not fit".into()));
+        }
+        let ctrl = CtrlBlock::new(base);
+        ctrl.init_if_needed(m)?;
+        self.ctrl = Some(ctrl);
+        Ok(ctrl)
+    }
+
+    fn commit(&mut self, m: &mut Machine) -> Result<()> {
+        let ctrl = self.attach(m)?;
+        let target = if ctrl.flag(m)? == 1 { 2 } else { 1 };
+        let buf = if target == 1 { self.buf_a } else { self.buf_b };
+        for (i, w) in m.regs.to_words().iter().enumerate() {
+            poke_u32(m, buf.offset(4 * i as u32), *w)?;
+        }
+        let frame_len = m.regs.sp.raw().saturating_sub(m.regs.fp.raw());
+        poke_u32(m, buf.offset(16), frame_len)?;
+        if frame_len > 0 {
+            let frame = m.mem.peek_bytes(m.regs.fp, frame_len)?;
+            m.mem.poke_bytes(buf.offset(20), &frame)?;
+        }
+        // Bounded by the largest frame — effectively constant, unlike
+        // stack- or statics-sized checkpoints.
+        let cost = m.mem.costs().ckpt_base + u64::from(frame_len) / 4;
+        if !m.charge_atomic(cost) {
+            return Ok(());
+        }
+        ctrl.set_flag(m, target)?;
+        let st = m.stats_mut();
+        st.checkpoints += 1;
+        st.checkpoint_bytes += u64::from(16 + 4 + frame_len);
+        Ok(())
+    }
+}
+
+impl Default for RatchetRuntime {
+    fn default() -> Self {
+        RatchetRuntime::new(2_048)
+    }
+}
+
+impl IntermittentRuntime for RatchetRuntime {
+    fn name(&self) -> &'static str {
+        "Ratchet"
+    }
+
+    fn capabilities(&self) -> RuntimeCapabilities {
+        RuntimeCapabilities {
+            pointer_support: true,
+            recursion_support: false,
+            scalable: false,
+            timely_execution: false,
+            porting_effort: PortingEffort::High,
+        }
+    }
+
+    fn check_program(&self, program: &Program) -> Result<()> {
+        if program.instrumentation != Instrumentation::Ratchet {
+            return Err(VmError::IncompatibleInstrumentation {
+                expected: "Ratchet".into(),
+                found: format!("{:?}", program.instrumentation),
+            });
+        }
+        Ok(())
+    }
+
+    fn on_boot(&mut self, m: &mut Machine) -> Result<ResumeAction> {
+        let ctrl = self.attach(m)?;
+        let flag = ctrl.flag(m)?;
+        if flag == 0 {
+            return Ok(ResumeAction::Restart {
+                reinit_globals: false,
+            });
+        }
+        let buf = if flag == 1 { self.buf_a } else { self.buf_b };
+        let mut words = [0u32; 4];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = peek_u32(m, buf.offset(4 * i as u32))?;
+        }
+        m.regs = Registers::from_words(words);
+        let frame_len = peek_u32(m, buf.offset(16))?;
+        if frame_len > 0 {
+            let frame = m.mem.peek_bytes(buf.offset(20), frame_len)?;
+            m.mem.poke_bytes(m.regs.fp, &frame)?;
+        }
+        let _ = m.charge_atomic(m.mem.costs().restore_base + u64::from(frame_len) / 4);
+        m.stats_mut().restores += 1;
+        Ok(ResumeAction::Restored)
+    }
+
+    fn alloc_frame(
+        &mut self,
+        m: &mut Machine,
+        _fidx: u16,
+        frame_size: u32,
+        _arg_bytes: u32,
+    ) -> Result<Addr> {
+        self.attach(m)?;
+        let base = if m.regs.fp == Addr(0) && m.regs.sp == Addr(0) {
+            self.stack.start
+        } else {
+            m.regs.sp
+        };
+        if !self.stack.contains_range(base, frame_size) {
+            return Err(VmError::StackOverflow {
+                detail: format!("FRAM stack exhausted allocating {frame_size} bytes"),
+            });
+        }
+        Ok(base)
+    }
+
+    fn free_frame(&mut self, _m: &mut Machine, _fp: Addr) -> Result<()> {
+        Ok(())
+    }
+
+    fn logged_store(&mut self, _m: &mut Machine, _addr: Addr, _len: u32) -> Result<()> {
+        Ok(())
+    }
+
+    fn checkpoint(&mut self, m: &mut Machine, kind: CheckpointKind) -> Result<()> {
+        match kind {
+            // Every idempotent boundary checkpoints — that is Ratchet.
+            CheckpointKind::Site(CkptSite::Auto | CkptSite::Manual) => self.commit(m),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tics_energy::{ContinuousPower, PeriodicTrace};
+    use tics_minic::{compile, opt::OptLevel, passes};
+    use tics_vm::{Executor, MachineConfig};
+
+    fn ratchet_machine(src: &str) -> Machine {
+        let mut prog = compile(src, OptLevel::O1).unwrap();
+        passes::instrument_ratchet(&mut prog).unwrap();
+        Machine::new(prog, MachineConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn completes_and_checkpoints_constant_size() {
+        let mut m = ratchet_machine(
+            "int g;
+             int main() { for (int i = 0; i < 10; i++) { g = g + 1; } return g; }",
+        );
+        let mut rt = RatchetRuntime::default();
+        let out = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap();
+        assert_eq!(out.exit_code(), Some(10));
+        assert!(m.stats().checkpoints > 0);
+        // Register file + one bounded frame — never the whole stack.
+        let mean = m.stats().mean_checkpoint_bytes().unwrap();
+        assert!(mean < 300.0, "checkpoints must stay bounded, got {mean}");
+    }
+
+    #[test]
+    fn survives_power_failures_with_war_safety() {
+        // g = g + 1 closes a WAR dependency each iteration; the pass put
+        // a boundary checkpoint before the store, so replays never
+        // double-increment.
+        let mut m = ratchet_machine(
+            "int g;
+             int main() { for (int i = 0; i < 500; i++) { g = g + 1; } return g; }",
+        );
+        let mut rt = RatchetRuntime::default();
+        let out = Executor::new()
+            .with_time_budget(500_000_000)
+            .run(&mut m, &mut rt, &mut PeriodicTrace::new(15_000, 500))
+            .unwrap();
+        assert_eq!(out.exit_code(), Some(500));
+        assert!(m.stats().power_failures > 0);
+    }
+
+    #[test]
+    fn pointer_heavy_code_checkpoints_constantly() {
+        let mut m = ratchet_machine(
+            "int a[50];
+             int main() {
+                 int *p = a;
+                 for (int i = 0; i < 50; i++) { *(p + i) = i; }
+                 return a[49];
+             }",
+        );
+        let mut rt = RatchetRuntime::default();
+        let out = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap();
+        assert_eq!(out.exit_code(), Some(49));
+        // One checkpoint per pointer store, at least.
+        assert!(m.stats().checkpoints >= 50, "got {}", m.stats().checkpoints);
+    }
+
+    #[test]
+    fn rejects_wrong_instrumentation() {
+        let prog = compile("int main() { return 0; }", OptLevel::O0).unwrap();
+        assert!(RatchetRuntime::default().check_program(&prog).is_err());
+    }
+}

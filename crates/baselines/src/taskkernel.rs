@@ -1,0 +1,553 @@
+//! Task-based kernels: Alpaca, InK, and MayFly.
+
+use tics_mcu::{Addr, Registers};
+use tics_minic::isa::{CkptSite, VarId};
+use tics_minic::program::{Instrumentation, Program};
+use tics_vm::{
+    CheckpointKind, IntermittentRuntime, Machine, PortingEffort, ResumeAction, RuntimeCapabilities,
+    VmError,
+};
+
+use crate::bufs::{peek_u32, poke_u32, CtrlBlock, CTRL_SIZE};
+
+type Result<T> = std::result::Result<T, VmError>;
+
+/// Which task-based system the kernel models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskFlavor {
+    /// Alpaca (Maeng et al., OOPSLA 2017): privatization + commit at
+    /// task transitions; no pointers, no recursion, no time awareness.
+    Alpaca,
+    /// InK (Yıldırım et al., SenSys 2018): a reactive task kernel with
+    /// timing support.
+    Ink,
+    /// MayFly (Hester et al., SenSys 2017): task graphs with timing
+    /// constraints on edges; no loops in the graph.
+    Mayfly,
+}
+
+impl TaskFlavor {
+    /// Kernel library `.text` footprint (for Table 3-style accounting).
+    #[must_use]
+    pub fn runtime_text_bytes(self) -> u32 {
+        match self {
+            TaskFlavor::Alpaca => 2_600,
+            TaskFlavor::Ink => 3_000,
+            TaskFlavor::Mayfly => 3_300,
+        }
+    }
+
+    /// Kernel fixed `.data` footprint (queues, graph tables) — the
+    /// dominant shadow-copy term is added per-program by
+    /// [`tics_minic::passes::instrument_task_based`].
+    #[must_use]
+    pub fn runtime_data_bytes(self) -> u32 {
+        match self {
+            TaskFlavor::Alpaca => 180,
+            TaskFlavor::Ink => 260,
+            TaskFlavor::Mayfly => 300,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskFlavor::Alpaca => "Alpaca",
+            TaskFlavor::Ink => "InK",
+            TaskFlavor::Mayfly => "MayFly",
+        }
+    }
+}
+
+/// A task-based kernel runtime.
+///
+/// Task programs are *hand-ported* (Table 5's "High" porting effort):
+/// the source defines one function per task plus a dispatcher `main`
+/// that threads a persistent `nv` current-task variable. The kernel
+/// provides the systems' common execution guarantee — tasks are atomic
+/// and idempotent:
+///
+/// * every global (task-shared) write is privatized via a persistent
+///   undo log (equivalent, at the memory level, to Alpaca's
+///   privatize-then-commit),
+/// * at each task boundary the log is committed (cleared) and a small
+///   dispatcher checkpoint (registers + SRAM frames) becomes the restart
+///   point,
+/// * a reboot rolls uncommitted writes back and restarts the interrupted
+///   task from its entry.
+///
+/// InK and MayFly additionally support the timestamp/freshness
+/// operations (their task graphs carry timing constraints); Alpaca does
+/// not. None of them accept pointer-manipulating or recursive programs.
+#[derive(Debug)]
+pub struct TaskKernel {
+    flavor: TaskFlavor,
+    undo_capacity: u32,
+    undo_count: u32,
+    ctrl: Option<CtrlBlock>,
+    buf_a: Addr,
+    buf_b: Addr,
+    ts_base: Addr,
+    undo_base: Addr,
+}
+
+impl TaskKernel {
+    /// Creates a kernel of the given flavor with the default
+    /// privatization buffer (256 entries).
+    #[must_use]
+    pub fn new(flavor: TaskFlavor) -> TaskKernel {
+        TaskKernel::with_undo_capacity(flavor, 256)
+    }
+
+    /// Creates a kernel with an explicit privatization-buffer capacity.
+    #[must_use]
+    pub fn with_undo_capacity(flavor: TaskFlavor, undo_capacity: u32) -> TaskKernel {
+        TaskKernel {
+            flavor,
+            undo_capacity,
+            undo_count: 0,
+            ctrl: None,
+            buf_a: Addr(0),
+            buf_b: Addr(0),
+            ts_base: Addr(0),
+            undo_base: Addr(0),
+        }
+    }
+
+    /// The kernel flavor.
+    #[must_use]
+    pub fn flavor(&self) -> TaskFlavor {
+        self.flavor
+    }
+
+    fn attach(&mut self, m: &mut Machine) -> Result<CtrlBlock> {
+        if let Some(c) = self.ctrl {
+            return Ok(c);
+        }
+        let base = m.runtime_area_base();
+        let sram = m.mem.layout().sram;
+        let buf_bytes = 16 + 4 + sram.len();
+        self.buf_a = base.offset(CTRL_SIZE);
+        self.buf_b = self.buf_a.offset(buf_bytes);
+        self.ts_base = self.buf_b.offset(buf_bytes);
+        self.undo_base = self
+            .ts_base
+            .offset(8 * m.loaded().program.annotated.len() as u32);
+        let end = self.undo_base.offset(8 * self.undo_capacity);
+        if !m.mem.layout().fram.contains(Addr(end.raw() - 1)) {
+            return Err(VmError::Load(
+                "task kernel buffers do not fit in FRAM".into(),
+            ));
+        }
+        let ctrl = CtrlBlock::new(base);
+        ctrl.init_if_needed(m)?;
+        self.ctrl = Some(ctrl);
+        Ok(ctrl)
+    }
+
+    /// Commit at a task boundary: the undo log becomes the committed
+    /// state and a fresh dispatcher checkpoint is taken.
+    fn commit_boundary(&mut self, m: &mut Machine) -> Result<()> {
+        let ctrl = self.attach(m)?;
+        let target = if ctrl.flag(m)? == 1 { 2 } else { 1 };
+        let buf = if target == 1 { self.buf_a } else { self.buf_b };
+        let sram = m.mem.layout().sram;
+        let used = m.regs.sp.raw().saturating_sub(sram.start.raw());
+        for (i, w) in m.regs.to_words().iter().enumerate() {
+            poke_u32(m, buf.offset(4 * i as u32), *w)?;
+        }
+        poke_u32(m, buf.offset(16), used)?;
+        if used > 0 {
+            let stack = m.mem.peek_bytes(sram.start, used)?;
+            m.mem.poke_bytes(buf.offset(20), &stack)?;
+        }
+        let bytes = 20 + used;
+        let costs = m.mem.costs().clone();
+        let cost =
+            costs.ckpt_base + costs.ckpt_seg_fixed + costs.ckpt_seg_per_byte * u64::from(bytes);
+        if !m.charge_atomic(cost) {
+            return Ok(());
+        }
+        ctrl.set_flag(m, target)?;
+        self.undo_count = 0;
+        ctrl.set_scratch(m, 0)?;
+        let st = m.stats_mut();
+        st.checkpoints += 1;
+        st.checkpoint_bytes += u64::from(bytes);
+        Ok(())
+    }
+
+    fn rollback_all(&mut self, m: &mut Machine) -> Result<()> {
+        let ctrl = self.attach(m)?;
+        self.undo_count = ctrl.scratch(m)?;
+        let mut i = self.undo_count;
+        while i > 0 {
+            i -= 1;
+            let slot = self.undo_base.offset(8 * i);
+            let addr = Addr(peek_u32(m, slot)?);
+            let old = peek_u32(m, slot.offset(4))?;
+            poke_u32(m, addr, old)?;
+            m.mem.add_cycles(m.mem.costs().rollback_cost(4));
+            m.stats_mut().undo_rollbacks += 1;
+        }
+        self.undo_count = 0;
+        ctrl.set_scratch(m, 0)
+    }
+
+    fn supports_time(&self) -> bool {
+        matches!(self.flavor, TaskFlavor::Ink | TaskFlavor::Mayfly)
+    }
+}
+
+impl IntermittentRuntime for TaskKernel {
+    fn name(&self) -> &'static str {
+        self.flavor.name()
+    }
+
+    fn capabilities(&self) -> RuntimeCapabilities {
+        RuntimeCapabilities {
+            pointer_support: false,
+            recursion_support: false,
+            scalable: false,
+            timely_execution: self.supports_time(),
+            porting_effort: PortingEffort::High,
+        }
+    }
+
+    fn check_program(&self, program: &Program) -> Result<()> {
+        if program.instrumentation != Instrumentation::TaskBased {
+            return Err(VmError::IncompatibleInstrumentation {
+                expected: "TaskBased".into(),
+                found: format!("{:?}", program.instrumentation),
+            });
+        }
+        if program.has_recursion {
+            return Err(VmError::Load(format!(
+                "{} does not support recursion (Table 5)",
+                self.flavor.name()
+            )));
+        }
+        if program.uses_pointers {
+            return Err(VmError::Load(format!(
+                "{} enforces a static memory model: pointers are not supported (Table 5)",
+                self.flavor.name()
+            )));
+        }
+        Ok(())
+    }
+
+    fn on_boot(&mut self, m: &mut Machine) -> Result<ResumeAction> {
+        let ctrl = self.attach(m)?;
+        // Writes of the interrupted task are rolled back: the task
+        // restarts idempotently from its boundary.
+        self.rollback_all(m)?;
+        let flag = ctrl.flag(m)?;
+        if flag == 0 {
+            return Ok(ResumeAction::Restart {
+                reinit_globals: false,
+            });
+        }
+        let buf = if flag == 1 { self.buf_a } else { self.buf_b };
+        let mut words = [0u32; 4];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = peek_u32(m, buf.offset(4 * i as u32))?;
+        }
+        let used = peek_u32(m, buf.offset(16))?;
+        let sram = m.mem.layout().sram;
+        if used > 0 {
+            let stack = m.mem.peek_bytes(buf.offset(20), used)?;
+            m.mem.poke_bytes(sram.start, &stack)?;
+        }
+        m.regs = Registers::from_words(words);
+        let costs = m.mem.costs().clone();
+        let cost = costs.restore_base
+            + costs.restore_seg_fixed
+            + costs.restore_seg_per_byte * u64::from(20 + used);
+        let _ = m.charge_atomic(cost);
+        m.stats_mut().restores += 1;
+        Ok(ResumeAction::Restored)
+    }
+
+    fn alloc_frame(
+        &mut self,
+        m: &mut Machine,
+        _fidx: u16,
+        frame_size: u32,
+        _arg_bytes: u32,
+    ) -> Result<Addr> {
+        let sram = m.mem.layout().sram;
+        let base = if m.regs.fp == Addr(0) && m.regs.sp == Addr(0) {
+            sram.start
+        } else {
+            m.regs.sp
+        };
+        if !sram.contains_range(base, frame_size) {
+            return Err(VmError::StackOverflow {
+                detail: format!("SRAM stack exhausted allocating {frame_size} bytes"),
+            });
+        }
+        Ok(base)
+    }
+
+    fn free_frame(&mut self, _m: &mut Machine, _fp: Addr) -> Result<()> {
+        Ok(())
+    }
+
+    fn logged_store(&mut self, m: &mut Machine, addr: Addr, len: u32) -> Result<()> {
+        let ctrl = self.attach(m)?;
+        // Only task-shared state (the FRAM data segment) is privatized.
+        let data_start = m.data_base();
+        let data_end = data_start.offset(m.loaded().program.globals_size);
+        if addr < data_start || addr >= data_end {
+            return Ok(());
+        }
+        if self.undo_count >= self.undo_capacity {
+            // A task that outgrows its privatization buffer cannot commit
+            // atomically — tasks must be decomposed smaller (the manual
+            // effort the paper criticizes).
+            return Err(VmError::Trap(format!(
+                "{}: task exceeds its privatization buffer ({} entries); \
+                 split the task",
+                self.flavor.name(),
+                self.undo_capacity
+            )));
+        }
+        let old = peek_u32(m, addr)?;
+        let slot = self.undo_base.offset(8 * self.undo_count);
+        poke_u32(m, slot, addr.raw())?;
+        poke_u32(m, slot.offset(4), old)?;
+        self.undo_count += 1;
+        ctrl.set_scratch(m, self.undo_count)?;
+        m.mem.add_cycles(m.mem.costs().undo_log_cost(len));
+        m.stats_mut().undo_log_appends += 1;
+        Ok(())
+    }
+
+    fn checkpoint(&mut self, m: &mut Machine, kind: CheckpointKind) -> Result<()> {
+        match kind {
+            CheckpointKind::Site(CkptSite::TaskBoundary | CkptSite::Manual) => {
+                self.commit_boundary(m)
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn timestamp_var(&mut self, m: &mut Machine, var: VarId) -> Result<()> {
+        if !self.supports_time() {
+            return Err(VmError::Trap(format!(
+                "{} has no timing support (Table 5)",
+                self.flavor.name()
+            )));
+        }
+        self.attach(m)?;
+        let now = m.now().as_micros();
+        m.mem
+            .poke_bytes(self.ts_base.offset(8 * u32::from(var)), &now.to_le_bytes())?;
+        m.mem.add_cycles(10);
+        Ok(())
+    }
+
+    fn expires_check(&mut self, m: &mut Machine, var: VarId) -> Result<bool> {
+        if !self.supports_time() {
+            return Err(VmError::Trap(format!(
+                "{} has no timing support (Table 5)",
+                self.flavor.name()
+            )));
+        }
+        self.attach(m)?;
+        let ttl = m.loaded().program.annotated[var as usize].ttl_us;
+        m.mem.add_cycles(12);
+        if ttl == 0 {
+            return Ok(true);
+        }
+        let ts = m.mem.peek_u64(self.ts_base.offset(8 * u32::from(var)))?;
+        Ok(m.now().as_micros() < ts.saturating_add(ttl))
+    }
+
+    fn timely_check(&mut self, m: &mut Machine, deadline_ms: i32) -> Result<bool> {
+        if !self.supports_time() {
+            return Err(VmError::Trap(format!(
+                "{} has no timing support (Table 5)",
+                self.flavor.name()
+            )));
+        }
+        m.mem.add_cycles(12);
+        Ok((m.now().as_micros() / 1_000) < deadline_ms.max(0) as u64)
+    }
+
+    fn atomic_begin(&mut self, _m: &mut Machine) -> Result<()> {
+        Ok(())
+    }
+
+    fn atomic_end(&mut self, _m: &mut Machine) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tics_energy::ContinuousPower;
+    use tics_minic::{compile, opt::OptLevel, passes};
+    use tics_vm::{Executor, MachineConfig};
+
+    /// A two-task pipeline: task 0 accumulates, task 1 publishes.
+    const TASK_PROGRAM: &str = "
+        nv int cur_task;
+        nv int done;
+        int acc;
+        int out;
+        int task_work() {
+            for (int i = 0; i < 50; i++) { acc = acc + 1; }
+            return 1;
+        }
+        int task_publish() {
+            out = acc;
+            send(out);
+            done = 1;
+            return 0;
+        }
+        int main() {
+            while (done == 0) {
+                if (cur_task == 0) { cur_task = task_work(); }
+                else { cur_task = task_publish(); }
+            }
+            return out;
+        }";
+
+    fn task_machine(src: &str, tasks: &[&str], flavor: TaskFlavor) -> Machine {
+        let mut prog = compile(src, OptLevel::O1).unwrap();
+        passes::instrument_task_based(
+            &mut prog,
+            tasks,
+            flavor.runtime_text_bytes(),
+            flavor.runtime_data_bytes(),
+        )
+        .unwrap();
+        Machine::new(prog, MachineConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn pipeline_completes_on_continuous_power() {
+        let mut m = task_machine(
+            TASK_PROGRAM,
+            &["task_work", "task_publish"],
+            TaskFlavor::Alpaca,
+        );
+        let mut rt = TaskKernel::new(TaskFlavor::Alpaca);
+        let out = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap();
+        assert_eq!(out.exit_code(), Some(50));
+        assert_eq!(m.stats().sends, vec![50]);
+    }
+
+    #[test]
+    fn tasks_restart_idempotently_across_failures() {
+        let mut m = task_machine(
+            TASK_PROGRAM,
+            &["task_work", "task_publish"],
+            TaskFlavor::Alpaca,
+        );
+        let mut rt = TaskKernel::new(TaskFlavor::Alpaca);
+        // The first period kills task_work mid-way; the second is long
+        // enough for the task to restart and the pipeline to finish. (A
+        // task must fit within one on-period — the task-sizing burden the
+        // paper describes.)
+        let mut supply = tics_energy::RecordedTrace::new([(6_000, 200), (200_000, 0)]);
+        let out = Executor::new()
+            .with_time_budget(500_000_000)
+            .run(&mut m, &mut rt, &mut supply)
+            .unwrap();
+        // task_work was interrupted; privatized increments were rolled
+        // back, so the final accumulator is exactly 50.
+        assert_eq!(out.exit_code(), Some(50));
+        assert!(m.stats().power_failures > 0);
+        assert!(m.stats().undo_rollbacks > 0);
+    }
+
+    #[test]
+    fn rejects_pointer_programs() {
+        let mut prog = compile(
+            "int a[4];
+             int task_t() { int *p = a; *p = 1; return 0; }
+             int main() { task_t(); return 0; }",
+            OptLevel::O1,
+        )
+        .unwrap();
+        passes::instrument_task_based(&mut prog, &["task_t"], 0, 0).unwrap();
+        let rt = TaskKernel::new(TaskFlavor::Alpaca);
+        let err = rt.check_program(&prog).unwrap_err();
+        assert!(err.to_string().contains("pointers"));
+    }
+
+    #[test]
+    fn rejects_recursive_programs() {
+        let mut prog = compile(
+            "int task_r(int n) { if (n == 0) return 0; return task_r(n - 1); }
+             int main() { task_r(3); return 0; }",
+            OptLevel::O1,
+        )
+        .unwrap();
+        passes::instrument_task_based(&mut prog, &["task_r"], 0, 0).unwrap();
+        assert!(TaskKernel::new(TaskFlavor::Ink)
+            .check_program(&prog)
+            .is_err());
+    }
+
+    #[test]
+    fn oversized_task_traps() {
+        let mut prog = compile(
+            "int big[600];
+             int task_huge() {
+                 for (int i = 0; i < 600; i++) { big[i] = i; }
+                 return 0;
+             }
+             int main() { task_huge(); return 0; }",
+            OptLevel::O1,
+        )
+        .unwrap();
+        passes::instrument_task_based(&mut prog, &["task_huge"], 0, 0).unwrap();
+        let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+        let mut rt = TaskKernel::with_undo_capacity(TaskFlavor::Alpaca, 64);
+        let err = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("privatization"));
+    }
+
+    #[test]
+    fn time_support_matches_table5() {
+        let mut m = Machine::new(
+            {
+                let mut p = compile("int main() { return 0; }", OptLevel::O1).unwrap();
+                p.instrumentation = Instrumentation::TaskBased;
+                p
+            },
+            MachineConfig::default(),
+        )
+        .unwrap();
+        assert!(TaskKernel::new(TaskFlavor::Alpaca)
+            .timely_check(&mut m, 100)
+            .is_err());
+        assert!(TaskKernel::new(TaskFlavor::Ink)
+            .timely_check(&mut m, 100)
+            .is_ok());
+        assert!(TaskKernel::new(TaskFlavor::Mayfly)
+            .timely_check(&mut m, 100)
+            .is_ok());
+    }
+
+    #[test]
+    fn capabilities_rows_match_table5() {
+        let alpaca = TaskKernel::new(TaskFlavor::Alpaca).capabilities();
+        assert!(!alpaca.pointer_support && !alpaca.recursion_support);
+        assert!(!alpaca.timely_execution);
+        assert_eq!(alpaca.porting_effort, PortingEffort::High);
+        let ink = TaskKernel::new(TaskFlavor::Ink).capabilities();
+        assert!(ink.timely_execution);
+        let mayfly = TaskKernel::new(TaskFlavor::Mayfly).capabilities();
+        assert!(mayfly.timely_execution);
+    }
+}

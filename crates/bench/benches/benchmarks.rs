@@ -1,0 +1,65 @@
+//! Criterion benches of the full paper benchmarks (AR, BC, CF) under
+//! each feasible runtime — the host-time counterpart of Figure 9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tics_apps::workload::ar_trace;
+use tics_apps::{ar, build_app, App, SystemUnderTest};
+use tics_energy::ContinuousPower;
+use tics_minic::opt::OptLevel;
+use tics_vm::{Executor, Machine, MachineConfig};
+
+const SCALE: u32 = 12;
+
+fn run_once(app: App, system: SystemUnderTest) {
+    let Ok(prog) = build_app(app, system, OptLevel::O2, tics_apps::build::Scale(SCALE)) else {
+        return; // infeasible combination (the Figure 9 crosses)
+    };
+    let sensor_trace = match app {
+        App::Ar => ar_trace(SCALE * 2, ar::WINDOW, 3, 7).0,
+        _ => Vec::new(),
+    };
+    let mut m = Machine::new(
+        prog.clone(),
+        MachineConfig {
+            sensor_trace,
+            ..MachineConfig::default()
+        },
+    )
+    .expect("loads");
+    let mut rt = tics_apps::build::make_runtime(system, &prog);
+    let out = Executor::new()
+        .with_time_budget(60_000_000_000)
+        .run(&mut m, rt.as_mut(), &mut ContinuousPower::new())
+        .expect("runs");
+    black_box(out);
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps");
+    for app in [App::Ar, App::Bc, App::Cuckoo] {
+        for system in [
+            SystemUnderTest::PlainC,
+            SystemUnderTest::Tics,
+            SystemUnderTest::Mementos,
+            SystemUnderTest::Alpaca,
+            SystemUnderTest::Ink,
+        ] {
+            // Skip infeasible pairs up-front so groups stay clean.
+            if build_app(app, system, OptLevel::O2, tics_apps::build::Scale(SCALE)).is_err() {
+                continue;
+            }
+            group.bench_function(BenchmarkId::new(app.name(), system.name()), |b| {
+                b.iter(|| run_once(app, system))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = apps;
+    config = Criterion::default().sample_size(10);
+    targets = bench_apps
+);
+criterion_main!(apps);

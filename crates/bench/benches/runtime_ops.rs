@@ -1,0 +1,87 @@
+//! Criterion benches of the TICS runtime primitives (the Table 4
+//! operations) — host-time throughput of the simulator executing each
+//! operation, complementing the simulated-cycle figures of
+//! `exp_table4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tics_core::{TicsConfig, TicsRuntime};
+use tics_energy::{ContinuousPower, PeriodicTrace};
+use tics_minic::{compile, opt::OptLevel, passes};
+use tics_vm::{Executor, Machine, MachineConfig};
+
+fn tics_machine(src: &str) -> (Machine, TicsRuntime) {
+    let mut prog = compile(src, OptLevel::O2).expect("compiles");
+    passes::instrument_tics(&mut prog).expect("instruments");
+    let m = Machine::new(prog, MachineConfig::default()).expect("loads");
+    let rt = TicsRuntime::new(TicsConfig::s2());
+    (m, rt)
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    c.bench_function("tics_checkpoint_commit_x64", |b| {
+        let src = "int main() { for (int i = 0; i < 64; i++) { checkpoint(); } return 0; }";
+        b.iter(|| {
+            let (mut m, mut rt) = tics_machine(src);
+            let out = Executor::new()
+                .run(&mut m, &mut rt, &mut ContinuousPower::new())
+                .expect("runs");
+            black_box(out);
+            assert!(m.stats().checkpoints >= 64);
+        });
+    });
+}
+
+fn bench_undo_log(c: &mut Criterion) {
+    c.bench_function("tics_logged_stores_x128", |b| {
+        let src = "int g;
+                   int main() { int *p = &g; for (int i = 0; i < 128; i++) { *p = i; } return g; }";
+        b.iter(|| {
+            let (mut m, mut rt) = tics_machine(src);
+            let out = Executor::new()
+                .run(&mut m, &mut rt, &mut ContinuousPower::new())
+                .expect("runs");
+            black_box(out);
+        });
+    });
+}
+
+fn bench_stack_segmentation(c: &mut Criterion) {
+    c.bench_function("tics_stack_grow_shrink_x64", |b| {
+        let src = "int leaf(int x) { int pad[56]; pad[0] = x; return pad[0]; }
+                   int main() { int s = 0; for (int i = 0; i < 64; i++) { s += leaf(i); } return s; }";
+        b.iter(|| {
+            let (mut m, mut rt) = tics_machine(src);
+            let out = Executor::new()
+                .run(&mut m, &mut rt, &mut ContinuousPower::new())
+                .expect("runs");
+            black_box(out);
+            assert!(m.stats().stack_grows >= 64);
+        });
+    });
+}
+
+fn bench_restore_cycle(c: &mut Criterion) {
+    c.bench_function("tics_power_cycle_restore_x32", |b| {
+        let src = "int g;
+                   int main() { for (int i = 0; i < 100000; i++) { g = g + 1; } return g; }";
+        b.iter(|| {
+            let (mut m, rt) = tics_machine(src);
+            let rt_cfg = TicsConfig::s2().with_timer(Some(2_000));
+            let mut rt2 = TicsRuntime::new(rt_cfg);
+            let _ = rt;
+            let out = Executor::new()
+                .with_time_budget(400_000)
+                .run(&mut m, &mut rt2, &mut PeriodicTrace::new(10_000, 500))
+                .expect("runs");
+            black_box(out);
+        });
+    });
+}
+
+criterion_group!(
+    name = ops;
+    config = Criterion::default().sample_size(20);
+    targets = bench_checkpoint, bench_undo_log, bench_stack_segmentation, bench_restore_cycle
+);
+criterion_main!(ops);

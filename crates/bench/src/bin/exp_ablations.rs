@@ -1,0 +1,231 @@
+//! Ablations of TICS design choices (beyond the paper's figures):
+//!
+//! 1. **segment size** — the §3.1.1 trade-off curve: smaller working
+//!    stacks mean more stack-change checkpoints; bigger ones make each
+//!    checkpoint dearer,
+//! 2. **undo-log capacity** — §3.1.2: a small log forces checkpoints to
+//!    drain it; a large one spends FRAM,
+//! 3. **checkpoint policy** — none / timer / voltage-interrupt / both,
+//!    under intermittent power (time to complete fixed work),
+//! 4. **timekeeper accuracy** — Table 2's TICS column with a
+//!    remanence-based timer of increasing error instead of an RTC: how
+//!    much estimation error the time annotations tolerate.
+
+use serde::Serialize;
+use tics_apps::workload::ar_trace;
+use tics_apps::{ar, build_app, App, SystemUnderTest};
+use tics_bench::count_violations;
+use tics_clock::RemanenceTimer;
+use tics_core::{TicsConfig, TicsRuntime};
+use tics_energy::{Capacitor, CapacitorSupply, ContinuousPower, PeriodicTrace, RfHarvester};
+use tics_minic::opt::OptLevel;
+use tics_vm::{Executor, Machine, MachineConfig, RunOutcome};
+
+#[derive(Debug, Serialize)]
+struct Sample {
+    ablation: String,
+    x: String,
+    cycles: Option<u64>,
+    checkpoints: Option<u64>,
+    violations: Option<u64>,
+    outcome: String,
+}
+
+fn tics_bc(scale: u32) -> tics_minic::Program {
+    build_app(
+        App::Bc,
+        SystemUnderTest::Tics,
+        OptLevel::O2,
+        tics_apps::build::Scale(scale),
+    )
+    .expect("builds")
+}
+
+fn ablate_segment_size(samples: &mut Vec<Sample>) {
+    println!("— segment size (BC, continuous power) —");
+    println!("{:>8} {:>8} {:>12}", "seg (B)", "ckpts", "cycles");
+    let prog = tics_bc(20);
+    let s1 = prog.max_frame_size().next_multiple_of(64);
+    for mult in [1u32, 2, 4, 8] {
+        let seg = s1 * mult;
+        let mut m = Machine::new(prog.clone(), MachineConfig::default()).expect("loads");
+        let mut rt = TicsRuntime::new(
+            TicsConfig::s2()
+                .with_seg_size(seg)
+                .with_segments((4096 / seg).max(4)),
+        );
+        let out = Executor::new()
+            .with_time_budget(20_000_000_000)
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .expect("runs");
+        assert!(out.exit_code().is_some());
+        println!("{:>8} {:>8} {:>12}", seg, m.stats().checkpoints, m.cycles());
+        samples.push(Sample {
+            ablation: "segment_size".into(),
+            x: seg.to_string(),
+            cycles: Some(m.cycles()),
+            checkpoints: Some(m.stats().checkpoints),
+            violations: None,
+            outcome: "finished".into(),
+        });
+    }
+    println!();
+}
+
+fn ablate_undo_capacity(samples: &mut Vec<Sample>) {
+    println!("— undo-log capacity (CF, continuous power) —");
+    println!("{:>10} {:>8} {:>12}", "entries", "ckpts", "cycles");
+    let prog = build_app(
+        App::Cuckoo,
+        SystemUnderTest::Tics,
+        OptLevel::O2,
+        tics_apps::build::Scale(40),
+    )
+    .expect("builds");
+    for capacity in [16u32, 32, 64, 128, 256] {
+        let mut m = Machine::new(prog.clone(), MachineConfig::default()).expect("loads");
+        let mut cfg = TicsConfig {
+            undo_capacity: capacity,
+            ..TicsConfig::s2()
+        };
+        cfg.seg_size = cfg.seg_size.max(prog.max_frame_size().next_multiple_of(64));
+        let mut rt = TicsRuntime::new(cfg);
+        let out = Executor::new()
+            .with_time_budget(20_000_000_000)
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .expect("runs");
+        assert!(out.exit_code().is_some());
+        println!(
+            "{:>10} {:>8} {:>12}",
+            capacity,
+            m.stats().checkpoints,
+            m.cycles()
+        );
+        samples.push(Sample {
+            ablation: "undo_capacity".into(),
+            x: capacity.to_string(),
+            cycles: Some(m.cycles()),
+            checkpoints: Some(m.stats().checkpoints),
+            violations: None,
+            outcome: "finished".into(),
+        });
+    }
+    println!();
+}
+
+fn ablate_checkpoint_policy(samples: &mut Vec<Sample>) {
+    println!("— checkpoint policy (BC on 8 ms / 1 ms intermittent power) —");
+    println!("{:<16} {:>14} {:>8}", "policy", "on-time (us)", "ckpts");
+    let prog = tics_bc(12);
+    let seg = prog.max_frame_size().next_multiple_of(64).max(256);
+    for (label, timer, voltage) in [
+        ("none", None, None),
+        ("timer 2.5ms", Some(2_500), None),
+        ("voltage", None, Some(900u64)),
+        ("timer+voltage", Some(2_500), Some(900)),
+    ] {
+        let mut m = Machine::new(prog.clone(), MachineConfig::default()).expect("loads");
+        let mut rt = TicsRuntime::new(TicsConfig::s2().with_seg_size(seg).with_timer(timer));
+        let mut exec = Executor::new()
+            .with_time_budget(3_000_000_000)
+            .with_starvation_detection(4_000);
+        if let Some(v) = voltage {
+            exec = exec.with_voltage_warning(v);
+        }
+        let out = exec
+            .run(&mut m, &mut rt, &mut PeriodicTrace::new(8_000, 1_000))
+            .expect("runs");
+        let outcome = match out {
+            RunOutcome::Finished(_) => "finished".to_string(),
+            RunOutcome::Starved { .. } => "STARVED".to_string(),
+            other => format!("{other:?}"),
+        };
+        println!(
+            "{:<16} {:>14} {:>8}   {}",
+            label,
+            m.cycles(),
+            m.stats().checkpoints,
+            outcome
+        );
+        samples.push(Sample {
+            ablation: "checkpoint_policy".into(),
+            x: label.into(),
+            cycles: out.exit_code().map(|_| m.cycles()),
+            checkpoints: Some(m.stats().checkpoints),
+            violations: None,
+            outcome,
+        });
+    }
+    println!();
+}
+
+fn ablate_timekeeper_error(samples: &mut Vec<Sample>) {
+    println!("— timekeeper accuracy (AR violations vs remanence-timer error) —");
+    println!("{:>10} {:>12} {:>12}", "error", "violations", "discards");
+    let windows = 120;
+    let (trace, _) = ar_trace(windows * 4, ar::WINDOW, 5, 1234);
+    for error_pct in [0u32, 5, 20, 50] {
+        let prog = build_app(
+            App::Ar,
+            SystemUnderTest::Tics,
+            OptLevel::O2,
+            tics_apps::build::Scale(windows),
+        )
+        .expect("builds");
+        let mut m = Machine::with_clock(
+            prog.clone(),
+            MachineConfig {
+                sensor_trace: trace.clone(),
+                ..MachineConfig::default()
+            },
+            Box::new(RemanenceTimer::new(
+                10_000_000_000,
+                f64::from(error_pct) / 100.0,
+                42,
+            )),
+        )
+        .expect("loads");
+        let mut cfg = TicsConfig::s2_star();
+        cfg.seg_size = cfg.seg_size.max(prog.max_frame_size().next_multiple_of(64));
+        let mut rt = TicsRuntime::new(cfg);
+        let mut supply = CapacitorSupply::new(
+            RfHarvester::new(3.0, 2.0, 0.85, 42),
+            Capacitor::new(10e-6, 3.3, 2.4, 1.8),
+            3e-3,
+        );
+        let _ = Executor::new()
+            .with_time_budget(4_000_000_000)
+            .run(&mut m, &mut rt, &mut supply)
+            .expect("runs");
+        let v = count_violations(m.stats(), true);
+        println!(
+            "{:>9}% {:>12} {:>12}",
+            error_pct,
+            v.total(),
+            m.stats().expired_data_discards
+        );
+        samples.push(Sample {
+            ablation: "timekeeper_error".into(),
+            x: format!("{error_pct}%"),
+            cycles: None,
+            checkpoints: None,
+            violations: Some(v.total()),
+            outcome: "finished-or-window".into(),
+        });
+    }
+    println!(
+        "\n(Underestimated off-time makes stale data look fresh: beyond a few\n\
+         percent of error, expiration guards start admitting expired windows —\n\
+         why the paper calls persistent timekeeping 'mandatory'.)"
+    );
+}
+
+fn main() {
+    println!("TICS design-choice ablations\n");
+    let mut samples = Vec::new();
+    ablate_segment_size(&mut samples);
+    ablate_undo_capacity(&mut samples);
+    ablate_checkpoint_policy(&mut samples);
+    ablate_timekeeper_error(&mut samples);
+    tics_bench::write_json("ablations", &samples);
+}

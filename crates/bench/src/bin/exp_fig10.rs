@@ -1,0 +1,90 @@
+//! Figure 10 — the user-study proxy.
+//!
+//! The 90-participant study cannot be reproduced without humans; per
+//! DESIGN.md, this experiment reports (a) static complexity metrics of
+//! the same program pairs and (b) a seeded synthetic-reviewer cohort
+//! whose difficulty grows with those metrics. The paper's finding — the
+//! TICS form is easier: higher bug-finding accuracy, lower search time —
+//! is checked as the output shape.
+
+use serde::Serialize;
+use tics_apps::study;
+use tics_bench::reviewer::{review, ReviewOutcome};
+
+const COHORT: u32 = 90;
+const SEED: u64 = 0x000F_1610;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    program: String,
+    style: String,
+    loc: u32,
+    branches: u32,
+    functions: u32,
+    globals: u32,
+    complexity: f64,
+    accuracy_pct: f64,
+    mean_time: f64,
+}
+
+fn row(outcome: &ReviewOutcome, src: &str) -> Row {
+    let c = study::complexity(src);
+    Row {
+        program: outcome.program.clone(),
+        style: outcome.style.clone(),
+        loc: c.loc,
+        branches: c.branches,
+        functions: c.functions,
+        globals: c.globals,
+        complexity: outcome.complexity_score,
+        accuracy_pct: outcome.accuracy * 100.0,
+        mean_time: outcome.mean_time,
+    }
+}
+
+fn main() {
+    println!("Figure 10 (proxy): bug localization, TICS style vs InK style");
+    println!("(cohort of {COHORT} seeded synthetic reviewers — see DESIGN.md)\n");
+    println!(
+        "{:<12} {:<5} {:>5} {:>5} {:>5} {:>5} {:>7} {:>9} {:>9}",
+        "program", "style", "loc", "brch", "fns", "glob", "score", "correct%", "time"
+    );
+    let mut rows = Vec::new();
+    for p in study::all_programs() {
+        let o = review(&p, COHORT, SEED);
+        let r = row(&o, &p.buggy);
+        println!(
+            "{:<12} {:<5} {:>5} {:>5} {:>5} {:>5} {:>7.0} {:>8.1}% {:>9.1}",
+            r.program,
+            r.style,
+            r.loc,
+            r.branches,
+            r.functions,
+            r.globals,
+            r.complexity,
+            r.accuracy_pct,
+            r.mean_time
+        );
+        rows.push(r);
+    }
+    println!();
+    for name in ["swap", "bubble", "timekeeping"] {
+        let tics = rows
+            .iter()
+            .find(|r| r.program == name && r.style == "tics")
+            .expect("tics row");
+        let ink = rows
+            .iter()
+            .find(|r| r.program == name && r.style == "ink")
+            .expect("ink row");
+        assert!(
+            tics.accuracy_pct > ink.accuracy_pct && tics.mean_time < ink.mean_time,
+            "{name}: proxy must reproduce the Figure 10 direction"
+        );
+        println!(
+            "{name}: TICS {:.0}% in {:.0}s vs InK {:.0}% in {:.0}s",
+            tics.accuracy_pct, tics.mean_time, ink.accuracy_pct, ink.mean_time
+        );
+    }
+    tics_bench::write_json("fig10", &rows);
+}

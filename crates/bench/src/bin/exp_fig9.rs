@@ -1,0 +1,281 @@
+//! Figure 9 — benchmark performance, three panels (§5.3).
+//!
+//! As in the paper, the runs execute a fixed workload on *continuous*
+//! power and compare execution time (cycles = µs at 1 MHz):
+//!
+//! * **left** — TICS vs Chinchilla across optimization levels
+//!   (Chinchilla ✗ on recursive BC),
+//! * **center** — TICS micro-benchmark: checkpoint count and overhead vs
+//!   working-stack size (`S1`, `S2`, and the `*` variants with a 10 ms
+//!   checkpoint timer),
+//! * **right** — TICS (`S1*`, `S2*`, `ST`) vs the naive MementOS-style
+//!   system and the task kernels (MayFly ✗ on CF).
+//!
+//! Run with an optional panel argument: `left`, `center`, `right`, or
+//! nothing for all three.
+
+use serde::Serialize;
+use tics_apps::workload::ar_trace;
+use tics_apps::{ar, build_app, App, SystemUnderTest};
+use tics_core::{TicsConfig, TicsRuntime};
+use tics_energy::ContinuousPower;
+use tics_minic::opt::OptLevel;
+use tics_minic::passes;
+use tics_vm::{Executor, Machine, MachineConfig};
+
+const SCALE: u32 = 30;
+const BUDGET: u64 = 60_000_000_000;
+
+#[derive(Debug, Clone, Serialize)]
+struct Point {
+    panel: String,
+    app: String,
+    config: String,
+    cycles: Option<u64>,
+    checkpoints: Option<u64>,
+    overhead_vs_plain: Option<f64>,
+}
+
+fn sensor_trace_for(app: App) -> Vec<i32> {
+    match app {
+        App::Ar => ar_trace(SCALE * 2, ar::WINDOW, 4, 99).0,
+        _ => Vec::new(),
+    }
+}
+
+/// Runs a built program + runtime pair to completion on continuous power.
+fn run(
+    prog: tics_minic::Program,
+    rt: &mut dyn tics_vm::IntermittentRuntime,
+    app: App,
+) -> (u64, u64) {
+    let mut m = Machine::new(
+        prog,
+        MachineConfig {
+            sensor_trace: sensor_trace_for(app),
+            ..MachineConfig::default()
+        },
+    )
+    .expect("loads");
+    let out = Executor::new()
+        .with_time_budget(BUDGET)
+        .run(&mut m, rt, &mut ContinuousPower::new())
+        .expect("runs");
+    assert!(
+        out.exit_code().is_some(),
+        "{} did not finish: {out:?}",
+        rt.name()
+    );
+    (m.cycles(), m.stats().checkpoints)
+}
+
+/// Runs `app` under `system` with the default runtime.
+fn run_system(app: App, system: SystemUnderTest, opt: OptLevel) -> Option<(u64, u64)> {
+    let prog = build_app(app, system, opt, tics_apps::build::Scale(SCALE)).ok()?;
+    let mut rt = tics_apps::build::make_runtime(system, &prog);
+    Some(run(prog, rt.as_mut(), app))
+}
+
+/// Builds the TICS image of `app` and runs it with an explicit config.
+fn run_tics_config(app: App, cfg_base: TicsConfig, st_boundaries: Option<&[&str]>) -> (u64, u64) {
+    let mut prog = build_app(
+        app,
+        SystemUnderTest::Tics,
+        OptLevel::O2,
+        tics_apps::build::Scale(SCALE),
+    )
+    .expect("TICS builds everything");
+    if let Some(fns) = st_boundaries {
+        passes::add_task_boundary_checkpoints(&mut prog, fns);
+    }
+    let mut cfg = cfg_base;
+    let max_frame = prog.max_frame_size().next_multiple_of(64);
+    if cfg.seg_size < max_frame {
+        cfg.seg_size = max_frame;
+    }
+    // Keep the segment array byte size comparable across seg sizes.
+    cfg.n_segments = (2048 / cfg.seg_size).max(4);
+    let mut rt = TicsRuntime::new(cfg);
+    run(prog, &mut rt, app)
+}
+
+/// `S1`: smallest legal working stack for this app; `S2`: 4× larger.
+fn seg_sizes(app: App) -> (u32, u32) {
+    let prog = build_app(
+        app,
+        SystemUnderTest::Tics,
+        OptLevel::O2,
+        tics_apps::build::Scale(SCALE),
+    )
+    .expect("builds");
+    let s1 = prog.max_frame_size().next_multiple_of(64);
+    (s1, 4 * s1)
+}
+
+fn st_boundaries(app: App) -> &'static [&'static str] {
+    match app {
+        App::Ar => &[],
+        App::Bc => &["verify_one"],
+        App::Cuckoo => &["insert", "lookup"],
+        _ => &[],
+    }
+}
+
+const APPS: [App; 3] = [App::Ar, App::Bc, App::Cuckoo];
+
+fn panel_left(points: &mut Vec<Point>) {
+    println!("— left: TICS vs Chinchilla across optimization levels —");
+    println!(
+        "{:<4} {:<4} {:>12} {:>14} {:>10}",
+        "app", "opt", "TICS (us)", "Chinchilla(us)", "plain (us)"
+    );
+    for app in APPS {
+        for opt in OptLevel::ALL {
+            let plain = run_system(app, SystemUnderTest::PlainC, opt).expect("plain runs");
+            let tics = run_system(app, SystemUnderTest::Tics, opt).expect("TICS runs");
+            let chin = run_system(app, SystemUnderTest::Chinchilla, opt);
+            println!(
+                "{:<4} {:<4} {:>12} {:>14} {:>10}",
+                app.name(),
+                opt.to_string(),
+                tics.0,
+                chin.map_or("x".to_string(), |c| c.0.to_string()),
+                plain.0,
+            );
+            points.push(Point {
+                panel: "left".into(),
+                app: app.name().into(),
+                config: format!("TICS-{opt}"),
+                cycles: Some(tics.0),
+                checkpoints: Some(tics.1),
+                overhead_vs_plain: Some(tics.0 as f64 / plain.0 as f64),
+            });
+            points.push(Point {
+                panel: "left".into(),
+                app: app.name().into(),
+                config: format!("Chinchilla-{opt}"),
+                cycles: chin.map(|c| c.0),
+                checkpoints: chin.map(|c| c.1),
+                overhead_vs_plain: chin.map(|c| c.0 as f64 / plain.0 as f64),
+            });
+        }
+    }
+    println!();
+}
+
+fn panel_center(points: &mut Vec<Point>) {
+    println!("— center: TICS checkpoints vs working-stack size —");
+    println!(
+        "{:<4} {:<10} {:>10} {:>12}",
+        "app", "config", "ckpts", "cycles (us)"
+    );
+    for app in APPS {
+        let (s1, s2) = seg_sizes(app);
+        for (label, seg, timer) in [
+            ("S1", s1, None),
+            ("S2", s2, None),
+            ("S1*", s1, Some(10_000)),
+            ("S2*", s2, Some(10_000)),
+        ] {
+            let (cycles, ckpts) = run_tics_config(
+                app,
+                TicsConfig::s2().with_seg_size(seg).with_timer(timer),
+                None,
+            );
+            println!(
+                "{:<4} {:<10} {:>10} {:>12}",
+                app.name(),
+                label,
+                ckpts,
+                cycles
+            );
+            points.push(Point {
+                panel: "center".into(),
+                app: app.name().into(),
+                config: format!("{label} ({seg}B)"),
+                cycles: Some(cycles),
+                checkpoints: Some(ckpts),
+                overhead_vs_plain: None,
+            });
+        }
+    }
+    println!();
+}
+
+fn panel_right(points: &mut Vec<Point>) {
+    println!("— right: TICS vs naive and task-based systems —");
+    println!(
+        "{:<4} {:<12} {:>12} {:>10}",
+        "app", "system", "cycles (us)", "ckpts"
+    );
+    for app in APPS {
+        let (s1, s2) = seg_sizes(app);
+        let mut entries: Vec<(String, Option<(u64, u64)>)> = Vec::new();
+        entries.push((
+            "TICS-S1*".into(),
+            Some(run_tics_config(
+                app,
+                TicsConfig::s2().with_seg_size(s1).with_timer(Some(10_000)),
+                None,
+            )),
+        ));
+        entries.push((
+            "TICS-S2*".into(),
+            Some(run_tics_config(
+                app,
+                TicsConfig::s2().with_seg_size(s2).with_timer(Some(10_000)),
+                None,
+            )),
+        ));
+        entries.push((
+            "TICS-ST".into(),
+            Some(run_tics_config(
+                app,
+                TicsConfig::s2().with_seg_size(s2).with_timer(Some(10_000)),
+                Some(st_boundaries(app)),
+            )),
+        ));
+        for system in [
+            SystemUnderTest::Mementos,
+            SystemUnderTest::Alpaca,
+            SystemUnderTest::Ink,
+            SystemUnderTest::Mayfly,
+        ] {
+            entries.push((system.name().into(), run_system(app, system, OptLevel::O2)));
+        }
+        for (label, r) in entries {
+            println!(
+                "{:<4} {:<12} {:>12} {:>10}",
+                app.name(),
+                label,
+                r.map_or("x".to_string(), |x| x.0.to_string()),
+                r.map_or("-".to_string(), |x| x.1.to_string()),
+            );
+            points.push(Point {
+                panel: "right".into(),
+                app: app.name().into(),
+                config: label,
+                cycles: r.map(|x| x.0),
+                checkpoints: r.map(|x| x.1),
+                overhead_vs_plain: None,
+            });
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let panel = std::env::args().nth(1).unwrap_or_default();
+    println!("Figure 9: benchmark performance ({SCALE} work items per app)\n");
+    let mut points = Vec::new();
+    if panel.is_empty() || panel == "left" {
+        panel_left(&mut points);
+    }
+    if panel.is_empty() || panel == "center" {
+        panel_center(&mut points);
+    }
+    if panel.is_empty() || panel == "right" {
+        panel_right(&mut points);
+    }
+    tics_bench::write_json("fig9", &points);
+}

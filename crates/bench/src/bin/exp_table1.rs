@@ -1,0 +1,137 @@
+//! Table 1 — greenhouse monitoring (GHM) on intermittent power.
+//!
+//! Runs the plain-C and TinyOS-style GHM applications, with and without
+//! TICS, under 4 % / 48 % / 100 % intermittency (fraction of wall-clock
+//! time powered), for a fixed experiment window. Reports how many times
+//! each routine completed and whether the run is consistent (all four
+//! routine counters equal) — the paper's Table 1.
+
+use serde::Serialize;
+use tics_apps::ghm;
+use tics_apps::workload::ghm_trace;
+use tics_apps::{build_app, App, SystemUnderTest};
+use tics_energy::{DutyCycleTrace, PowerSupply, RecordedTrace};
+use tics_minic::opt::OptLevel;
+use tics_vm::{Executor, Machine, MachineConfig};
+
+/// Experiment window in true microseconds (on + off).
+const WINDOW_US: u64 = 3_000_000;
+/// Nominal on/off cycle length of the reset pattern.
+const PERIOD_US: u64 = 50_000;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    intermittency_pct: u32,
+    variant: String,
+    sense_moisture: i32,
+    sense_temp: i32,
+    compute: i32,
+    send: i32,
+    consistent: bool,
+}
+
+fn supply_for(duty_pct: u32, seed: u64) -> RecordedTrace {
+    if duty_pct >= 100 {
+        return RecordedTrace::new([(WINDOW_US, 0)]);
+    }
+    let mut gen = DutyCycleTrace::new(f64::from(duty_pct) / 100.0, PERIOD_US, 0.25, seed);
+    let mut total = 0u64;
+    let mut periods = Vec::new();
+    while total < WINDOW_US {
+        let p = gen.next_period().expect("duty trace is infinite");
+        periods.push((p.on_us, p.off_us));
+        total += p.on_us + p.off_us;
+    }
+    RecordedTrace::new(periods)
+}
+
+fn run_variant(app: App, system: SystemUnderTest, duty_pct: u32) -> Row {
+    let prog = build_app(app, system, OptLevel::O2, tics_apps::build::Scale(100_000))
+        .expect("GHM builds for checkpointing systems");
+    let mut machine = Machine::new(
+        prog.clone(),
+        MachineConfig {
+            sensor_trace: ghm_trace(64, ghm::READINGS, 11),
+            ..MachineConfig::default()
+        },
+    )
+    .expect("program loads");
+    let mut runtime = tics_apps::build::make_runtime(system, &prog);
+    let mut supply = supply_for(duty_pct, 77 + u64::from(duty_pct));
+    // The budget is the window's on-time share (generous upper bound).
+    let _ = Executor::new()
+        .with_time_budget(WINDOW_US)
+        .run(&mut machine, runtime.as_mut(), &mut supply)
+        .expect("run completes without traps");
+    let c = ghm::read_counters(&machine);
+    let variant = match (app, system) {
+        (App::Ghm, SystemUnderTest::PlainC) => "plain C",
+        (App::Ghm, SystemUnderTest::Tics) => "plain C + TICS",
+        (App::GhmTinyos, SystemUnderTest::PlainC) => "TinyOS",
+        (App::GhmTinyos, SystemUnderTest::Tics) => "TinyOS + TICS",
+        _ => "?",
+    };
+    Row {
+        intermittency_pct: duty_pct,
+        variant: variant.to_string(),
+        sense_moisture: c[0],
+        sense_temp: c[1],
+        compute: c[2],
+        send: c[3],
+        consistent: ghm::is_consistent(c),
+    }
+}
+
+fn main() {
+    println!("Table 1: GHM routine completions under intermittent power");
+    println!(
+        "(window {} s, reset pattern period {} ms)\n",
+        WINDOW_US / 1_000_000,
+        PERIOD_US / 1_000
+    );
+    println!(
+        "{:>5}  {:<16} {:>8} {:>8} {:>8} {:>8}  consistent",
+        "duty", "variant", "moist", "temp", "compute", "send"
+    );
+    let mut rows = Vec::new();
+    for duty in [4, 48, 100] {
+        for (app, system) in [
+            (App::Ghm, SystemUnderTest::PlainC),
+            (App::Ghm, SystemUnderTest::Tics),
+            (App::GhmTinyos, SystemUnderTest::PlainC),
+            (App::GhmTinyos, SystemUnderTest::Tics),
+        ] {
+            let row = run_variant(app, system, duty);
+            println!(
+                "{:>4}%  {:<16} {:>8} {:>8} {:>8} {:>8}  {}",
+                row.intermittency_pct,
+                row.variant,
+                row.sense_moisture,
+                row.sense_temp,
+                row.compute,
+                row.send,
+                if row.consistent { "yes" } else { "NO" }
+            );
+            rows.push(row);
+        }
+        println!();
+    }
+    // Paper-shape checks (soft: print loudly if violated).
+    for duty in [4, 48] {
+        let plain = rows
+            .iter()
+            .find(|r| r.intermittency_pct == duty && r.variant == "plain C")
+            .expect("row exists");
+        let tics = rows
+            .iter()
+            .find(|r| r.intermittency_pct == duty && r.variant == "plain C + TICS")
+            .expect("row exists");
+        if plain.consistent && plain.send > 0 {
+            println!("!! unexpected: plain C consistent at {duty}%");
+        }
+        if !tics.consistent {
+            println!("!! unexpected: TICS inconsistent at {duty}%");
+        }
+    }
+    tics_bench::write_json("table1", &rows);
+}

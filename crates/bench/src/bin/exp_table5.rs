@@ -1,0 +1,73 @@
+//! Table 5 — the state-of-the-art programming-model capability matrix,
+//! reported live by each runtime implementation.
+
+use serde::Serialize;
+use tics_baselines::{ChinchillaRuntime, NaiveCheckpoint, RatchetRuntime, TaskFlavor, TaskKernel};
+use tics_core::{TicsConfig, TicsRuntime};
+use tics_vm::IntermittentRuntime;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    runtime: String,
+    pointer_support: bool,
+    recursion_support: bool,
+    scalable: bool,
+    timely_execution: bool,
+    porting_effort: String,
+}
+
+fn yn(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+fn main() {
+    let runtimes: Vec<Box<dyn IntermittentRuntime>> = vec![
+        Box::new(TaskKernel::new(TaskFlavor::Mayfly)),
+        Box::new(TaskKernel::new(TaskFlavor::Alpaca)),
+        Box::new(RatchetRuntime::default()),
+        Box::new(ChinchillaRuntime::default()),
+        Box::new(TaskKernel::new(TaskFlavor::Ink)),
+        Box::new(NaiveCheckpoint::default()),
+        Box::new(TicsRuntime::new(TicsConfig::default())),
+    ];
+    println!("Table 5: programming-model capability matrix\n");
+    println!(
+        "{:<16} {:>8} {:>10} {:>9} {:>7} {:>9}",
+        "runtime", "pointers", "recursion", "scalable", "timely", "porting"
+    );
+    let mut rows = Vec::new();
+    for rt in &runtimes {
+        let c = rt.capabilities();
+        println!(
+            "{:<16} {:>8} {:>10} {:>9} {:>7} {:>9}",
+            rt.name(),
+            yn(c.pointer_support),
+            yn(c.recursion_support),
+            yn(c.scalable),
+            yn(c.timely_execution),
+            c.porting_effort.to_string()
+        );
+        rows.push(Row {
+            runtime: rt.name().to_string(),
+            pointer_support: c.pointer_support,
+            recursion_support: c.recursion_support,
+            scalable: c.scalable,
+            timely_execution: c.timely_execution,
+            porting_effort: c.porting_effort.to_string(),
+        });
+    }
+    // The TICS row is the only all-yes row with zero porting effort.
+    let tics = rows.last().expect("rows");
+    assert!(
+        tics.pointer_support
+            && tics.recursion_support
+            && tics.scalable
+            && tics.timely_execution
+            && tics.porting_effort == "None"
+    );
+    tics_bench::write_json("table5", &rows);
+}

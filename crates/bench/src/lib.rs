@@ -1,0 +1,50 @@
+//! # tics-bench — the experiment harness
+//!
+//! One module per concern, one binary per table/figure of the paper:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `exp_table1` | Table 1 — GHM routine counts & consistency vs intermittency |
+//! | `exp_table2` | Table 2 — time-consistency violations, AR w/ and w/o TICS |
+//! | `exp_table3` | Table 3 — `.text`/`.data` for InK / Chinchilla / TICS |
+//! | `exp_table4` | Table 4 — per-operation runtime overheads |
+//! | `exp_table5` | Table 5 — the runtime capability matrix |
+//! | `exp_fig9`   | Figure 9 — benchmark performance (three panels) |
+//! | `exp_fig10`  | Figure 10 — user-study proxy (complexity + synthetic reviewers) |
+//!
+//! Each binary prints the table and writes machine-readable JSON to
+//! `results/`. The [`oracle`] module is the simulation's logic analyzer:
+//! it derives the paper's three time-consistency violation counts from
+//! ground-truth event timelines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod oracle;
+pub mod reviewer;
+pub mod runner;
+
+pub use oracle::{count_violations, Violations};
+pub use runner::{run_app, RunConfig, RunResult};
+
+use std::path::Path;
+
+/// Writes a serializable result to `results/<name>.json` (best effort —
+/// experiments still print their tables if the write fails).
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("(wrote {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}

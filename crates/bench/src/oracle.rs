@@ -1,0 +1,200 @@
+//! The violation oracle — the simulation's logic analyzer (Table 2).
+//!
+//! The paper counts three classes of time-consistency violations
+//! (Figure 3 b–d) by observing the device externally. Here the machine
+//! records every sample, mark, send, and power failure with its *true*
+//! wall-clock time; this module reconstructs the AR application's
+//! timeline from those events and counts, for each consumed window:
+//!
+//! * **data expiration** — the classification consumed a sample older
+//!   than the freshness bound,
+//! * **time misalignment** — a power failure fell between the window's
+//!   timestamp acquisition and its data acquisition, so the consumed
+//!   (timestamp, data) pair lies about the data's age,
+//! * **timely branching** — an alert was emitted after its deadline had
+//!   already passed in true time.
+//!
+//! The TICS-annotated AR makes the timestamp+data pair a single atomic
+//! `@=` event, so misalignment is impossible by construction; its
+//! `@expires`/`@timely` guards are checked against a persistent
+//! timekeeper, which is what drives the other two counts to zero.
+
+use serde::Serialize;
+use tics_apps::ar;
+use tics_vm::ExecStats;
+
+/// Violation counts plus the potential-occurrence denominators the
+/// paper reports alongside them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct Violations {
+    /// Windows sampled (potential misalignment / expiration points).
+    pub potential_windows: u64,
+    /// Alert-branch evaluations (potential timely-branch points).
+    pub potential_timely: u64,
+    /// Timely-branching violations (Figure 3b).
+    pub timely_branch: u64,
+    /// Time-and-data misalignment violations (Figure 3c).
+    pub misalignment: u64,
+    /// Data-expiration violations (Figure 3d).
+    pub expiration: u64,
+}
+
+impl Violations {
+    /// Total violations across the three classes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.timely_branch + self.misalignment + self.expiration
+    }
+}
+
+/// Counts AR time-consistency violations from an execution's event
+/// timeline. `atomic_timestamps` is true for the TICS-annotated variant
+/// (`@=` makes timestamp acquisition and data acquisition one event, so
+/// there is no window for misalignment).
+#[must_use]
+pub fn count_violations(stats: &ExecStats, atomic_timestamps: bool) -> Violations {
+    let ttl_us = u64::from(ar::TTL_MS) * 1_000;
+    let deadline_us = u64::from(ar::ALERT_DEADLINE_MS) * 1_000;
+    // Tolerance for execution time between events (featurization takes a
+    // little while even on continuous power).
+    let slack_us = 20_000;
+
+    let mut v = Violations::default();
+
+    // Timeline of window completions and manual-timestamp events.
+    let windows: Vec<u64> = stats
+        .marks_timed
+        .iter()
+        .filter(|(id, _)| *id == ar::MARK_WINDOW)
+        .map(|(_, t)| *t)
+        .collect();
+    let ts_events: Vec<u64> = stats
+        .marks_timed
+        .iter()
+        .filter(|(id, _)| *id == ar::MARK_TS)
+        .map(|(_, t)| *t)
+        .collect();
+    v.potential_windows = windows.len() as u64;
+    v.potential_timely = stats
+        .marks_timed
+        .iter()
+        .filter(|(id, _)| *id == ar::MARK_ALERT || *id == ar::MARK_ALERT_MISS)
+        .count() as u64;
+
+    let last_before = |times: &[u64], t: u64| -> Option<u64> {
+        times.iter().copied().take_while(|x| *x <= t).last()
+    };
+
+    for &(value, t_send) in &stats.sends_timed {
+        if value >= 0 {
+            // A classification: consumed the window completed just before.
+            let Some(t_window) = last_before(&windows, t_send) else {
+                continue;
+            };
+            // The window's samples are the last `WINDOW` sample events at
+            // or before its completion.
+            // Age is measured from the window's *newest* sample — the
+            // paper's timestamps are per variable (latest write, §3.2),
+            // so "expired" means even the freshest reading is stale.
+            let newest_sample = stats
+                .samples_timed
+                .iter()
+                .copied()
+                .take_while(|s| *s <= t_window)
+                .last();
+            if let Some(newest) = newest_sample {
+                if t_send.saturating_sub(newest) > ttl_us + slack_us {
+                    v.expiration += 1;
+                }
+            }
+            // Misalignment: a failure between the consumed window's
+            // timestamp acquisition and its completion.
+            if !atomic_timestamps {
+                if let Some(t_ts) = last_before(&ts_events, t_window) {
+                    if stats
+                        .failure_times
+                        .iter()
+                        .any(|f| *f > t_ts && *f < t_window)
+                    {
+                        v.misalignment += 1;
+                    }
+                }
+            }
+        } else if value == ar::ALERT_VALUE {
+            // An alert: must land within the deadline of its window.
+            if let Some(t_window) = last_before(&windows, t_send) {
+                if t_send.saturating_sub(t_window) > deadline_us + slack_us {
+                    v.timely_branch += 1;
+                }
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tics_vm::ExecStats;
+
+    fn base_stats() -> ExecStats {
+        let mut s = ExecStats::default();
+        // One window: ts at t=0, six samples, window complete at 700.
+        s.marks_timed.push((ar::MARK_TS, 0));
+        for i in 0..6 {
+            s.samples_timed.push(100 + i * 100);
+        }
+        s.marks_timed.push((ar::MARK_WINDOW, 700));
+        s
+    }
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        let mut s = base_stats();
+        s.sends_timed.push((0, 1_000)); // classified promptly
+        s.sends_timed.push((ar::ALERT_VALUE, 1_200));
+        s.marks_timed.push((ar::MARK_ALERT, 1_200));
+        let v = count_violations(&s, false);
+        assert_eq!(v.total(), 0);
+        assert_eq!(v.potential_windows, 1);
+        assert_eq!(v.potential_timely, 1);
+    }
+
+    #[test]
+    fn detects_expiration() {
+        let mut s = base_stats();
+        // Consumed 400 ms after sampling: long past the 200 ms TTL.
+        s.sends_timed.push((1, 500_000));
+        let v = count_violations(&s, false);
+        assert_eq!(v.expiration, 1);
+    }
+
+    #[test]
+    fn detects_misalignment() {
+        let mut s = base_stats();
+        s.failure_times.push(350); // between ts (0) and window (700)
+        s.sends_timed.push((0, 1_000));
+        let v = count_violations(&s, false);
+        assert_eq!(v.misalignment, 1);
+        // Atomic timestamps cannot misalign.
+        assert_eq!(count_violations(&s, true).misalignment, 0);
+    }
+
+    #[test]
+    fn detects_late_alert() {
+        let mut s = base_stats();
+        s.sends_timed.push((0, 1_000));
+        s.sends_timed.push((ar::ALERT_VALUE, 900_000)); // way past deadline
+        s.marks_timed.push((ar::MARK_ALERT, 900_000));
+        let v = count_violations(&s, false);
+        assert_eq!(v.timely_branch, 1);
+    }
+
+    #[test]
+    fn unconsumed_windows_do_not_count() {
+        let s = base_stats(); // window sampled, never classified
+        let v = count_violations(&s, false);
+        assert_eq!(v.total(), 0);
+        assert_eq!(v.potential_windows, 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Synthetic-reviewer model — the Figure 10 proxy.
+//!
+//! The paper's 90-participant study cannot be reproduced without humans
+//! (see DESIGN.md). This model stands in: each simulated reviewer scans
+//! the buggy program line by line; per line the probability of
+//! recognizing the planted bug (and the time spent) depend on the
+//! program's static [`Complexity`](tics_apps::study::Complexity) score —
+//! more code, more control flow, and more cross-task state make the bug
+//! harder and slower to localize. The *only* free claim imported from
+//! the study is the direction of that dependence, which is the study's
+//! own finding; everything else is measured program structure.
+
+use serde::Serialize;
+use tics_apps::study::{complexity, StudyProgram};
+
+/// Outcome of one simulated review cohort on one program.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReviewOutcome {
+    /// Program name.
+    pub program: String,
+    /// Style ("tics" / "ink").
+    pub style: String,
+    /// Complexity score fed to the model.
+    pub complexity_score: f64,
+    /// Fraction of reviewers who localized the planted bug.
+    pub accuracy: f64,
+    /// Mean simulated time to answer (arbitrary units ≈ seconds).
+    pub mean_time: f64,
+}
+
+fn xorshift(state: &mut u64) -> f64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Runs `cohort` simulated reviewers over `program` with a deterministic
+/// seed; returns aggregate accuracy and time.
+#[must_use]
+pub fn review(program: &StudyProgram, cohort: u32, seed: u64) -> ReviewOutcome {
+    let cx = complexity(&program.buggy);
+    let score = cx.score();
+    // Per-reviewer probability of localizing the bug: drops with program
+    // complexity. Anchored so a trivial program (~score 15) is ~95 % and
+    // a heavy task decomposition (~score 150) is ~55 %.
+    let p_correct = (1.0 - score / 320.0).clamp(0.2, 0.97);
+    // Time: a fixed reading cost per complexity unit plus per-reviewer
+    // variance; failed searches take longest (they read everything).
+    let mut rng = seed | 1;
+    let mut correct = 0u32;
+    let mut total_time = 0.0;
+    for _ in 0..cohort {
+        let aptitude = 0.75 + 0.5 * xorshift(&mut rng); // 0.75..1.25
+        let found = xorshift(&mut rng) < p_correct * (2.0 - aptitude).min(1.25);
+        let base_time = 8.0 + score * 0.9;
+        let time = if found {
+            base_time * aptitude * (0.4 + 0.6 * xorshift(&mut rng))
+        } else {
+            base_time * aptitude * 1.4
+        };
+        if found {
+            correct += 1;
+        }
+        total_time += time;
+    }
+    ReviewOutcome {
+        program: program.name.to_string(),
+        style: program.style.to_string(),
+        complexity_score: score,
+        accuracy: f64::from(correct) / f64::from(cohort),
+        mean_time: total_time / f64::from(cohort),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tics_apps::study;
+
+    #[test]
+    fn tics_style_beats_ink_style_for_every_program() {
+        // The Figure 10 shape: higher accuracy, lower time for TICS.
+        for (t, i) in [
+            (study::swap_tics(), study::swap_ink()),
+            (study::bubble_tics(), study::bubble_ink()),
+            (study::timekeeping_tics(), study::timekeeping_ink()),
+        ] {
+            let rt = review(&t, 90, 0xF16);
+            let ri = review(&i, 90, 0xF16);
+            assert!(
+                rt.accuracy > ri.accuracy,
+                "{}: tics {} <= ink {}",
+                t.name,
+                rt.accuracy,
+                ri.accuracy
+            );
+            assert!(
+                rt.mean_time < ri.mean_time,
+                "{}: tics {} >= ink {}",
+                t.name,
+                rt.mean_time,
+                ri.mean_time
+            );
+        }
+    }
+
+    #[test]
+    fn review_is_deterministic() {
+        let p = study::swap_tics();
+        let a = review(&p, 50, 7);
+        let b = review(&p, 50, 7);
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.mean_time, b.mean_time);
+    }
+}

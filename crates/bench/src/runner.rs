@@ -1,0 +1,186 @@
+//! Common run plumbing: build an app for a system, execute it on a
+//! supply, and collect results.
+
+use serde::Serialize;
+use tics_apps::{build_app, App, BuildError, SystemUnderTest};
+use tics_clock::{CapacitorRtc, PerfectClock, Timekeeper, VolatileClock};
+use tics_energy::PowerSupply;
+use tics_minic::opt::OptLevel;
+use tics_vm::{ExecStats, Executor, Machine, MachineConfig, RunOutcome, VmError};
+
+/// Which timekeeper the device carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockKind {
+    /// Ground truth (also a fine stand-in for an ideal RTC).
+    Perfect,
+    /// The MCU's internal timer: resets at every reboot. What legacy
+    /// code gets without TICS.
+    Volatile,
+    /// An RTC alive through outages up to a capacitor budget (µs).
+    CapacitorRtc(u64),
+}
+
+impl ClockKind {
+    fn build(self) -> Box<dyn Timekeeper> {
+        match self {
+            ClockKind::Perfect => Box::new(PerfectClock::new()),
+            ClockKind::Volatile => Box::new(VolatileClock::new()),
+            ClockKind::CapacitorRtc(budget) => Box::new(CapacitorRtc::new(budget)),
+        }
+    }
+}
+
+/// Configuration of one experimental run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Workload scale (windows / inputs / keys / rounds).
+    pub scale: u32,
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// Timekeeper.
+    pub clock: ClockKind,
+    /// Scripted sensor trace.
+    pub sensor_trace: Vec<i32>,
+    /// Total on-time budget (µs of cycles).
+    pub time_budget_us: u64,
+    /// Machine seed.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            scale: 24,
+            opt: OptLevel::O2,
+            clock: ClockKind::Perfect,
+            sensor_trace: Vec::new(),
+            time_budget_us: 10_000_000_000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The outcome of one run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// App name.
+    pub app: String,
+    /// System name.
+    pub system: String,
+    /// How the run ended (Display form).
+    pub outcome: String,
+    /// Exit code if finished.
+    pub exit_code: Option<i32>,
+    /// Cycles of on-time consumed.
+    pub cycles: u64,
+    /// Checkpoints committed.
+    pub checkpoints: u64,
+    /// Restores performed.
+    pub restores: u64,
+    /// Power failures experienced.
+    pub power_failures: u64,
+    /// Undo-log appends.
+    pub undo_appends: u64,
+    /// `.text` bytes of the built image.
+    pub text_bytes: u32,
+    /// `.data` bytes of the built image.
+    pub data_bytes: u32,
+    /// Full stats (not serialized).
+    #[serde(skip)]
+    pub stats: ExecStats,
+}
+
+/// Builds and runs `app` under `system` on `supply`.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] for infeasible combinations; panics are
+/// reserved for harness bugs. VM-level traps surface as a `RunResult`
+/// with outcome `"error: …"` so sweeps can continue.
+pub fn run_app(
+    app: App,
+    system: SystemUnderTest,
+    config: &RunConfig,
+    supply: &mut dyn PowerSupply,
+) -> Result<RunResult, BuildError> {
+    let prog = build_app(
+        app,
+        system,
+        config.opt,
+        tics_apps::build::Scale(config.scale),
+    )?;
+    let text_bytes = prog.text_bytes();
+    let data_bytes = prog.data_bytes();
+    let mut machine = Machine::with_clock(
+        prog.clone(),
+        MachineConfig {
+            sensor_trace: config.sensor_trace.clone(),
+            seed: config.seed,
+            ..MachineConfig::default()
+        },
+        config.clock.build(),
+    )
+    .expect("program loads");
+    let mut runtime = tics_apps::build::make_runtime(system, &prog);
+    let exec = Executor::new().with_time_budget(config.time_budget_us);
+    let outcome: Result<RunOutcome, VmError> = exec.run(&mut machine, runtime.as_mut(), supply);
+    let (outcome_str, exit_code) = match &outcome {
+        Ok(RunOutcome::Finished(c)) => ("finished".to_string(), Some(*c)),
+        Ok(RunOutcome::OutOfEnergy) => ("out-of-energy".to_string(), None),
+        Ok(RunOutcome::BudgetExhausted) => ("budget-exhausted".to_string(), None),
+        Ok(RunOutcome::Starved { boots }) => (format!("starved after {boots} boots"), None),
+        Err(e) => (format!("error: {e}"), None),
+    };
+    let stats = machine.stats().clone();
+    Ok(RunResult {
+        app: app.name().to_string(),
+        system: system.name().to_string(),
+        outcome: outcome_str,
+        exit_code,
+        cycles: machine.cycles(),
+        checkpoints: stats.checkpoints,
+        restores: stats.restores,
+        power_failures: stats.power_failures,
+        undo_appends: stats.undo_log_appends,
+        text_bytes,
+        data_bytes,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tics_energy::ContinuousPower;
+
+    #[test]
+    fn runs_bc_under_tics_continuously() {
+        let cfg = RunConfig {
+            scale: 10,
+            ..RunConfig::default()
+        };
+        let r = run_app(
+            App::Bc,
+            SystemUnderTest::Tics,
+            &cfg,
+            &mut ContinuousPower::new(),
+        )
+        .unwrap();
+        assert_eq!(r.outcome, "finished");
+        assert!(r.exit_code.unwrap() > 0);
+        assert!(r.cycles > 0);
+        assert!(r.text_bytes > 0 && r.data_bytes > 0);
+    }
+
+    #[test]
+    fn propagates_unsupported_combinations() {
+        let cfg = RunConfig::default();
+        assert!(run_app(
+            App::Bc,
+            SystemUnderTest::Chinchilla,
+            &cfg,
+            &mut ContinuousPower::new(),
+        )
+        .is_err());
+    }
+}

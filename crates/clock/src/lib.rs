@@ -1,0 +1,45 @@
+//! # tics-clock — persistent timekeeping across power failures
+//!
+//! Time-sensitive intermittent computing (TICS, ASPLOS 2020 §3.2, §4) needs
+//! a clock that keeps counting while the device is *off*. Ordinary MCU
+//! timers reset on every power failure — that reset is the root cause of
+//! the paper's three time-consistency violations (Figure 3 b–d). The paper
+//! requires a *persistent timekeeper*: either a remanence-based timer
+//! (TARDIS/CusTARD style) or a real-time clock kept alive by a small
+//! capacitor.
+//!
+//! This crate provides the [`Timekeeper`] trait and four implementations:
+//!
+//! * [`PerfectClock`] — an oracle; useful as ground truth in experiments,
+//! * [`VolatileClock`] — the MCU's internal timer that resets on reboot
+//!   (what legacy code gets *without* TICS; the violation generator),
+//! * [`CapacitorRtc`] — an RTC that rides out outages up to an energy
+//!   budget, then loses time,
+//! * [`RemanenceTimer`] — estimates off-time from SRAM decay with bounded
+//!   multiplicative error, saturating at a maximum measurable duration.
+//!
+//! The simulation harness knows the *true* off duration of each outage and
+//! feeds it to [`Timekeeper::power_cycle`]; the timekeeper answers
+//! [`Timekeeper::now`] with its (possibly wrong) belief.
+//!
+//! ```
+//! use tics_clock::{PerfectClock, Timekeeper, VolatileClock};
+//!
+//! let mut truth = PerfectClock::new();
+//! let mut mcu = VolatileClock::new();
+//! truth.advance_on(1_000);
+//! mcu.advance_on(1_000);
+//! truth.power_cycle(5_000);
+//! mcu.power_cycle(5_000);
+//! assert_eq!(truth.now().as_micros(), 6_000);
+//! assert_eq!(mcu.now().as_micros(), 0); // the violation generator
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod time;
+mod timekeeper;
+
+pub use time::TimeMicros;
+pub use timekeeper::{CapacitorRtc, PerfectClock, RemanenceTimer, Timekeeper, VolatileClock};

@@ -1,0 +1,126 @@
+//! Time values.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant or duration in microseconds.
+///
+/// At the paper's 1 MHz clock, one MCU cycle is one microsecond, so cycle
+/// counts from `tics-mcu` convert to [`TimeMicros`] one-to-one.
+///
+/// ```
+/// use tics_clock::TimeMicros;
+/// let t = TimeMicros::from_millis(2) + TimeMicros(500);
+/// assert_eq!(t.as_micros(), 2_500);
+/// assert_eq!(t.saturating_sub(TimeMicros::from_secs(1)), TimeMicros(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeMicros(pub u64);
+
+impl TimeMicros {
+    /// Zero time.
+    pub const ZERO: TimeMicros = TimeMicros(0);
+
+    /// Constructs from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: u64) -> TimeMicros {
+        TimeMicros(ms * 1_000)
+    }
+
+    /// Constructs from seconds.
+    #[must_use]
+    pub fn from_secs(s: u64) -> TimeMicros {
+        TimeMicros(s * 1_000_000)
+    }
+
+    /// The raw microsecond count.
+    #[must_use]
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The value in whole milliseconds, truncating.
+    #[must_use]
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Subtraction clamped at zero.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: TimeMicros) -> TimeMicros {
+        TimeMicros(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Absolute difference between two instants.
+    #[must_use]
+    pub fn abs_diff(self, rhs: TimeMicros) -> TimeMicros {
+        TimeMicros(self.0.abs_diff(rhs.0))
+    }
+}
+
+impl Add for TimeMicros {
+    type Output = TimeMicros;
+    fn add(self, rhs: TimeMicros) -> TimeMicros {
+        TimeMicros(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimeMicros {
+    fn add_assign(&mut self, rhs: TimeMicros) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TimeMicros {
+    type Output = TimeMicros;
+    fn sub(self, rhs: TimeMicros) -> TimeMicros {
+        TimeMicros(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for TimeMicros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+impl From<u64> for TimeMicros {
+    fn from(us: u64) -> Self {
+        TimeMicros(us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(TimeMicros::from_millis(3).as_micros(), 3_000);
+        assert_eq!(TimeMicros::from_secs(2).as_millis(), 2_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = TimeMicros(100);
+        let b = TimeMicros(30);
+        assert_eq!(a + b, TimeMicros(130));
+        assert_eq!(a - b, TimeMicros(70));
+        assert_eq!(b.saturating_sub(a), TimeMicros::ZERO);
+        assert_eq!(a.abs_diff(b), TimeMicros(70));
+        assert_eq!(b.abs_diff(a), TimeMicros(70));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", TimeMicros(5)), "5us");
+        assert_eq!(format!("{}", TimeMicros(1_500)), "1.500ms");
+        assert_eq!(format!("{}", TimeMicros(2_500_000)), "2.500s");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the timekeepers: monotonicity, bounded error,
+//! and the exact semantics of trust loss.
+
+use proptest::prelude::*;
+use tics_clock::{CapacitorRtc, PerfectClock, RemanenceTimer, Timekeeper, VolatileClock};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Persistent timekeepers are monotone under arbitrary on/off
+    /// sequences. (The capacitor RTC is excluded: losing its charge
+    /// legitimately resets it to zero — its own property below covers
+    /// the trusted regime.)
+    #[test]
+    fn persistent_clocks_are_monotone(
+        events in proptest::collection::vec((0u64..100_000, 0u64..1_000_000), 1..50),
+    ) {
+        let mut clocks: Vec<Box<dyn Timekeeper>> = vec![
+            Box::new(PerfectClock::new()),
+            Box::new(RemanenceTimer::new(10_000_000, 0.2, 9)),
+        ];
+        for c in &mut clocks {
+            let mut last = c.now();
+            for (on, off) in &events {
+                c.advance_on(*on);
+                prop_assert!(c.now() >= last);
+                last = c.now();
+                c.power_cycle(*off);
+                prop_assert!(c.now() >= last);
+                last = c.now();
+            }
+        }
+    }
+
+    /// The volatile clock never exceeds the duration of the current
+    /// boot — its defining flaw.
+    #[test]
+    fn volatile_clock_is_bounded_by_boot_time(
+        events in proptest::collection::vec((0u64..50_000, 1u64..1_000_000), 1..30),
+        tail_on in 0u64..50_000,
+    ) {
+        let mut c = VolatileClock::new();
+        for (on, off) in &events {
+            c.advance_on(*on);
+            c.power_cycle(*off);
+        }
+        c.advance_on(tail_on);
+        prop_assert_eq!(c.now().as_micros(), tail_on);
+        prop_assert!(!c.is_time_known());
+    }
+
+    /// Within its budget, the capacitor RTC is *exact*; one over-budget
+    /// outage loses trust permanently until resync.
+    #[test]
+    fn rtc_exact_within_budget(
+        budget in 1_000u64..1_000_000,
+        offs in proptest::collection::vec(1u64..1_000_000, 1..30),
+    ) {
+        let mut rtc = CapacitorRtc::new(budget);
+        let mut truth = PerfectClock::new();
+        let mut trusted = true;
+        for off in &offs {
+            rtc.power_cycle(*off);
+            truth.power_cycle(*off);
+            if *off > budget {
+                trusted = false;
+            }
+            prop_assert_eq!(rtc.is_time_known(), trusted);
+            if trusted {
+                prop_assert_eq!(rtc.now(), truth.now());
+            }
+        }
+    }
+
+    /// The remanence timer's cumulative error stays within the declared
+    /// fraction of true off-time (on-time is tracked exactly).
+    #[test]
+    fn remanence_error_is_fraction_bounded(
+        error_pct in 0u32..40,
+        offs in proptest::collection::vec(1_000u64..500_000, 1..60),
+        seed in 1u64..1_000,
+    ) {
+        let frac = f64::from(error_pct) / 100.0;
+        let mut t = RemanenceTimer::new(u64::MAX, frac, seed);
+        let mut true_off = 0u64;
+        for off in &offs {
+            t.power_cycle(*off);
+            true_off += off;
+        }
+        let est = t.now().as_micros();
+        let bound = (true_off as f64 * frac).ceil() as u64 + offs.len() as u64;
+        prop_assert!(
+            est.abs_diff(true_off) <= bound,
+            "est {} truth {} bound {}", est, true_off, bound
+        );
+    }
+
+    /// Saturation: off-times beyond the measurable range are reported as
+    /// exactly the maximum (the device knows only "at least this long").
+    #[test]
+    fn remanence_saturates(max in 1_000u64..100_000, over in 1u64..1_000_000) {
+        let mut t = RemanenceTimer::new(max, 0.3, 7);
+        t.power_cycle(max + over);
+        prop_assert_eq!(t.now().as_micros(), max);
+        prop_assert!(t.saturated());
+    }
+}

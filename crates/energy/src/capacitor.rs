@@ -1,0 +1,183 @@
+//! Energy-storage capacitor with turn-on and brownout thresholds.
+
+/// A storage capacitor: the device's entire energy reservoir.
+///
+/// The device boots when the voltage reaches `v_on` and browns out when it
+/// falls to `v_off`. Usable energy per on-period is therefore
+/// `½·C·(v_on² − v_off²)`.
+///
+/// ```
+/// use tics_energy::Capacitor;
+/// // The paper's Powercast receiver: 10 µF, boot at 2.4 V, die at 1.8 V.
+/// let cap = Capacitor::new(10e-6, 3.3, 2.4, 1.8);
+/// let e = cap.usable_energy_j();
+/// assert!((e - 0.5 * 10e-6 * (2.4f64.powi(2) - 1.8f64.powi(2))).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capacitor {
+    capacitance_f: f64,
+    v_max: f64,
+    v_on: f64,
+    v_off: f64,
+    v: f64,
+}
+
+impl Capacitor {
+    /// Creates a capacitor, initially discharged to `v_off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ v_off < v_on ≤ v_max` and `capacitance_f > 0`.
+    #[must_use]
+    pub fn new(capacitance_f: f64, v_max: f64, v_on: f64, v_off: f64) -> Capacitor {
+        assert!(capacitance_f > 0.0, "capacitance must be positive");
+        assert!(
+            0.0 <= v_off && v_off < v_on && v_on <= v_max,
+            "require 0 <= v_off < v_on <= v_max"
+        );
+        Capacitor {
+            capacitance_f,
+            v_max,
+            v_on,
+            v_off,
+            v: v_off,
+        }
+    }
+
+    /// Current voltage.
+    #[must_use]
+    pub fn voltage(&self) -> f64 {
+        self.v
+    }
+
+    /// Turn-on threshold voltage.
+    #[must_use]
+    pub fn v_on(&self) -> f64 {
+        self.v_on
+    }
+
+    /// Brownout threshold voltage.
+    #[must_use]
+    pub fn v_off(&self) -> f64 {
+        self.v_off
+    }
+
+    /// Stored energy in joules at the current voltage.
+    #[must_use]
+    pub fn energy_j(&self) -> f64 {
+        0.5 * self.capacitance_f * self.v * self.v
+    }
+
+    /// Energy usable between boot (`v_on`) and brownout (`v_off`).
+    #[must_use]
+    pub fn usable_energy_j(&self) -> f64 {
+        0.5 * self.capacitance_f * (self.v_on * self.v_on - self.v_off * self.v_off)
+    }
+
+    /// Whether the voltage has reached the boot threshold.
+    #[must_use]
+    pub fn can_boot(&self) -> bool {
+        self.v >= self.v_on
+    }
+
+    /// Whether the voltage has fallen to (or below) the brownout threshold.
+    #[must_use]
+    pub fn browned_out(&self) -> bool {
+        self.v <= self.v_off
+    }
+
+    /// Integrates a net power flow (`power_w > 0` charges, `< 0` drains)
+    /// over `dt_us` microseconds, clamping the voltage to `[0, v_max]`.
+    pub fn apply_power(&mut self, power_w: f64, dt_us: u64) {
+        let de = power_w * dt_us as f64 * 1e-6;
+        let e = (self.energy_j() + de).max(0.0);
+        let v_new = (2.0 * e / self.capacitance_f).sqrt();
+        self.v = v_new.min(self.v_max);
+    }
+
+    /// Microseconds of load the capacitor sustains from `v_on` down to
+    /// `v_off`, under net drain `drain_w` (load minus harvest).
+    ///
+    /// Returns `u64::MAX` if the net drain is non-positive (harvest keeps
+    /// up with the load — effectively continuous power).
+    #[must_use]
+    pub fn on_duration_us(&self, drain_w: f64) -> u64 {
+        if drain_w <= 0.0 {
+            return u64::MAX;
+        }
+        (self.usable_energy_j() / drain_w * 1e6) as u64
+    }
+
+    /// Microseconds to charge from `v_off` up to `v_on` with `harvest_w`.
+    ///
+    /// Returns `u64::MAX` if the harvested power is non-positive (the
+    /// device never reboots).
+    #[must_use]
+    pub fn recharge_duration_us(&self, harvest_w: f64) -> u64 {
+        if harvest_w <= 0.0 {
+            return u64::MAX;
+        }
+        (self.usable_energy_j() / harvest_w * 1e6) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap() -> Capacitor {
+        Capacitor::new(10e-6, 3.3, 2.4, 1.8)
+    }
+
+    #[test]
+    fn starts_browned_out() {
+        let c = cap();
+        assert!(c.browned_out());
+        assert!(!c.can_boot());
+    }
+
+    #[test]
+    fn charging_reaches_boot_threshold() {
+        let mut c = cap();
+        let t = c.recharge_duration_us(1e-3); // 1 mW harvest
+        c.apply_power(1e-3, t + 1);
+        assert!(c.can_boot(), "voltage {} after {}us", c.voltage(), t);
+    }
+
+    #[test]
+    fn draining_reaches_brownout() {
+        let mut c = cap();
+        c.apply_power(1.0, 1_000); // force full charge quickly
+        assert!(c.can_boot());
+        let t = c.on_duration_us(2e-3);
+        // Drain from v_on; first discharge down to exactly v_on for the test.
+        while c.voltage() > c.v_on() {
+            c.apply_power(-2e-3, 100);
+        }
+        c.apply_power(-2e-3, t + 1_000);
+        assert!(c.browned_out());
+    }
+
+    #[test]
+    fn voltage_clamped_to_v_max_and_zero() {
+        let mut c = cap();
+        c.apply_power(10.0, 10_000_000);
+        assert!(c.voltage() <= 3.3 + 1e-9);
+        c.apply_power(-10.0, 10_000_000);
+        assert!(c.voltage() >= 0.0);
+    }
+
+    #[test]
+    fn net_positive_power_means_continuous() {
+        let c = cap();
+        assert_eq!(c.on_duration_us(0.0), u64::MAX);
+        assert_eq!(c.on_duration_us(-1e-3), u64::MAX);
+        assert_eq!(c.recharge_duration_us(0.0), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "v_off < v_on")]
+    fn bad_thresholds_panic() {
+        let _ = Capacitor::new(10e-6, 3.3, 1.8, 2.4);
+    }
+}

@@ -1,0 +1,44 @@
+//! # tics-energy — harvested-energy front end and power-failure schedules
+//!
+//! Batteryless devices run from a small capacitor filled by an ambient
+//! harvester; when the capacitor drains below the brownout threshold the
+//! MCU dies, and it reboots once the capacitor recharges. This crate
+//! models that front end and produces the **reboot schedules** that drive
+//! every intermittent experiment in the paper:
+//!
+//! * [`trace`] — the [`PowerSupply`] trait yielding on/off periods, with
+//!   trace-driven implementations: [`ContinuousPower`],
+//!   [`PeriodicTrace`], [`DutyCycleTrace`] (the paper's Table 1 uses
+//!   pre-programmed reset patterns at 4 %/48 %/100 % on-time), and
+//!   [`RecordedTrace`],
+//! * [`capacitor`] — an energy-storage capacitor with turn-on and
+//!   brownout voltage thresholds (the 10 µF storage of the paper's
+//!   Powercast receiver board),
+//! * [`harvester`] — ambient power sources: constant, RF (free-space path
+//!   loss with seeded fading, like the paper's 915 MHz Powercast setup),
+//!   and solar (diurnal),
+//! * [`CapacitorSupply`] — combines a harvester and a capacitor into a
+//!   physical [`PowerSupply`], used for the Table 2 RF experiments.
+//!
+//! ```
+//! use tics_energy::{PeriodicTrace, PowerSupply};
+//!
+//! let mut trace = PeriodicTrace::new(10_000, 90_000);
+//! let p = trace.next_period().unwrap();
+//! assert_eq!(p.on_us, 10_000);
+//! assert_eq!(p.off_us, 90_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacitor;
+pub mod harvester;
+pub mod trace;
+
+pub use capacitor::Capacitor;
+pub use harvester::{ConstantHarvester, Harvester, RfHarvester, SolarHarvester};
+pub use trace::{
+    CapacitorSupply, ContinuousPower, DutyCycleTrace, OnPeriod, PeriodicTrace, PowerSupply,
+    RecordedTrace,
+};

@@ -1,0 +1,383 @@
+//! Power-failure schedules: the [`PowerSupply`] trait and its sources.
+
+use crate::capacitor::Capacitor;
+use crate::harvester::Harvester;
+
+/// One powered interval followed by an outage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnPeriod {
+    /// Microseconds of execution before the next power failure.
+    pub on_us: u64,
+    /// Microseconds the device stays dark before rebooting.
+    pub off_us: u64,
+}
+
+/// A source of on/off periods driving intermittent execution.
+///
+/// The VM executes for `on_us` cycle-microseconds, injects a power
+/// failure, advances all timekeepers by `off_us`, and reboots — repeating
+/// until the supply returns `None` or the program finishes.
+pub trait PowerSupply {
+    /// The next powered interval, or `None` if the experiment window ends.
+    fn next_period(&mut self) -> Option<OnPeriod>;
+}
+
+/// Continuous power: a single effectively-infinite on period.
+///
+/// ```
+/// use tics_energy::{ContinuousPower, PowerSupply};
+/// let mut p = ContinuousPower::new();
+/// assert_eq!(p.next_period().unwrap().off_us, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContinuousPower;
+
+impl ContinuousPower {
+    /// Creates a continuous supply.
+    #[must_use]
+    pub fn new() -> ContinuousPower {
+        ContinuousPower
+    }
+}
+
+impl PowerSupply for ContinuousPower {
+    fn next_period(&mut self) -> Option<OnPeriod> {
+        Some(OnPeriod {
+            on_us: u64::MAX / 2,
+            off_us: 0,
+        })
+    }
+}
+
+/// A fixed repeating on/off pattern — the "pre-programmed pattern"
+/// hardware resets of the paper's Table 1 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeriodicTrace {
+    on_us: u64,
+    off_us: u64,
+}
+
+impl PeriodicTrace {
+    /// Creates a trace that is on for `on_us` then off for `off_us`,
+    /// forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `on_us` is zero (the device would never run).
+    #[must_use]
+    pub fn new(on_us: u64, off_us: u64) -> PeriodicTrace {
+        assert!(on_us > 0, "on period must be positive");
+        PeriodicTrace { on_us, off_us }
+    }
+}
+
+impl PowerSupply for PeriodicTrace {
+    fn next_period(&mut self) -> Option<OnPeriod> {
+        Some(OnPeriod {
+            on_us: self.on_us,
+            off_us: self.off_us,
+        })
+    }
+}
+
+/// A randomized duty-cycle trace: on-time fraction `duty` of a nominal
+/// `period_us`, with seeded jitter on both halves.
+///
+/// `DutyCycleTrace::new(0.04, …)` reproduces the paper's "4 %
+/// intermittency rate" — power available only 4 % of the time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycleTrace {
+    duty: f64,
+    period_us: u64,
+    jitter: f64,
+    rng_state: u64,
+}
+
+impl DutyCycleTrace {
+    /// Creates a duty-cycle trace.
+    ///
+    /// * `duty` — fraction of time powered, in `(0, 1]`,
+    /// * `period_us` — nominal on+off cycle length,
+    /// * `jitter` — relative jitter applied to each half, in `[0, 1)`,
+    /// * `seed` — determinism for experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < duty <= 1`, `period_us > 0`, `0 <= jitter < 1`.
+    #[must_use]
+    pub fn new(duty: f64, period_us: u64, jitter: f64, seed: u64) -> DutyCycleTrace {
+        assert!(duty > 0.0 && duty <= 1.0, "duty must be in (0, 1]");
+        assert!(period_us > 0);
+        assert!((0.0..1.0).contains(&jitter));
+        DutyCycleTrace {
+            duty,
+            period_us,
+            jitter,
+            rng_state: seed | 1,
+        }
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+}
+
+impl PowerSupply for DutyCycleTrace {
+    fn next_period(&mut self) -> Option<OnPeriod> {
+        let on_nominal = self.period_us as f64 * self.duty;
+        let off_nominal = self.period_us as f64 * (1.0 - self.duty);
+        let on = on_nominal * (1.0 + self.jitter * self.next_unit());
+        let off = off_nominal * (1.0 + self.jitter * self.next_unit());
+        Some(OnPeriod {
+            on_us: (on.max(1.0)) as u64,
+            off_us: off.max(0.0) as u64,
+        })
+    }
+}
+
+/// An explicit, finite list of on/off periods (e.g. replayed from a field
+/// trace).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecordedTrace {
+    periods: Vec<OnPeriod>,
+    next: usize,
+}
+
+impl RecordedTrace {
+    /// Creates a trace from explicit `(on_us, off_us)` pairs.
+    #[must_use]
+    pub fn new(pairs: impl IntoIterator<Item = (u64, u64)>) -> RecordedTrace {
+        RecordedTrace {
+            periods: pairs
+                .into_iter()
+                .map(|(on_us, off_us)| OnPeriod { on_us, off_us })
+                .collect(),
+            next: 0,
+        }
+    }
+
+    /// Number of periods remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.periods.len() - self.next
+    }
+}
+
+impl PowerSupply for RecordedTrace {
+    fn next_period(&mut self) -> Option<OnPeriod> {
+        let p = self.periods.get(self.next).copied();
+        if p.is_some() {
+            self.next += 1;
+        }
+        p
+    }
+}
+
+/// A physically derived supply: a [`Harvester`] charges a [`Capacitor`];
+/// on-time is set by the usable energy against the device's load, off-time
+/// by the recharge rate. This is the Table 2 RF configuration.
+#[derive(Debug, Clone)]
+pub struct CapacitorSupply<H> {
+    harvester: H,
+    capacitor: Capacitor,
+    load_w: f64,
+    elapsed_us: u64,
+    dead_spot_wait_us: u64,
+    max_dead_wait_us: u64,
+}
+
+impl<H: Harvester> CapacitorSupply<H> {
+    /// Creates a capacitor-backed supply for a device drawing `load_w`
+    /// watts while active. By default a harvest dead spot (e.g. a solar
+    /// night) is waited out in 1-minute probes for up to 48 hours; use
+    /// [`CapacitorSupply::with_dead_spot_wait`] to change that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load_w` is not positive.
+    #[must_use]
+    pub fn new(harvester: H, capacitor: Capacitor, load_w: f64) -> CapacitorSupply<H> {
+        assert!(load_w > 0.0, "active load must be positive");
+        CapacitorSupply {
+            harvester,
+            capacitor,
+            load_w,
+            elapsed_us: 0,
+            dead_spot_wait_us: 60_000_000,
+            max_dead_wait_us: 48 * 3_600_000_000,
+        }
+    }
+
+    /// Configures dead-spot handling: probe the harvester every
+    /// `probe_us` of darkness, giving up (ending the supply) after
+    /// `max_wait_us` without usable power.
+    #[must_use]
+    pub fn with_dead_spot_wait(mut self, probe_us: u64, max_wait_us: u64) -> CapacitorSupply<H> {
+        assert!(probe_us > 0, "probe interval must be positive");
+        self.dead_spot_wait_us = probe_us;
+        self.max_dead_wait_us = max_wait_us;
+        self
+    }
+
+    /// Total wall-clock time this supply has produced so far.
+    #[must_use]
+    pub fn elapsed_us(&self) -> u64 {
+        self.elapsed_us
+    }
+}
+
+impl<H: Harvester> PowerSupply for CapacitorSupply<H> {
+    fn next_period(&mut self) -> Option<OnPeriod> {
+        // Ride out harvest dead spots (a solar night, an RF shadow): the
+        // device simply stays dark longer. Only a dead spot longer than
+        // the configured maximum ends the supply.
+        let mut extra_dark = 0u64;
+        let off_us = loop {
+            let harvest_off = self.harvester.power_w(self.elapsed_us);
+            let off = self.capacitor.recharge_duration_us(harvest_off);
+            if off != u64::MAX {
+                break off;
+            }
+            if extra_dark >= self.max_dead_wait_us {
+                return None; // permanently dark
+            }
+            extra_dark += self.dead_spot_wait_us;
+            self.elapsed_us += self.dead_spot_wait_us;
+        } + extra_dark;
+        self.elapsed_us += off_us - extra_dark;
+        let harvest_on = self.harvester.power_w(self.elapsed_us);
+        let on_us = self.capacitor.on_duration_us(self.load_w - harvest_on);
+        self.elapsed_us = self.elapsed_us.saturating_add(on_us.min(u64::MAX / 4));
+        Some(OnPeriod { on_us, off_us })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harvester::ConstantHarvester;
+
+    #[test]
+    fn continuous_never_fails() {
+        let mut p = ContinuousPower::new();
+        for _ in 0..3 {
+            let per = p.next_period().unwrap();
+            assert!(per.on_us > 1u64 << 60);
+            assert_eq!(per.off_us, 0);
+        }
+    }
+
+    #[test]
+    fn periodic_repeats() {
+        let mut p = PeriodicTrace::new(5, 10);
+        for _ in 0..5 {
+            assert_eq!(
+                p.next_period(),
+                Some(OnPeriod {
+                    on_us: 5,
+                    off_us: 10
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn duty_cycle_mean_fraction_is_close() {
+        let mut p = DutyCycleTrace::new(0.48, 100_000, 0.3, 11);
+        let (mut on, mut total) = (0u64, 0u64);
+        for _ in 0..500 {
+            let per = p.next_period().unwrap();
+            on += per.on_us;
+            total += per.on_us + per.off_us;
+        }
+        let frac = on as f64 / total as f64;
+        assert!((frac - 0.48).abs() < 0.05, "fraction {frac}");
+    }
+
+    #[test]
+    fn duty_cycle_full_duty_has_no_off() {
+        let mut p = DutyCycleTrace::new(1.0, 1_000, 0.0, 1);
+        let per = p.next_period().unwrap();
+        assert_eq!(per.off_us, 0);
+        assert_eq!(per.on_us, 1_000);
+    }
+
+    #[test]
+    fn recorded_trace_ends() {
+        let mut p = RecordedTrace::new([(1, 2), (3, 4)]);
+        assert_eq!(p.remaining(), 2);
+        assert_eq!(
+            p.next_period(),
+            Some(OnPeriod {
+                on_us: 1,
+                off_us: 2
+            })
+        );
+        assert_eq!(
+            p.next_period(),
+            Some(OnPeriod {
+                on_us: 3,
+                off_us: 4
+            })
+        );
+        assert_eq!(p.next_period(), None);
+        assert_eq!(p.remaining(), 0);
+    }
+
+    #[test]
+    fn capacitor_supply_produces_finite_periods() {
+        let cap = Capacitor::new(10e-6, 3.3, 2.4, 1.8);
+        // 1 mW harvest against a 3 mW active load.
+        let mut p = CapacitorSupply::new(ConstantHarvester::new(1e-3), cap, 3e-3);
+        let per = p.next_period().unwrap();
+        assert!(per.on_us > 0 && per.on_us < u64::MAX);
+        assert!(per.off_us > 0 && per.off_us < u64::MAX);
+        // Recharge takes longer at 1 mW than the 2 mW net drain kills it.
+        assert!(per.off_us > per.on_us);
+    }
+
+    #[test]
+    fn capacitor_supply_permanent_dark_returns_none() {
+        let cap = Capacitor::new(10e-6, 3.3, 2.4, 1.8);
+        let mut p = CapacitorSupply::new(ConstantHarvester::new(0.0), cap, 3e-3)
+            .with_dead_spot_wait(60_000_000, 600_000_000);
+        assert_eq!(p.next_period(), None);
+    }
+
+    #[test]
+    fn capacitor_supply_sleeps_through_solar_night() {
+        use crate::harvester::SolarHarvester;
+        // One "day" is 2 s; night is the second half. Start at t=0 (dawn
+        // edge, zero power): the supply must wait into the morning rather
+        // than give up, and a period straddling dusk must resume after
+        // the ~1 s night.
+        let day_us = 2_000_000;
+        let cap = Capacitor::new(10e-6, 3.3, 2.4, 1.8);
+        let mut p = CapacitorSupply::new(SolarHarvester::new(5e-3, day_us), cap, 3e-3)
+            .with_dead_spot_wait(10_000, 10 * day_us);
+        let mut saw_long_night = false;
+        for _ in 0..400 {
+            let Some(per) = p.next_period() else {
+                panic!("solar supply must never end");
+            };
+            if per.off_us > day_us / 4 {
+                saw_long_night = true;
+                break;
+            }
+        }
+        assert!(saw_long_night, "a night-spanning outage must appear");
+    }
+
+    #[test]
+    fn capacitor_supply_surplus_harvest_runs_forever() {
+        let cap = Capacitor::new(10e-6, 3.3, 2.4, 1.8);
+        let mut p = CapacitorSupply::new(ConstantHarvester::new(5e-3), cap, 3e-3);
+        let per = p.next_period().unwrap();
+        assert_eq!(per.on_us, u64::MAX);
+    }
+}

@@ -1,0 +1,50 @@
+//! # tics-mcu — MSP430FR-class microcontroller substrate
+//!
+//! This crate simulates the architectural properties of the
+//! MSP430FR5969-style microcontrollers that TICS (ASPLOS 2020) targets:
+//!
+//! * a small **volatile SRAM** region and a larger **persistent FRAM**
+//!   region in a single byte-addressable address space,
+//! * a **volatile register file** (program counter, stack pointer, frame
+//!   pointer, status bits) that is lost on every power failure,
+//! * a **cycle cost model** calibrated so that one cycle equals one
+//!   microsecond at the paper's 1 MHz clock, with distinct costs for SRAM
+//!   and FRAM traffic (Table 4 of the paper),
+//! * **power-failure semantics**: [`Memory::power_fail`] clobbers all
+//!   volatile state while FRAM contents survive byte-for-byte.
+//!
+//! Higher layers (the bytecode VM in `tics-vm`, the TICS runtime in
+//! `tics-core`, and the baseline runtimes in `tics-baselines`) build on this
+//! substrate; none of them touch host memory directly, so every consistency
+//! property the paper discusses is observable here.
+//!
+//! ## Example
+//!
+//! ```
+//! use tics_mcu::{Memory, MemoryLayout};
+//!
+//! let layout = MemoryLayout::default();
+//! let mut mem = Memory::new(layout);
+//! let a = mem.layout().fram.start;
+//! mem.write_u32(a, 0xDEAD_BEEF).unwrap();
+//! mem.power_fail();
+//! assert_eq!(mem.read_u32(a).unwrap(), 0xDEAD_BEEF); // FRAM survives
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod layout;
+pub mod memory;
+pub mod region;
+pub mod registers;
+
+pub use costs::CostModel;
+pub use layout::MemoryLayout;
+pub use memory::{Memory, MemoryError};
+pub use region::{Addr, Region};
+pub use registers::Registers;
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, MemoryError>;

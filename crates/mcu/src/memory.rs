@@ -1,0 +1,481 @@
+//! Byte-addressable simulated memory with volatility and cycle accounting.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::costs::CostModel;
+use crate::layout::MemoryLayout;
+use crate::region::Addr;
+
+/// Pattern written over SRAM on power failure. Deterministic garbage makes
+/// "used stale volatile data" bugs reproducible in tests.
+const SRAM_CLOBBER: u8 = 0xA5;
+
+/// Error returned by memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryError {
+    /// The access touched at least one unmapped byte.
+    Unmapped {
+        /// Start address of the offending access.
+        addr: Addr,
+        /// Length of the access in bytes.
+        len: u32,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::Unmapped { addr, len } => {
+                write!(f, "unmapped access of {len} bytes at {addr}")
+            }
+        }
+    }
+}
+
+impl Error for MemoryError {}
+
+/// Counters describing how the memory has been used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryStats {
+    /// Bytes read from SRAM.
+    pub sram_reads: u64,
+    /// Bytes written to SRAM.
+    pub sram_writes: u64,
+    /// Bytes read from FRAM.
+    pub fram_reads: u64,
+    /// Bytes written to FRAM.
+    pub fram_writes: u64,
+    /// Number of power failures experienced.
+    pub power_failures: u64,
+}
+
+/// The simulated memory system: volatile SRAM plus persistent FRAM, with a
+/// cycle counter driven by the [`CostModel`].
+///
+/// All accesses are bounds-checked against the [`MemoryLayout`]; an access
+/// outside both regions returns [`MemoryError::Unmapped`] (the real MCU
+/// would bus-fault). Multi-byte values are little-endian.
+///
+/// The `peek_*`/`poke_*` methods bypass cycle accounting and statistics —
+/// they model a debugger probe, and tests use them to inspect state without
+/// perturbing measurements.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    layout: MemoryLayout,
+    sram: Vec<u8>,
+    fram: Vec<u8>,
+    costs: CostModel,
+    cycles: u64,
+    stats: MemoryStats,
+}
+
+impl Memory {
+    /// Creates zeroed memory with the calibrated MSP430 cost model.
+    #[must_use]
+    pub fn new(layout: MemoryLayout) -> Memory {
+        Memory::with_costs(layout, CostModel::default())
+    }
+
+    /// Creates zeroed memory with a custom cost model.
+    #[must_use]
+    pub fn with_costs(layout: MemoryLayout, costs: CostModel) -> Memory {
+        Memory {
+            layout,
+            sram: vec![0; layout.sram.len() as usize],
+            fram: vec![0; layout.fram.len() as usize],
+            costs,
+            cycles: 0,
+            stats: MemoryStats::default(),
+        }
+    }
+
+    /// The physical layout this memory was built with.
+    #[must_use]
+    pub fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    /// The cost model used for cycle accounting.
+    #[must_use]
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// Total cycles spent so far (1 cycle = 1 µs at 1 MHz).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Adds `n` cycles of non-memory work (instruction execution, runtime
+    /// logic). Runtimes use this to charge the Table 4 operation costs.
+    pub fn add_cycles(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
+    /// Usage statistics.
+    #[must_use]
+    pub fn stats(&self) -> MemoryStats {
+        self.stats
+    }
+
+    /// Simulates a power failure: SRAM is clobbered with a recognizable
+    /// pattern, FRAM is untouched. Registers live outside this struct; the
+    /// machine owner must also call [`crate::Registers::reset`].
+    pub fn power_fail(&mut self) {
+        self.sram.fill(SRAM_CLOBBER);
+        self.stats.power_failures += 1;
+    }
+
+    fn slice(&self, addr: Addr, len: u32) -> Result<&[u8], MemoryError> {
+        if self.layout.sram.contains_range(addr, len) {
+            let off = (addr.0 - self.layout.sram.start.0) as usize;
+            Ok(&self.sram[off..off + len as usize])
+        } else if self.layout.fram.contains_range(addr, len) {
+            let off = (addr.0 - self.layout.fram.start.0) as usize;
+            Ok(&self.fram[off..off + len as usize])
+        } else {
+            Err(MemoryError::Unmapped { addr, len })
+        }
+    }
+
+    fn slice_mut(&mut self, addr: Addr, len: u32) -> Result<&mut [u8], MemoryError> {
+        if self.layout.sram.contains_range(addr, len) {
+            let off = (addr.0 - self.layout.sram.start.0) as usize;
+            Ok(&mut self.sram[off..off + len as usize])
+        } else if self.layout.fram.contains_range(addr, len) {
+            let off = (addr.0 - self.layout.fram.start.0) as usize;
+            Ok(&mut self.fram[off..off + len as usize])
+        } else {
+            Err(MemoryError::Unmapped { addr, len })
+        }
+    }
+
+    fn charge_read(&mut self, addr: Addr, len: u32) {
+        let words = u64::from(len.div_ceil(4));
+        if self.layout.is_volatile(addr) {
+            self.stats.sram_reads += u64::from(len);
+            self.cycles += self.costs.sram_access_per_word * words;
+        } else {
+            self.stats.fram_reads += u64::from(len);
+            self.cycles += self.costs.fram_read_per_word * words;
+        }
+    }
+
+    fn charge_write(&mut self, addr: Addr, len: u32) {
+        let words = u64::from(len.div_ceil(4));
+        if self.layout.is_volatile(addr) {
+            self.stats.sram_writes += u64::from(len);
+            self.cycles += self.costs.sram_access_per_word * words;
+        } else {
+            self.stats.fram_writes += u64::from(len);
+            self.cycles += self.costs.fram_write_per_word * words;
+        }
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if the range is not fully mapped.
+    pub fn read_bytes(&mut self, addr: Addr, buf: &mut [u8]) -> Result<(), MemoryError> {
+        let len = buf.len() as u32;
+        let src = self.slice(addr, len)?;
+        buf.copy_from_slice(src);
+        self.charge_read(addr, len);
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if the range is not fully mapped.
+    pub fn write_bytes(&mut self, addr: Addr, buf: &[u8]) -> Result<(), MemoryError> {
+        let len = buf.len() as u32;
+        self.slice_mut(addr, len)?.copy_from_slice(buf);
+        self.charge_write(addr, len);
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if `addr` is not mapped.
+    pub fn read_u8(&mut self, addr: Addr) -> Result<u8, MemoryError> {
+        let mut b = [0u8; 1];
+        self.read_bytes(addr, &mut b)?;
+        Ok(b[0])
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if `addr` is not mapped.
+    pub fn write_u8(&mut self, addr: Addr, v: u8) -> Result<(), MemoryError> {
+        self.write_bytes(addr, &[v])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if any byte is not mapped.
+    pub fn read_u32(&mut self, addr: Addr) -> Result<u32, MemoryError> {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if any byte is not mapped.
+    pub fn write_u32(&mut self, addr: Addr, v: u32) -> Result<(), MemoryError> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Reads a little-endian `i32` (the VM's `int`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if any byte is not mapped.
+    pub fn read_i32(&mut self, addr: Addr) -> Result<i32, MemoryError> {
+        Ok(self.read_u32(addr)? as i32)
+    }
+
+    /// Writes a little-endian `i32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if any byte is not mapped.
+    pub fn write_i32(&mut self, addr: Addr, v: i32) -> Result<(), MemoryError> {
+        self.write_u32(addr, v as u32)
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if any byte is not mapped.
+    pub fn read_u64(&mut self, addr: Addr) -> Result<u64, MemoryError> {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if any byte is not mapped.
+    pub fn write_u64(&mut self, addr: Addr, v: u64) -> Result<(), MemoryError> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Copies `len` bytes from `src` to `dst` inside simulated memory,
+    /// charging both the read and the write traffic. Ranges may overlap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if either range is not mapped.
+    pub fn copy(&mut self, src: Addr, dst: Addr, len: u32) -> Result<(), MemoryError> {
+        let mut buf = vec![0u8; len as usize];
+        self.read_bytes(src, &mut buf)?;
+        self.write_bytes(dst, &buf)
+    }
+
+    /// Fills `len` bytes at `addr` with `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if the range is not mapped.
+    pub fn fill(&mut self, addr: Addr, len: u32, value: u8) -> Result<(), MemoryError> {
+        self.slice_mut(addr, len)?.fill(value);
+        self.charge_write(addr, len);
+        Ok(())
+    }
+
+    /// Debugger-style read: no cycles, no statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if the range is not mapped.
+    pub fn peek_bytes(&self, addr: Addr, len: u32) -> Result<Vec<u8>, MemoryError> {
+        Ok(self.slice(addr, len)?.to_vec())
+    }
+
+    /// Debugger-style `i32` read: no cycles, no statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if any byte is not mapped.
+    pub fn peek_i32(&self, addr: Addr) -> Result<i32, MemoryError> {
+        let b = self.peek_bytes(addr, 4)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Debugger-style `u64` read: no cycles, no statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if any byte is not mapped.
+    pub fn peek_u64(&self, addr: Addr) -> Result<u64, MemoryError> {
+        let b = self.peek_bytes(addr, 8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Debugger-style write: no cycles, no statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if the range is not mapped.
+    pub fn poke_bytes(&mut self, addr: Addr, buf: &[u8]) -> Result<(), MemoryError> {
+        self.slice_mut(addr, buf.len() as u32)?.copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// Debugger-style `i32` write: no cycles, no statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if any byte is not mapped.
+    pub fn poke_i32(&mut self, addr: Addr, v: i32) -> Result<(), MemoryError> {
+        self.poke_bytes(addr, &v.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+
+    fn mem() -> Memory {
+        Memory::new(MemoryLayout::default())
+    }
+
+    #[test]
+    fn fram_survives_power_failure() {
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        m.write_u32(a, 0xCAFE_F00D).unwrap();
+        m.power_fail();
+        assert_eq!(m.read_u32(a).unwrap(), 0xCAFE_F00D);
+        assert_eq!(m.stats().power_failures, 1);
+    }
+
+    #[test]
+    fn sram_clobbered_on_power_failure() {
+        let mut m = mem();
+        let a = m.layout().sram.start;
+        m.write_u32(a, 0x1234_5678).unwrap();
+        m.power_fail();
+        assert_eq!(m.read_u8(a).unwrap(), SRAM_CLOBBER);
+        assert_ne!(m.read_u32(a).unwrap(), 0x1234_5678);
+    }
+
+    #[test]
+    fn unmapped_access_is_an_error() {
+        let mut m = mem();
+        let err = m.read_u8(Addr(0)).unwrap_err();
+        assert_eq!(
+            err,
+            MemoryError::Unmapped {
+                addr: Addr(0),
+                len: 1
+            }
+        );
+        // Access straddling the end of SRAM is rejected even though it
+        // starts mapped.
+        let end = m.layout().sram.end;
+        assert!(m.write_u32(Addr(end.0 - 2), 1).is_err());
+    }
+
+    #[test]
+    fn little_endian_roundtrips() {
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        m.write_i32(a, -123_456).unwrap();
+        assert_eq!(m.read_i32(a).unwrap(), -123_456);
+        m.write_u64(a, u64::MAX - 7).unwrap();
+        assert_eq!(m.read_u64(a).unwrap(), u64::MAX - 7);
+        assert_eq!(m.read_u8(a).unwrap(), (u64::MAX - 7).to_le_bytes()[0]);
+    }
+
+    #[test]
+    fn copy_moves_bytes_and_charges_cycles() {
+        let mut m = mem();
+        let src = m.layout().fram.start;
+        let dst = src.offset(64);
+        m.write_bytes(src, &[1, 2, 3, 4]).unwrap();
+        let before = m.cycles();
+        m.copy(src, dst, 4).unwrap();
+        assert_eq!(m.peek_bytes(dst, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert!(m.cycles() > before);
+    }
+
+    #[test]
+    fn peek_poke_do_not_charge() {
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        let before = (m.cycles(), m.stats());
+        m.poke_i32(a, 99).unwrap();
+        assert_eq!(m.peek_i32(a).unwrap(), 99);
+        assert_eq!((m.cycles(), m.stats()), before);
+    }
+
+    #[test]
+    fn fram_writes_cost_more_than_sram() {
+        let mut m = mem();
+        let s = m.layout().sram.start;
+        let f = m.layout().fram.start;
+        let c0 = m.cycles();
+        m.write_u32(s, 1).unwrap();
+        let sram_cost = m.cycles() - c0;
+        let c1 = m.cycles();
+        m.write_u32(f, 1).unwrap();
+        let fram_cost = m.cycles() - c1;
+        assert!(fram_cost > sram_cost);
+    }
+
+    #[test]
+    fn stats_track_traffic_by_region() {
+        let mut m = mem();
+        let s = m.layout().sram.start;
+        let f = m.layout().fram.start;
+        m.write_u32(s, 1).unwrap();
+        m.read_u32(s).unwrap();
+        m.write_u32(f, 1).unwrap();
+        let st = m.stats();
+        assert_eq!(st.sram_writes, 4);
+        assert_eq!(st.sram_reads, 4);
+        assert_eq!(st.fram_writes, 4);
+        assert_eq!(st.fram_reads, 0);
+    }
+
+    #[test]
+    fn custom_layout_is_respected() {
+        let layout = MemoryLayout::new(
+            Region::with_len(Addr(0x100), 0x100),
+            Region::with_len(Addr(0x1000), 0x1000),
+        );
+        let mut m = Memory::new(layout);
+        assert!(m.write_u8(Addr(0x100), 1).is_ok());
+        assert!(m.write_u8(Addr(0x200), 1).is_err());
+        assert!(m.write_u8(Addr(0x1FFF), 1).is_ok());
+    }
+
+    #[test]
+    fn fill_sets_every_byte() {
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        m.fill(a, 16, 0x7E).unwrap();
+        assert!(m.peek_bytes(a, 16).unwrap().iter().all(|&b| b == 0x7E));
+    }
+}

@@ -1,0 +1,176 @@
+//! Addresses and address regions of the simulated MCU.
+
+use std::fmt;
+
+/// A byte address in the simulated MCU address space.
+///
+/// Addresses are 32-bit for implementation convenience; the modeled device
+/// only populates a few tens of kilobytes of the space (see
+/// [`MemoryLayout`](crate::MemoryLayout)).
+///
+/// ```
+/// use tics_mcu::Addr;
+/// let a = Addr(0x4000);
+/// assert_eq!(a.offset(8), Addr(0x4008));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// Returns the address `bytes` past `self`.
+    #[must_use]
+    pub fn offset(self, bytes: u32) -> Addr {
+        Addr(self.0 + bytes)
+    }
+
+    /// Returns the raw numeric address.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#06x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u32> for Addr {
+    fn from(v: u32) -> Self {
+        Addr(v)
+    }
+}
+
+/// A half-open address range `[start, end)`.
+///
+/// ```
+/// use tics_mcu::{Addr, Region};
+/// let r = Region::new(Addr(0x1000), Addr(0x1800));
+/// assert_eq!(r.len(), 0x800);
+/// assert!(r.contains(Addr(0x1000)));
+/// assert!(!r.contains(Addr(0x1800)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// First address inside the region.
+    pub start: Addr,
+    /// First address past the end of the region.
+    pub end: Addr,
+}
+
+impl Region {
+    /// Creates a region from `start` (inclusive) to `end` (exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    #[must_use]
+    pub fn new(start: Addr, end: Addr) -> Region {
+        assert!(end >= start, "region end {end} before start {start}");
+        Region { start, end }
+    }
+
+    /// Creates a region from a start address and a byte length.
+    #[must_use]
+    pub fn with_len(start: Addr, len: u32) -> Region {
+        Region::new(start, start.offset(len))
+    }
+
+    /// Length of the region in bytes.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.end.0 - self.start.0
+    }
+
+    /// Whether the region contains no bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `addr` falls inside the region.
+    #[must_use]
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Whether an access of `len` bytes starting at `addr` is entirely
+    /// inside the region.
+    #[must_use]
+    pub fn contains_range(&self, addr: Addr, len: u32) -> bool {
+        addr >= self.start && addr.0.checked_add(len).is_some_and(|e| e <= self.end.0)
+    }
+
+    /// Whether `other` overlaps this region by at least one byte.
+    #[must_use]
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_offset_and_display() {
+        let a = Addr(0x4000);
+        assert_eq!(a.offset(0x10).raw(), 0x4010);
+        assert_eq!(format!("{a}"), "0x4000");
+    }
+
+    #[test]
+    fn region_contains_bounds() {
+        let r = Region::new(Addr(10), Addr(20));
+        assert!(r.contains(Addr(10)));
+        assert!(r.contains(Addr(19)));
+        assert!(!r.contains(Addr(20)));
+        assert!(!r.contains(Addr(9)));
+        assert_eq!(r.len(), 10);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn region_contains_range() {
+        let r = Region::new(Addr(10), Addr(20));
+        assert!(r.contains_range(Addr(10), 10));
+        assert!(r.contains_range(Addr(16), 4));
+        assert!(!r.contains_range(Addr(16), 5));
+        assert!(!r.contains_range(Addr(9), 2));
+    }
+
+    #[test]
+    fn region_overlap() {
+        let a = Region::new(Addr(0), Addr(10));
+        let b = Region::new(Addr(9), Addr(12));
+        let c = Region::new(Addr(10), Addr(12));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn empty_region() {
+        let r = Region::new(Addr(5), Addr(5));
+        assert!(r.is_empty());
+        assert!(!r.contains(Addr(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "region end")]
+    fn inverted_region_panics() {
+        let _ = Region::new(Addr(10), Addr(5));
+    }
+}

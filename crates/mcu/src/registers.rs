@@ -1,0 +1,102 @@
+//! The volatile register file.
+
+use crate::region::Addr;
+
+/// Volatile processor state lost on every power failure.
+///
+/// The simulated machine keeps all operand state in (simulated) memory, so
+/// the architectural registers reduce to the program counter, the stack and
+/// frame pointers, and a status word. This is the state a *register
+/// checkpoint* saves; its fixed small size is why the paper's
+/// register-only checkpoint cost (Table 4, "0 B seg.") is constant.
+///
+/// ```
+/// use tics_mcu::{Addr, Registers};
+/// let mut regs = Registers::default();
+/// regs.pc = 42;
+/// regs.sp = Addr(0x5000);
+/// regs.reset();
+/// assert_eq!(regs.pc, 0);
+/// assert_eq!(regs.sp, Addr(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Registers {
+    /// Program counter: an index into the loaded bytecode image.
+    pub pc: u32,
+    /// Stack pointer: first free byte above the current frame.
+    pub sp: Addr,
+    /// Frame pointer: base address of the current frame.
+    pub fp: Addr,
+    /// Status word (interrupt-enable and condition bits).
+    pub sr: u32,
+}
+
+/// Size in bytes of a serialized register file (what a register
+/// checkpoint writes to non-volatile memory).
+pub const REGISTER_CHECKPOINT_BYTES: u32 = 16;
+
+impl Registers {
+    /// Creates a zeroed register file.
+    #[must_use]
+    pub fn new() -> Registers {
+        Registers::default()
+    }
+
+    /// Clears all registers, as a power failure does.
+    pub fn reset(&mut self) {
+        *self = Registers::default();
+    }
+
+    /// Serializes the registers to four little-endian 32-bit words.
+    #[must_use]
+    pub fn to_words(&self) -> [u32; 4] {
+        [self.pc, self.sp.raw(), self.fp.raw(), self.sr]
+    }
+
+    /// Reconstructs registers from [`Registers::to_words`] output.
+    #[must_use]
+    pub fn from_words(words: [u32; 4]) -> Registers {
+        Registers {
+            pc: words[0],
+            sp: Addr(words[1]),
+            fp: Addr(words[2]),
+            sr: words[3],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_words() {
+        let regs = Registers {
+            pc: 7,
+            sp: Addr(0x5000),
+            fp: Addr(0x4F00),
+            sr: 0b101,
+        };
+        assert_eq!(Registers::from_words(regs.to_words()), regs);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut regs = Registers {
+            pc: 9,
+            sp: Addr(1),
+            fp: Addr(2),
+            sr: 3,
+        };
+        regs.reset();
+        assert_eq!(regs, Registers::default());
+    }
+
+    #[test]
+    fn checkpoint_size_matches_words() {
+        assert_eq!(
+            REGISTER_CHECKPOINT_BYTES as usize,
+            std::mem::size_of::<[u32; 4]>()
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the memory substrate: roundtrips, bounds,
+//! volatility, and copy semantics under random access patterns.
+
+use proptest::prelude::*;
+use tics_mcu::{Addr, Memory, MemoryLayout};
+
+fn mem() -> Memory {
+    Memory::new(MemoryLayout::default())
+}
+
+fn fram_addr(off: u32) -> Addr {
+    MemoryLayout::default().fram.start.offset(off)
+}
+
+fn sram_addr(off: u32) -> Addr {
+    MemoryLayout::default().sram.start.offset(off)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any write is read back exactly, in either region.
+    #[test]
+    fn write_read_roundtrip(off in 0u32..(64 * 1024 - 8), v in any::<i32>()) {
+        let mut m = mem();
+        let a = fram_addr(off);
+        m.write_i32(a, v).unwrap();
+        prop_assert_eq!(m.read_i32(a).unwrap(), v);
+    }
+
+    /// Byte-level and word-level views agree (little-endian).
+    #[test]
+    fn byte_and_word_views_agree(off in 0u32..1000, v in any::<u32>()) {
+        let mut m = mem();
+        let a = fram_addr(off * 4);
+        m.write_u32(a, v).unwrap();
+        let bytes = m.peek_bytes(a, 4).unwrap();
+        prop_assert_eq!(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]), v);
+    }
+
+    /// Power failure is exactly "SRAM forgets, FRAM remembers" —
+    /// regardless of what was written where.
+    #[test]
+    fn power_failure_volatility(
+        writes in proptest::collection::vec((0u32..500, any::<i32>(), any::<bool>()), 1..40),
+    ) {
+        let mut m = mem();
+        let mut fram_truth = std::collections::HashMap::new();
+        for (slot, v, to_fram) in &writes {
+            if *to_fram {
+                m.write_i32(fram_addr(slot * 4), *v).unwrap();
+                fram_truth.insert(*slot, *v);
+            } else {
+                m.write_i32(sram_addr(slot * 4), *v).unwrap();
+            }
+        }
+        m.power_fail();
+        for (slot, v) in &fram_truth {
+            prop_assert_eq!(m.read_i32(fram_addr(slot * 4)).unwrap(), *v);
+        }
+        // Every SRAM word is clobbered to the recognizable pattern.
+        for (slot, _, to_fram) in &writes {
+            if !to_fram {
+                let got = m.read_i32(sram_addr(slot * 4)).unwrap() as u32;
+                prop_assert_eq!(got, 0xA5A5_A5A5);
+            }
+        }
+    }
+
+    /// `copy` moves exactly the requested bytes and nothing else.
+    #[test]
+    fn copy_is_exact(
+        src_off in 0u32..512,
+        dst_off in 1024u32..1536,
+        len in 1u32..64,
+        fill in any::<u8>(),
+    ) {
+        let mut m = mem();
+        let src = fram_addr(src_off);
+        let dst = fram_addr(dst_off);
+        let payload: Vec<u8> = (0..len).map(|i| fill.wrapping_add(i as u8)).collect();
+        m.write_bytes(src, &payload).unwrap();
+        // Sentinels around the destination.
+        m.write_u8(Addr(dst.raw() - 1), 0xEE).unwrap();
+        m.write_u8(dst.offset(len), 0xEE).unwrap();
+        m.copy(src, dst, len).unwrap();
+        prop_assert_eq!(m.peek_bytes(dst, len).unwrap(), payload);
+        prop_assert_eq!(m.read_u8(Addr(dst.raw() - 1)).unwrap(), 0xEE);
+        prop_assert_eq!(m.read_u8(dst.offset(len)).unwrap(), 0xEE);
+    }
+
+    /// Out-of-range accesses are always errors, never wraps or panics.
+    #[test]
+    fn unmapped_accesses_error(addr in any::<u32>()) {
+        let layout = MemoryLayout::default();
+        let mut m = mem();
+        let a = Addr(addr);
+        let mapped = layout.sram.contains_range(a, 4) || layout.fram.contains_range(a, 4);
+        prop_assert_eq!(m.read_u32(a).is_ok(), mapped);
+        prop_assert_eq!(m.write_u32(a, 1).is_ok(), mapped);
+    }
+
+    /// Cycle accounting is monotone: accesses never make time go
+    /// backwards, and FRAM writes are never cheaper than SRAM writes.
+    #[test]
+    fn cycles_are_monotone(ops in proptest::collection::vec((0u32..200, any::<bool>()), 1..30)) {
+        let mut m = mem();
+        let mut last = m.cycles();
+        for (slot, to_fram) in ops {
+            let a = if to_fram { fram_addr(slot * 4) } else { sram_addr(slot * 4) };
+            m.write_i32(a, 7).unwrap();
+            prop_assert!(m.cycles() >= last);
+            last = m.cycles();
+        }
+    }
+}

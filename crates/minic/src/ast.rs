@@ -1,0 +1,313 @@
+//! Abstract syntax tree for mini-C.
+
+use crate::error::Pos;
+
+/// A value type: `int` or a (possibly multi-level) pointer.
+///
+/// Every scalar occupies 4 bytes; arrays decay to pointers in expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// 32-bit signed integer (also used for `unsigned`).
+    Int,
+    /// Pointer to another type.
+    Ptr(Box<Type>),
+}
+
+impl Type {
+    /// Whether this is any pointer type.
+    #[must_use]
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// The pointed-to type, if a pointer.
+    #[must_use]
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            Type::Int => None,
+        }
+    }
+
+    /// Wraps in one more level of pointer.
+    #[must_use]
+    pub fn ptr_to(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `~`
+    BitNot,
+    /// `!`
+    LogNot,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Pos),
+    /// Time literal (µs), usable where an `int` millisecond count is
+    /// expected (e.g. `@timely(200ms)`).
+    TimeLit(u64, Pos),
+    /// Variable reference.
+    Var(String, Pos),
+    /// `base[index]`
+    Index(Box<Expr>, Box<Expr>, Pos),
+    /// `*e`
+    Deref(Box<Expr>, Pos),
+    /// `&e`
+    AddrOf(Box<Expr>, Pos),
+    /// Unary operator application.
+    Unary(UnOp, Box<Expr>, Pos),
+    /// Binary operator application.
+    Binary(BinOp, Box<Expr>, Box<Expr>, Pos),
+    /// `cond ? then : else`
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>, Pos),
+    /// Assignment, optionally compound (`+=` carries `Some(BinOp::Add)`),
+    /// optionally timestamped (`@=`).
+    Assign {
+        /// Assignment target (an lvalue expression).
+        target: Box<Expr>,
+        /// Right-hand side.
+        value: Box<Expr>,
+        /// Compound operator, if any.
+        op: Option<BinOp>,
+        /// `true` for the TICS `@=` atomic data+timestamp assignment.
+        timestamped: bool,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Function or builtin call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `x++` / `x--` (postfix; value is the *old* value).
+    PostIncDec {
+        /// Target lvalue.
+        target: Box<Expr>,
+        /// `true` for `++`.
+        inc: bool,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+impl Expr {
+    /// The source position of this expression.
+    #[must_use]
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::TimeLit(_, p)
+            | Expr::Var(_, p)
+            | Expr::Index(_, _, p)
+            | Expr::Deref(_, p)
+            | Expr::AddrOf(_, p)
+            | Expr::Unary(_, _, p)
+            | Expr::Binary(_, _, _, p)
+            | Expr::Cond(_, _, _, p)
+            | Expr::Assign { pos: p, .. }
+            | Expr::Call { pos: p, .. }
+            | Expr::PostIncDec { pos: p, .. } => *p,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local variable declaration.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Scalar type (`int`, `int*`, ...).
+        ty: Type,
+        /// `Some(len)` declares an array of `len` elements.
+        array_len: Option<u32>,
+        /// Optional scalar initializer.
+        init: Option<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then: Vec<Stmt>,
+        /// Else-branch.
+        els: Vec<Stmt>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for` loop.
+    For {
+        /// Initializer (declaration or expression).
+        init: Option<Box<Stmt>>,
+        /// Condition (defaults to true).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return`, with optional value.
+    Return(Option<Expr>, Pos),
+    /// `break`.
+    Break(Pos),
+    /// `continue`.
+    Continue(Pos),
+    /// Braced block (new scope).
+    Block(Vec<Stmt>),
+    /// TICS `@expires(var) { … } [catch { … }]`.
+    Expires {
+        /// The annotated variable being guarded.
+        var: String,
+        /// Guarded body.
+        body: Vec<Stmt>,
+        /// Expiration handler (exception-style form).
+        catch: Option<Vec<Stmt>>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// TICS `@timely(deadline) { … } [else { … }]`.
+    Timely {
+        /// Deadline expression in milliseconds.
+        deadline: Expr,
+        /// Taken when `now < deadline`.
+        body: Vec<Stmt>,
+        /// Taken otherwise.
+        els: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+/// A global variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Scalar type.
+    pub ty: Type,
+    /// `Some(len)` declares an array.
+    pub array_len: Option<u32>,
+    /// Declared `nv` (retained across reboots under the bare runtime).
+    pub nv: bool,
+    /// Constant initializer words (scalar: one element; array: up to
+    /// `array_len`, rest zero).
+    pub init: Vec<i64>,
+    /// `@expires_after` TTL in µs, if annotated.
+    pub expires_after_us: Option<u64>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameters (name, type).
+    pub params: Vec<(String, Type)>,
+    /// Whether declared `void` (otherwise returns `int`-compatible).
+    pub is_void: bool,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Unit {
+    /// Global variables, in declaration order.
+    pub globals: Vec<GlobalDecl>,
+    /// Functions, in declaration order.
+    pub functions: Vec<FuncDecl>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_helpers() {
+        let p = Type::Int.ptr_to();
+        assert!(p.is_ptr());
+        assert_eq!(p.pointee(), Some(&Type::Int));
+        assert!(!Type::Int.is_ptr());
+        assert_eq!(Type::Int.pointee(), None);
+    }
+
+    #[test]
+    fn expr_pos_is_reachable_for_all_variants() {
+        let p = Pos { line: 2, col: 5 };
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Int(1, p)),
+            Box::new(Expr::Int(2, p)),
+            p,
+        );
+        assert_eq!(e.pos(), p);
+    }
+}

@@ -1,0 +1,71 @@
+//! Compilation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Position in the source text (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error produced anywhere in the compilation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Where the problem was detected.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error at `pos`.
+    #[must_use]
+    pub fn new(pos: Pos, message: impl Into<String>) -> CompileError {
+        CompileError {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error with no useful position (e.g. a whole-program
+    /// property such as "recursion is not supported").
+    #[must_use]
+    pub fn global(message: impl Into<String>) -> CompileError {
+        CompileError::new(Pos::default(), message)
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pos.line == 0 {
+            write!(f, "error: {}", self.message)
+        } else {
+            write!(f, "error at {}: {}", self.pos, self.message)
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_position() {
+        let e = CompileError::new(Pos { line: 3, col: 7 }, "unexpected token");
+        assert_eq!(e.to_string(), "error at 3:7: unexpected token");
+        let g = CompileError::global("recursion not supported");
+        assert_eq!(g.to_string(), "error: recursion not supported");
+    }
+}

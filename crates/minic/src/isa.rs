@@ -1,0 +1,407 @@
+//! The bytecode instruction set executed by `tics-vm`.
+//!
+//! The ISA is a compact stack machine whose operand stack lives *inside
+//! the current frame in simulated memory* — so the only volatile machine
+//! state is the register file, exactly as on the MSP430 targets the paper
+//! instruments. Each opcode has an encoded byte size chosen to model
+//! MSP430 code density; [`Instr::encoded_size`] sums to the `.text`
+//! figures of Table 3.
+//!
+//! Instructions in the "intermittency" group are emitted by the
+//! instrumentation passes in [`crate::passes`] (or, for the time
+//! annotations, directly by codegen from TICS source syntax) and are
+//! routed by the VM to the active `IntermittentRuntime`
+//! (`tics-vm::IntermittentRuntime`).
+
+use std::fmt;
+
+/// Identifier of a time-annotated variable (index into
+/// [`Program::annotated`](crate::program::Program::annotated)).
+pub type VarId = u16;
+
+/// Built-in system calls (sensors, radio, time, debug).
+///
+/// Syscalls model the I/O library of the paper's benchmark applications;
+/// the VM implements them deterministically so experiments are
+/// reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Syscall {
+    /// Generic sensor sample; returns `int`.
+    Sample = 0,
+    /// Three-axis accelerometer sample (AR benchmark).
+    SampleAccel = 1,
+    /// Soil-moisture sample (GHM application).
+    SampleMoisture = 2,
+    /// Ambient-temperature sample (GHM application).
+    SampleTemp = 3,
+    /// Transmit a value over the radio.
+    Send = 4,
+    /// Current time in milliseconds from the device's timekeeper.
+    TimeMs = 5,
+    /// Drive the LED.
+    Led = 6,
+    /// Deterministic 16-bit pseudo-random number.
+    Rand = 7,
+    /// Mark completion of a named routine (experiment bookkeeping; the
+    /// hardware equivalent is a GPIO toggle counted by a logic analyzer).
+    Mark = 8,
+    /// Debug print of an `int`.
+    Print = 9,
+    /// Request a manual checkpoint from the runtime.
+    CheckpointNow = 10,
+    /// Current time in microseconds (low 31 bits).
+    TimeUs = 11,
+    /// Allocate `n` bytes from the persistent FRAM heap; returns the
+    /// address, or 0 when the heap is exhausted. The allocator's bump
+    /// pointer is undo-logged by consistency-managing runtimes, so a
+    /// rolled-back execution re-allocates the same addresses.
+    Alloc = 12,
+}
+
+impl Syscall {
+    /// Number of `int` arguments the syscall pops.
+    #[must_use]
+    pub fn arg_count(self) -> u8 {
+        match self {
+            Syscall::Sample
+            | Syscall::SampleAccel
+            | Syscall::SampleMoisture
+            | Syscall::SampleTemp
+            | Syscall::TimeMs
+            | Syscall::Rand
+            | Syscall::CheckpointNow
+            | Syscall::TimeUs => 0,
+            Syscall::Send | Syscall::Led | Syscall::Mark | Syscall::Print | Syscall::Alloc => 1,
+        }
+    }
+
+    /// Resolves a source-level builtin name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Syscall> {
+        Some(match name {
+            "sample" => Syscall::Sample,
+            "sample_accel" => Syscall::SampleAccel,
+            "sample_moisture" => Syscall::SampleMoisture,
+            "sample_temp" => Syscall::SampleTemp,
+            "send" => Syscall::Send,
+            "time_ms" => Syscall::TimeMs,
+            "led" => Syscall::Led,
+            "rand16" => Syscall::Rand,
+            "mark" => Syscall::Mark,
+            "print" => Syscall::Print,
+            "checkpoint" => Syscall::CheckpointNow,
+            "time_us" => Syscall::TimeUs,
+            "alloc" => Syscall::Alloc,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a checkpoint site exists in the code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CkptSite {
+    /// Automatically inserted by an instrumentation pass.
+    Auto,
+    /// A `checkpoint()` call written by the programmer.
+    Manual,
+    /// Placed at a task boundary (the paper's `ST` configuration).
+    TaskBoundary,
+    /// MementOS-style site: checkpoint only if the supply voltage is low.
+    VoltageCheck,
+    /// End of a time-constrained block (`@timely`, `@expires`).
+    TimeBlockEnd,
+}
+
+/// One bytecode instruction.
+///
+/// Jump targets are instruction indices within the owning function's code
+/// vector. Global operands are byte offsets into the program's data
+/// segment; the VM adds the runtime-configured data base address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    // ---- data movement ----
+    /// Push a constant.
+    Const(i32),
+    /// Push the 4-byte local/arg slot at byte offset from the frame body.
+    LoadLocal(u16),
+    /// Pop into the local/arg slot at byte offset.
+    StoreLocal(u16),
+    /// Push the absolute address of a local slot (enables `&x` and local
+    /// arrays).
+    AddrLocal(u16),
+    /// Push the 4-byte global at a data-segment byte offset.
+    LoadGlobal(u32),
+    /// Pop into a global.
+    StoreGlobal(u32),
+    /// Pop into a global, via the runtime's undo log (instrumented form).
+    StoreGlobalLogged(u32),
+    /// Push the absolute address of a global.
+    AddrGlobal(u32),
+    /// Pop an address; push the 4-byte value it points to.
+    LoadInd,
+    /// Pop a value, pop an address; store the value at the address.
+    StoreInd,
+    /// [`Instr::StoreInd`] via the runtime's pointer classification +
+    /// undo log (instrumented form).
+    StoreIndLogged,
+    /// Duplicate the top of the operand stack.
+    Dup,
+    /// Discard the top of the operand stack.
+    Pop,
+    /// Swap the two top operand-stack entries.
+    Swap,
+
+    // ---- arithmetic & logic (binary ops pop rhs then lhs) ----
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division; traps on divide-by-zero.
+    Div,
+    /// Signed remainder; traps on divide-by-zero.
+    Mod,
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise AND.
+    BitAnd,
+    /// Bitwise OR.
+    BitOr,
+    /// Bitwise XOR.
+    BitXor,
+    /// Shift left (masked to 0–31).
+    Shl,
+    /// Arithmetic shift right (masked to 0–31).
+    Shr,
+    /// Bitwise complement.
+    BitNot,
+    /// Push 1 if equal else 0.
+    Eq,
+    /// Push 1 if not equal else 0.
+    Ne,
+    /// Push 1 if less-than (signed) else 0.
+    Lt,
+    /// Push 1 if less-or-equal else 0.
+    Le,
+    /// Push 1 if greater-than else 0.
+    Gt,
+    /// Push 1 if greater-or-equal else 0.
+    Ge,
+    /// Logical NOT: push 1 if zero else 0.
+    LogNot,
+
+    // ---- control flow ----
+    /// Unconditional jump to an instruction index.
+    Jmp(u32),
+    /// Pop; jump if zero.
+    Jz(u32),
+    /// Pop; jump if non-zero.
+    Jnz(u32),
+    /// Call function by index; arguments are on the operand stack.
+    Call(u16),
+    /// Return; the return value is on the operand stack.
+    Ret,
+    /// Stop the machine (end of `main`).
+    Halt,
+    /// Invoke a built-in.
+    Syscall(Syscall),
+
+    // ---- intermittency instrumentation ----
+    /// A checkpoint site; the runtime decides whether to act.
+    Checkpoint(CkptSite),
+    /// Disable automatic checkpoints (start of an atomic region).
+    AtomicBegin,
+    /// Re-enable automatic checkpoints.
+    AtomicEnd,
+    /// Record "now" as the timestamp of an annotated variable (`@=`).
+    TimestampVar(VarId),
+    /// Push 1 if the annotated variable is still fresh (its
+    /// `@expires_after` TTL has not elapsed) else 0.
+    ExpiresCheck(VarId),
+    /// Pop a deadline in milliseconds; push 1 if `now < deadline`
+    /// (`@timely`).
+    TimelyCheck,
+    /// Enter an exception-style `@expires`/`catch` block for a variable;
+    /// on expiration the runtime rolls back the block's writes and jumps
+    /// to the catch target (instruction index).
+    ExpiresBlockBegin(VarId, u32),
+    /// Leave an `@expires`/`catch` block.
+    ExpiresBlockEnd,
+}
+
+impl Instr {
+    /// Encoded size in bytes, modeling MSP430 code density. `.text` size
+    /// (Table 3) is the sum over all instructions plus per-pass fixed
+    /// runtime-library footprints.
+    #[must_use]
+    pub fn encoded_size(&self) -> u32 {
+        match self {
+            Instr::Const(_) => 4,
+            Instr::LoadLocal(_) | Instr::StoreLocal(_) | Instr::AddrLocal(_) => 3,
+            Instr::LoadGlobal(_) | Instr::StoreGlobal(_) | Instr::AddrGlobal(_) => 4,
+            Instr::StoreGlobalLogged(_) => 8,
+            Instr::LoadInd | Instr::StoreInd => 2,
+            Instr::StoreIndLogged => 8,
+            Instr::Dup | Instr::Pop | Instr::Swap => 1,
+            Instr::Add
+            | Instr::Sub
+            | Instr::Mul
+            | Instr::Div
+            | Instr::Mod
+            | Instr::Neg
+            | Instr::BitAnd
+            | Instr::BitOr
+            | Instr::BitXor
+            | Instr::Shl
+            | Instr::Shr
+            | Instr::BitNot
+            | Instr::Eq
+            | Instr::Ne
+            | Instr::Lt
+            | Instr::Le
+            | Instr::Gt
+            | Instr::Ge
+            | Instr::LogNot => 2,
+            Instr::Jmp(_) | Instr::Jz(_) | Instr::Jnz(_) => 3,
+            Instr::Call(_) => 4,
+            Instr::Ret => 2,
+            Instr::Halt => 1,
+            Instr::Syscall(_) => 4,
+            Instr::Checkpoint(_) => 6,
+            Instr::AtomicBegin | Instr::AtomicEnd => 4,
+            Instr::TimestampVar(_) => 6,
+            Instr::ExpiresCheck(_) => 8,
+            Instr::TimelyCheck => 8,
+            Instr::ExpiresBlockBegin(_, _) => 10,
+            Instr::ExpiresBlockEnd => 4,
+        }
+    }
+
+    /// Whether this instruction transfers control (for basic-block
+    /// analysis in the optimizer and passes).
+    #[must_use]
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Instr::Jmp(_) | Instr::Jz(_) | Instr::Jnz(_) | Instr::Ret | Instr::Halt
+        )
+    }
+
+    /// The jump target, if this is a jump.
+    #[must_use]
+    pub fn jump_target(&self) -> Option<u32> {
+        match self {
+            Instr::Jmp(t) | Instr::Jz(t) | Instr::Jnz(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the jump target of a jump instruction.
+    pub fn set_jump_target(&mut self, new: u32) {
+        match self {
+            Instr::Jmp(t) | Instr::Jz(t) | Instr::Jnz(t) => *t = new,
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Const(v) => write!(f, "const {v}"),
+            Instr::LoadLocal(o) => write!(f, "loadl {o}"),
+            Instr::StoreLocal(o) => write!(f, "storel {o}"),
+            Instr::AddrLocal(o) => write!(f, "leal {o}"),
+            Instr::LoadGlobal(o) => write!(f, "loadg {o}"),
+            Instr::StoreGlobal(o) => write!(f, "storeg {o}"),
+            Instr::StoreGlobalLogged(o) => write!(f, "storeg.log {o}"),
+            Instr::AddrGlobal(o) => write!(f, "leag {o}"),
+            Instr::LoadInd => write!(f, "loadi"),
+            Instr::StoreInd => write!(f, "storei"),
+            Instr::StoreIndLogged => write!(f, "storei.log"),
+            Instr::Dup => write!(f, "dup"),
+            Instr::Pop => write!(f, "pop"),
+            Instr::Swap => write!(f, "swap"),
+            Instr::Add => write!(f, "add"),
+            Instr::Sub => write!(f, "sub"),
+            Instr::Mul => write!(f, "mul"),
+            Instr::Div => write!(f, "div"),
+            Instr::Mod => write!(f, "mod"),
+            Instr::Neg => write!(f, "neg"),
+            Instr::BitAnd => write!(f, "and"),
+            Instr::BitOr => write!(f, "or"),
+            Instr::BitXor => write!(f, "xor"),
+            Instr::Shl => write!(f, "shl"),
+            Instr::Shr => write!(f, "shr"),
+            Instr::BitNot => write!(f, "not"),
+            Instr::Eq => write!(f, "eq"),
+            Instr::Ne => write!(f, "ne"),
+            Instr::Lt => write!(f, "lt"),
+            Instr::Le => write!(f, "le"),
+            Instr::Gt => write!(f, "gt"),
+            Instr::Ge => write!(f, "ge"),
+            Instr::LogNot => write!(f, "lnot"),
+            Instr::Jmp(t) => write!(f, "jmp {t}"),
+            Instr::Jz(t) => write!(f, "jz {t}"),
+            Instr::Jnz(t) => write!(f, "jnz {t}"),
+            Instr::Call(i) => write!(f, "call f{i}"),
+            Instr::Ret => write!(f, "ret"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::Syscall(s) => write!(f, "sys {s:?}"),
+            Instr::Checkpoint(site) => write!(f, "ckpt {site:?}"),
+            Instr::AtomicBegin => write!(f, "atomic.begin"),
+            Instr::AtomicEnd => write!(f, "atomic.end"),
+            Instr::TimestampVar(v) => write!(f, "tstamp v{v}"),
+            Instr::ExpiresCheck(v) => write!(f, "expchk v{v}"),
+            Instr::TimelyCheck => write!(f, "timely"),
+            Instr::ExpiresBlockBegin(v, c) => write!(f, "expblk v{v} catch={c}"),
+            Instr::ExpiresBlockEnd => write!(f, "expend"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syscall_names_resolve() {
+        assert_eq!(Syscall::from_name("send"), Some(Syscall::Send));
+        assert_eq!(Syscall::from_name("nonsense"), None);
+        assert_eq!(Syscall::Send.arg_count(), 1);
+        assert_eq!(Syscall::TimeMs.arg_count(), 0);
+    }
+
+    #[test]
+    fn logged_stores_are_bigger_than_plain() {
+        assert!(Instr::StoreGlobalLogged(0).encoded_size() > Instr::StoreGlobal(0).encoded_size());
+        assert!(Instr::StoreIndLogged.encoded_size() > Instr::StoreInd.encoded_size());
+    }
+
+    #[test]
+    fn jump_target_accessors() {
+        let mut j = Instr::Jz(7);
+        assert_eq!(j.jump_target(), Some(7));
+        j.set_jump_target(9);
+        assert_eq!(j, Instr::Jz(9));
+        assert!(j.is_terminator());
+        assert!(!Instr::Add.is_terminator());
+        assert_eq!(Instr::Add.jump_target(), None);
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all_shapes() {
+        for i in [
+            Instr::Const(1),
+            Instr::LoadLocal(0),
+            Instr::StoreGlobalLogged(4),
+            Instr::Syscall(Syscall::Print),
+            Instr::Checkpoint(CkptSite::Auto),
+            Instr::ExpiresBlockBegin(0, 3),
+        ] {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! Lexer for mini-C with TICS time-annotation syntax.
+
+use crate::error::{CompileError, Pos};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Time literal, normalized to microseconds (`200ms`, `5s`, `10us`).
+    TimeLit(u64),
+
+    // keywords
+    /// `int`
+    KwInt,
+    /// `unsigned` (accepted and treated as `int`)
+    KwUnsigned,
+    /// `void`
+    KwVoid,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `return`
+    KwReturn,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `nv` — non-volatile global qualifier (the paper's `NV`)
+    KwNv,
+    /// `catch`
+    KwCatch,
+
+    // TICS annotations
+    /// `@expires_after`
+    AtExpiresAfter,
+    /// `@expires`
+    AtExpires,
+    /// `@timely`
+    AtTimely,
+    /// `@=`
+    AtAssign,
+
+    // punctuation & operators
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `=`
+    Assign,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// End of input.
+    Eof,
+}
+
+/// A token paired with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "int" => Tok::KwInt,
+        "unsigned" => Tok::KwUnsigned,
+        "void" => Tok::KwVoid,
+        "if" => Tok::KwIf,
+        "else" => Tok::KwElse,
+        "while" => Tok::KwWhile,
+        "for" => Tok::KwFor,
+        "return" => Tok::KwReturn,
+        "break" => Tok::KwBreak,
+        "continue" => Tok::KwContinue,
+        "nv" => Tok::KwNv,
+        "catch" => Tok::KwCatch,
+        _ => return None,
+    })
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(CompileError::new(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Tok, CompileError> {
+        let start = self.pos();
+        let mut value: i64 = 0;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let mut any = false;
+            while let Some(c) = self.peek() {
+                let d = match c {
+                    b'0'..=b'9' => i64::from(c - b'0'),
+                    b'a'..=b'f' => i64::from(c - b'a' + 10),
+                    b'A'..=b'F' => i64::from(c - b'A' + 10),
+                    _ => break,
+                };
+                any = true;
+                value = value.wrapping_mul(16).wrapping_add(d);
+                self.bump();
+            }
+            if !any {
+                return Err(CompileError::new(start, "malformed hex literal"));
+            }
+            return Ok(Tok::Int(value));
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                value = value
+                    .checked_mul(10)
+                    .and_then(|v| v.checked_add(i64::from(c - b'0')))
+                    .ok_or_else(|| CompileError::new(start, "integer literal too large"))?;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Time-literal suffix directly attached: `us`, `ms`, `s`.
+        match self.peek() {
+            Some(b'u') if self.peek2() == Some(b's') => {
+                self.bump();
+                self.bump();
+                Ok(Tok::TimeLit(value as u64))
+            }
+            Some(b'm') if self.peek2() == Some(b's') => {
+                self.bump();
+                self.bump();
+                Ok(Tok::TimeLit(value as u64 * 1_000))
+            }
+            Some(b's')
+                if !self
+                    .peek2()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') =>
+            {
+                self.bump();
+                Ok(Tok::TimeLit(value as u64 * 1_000_000))
+            }
+            _ => Ok(Tok::Int(value)),
+        }
+    }
+
+    fn lex_ident(&mut self) -> Tok {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        keyword(&s).unwrap_or(Tok::Ident(s))
+    }
+
+    fn lex_at(&mut self) -> Result<Tok, CompileError> {
+        let start = self.pos();
+        self.bump(); // '@'
+        if self.peek() == Some(b'=') {
+            self.bump();
+            return Ok(Tok::AtAssign);
+        }
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                word.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match word.as_str() {
+            "expires_after" => Ok(Tok::AtExpiresAfter),
+            "expires" => Ok(Tok::AtExpires),
+            "timely" => Ok(Tok::AtTimely),
+            _ => Err(CompileError::new(
+                start,
+                format!("unknown annotation `@{word}`"),
+            )),
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, CompileError> {
+        self.skip_trivia()?;
+        let pos = self.pos();
+        let Some(c) = self.peek() else {
+            return Ok(Token { tok: Tok::Eof, pos });
+        };
+        let tok = match c {
+            b'0'..=b'9' => self.lex_number()?,
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(),
+            b'@' => self.lex_at()?,
+            _ => {
+                self.bump();
+                let two = |l: &mut Self, t| {
+                    l.bump();
+                    t
+                };
+                match (c, self.peek()) {
+                    (b'=', Some(b'=')) => two(self, Tok::EqEq),
+                    (b'!', Some(b'=')) => two(self, Tok::NotEq),
+                    (b'<', Some(b'=')) => two(self, Tok::Le),
+                    (b'>', Some(b'=')) => two(self, Tok::Ge),
+                    (b'&', Some(b'&')) => two(self, Tok::AndAnd),
+                    (b'|', Some(b'|')) => two(self, Tok::OrOr),
+                    (b'<', Some(b'<')) => two(self, Tok::Shl),
+                    (b'>', Some(b'>')) => two(self, Tok::Shr),
+                    (b'+', Some(b'+')) => two(self, Tok::PlusPlus),
+                    (b'-', Some(b'-')) => two(self, Tok::MinusMinus),
+                    (b'+', Some(b'=')) => two(self, Tok::PlusAssign),
+                    (b'-', Some(b'=')) => two(self, Tok::MinusAssign),
+                    (b'*', Some(b'=')) => two(self, Tok::StarAssign),
+                    (b'/', Some(b'=')) => two(self, Tok::SlashAssign),
+                    (b'(', _) => Tok::LParen,
+                    (b')', _) => Tok::RParen,
+                    (b'{', _) => Tok::LBrace,
+                    (b'}', _) => Tok::RBrace,
+                    (b'[', _) => Tok::LBracket,
+                    (b']', _) => Tok::RBracket,
+                    (b';', _) => Tok::Semi,
+                    (b',', _) => Tok::Comma,
+                    (b'+', _) => Tok::Plus,
+                    (b'-', _) => Tok::Minus,
+                    (b'*', _) => Tok::Star,
+                    (b'/', _) => Tok::Slash,
+                    (b'%', _) => Tok::Percent,
+                    (b'&', _) => Tok::Amp,
+                    (b'|', _) => Tok::Pipe,
+                    (b'^', _) => Tok::Caret,
+                    (b'~', _) => Tok::Tilde,
+                    (b'!', _) => Tok::Bang,
+                    (b'<', _) => Tok::Lt,
+                    (b'>', _) => Tok::Gt,
+                    (b'=', _) => Tok::Assign,
+                    (b'?', _) => Tok::Question,
+                    (b':', _) => Tok::Colon,
+                    _ => {
+                        return Err(CompileError::new(
+                            pos,
+                            format!("unexpected character `{}`", c as char),
+                        ))
+                    }
+                }
+            }
+        };
+        Ok(Token { tok, pos })
+    }
+}
+
+/// Tokenizes mini-C source.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on malformed literals, unknown annotations,
+/// unterminated comments, or stray characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut lx = Lexer::new(source);
+    let mut out = Vec::new();
+    loop {
+        let t = lx.next_token()?;
+        let eof = t.tok == Tok::Eof;
+        out.push(t);
+        if eof {
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_program_tokens() {
+        let t = toks("int main() { return 0; }");
+        assert_eq!(
+            t,
+            vec![
+                Tok::KwInt,
+                Tok::Ident("main".into()),
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::KwReturn,
+                Tok::Int(0),
+                Tok::Semi,
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn time_literals_normalize_to_micros() {
+        assert_eq!(toks("5s")[0], Tok::TimeLit(5_000_000));
+        assert_eq!(toks("200ms")[0], Tok::TimeLit(200_000));
+        assert_eq!(toks("10us")[0], Tok::TimeLit(10));
+        // `5seconds` is not a time literal; `5` then ident `seconds`.
+        assert_eq!(toks("5seconds")[0], Tok::Int(5));
+    }
+
+    #[test]
+    fn hex_and_decimal() {
+        assert_eq!(toks("0x1F")[0], Tok::Int(31));
+        assert_eq!(toks("42")[0], Tok::Int(42));
+        assert!(lex("0x").is_err());
+    }
+
+    #[test]
+    fn annotations() {
+        assert_eq!(
+            toks("@expires_after @expires @timely x @= y")[..6],
+            [
+                Tok::AtExpiresAfter,
+                Tok::AtExpires,
+                Tok::AtTimely,
+                Tok::Ident("x".into()),
+                Tok::AtAssign,
+                Tok::Ident("y".into())
+            ]
+        );
+        assert!(lex("@bogus").is_err());
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("== != <= >= && || << >> ++ -- += -=")
+                .into_iter()
+                .filter(|t| *t != Tok::Eof)
+                .count(),
+            12
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("// line\nint /* block\nstill */ x;");
+        assert_eq!(t[0], Tok::KwInt);
+        assert_eq!(t[1], Tok::Ident("x".into()));
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let ts = lex("int\n  x;").unwrap();
+        assert_eq!(ts[0].pos.line, 1);
+        assert_eq!(ts[1].pos.line, 2);
+        assert_eq!(ts[1].pos.col, 3);
+    }
+
+    #[test]
+    fn nv_keyword() {
+        assert_eq!(toks("nv int x;")[0], Tok::KwNv);
+    }
+}

@@ -1,0 +1,78 @@
+//! # tics-minic — the "legacy software" substrate
+//!
+//! TICS's claim (ASPLOS 2020) is that *unaltered C programs* — pointers,
+//! recursion, any optimization level — can run on intermittent power. To
+//! reproduce that claim without the authors' LLVM LibTooling + GCC backend
+//! toolchain, this crate implements a complete miniature C compiler:
+//!
+//! * [`lexer`], [`parser`], [`ast`] — a C subset with `int`, multi-level
+//!   pointers, arrays, recursion, `nv` (non-volatile) globals, and the TICS
+//!   time annotations (`@expires_after`, `@=`, `@expires`/`catch`,
+//!   `@timely`/`else`),
+//! * [`sema`] — name/type resolution, frame layout, call-graph facts
+//!   (recursion detection — Chinchilla rejects recursive programs),
+//! * [`isa`] and [`program`] — a compact bytecode ISA whose per-opcode
+//!   encoded sizes model MSP430 code (`.text` bytes for Table 3),
+//! * [`codegen`] — AST → bytecode,
+//! * [`opt`] — `O0`/`O1`/`O2` optimizer pipelines (constant folding, jump
+//!   threading, peephole, dead code),
+//! * [`passes`] — the **intermittency instrumentation passes**: TICS
+//!   (stack-segmentation checks, logged stores, checkpoints), MementOS
+//!   (voltage-check checkpoints at loop latches and calls), Chinchilla
+//!   (local-to-global promotion; fails on recursion), and Ratchet
+//!   (idempotent-boundary checkpoints).
+//!
+//! The instrumented [`program::Program`] image is executed by `tics-vm`
+//! against the simulated MCU from `tics-mcu`.
+//!
+//! ## Example
+//!
+//! ```
+//! use tics_minic::compile;
+//! use tics_minic::opt::OptLevel;
+//!
+//! let src = r#"
+//!     int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+//!     int main() { return fib(10); }
+//! "#;
+//! let program = compile(src, OptLevel::O2)?;
+//! assert!(program.function("fib").is_some());
+//! # Ok::<(), tics_minic::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codegen;
+pub mod error;
+pub mod infer;
+pub mod isa;
+pub mod lexer;
+pub mod opt;
+pub mod parser;
+pub mod passes;
+pub mod program;
+pub mod sema;
+
+pub use error::CompileError;
+pub use program::Program;
+
+use opt::OptLevel;
+
+/// Compiles mini-C source to an *uninstrumented* bytecode program at the
+/// given optimization level. Apply a pass from [`passes`] afterwards to
+/// prepare it for an intermittency runtime.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] describing the first lexical, syntactic, or
+/// semantic problem found.
+pub fn compile(source: &str, opt_level: OptLevel) -> Result<Program, CompileError> {
+    let tokens = lexer::lex(source)?;
+    let unit = parser::parse(tokens)?;
+    let checked = sema::analyze(&unit)?;
+    let mut prog = codegen::generate(&checked)?;
+    opt::optimize(&mut prog, opt_level);
+    Ok(prog)
+}

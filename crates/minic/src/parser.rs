@@ -1,0 +1,843 @@
+//! Recursive-descent parser for mini-C.
+
+use crate::ast::{BinOp, Expr, FuncDecl, GlobalDecl, Stmt, Type, UnOp, Unit};
+use crate::error::{CompileError, Pos};
+use crate::lexer::{Tok, Token};
+
+struct Parser {
+    toks: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.i + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), CompileError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(CompileError::new(
+                self.pos(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(CompileError::new(
+                self.pos(),
+                format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::KwInt | Tok::KwUnsigned | Tok::KwVoid | Tok::KwNv
+        )
+    }
+
+    fn parse_type(&mut self) -> Result<(Type, bool), CompileError> {
+        let is_void = match self.peek() {
+            Tok::KwInt | Tok::KwUnsigned => {
+                self.bump();
+                false
+            }
+            Tok::KwVoid => {
+                self.bump();
+                true
+            }
+            other => {
+                return Err(CompileError::new(
+                    self.pos(),
+                    format!("expected type, found {other:?}"),
+                ))
+            }
+        };
+        let mut ty = Type::Int;
+        while self.eat(&Tok::Star) {
+            ty = ty.ptr_to();
+        }
+        let void_scalar = is_void && !ty.is_ptr();
+        Ok((ty, void_scalar))
+    }
+
+    // ---- expressions ----
+
+    fn parse_expr(&mut self) -> Result<Expr, CompileError> {
+        self.parse_assignment()
+    }
+
+    fn parse_assignment(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.parse_ternary()?;
+        let pos = self.pos();
+        let (op, timestamped) = match self.peek() {
+            Tok::Assign => (None, false),
+            Tok::AtAssign => (None, true),
+            Tok::PlusAssign => (Some(BinOp::Add), false),
+            Tok::MinusAssign => (Some(BinOp::Sub), false),
+            Tok::StarAssign => (Some(BinOp::Mul), false),
+            Tok::SlashAssign => (Some(BinOp::Div), false),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let value = self.parse_assignment()?;
+        Ok(Expr::Assign {
+            target: Box::new(lhs),
+            value: Box::new(value),
+            op,
+            timestamped,
+            pos,
+        })
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr, CompileError> {
+        let cond = self.parse_binary(0)?;
+        if self.eat(&Tok::Question) {
+            let pos = cond.pos();
+            let then = self.parse_expr()?;
+            self.expect(&Tok::Colon, "`:`")?;
+            let els = self.parse_ternary()?;
+            Ok(Expr::Cond(
+                Box::new(cond),
+                Box::new(then),
+                Box::new(els),
+                pos,
+            ))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn bin_op(&self) -> Option<(BinOp, u8)> {
+        // C precedence, higher binds tighter.
+        Some(match self.peek() {
+            Tok::OrOr => (BinOp::LogOr, 1),
+            Tok::AndAnd => (BinOp::LogAnd, 2),
+            Tok::Pipe => (BinOp::BitOr, 3),
+            Tok::Caret => (BinOp::BitXor, 4),
+            Tok::Amp => (BinOp::BitAnd, 5),
+            Tok::EqEq => (BinOp::Eq, 6),
+            Tok::NotEq => (BinOp::Ne, 6),
+            Tok::Lt => (BinOp::Lt, 7),
+            Tok::Le => (BinOp::Le, 7),
+            Tok::Gt => (BinOp::Gt, 7),
+            Tok::Ge => (BinOp::Ge, 7),
+            Tok::Shl => (BinOp::Shl, 8),
+            Tok::Shr => (BinOp::Shr, 8),
+            Tok::Plus => (BinOp::Add, 9),
+            Tok::Minus => (BinOp::Sub, 9),
+            Tok::Star => (BinOp::Mul, 10),
+            Tok::Slash => (BinOp::Div, 10),
+            Tok::Percent => (BinOp::Mod, 10),
+            _ => return None,
+        })
+    }
+
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_unary()?;
+        while let Some((op, prec)) = self.bin_op() {
+            if prec < min_prec {
+                break;
+            }
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.parse_binary(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.pos();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.parse_unary()?), pos))
+            }
+            Tok::Tilde => {
+                self.bump();
+                Ok(Expr::Unary(
+                    UnOp::BitNot,
+                    Box::new(self.parse_unary()?),
+                    pos,
+                ))
+            }
+            Tok::Bang => {
+                self.bump();
+                Ok(Expr::Unary(
+                    UnOp::LogNot,
+                    Box::new(self.parse_unary()?),
+                    pos,
+                ))
+            }
+            Tok::Star => {
+                self.bump();
+                Ok(Expr::Deref(Box::new(self.parse_unary()?), pos))
+            }
+            Tok::Amp => {
+                self.bump();
+                Ok(Expr::AddrOf(Box::new(self.parse_unary()?), pos))
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.parse_primary()?;
+        loop {
+            let pos = self.pos();
+            match self.peek() {
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.parse_expr()?;
+                    self.expect(&Tok::RBracket, "`]`")?;
+                    e = Expr::Index(Box::new(e), Box::new(idx), pos);
+                }
+                Tok::PlusPlus => {
+                    self.bump();
+                    e = Expr::PostIncDec {
+                        target: Box::new(e),
+                        inc: true,
+                        pos,
+                    };
+                }
+                Tok::MinusMinus => {
+                    self.bump();
+                    e = Expr::PostIncDec {
+                        target: Box::new(e),
+                        inc: false,
+                        pos,
+                    };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v, pos))
+            }
+            Tok::TimeLit(us) => {
+                self.bump();
+                Ok(Expr::TimeLit(us, pos))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(&Tok::Comma, "`,` or `)`")?;
+                        }
+                    }
+                    Ok(Expr::Call { name, args, pos })
+                } else {
+                    Ok(Expr::Var(name, pos))
+                }
+            }
+            other => Err(CompileError::new(
+                pos,
+                format!("expected expression, found {other:?}"),
+            )),
+        }
+    }
+
+    // ---- statements ----
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.peek() == &Tok::Eof {
+                return Err(CompileError::new(self.pos(), "unterminated block"));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_local_decl(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        let (ty, is_void) = self.parse_type()?;
+        if is_void {
+            return Err(CompileError::new(pos, "`void` variables are not allowed"));
+        }
+        let name = self.expect_ident("variable name")?;
+        let array_len = if self.eat(&Tok::LBracket) {
+            let len = self.parse_const_len()?;
+            self.expect(&Tok::RBracket, "`]`")?;
+            Some(len)
+        } else {
+            None
+        };
+        let init = if self.eat(&Tok::Assign) {
+            if array_len.is_some() {
+                return Err(CompileError::new(
+                    pos,
+                    "local array initializers are not supported",
+                ));
+            }
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        self.expect(&Tok::Semi, "`;`")?;
+        Ok(Stmt::Decl {
+            name,
+            ty,
+            array_len,
+            init,
+            pos,
+        })
+    }
+
+    fn parse_const_len(&mut self) -> Result<u32, CompileError> {
+        let pos = self.pos();
+        let e = self.parse_expr()?;
+        let v = eval_const(&e)
+            .ok_or_else(|| CompileError::new(pos, "array length must be a constant"))?;
+        u32::try_from(v).map_err(|_| CompileError::new(pos, "array length out of range"))
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::KwInt | Tok::KwUnsigned | Tok::KwVoid => self.parse_local_decl(),
+            Tok::LBrace => Ok(Stmt::Block(self.parse_block()?)),
+            Tok::Semi => {
+                self.bump();
+                Ok(Stmt::Block(Vec::new()))
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let cond = self.parse_expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                let then = self.parse_stmt_as_block()?;
+                let els = if self.eat(&Tok::KwElse) {
+                    self.parse_stmt_as_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then, els })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let cond = self.parse_expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                let body = self.parse_stmt_as_block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let init = if self.eat(&Tok::Semi) {
+                    None
+                } else if self.is_type_start() {
+                    Some(Box::new(self.parse_local_decl()?))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    Some(Box::new(Stmt::Expr(e)))
+                };
+                let cond = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(&Tok::Semi, "`;`")?;
+                let step = if self.peek() == &Tok::RParen {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(&Tok::RParen, "`)`")?;
+                let body = self.parse_stmt_as_block()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let value = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Return(value, pos))
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Break(pos))
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Continue(pos))
+            }
+            Tok::AtExpires => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let var = self.expect_ident("annotated variable name")?;
+                // Allow `@expires(temperature[i])` — the guard is on the
+                // variable; an index is parsed and discarded.
+                if self.eat(&Tok::LBracket) {
+                    let _ = self.parse_expr()?;
+                    self.expect(&Tok::RBracket, "`]`")?;
+                }
+                self.expect(&Tok::RParen, "`)`")?;
+                let body = self.parse_block()?;
+                let catch = if self.eat(&Tok::KwCatch) {
+                    Some(self.parse_block()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::Expires {
+                    var,
+                    body,
+                    catch,
+                    pos,
+                })
+            }
+            Tok::AtTimely => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let deadline = self.parse_expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                let body = self.parse_block()?;
+                let els = if self.eat(&Tok::KwElse) {
+                    self.parse_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::Timely {
+                    deadline,
+                    body,
+                    els,
+                    pos,
+                })
+            }
+            _ => {
+                let e = self.parse_expr()?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn parse_stmt_as_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if self.peek() == &Tok::LBrace {
+            self.parse_block()
+        } else {
+            Ok(vec![self.parse_stmt()?])
+        }
+    }
+
+    // ---- top level ----
+
+    fn parse_global_tail(
+        &mut self,
+        nv: bool,
+        expires_after_us: Option<u64>,
+        ty: Type,
+        name: String,
+        pos: Pos,
+    ) -> Result<GlobalDecl, CompileError> {
+        let array_len = if self.eat(&Tok::LBracket) {
+            let len = self.parse_const_len()?;
+            self.expect(&Tok::RBracket, "`]`")?;
+            Some(len)
+        } else {
+            None
+        };
+        let mut init = Vec::new();
+        if self.eat(&Tok::Assign) {
+            if self.eat(&Tok::LBrace) {
+                loop {
+                    let e = self.parse_expr()?;
+                    let v = eval_const(&e).ok_or_else(|| {
+                        CompileError::new(pos, "global initializers must be constant")
+                    })?;
+                    init.push(v);
+                    if self.eat(&Tok::RBrace) {
+                        break;
+                    }
+                    self.expect(&Tok::Comma, "`,` or `}`")?;
+                }
+            } else {
+                let e = self.parse_expr()?;
+                let v = eval_const(&e).ok_or_else(|| {
+                    CompileError::new(pos, "global initializers must be constant")
+                })?;
+                init.push(v);
+            }
+        }
+        self.expect(&Tok::Semi, "`;`")?;
+        if let Some(len) = array_len {
+            if init.len() > len as usize {
+                return Err(CompileError::new(pos, "too many initializers for array"));
+            }
+        } else if init.len() > 1 {
+            return Err(CompileError::new(pos, "scalar with brace initializer list"));
+        }
+        Ok(GlobalDecl {
+            name,
+            ty,
+            array_len,
+            nv,
+            init,
+            expires_after_us,
+            pos,
+        })
+    }
+
+    fn parse_unit(&mut self) -> Result<Unit, CompileError> {
+        let mut unit = Unit::default();
+        loop {
+            if self.peek() == &Tok::Eof {
+                return Ok(unit);
+            }
+            // `@expires_after = 5s` attaches to the next global.
+            let expires_after_us = if self.eat(&Tok::AtExpiresAfter) {
+                self.expect(&Tok::Assign, "`=` after @expires_after")?;
+                let pos = self.pos();
+                match self.bump() {
+                    Tok::TimeLit(us) => Some(us),
+                    Tok::Int(0) => Some(0),
+                    other => {
+                        return Err(CompileError::new(
+                            pos,
+                            format!("expected time literal (e.g. `5s`), found {other:?}"),
+                        ))
+                    }
+                }
+            } else {
+                None
+            };
+            let nv = self.eat(&Tok::KwNv);
+            let pos = self.pos();
+            let (ty, is_void) = self.parse_type()?;
+            let name = self.expect_ident("declaration name")?;
+            if self.peek() == &Tok::LParen {
+                if expires_after_us.is_some() {
+                    return Err(CompileError::new(
+                        pos,
+                        "@expires_after applies to variables, not functions",
+                    ));
+                }
+                if nv {
+                    return Err(CompileError::new(pos, "`nv` applies to variables"));
+                }
+                self.bump();
+                let mut params = Vec::new();
+                if !self.eat(&Tok::RParen) {
+                    // Allow `void` parameter list.
+                    if self.peek() == &Tok::KwVoid && self.peek2() == &Tok::RParen {
+                        self.bump();
+                        self.bump();
+                    } else {
+                        loop {
+                            let (pty, pvoid) = self.parse_type()?;
+                            if pvoid {
+                                return Err(CompileError::new(
+                                    self.pos(),
+                                    "`void` parameter in non-empty list",
+                                ));
+                            }
+                            let pname = self.expect_ident("parameter name")?;
+                            // Array parameters decay to pointers.
+                            let pty = if self.eat(&Tok::LBracket) {
+                                if !self.eat(&Tok::RBracket) {
+                                    let _ = self.parse_const_len()?;
+                                    self.expect(&Tok::RBracket, "`]`")?;
+                                }
+                                pty.ptr_to()
+                            } else {
+                                pty
+                            };
+                            params.push((pname, pty));
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(&Tok::Comma, "`,` or `)`")?;
+                        }
+                    }
+                }
+                let body = self.parse_block()?;
+                unit.functions.push(FuncDecl {
+                    name,
+                    params,
+                    is_void,
+                    body,
+                    pos,
+                });
+            } else {
+                if is_void {
+                    return Err(CompileError::new(pos, "`void` variables are not allowed"));
+                }
+                unit.globals
+                    .push(self.parse_global_tail(nv, expires_after_us, ty, name, pos)?);
+            }
+        }
+    }
+}
+
+/// Folds a constant expression to a value (for array lengths and global
+/// initializers). Returns `None` if not constant.
+#[must_use]
+pub fn eval_const(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Int(v, _) => Some(*v),
+        Expr::TimeLit(us, _) => Some(*us as i64 / 1_000), // milliseconds
+        Expr::Unary(UnOp::Neg, e, _) => Some(eval_const(e)?.wrapping_neg()),
+        Expr::Unary(UnOp::BitNot, e, _) => Some(!eval_const(e)?),
+        Expr::Unary(UnOp::LogNot, e, _) => Some(i64::from(eval_const(e)? == 0)),
+        Expr::Cond(c, t, f, _) => {
+            if eval_const(c)? != 0 {
+                eval_const(t)
+            } else {
+                eval_const(f)
+            }
+        }
+        Expr::Binary(op, l, r, _) => {
+            let l = eval_const(l)?;
+            let r = eval_const(r)?;
+            Some(match op {
+                BinOp::Add => l.wrapping_add(r),
+                BinOp::Sub => l.wrapping_sub(r),
+                BinOp::Mul => l.wrapping_mul(r),
+                BinOp::Div => l.checked_div(r)?,
+                BinOp::Mod => l.checked_rem(r)?,
+                BinOp::BitAnd => l & r,
+                BinOp::BitOr => l | r,
+                BinOp::BitXor => l ^ r,
+                BinOp::Shl => ((l as i32) << ((r as u32) & 31)) as i64,
+                BinOp::Shr => ((l as i32) >> ((r as u32) & 31)) as i64,
+                BinOp::Eq => i64::from(l == r),
+                BinOp::Ne => i64::from(l != r),
+                BinOp::Lt => i64::from(l < r),
+                BinOp::Le => i64::from(l <= r),
+                BinOp::Gt => i64::from(l > r),
+                BinOp::Ge => i64::from(l >= r),
+                BinOp::LogAnd => i64::from(l != 0 && r != 0),
+                BinOp::LogOr => i64::from(l != 0 || r != 0),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Parses a token stream into a translation unit.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on the first syntax error.
+pub fn parse(tokens: Vec<Token>) -> Result<Unit, CompileError> {
+    assert!(
+        matches!(tokens.last(), Some(t) if t.tok == Tok::Eof),
+        "token stream must end with Eof"
+    );
+    Parser { toks: tokens, i: 0 }.parse_unit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Unit, CompileError> {
+        parse(lex(src)?)
+    }
+
+    #[test]
+    fn parses_minimal_main() {
+        let u = parse_src("int main() { return 0; }").unwrap();
+        assert_eq!(u.functions.len(), 1);
+        assert_eq!(u.functions[0].name, "main");
+        assert!(!u.functions[0].is_void);
+    }
+
+    #[test]
+    fn parses_globals_with_nv_and_arrays() {
+        let u = parse_src("nv int count = 3; int buf[8]; int pair[4] = {1,2};").unwrap();
+        assert!(u.globals[0].nv);
+        assert_eq!(u.globals[0].init, vec![3]);
+        assert_eq!(u.globals[1].array_len, Some(8));
+        assert!(u.globals[1].init.is_empty());
+        assert_eq!(u.globals[2].init, vec![1, 2]);
+    }
+
+    #[test]
+    fn parses_expires_after_annotation() {
+        let u = parse_src("@expires_after = 200ms\nint accel[6];").unwrap();
+        assert_eq!(u.globals[0].expires_after_us, Some(200_000));
+    }
+
+    #[test]
+    fn parses_pointer_types_and_params() {
+        let u = parse_src("int deref(int *p) { return *p; } int main() { return 0; }").unwrap();
+        assert_eq!(u.functions[0].params[0].1, Type::Int.ptr_to());
+    }
+
+    #[test]
+    fn array_params_decay() {
+        let u = parse_src("void f(int a[]) { a[0] = 1; } int main(){return 0;}").unwrap();
+        assert_eq!(u.functions[0].params[0].1, Type::Int.ptr_to());
+        assert!(u.functions[0].is_void);
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let u = parse_src(
+            "int main() {
+                int s = 0;
+                for (int i = 0; i < 10; i++) { if (i % 2 == 0) continue; s += i; }
+                while (s > 100) { s = s - 1; break; }
+                return s;
+            }",
+        )
+        .unwrap();
+        assert_eq!(u.functions[0].body.len(), 4);
+    }
+
+    #[test]
+    fn parses_timely_and_expires_blocks() {
+        let u = parse_src(
+            "@expires_after = 1s
+             int temp;
+             int main() {
+               temp @= sample();
+               @expires(temp) { send(temp); } catch { led(1); }
+               @timely(200ms) { send(1); } else { led(0); }
+               return 0;
+             }",
+        )
+        .unwrap();
+        let body = &u.functions[0].body;
+        assert!(matches!(
+            &body[0],
+            Stmt::Expr(Expr::Assign {
+                timestamped: true,
+                ..
+            })
+        ));
+        assert!(matches!(&body[1], Stmt::Expires { catch: Some(_), .. }));
+        assert!(matches!(&body[2], Stmt::Timely { .. }));
+    }
+
+    #[test]
+    fn expires_accepts_indexed_guard() {
+        let u = parse_src(
+            "@expires_after = 1s
+             int t[4];
+             int main() { @expires(t[2]) { led(1); } return 0; }",
+        )
+        .unwrap();
+        assert!(matches!(&u.functions[0].body[0], Stmt::Expires { var, .. } if var == "t"));
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        // 1 + 2 * 3 == 7, and == binds looser than +.
+        let u = parse_src("int main() { return 1 + 2 * 3 == 7; }").unwrap();
+        let Stmt::Return(Some(e), _) = &u.functions[0].body[0] else {
+            panic!("expected return");
+        };
+        assert_eq!(eval_const(e), Some(1));
+    }
+
+    #[test]
+    fn ternary_and_logical() {
+        let u = parse_src("int main() { return 1 && 0 ? 10 : 2 || 0; }").unwrap();
+        let Stmt::Return(Some(e), _) = &u.functions[0].body[0] else {
+            panic!();
+        };
+        assert_eq!(eval_const(e), Some(1)); // (1&&0) ? 10 : (2||0) == 1
+    }
+
+    #[test]
+    fn rejects_bad_syntax() {
+        assert!(parse_src("int main( { return 0; }").is_err());
+        assert!(parse_src("int main() { return 0 }").is_err());
+        assert!(parse_src("@expires_after = 5 int x;").is_err()); // needs time literal
+        assert!(parse_src("void x;").is_err());
+        assert!(parse_src("@expires_after = 1s int f() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn postincrement_in_index() {
+        let u = parse_src("int a[4]; int i; int main() { a[i++] = sample(); return 0; }").unwrap();
+        assert_eq!(u.functions.len(), 1);
+    }
+
+    #[test]
+    fn const_folding_handles_shifts_and_division() {
+        assert_eq!(
+            eval_const(&parse_expr_src("(1 << 4) / 2 % 7")),
+            Some((16 / 2) % 7)
+        );
+        assert_eq!(eval_const(&parse_expr_src("10 / 0")), None);
+    }
+
+    fn parse_expr_src(src: &str) -> Expr {
+        let u = parse_src(&format!("int main() {{ return {src}; }}")).unwrap();
+        let Stmt::Return(Some(e), _) = &u.functions[0].body[0] else {
+            panic!();
+        };
+        e.clone()
+    }
+}

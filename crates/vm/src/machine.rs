@@ -1,0 +1,727 @@
+//! The simulated machine: memory + registers + clock + program image.
+
+use tics_clock::{PerfectClock, TimeMicros, Timekeeper};
+use tics_mcu::{Addr, CostModel, Memory, MemoryLayout, Registers};
+use tics_minic::program::{Program, FRAME_HEADER_BYTES};
+
+use crate::error::VmError;
+use crate::loaded::{LoadedProgram, RET_SENTINEL};
+use crate::runtime::IntermittentRuntime;
+use crate::stats::ExecStats;
+use crate::Result;
+
+/// Configuration for building a [`Machine`].
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Physical memory map.
+    pub layout: MemoryLayout,
+    /// Cycle cost model.
+    pub costs: CostModel,
+    /// Seed for the deterministic `rand16` builtin and synthetic sensors.
+    pub seed: u64,
+    /// Scripted sensor values consumed (in order) by the `sample*`
+    /// builtins; when exhausted, synthetic values continue. Lets tests
+    /// and experiments fix the sensed data exactly.
+    pub sensor_trace: Vec<i32>,
+    /// Periodic interrupt: `(function_name, period_us)`. The named
+    /// function is invoked as an ISR whenever the period elapses.
+    pub isr: Option<(String, u64)>,
+    /// Bytes reserved for the persistent FRAM heap served by the
+    /// `alloc` builtin (first word is the allocator's bump pointer).
+    pub heap_bytes: u32,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            layout: MemoryLayout::default(),
+            costs: CostModel::default(),
+            seed: 0x5EED,
+            sensor_trace: Vec::new(),
+            isr: None,
+            heap_bytes: 2_048,
+        }
+    }
+}
+
+/// A frame header as stored at the base of every frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Return pc (or [`RET_SENTINEL`] for the bottom frame).
+    pub ret_pc: u32,
+    /// Caller's frame pointer.
+    pub caller_fp: Addr,
+    /// Caller's operand-stack pointer after the arguments were consumed.
+    pub caller_sp: Addr,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LoadedIsr {
+    fidx: u16,
+    period_us: u64,
+    next_at: u64,
+}
+
+/// The complete simulated device.
+///
+/// The memory and register fields are public: runtime implementations in
+/// `tics-core` and `tics-baselines` manipulate them exactly as the real
+/// runtimes manipulate the MSP430's memory and registers.
+pub struct Machine {
+    /// Simulated memory (SRAM + FRAM) with cycle accounting.
+    pub mem: Memory,
+    /// Volatile register file.
+    pub regs: Registers,
+    loaded: LoadedProgram,
+    clock: Box<dyn Timekeeper>,
+    data_base: Addr,
+    halted: Option<i32>,
+    stats: ExecStats,
+    rng_state: u64,
+    sensor_trace: Vec<i32>,
+    sensor_pos: usize,
+    last_clock_sync: u64,
+    in_isr: bool,
+    isr_frame_fp: Addr,
+    isr: Option<LoadedIsr>,
+    period_deadline: u64,
+    total_off_us: u64,
+    heap_bytes: u32,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("pc", &self.regs.pc)
+            .field("fp", &self.regs.fp)
+            .field("sp", &self.regs.sp)
+            .field("halted", &self.halted)
+            .field("cycles", &self.mem.cycles())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Builds a machine with a [`PerfectClock`]. Use
+    /// [`Machine::with_clock`] to model volatile or remanence timekeeping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Load`] if the program is malformed, its globals
+    /// do not fit in FRAM, or the configured ISR function does not exist.
+    pub fn new(program: Program, config: MachineConfig) -> Result<Machine> {
+        Machine::with_clock(program, config, Box::new(PerfectClock::new()))
+    }
+
+    /// Builds a machine with an explicit timekeeper.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::new`].
+    pub fn with_clock(
+        program: Program,
+        config: MachineConfig,
+        clock: Box<dyn Timekeeper>,
+    ) -> Result<Machine> {
+        let loaded = LoadedProgram::load(program)?;
+        let mem = Memory::with_costs(config.layout, config.costs.clone());
+        let data_base = config.layout.fram.start;
+        if loaded.program.globals_size > config.layout.fram.len() {
+            return Err(VmError::Load("globals exceed FRAM".into()));
+        }
+        let isr = match &config.isr {
+            None => None,
+            Some((name, period_us)) => {
+                let (fidx, f) = loaded
+                    .program
+                    .function(name)
+                    .ok_or_else(|| VmError::Load(format!("ISR function `{name}` not found")))?;
+                if f.n_args != 0 {
+                    return Err(VmError::Load(format!(
+                        "ISR `{name}` must take no arguments"
+                    )));
+                }
+                Some(LoadedIsr {
+                    fidx,
+                    period_us: *period_us,
+                    next_at: *period_us,
+                })
+            }
+        };
+        let mut machine = Machine {
+            mem,
+            regs: Registers::new(),
+            loaded,
+            clock,
+            data_base,
+            halted: None,
+            stats: ExecStats::default(),
+            rng_state: config.seed | 1,
+            sensor_trace: config.sensor_trace,
+            sensor_pos: 0,
+            last_clock_sync: 0,
+            in_isr: false,
+            isr_frame_fp: Addr(0),
+            isr,
+            period_deadline: u64::MAX,
+            total_off_us: 0,
+            heap_bytes: config.heap_bytes,
+        };
+        machine.init_globals(true)?;
+        Ok(machine)
+    }
+
+    // ---- accessors ----
+
+    /// The loaded program image.
+    #[must_use]
+    pub fn loaded(&self) -> &LoadedProgram {
+        &self.loaded
+    }
+
+    /// Base address of the data segment (globals).
+    #[must_use]
+    pub fn data_base(&self) -> Addr {
+        self.data_base
+    }
+
+    /// Absolute address of a data-segment byte offset.
+    #[must_use]
+    pub fn global_addr(&self, offset: u32) -> Addr {
+        self.data_base.offset(offset)
+    }
+
+    /// Base of the persistent FRAM heap: first word is the allocator's
+    /// bump pointer, allocations follow.
+    #[must_use]
+    pub fn heap_base(&self) -> Addr {
+        let raw = self.data_base.raw() + self.loaded.program.globals_size;
+        Addr((raw + 7) & !7)
+    }
+
+    /// First free FRAM address after the data segment and heap — where a
+    /// runtime lays out its own persistent structures.
+    #[must_use]
+    pub fn runtime_area_base(&self) -> Addr {
+        let raw = self.heap_base().raw() + self.heap_bytes;
+        Addr((raw + 7) & !7)
+    }
+
+    /// Serves one `alloc(bytes)` call from the persistent heap. The bump
+    /// pointer update is routed through the runtime's `logged_store`, so
+    /// consistency-managing runtimes roll it back with everything else —
+    /// a replayed execution re-allocates the *same* addresses. Returns 0
+    /// when the heap is exhausted (C's out-of-memory convention).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory and logging errors.
+    pub fn heap_alloc(&mut self, rt: &mut dyn IntermittentRuntime, bytes: u32) -> Result<u32> {
+        if self.heap_bytes < 8 {
+            return Ok(0);
+        }
+        let base = self.heap_base();
+        let bump = self.mem.read_u32(base)?;
+        let aligned = bytes.max(1).div_ceil(4) * 4;
+        if 4 + bump + aligned > self.heap_bytes {
+            return Ok(0);
+        }
+        rt.logged_store(self, base, 4)?;
+        self.mem.write_u32(base, bump + aligned)?;
+        Ok(base.raw() + 4 + bump)
+    }
+
+    /// Execution statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Mutable statistics (runtimes record checkpoints, rollbacks, ...).
+    pub fn stats_mut(&mut self) -> &mut ExecStats {
+        &mut self.stats
+    }
+
+    /// Exit code if `main` returned.
+    #[must_use]
+    pub fn exit_code(&self) -> Option<i32> {
+        self.halted
+    }
+
+    /// Whether the program has finished.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted.is_some()
+    }
+
+    /// Marks the machine halted with `code` (used by `Ret` to the
+    /// sentinel and by `Halt`).
+    pub fn set_halted(&mut self, code: i32) {
+        self.halted = Some(code);
+    }
+
+    /// Total cycles executed (1 cycle = 1 µs).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.mem.cycles()
+    }
+
+    /// Whether the machine is currently servicing an interrupt.
+    #[must_use]
+    pub fn in_isr(&self) -> bool {
+        self.in_isr
+    }
+
+    /// Cycle count at which the current on-period ends (power dies).
+    /// Runtimes consult this to model atomic operations that cannot
+    /// complete on the remaining energy: a two-phase commit whose cost
+    /// crosses the deadline must not flip its valid flag.
+    #[must_use]
+    pub fn period_deadline(&self) -> u64 {
+        self.period_deadline
+    }
+
+    /// Sets the end-of-period deadline (called by the executor at each
+    /// period start).
+    pub fn set_period_deadline(&mut self, deadline: u64) {
+        self.period_deadline = deadline;
+    }
+
+    /// Charges `cost` cycles for an atomic runtime operation and reports
+    /// whether it completed before the power deadline. When this returns
+    /// `false`, the caller must leave its commit flag untouched — the
+    /// device dies mid-operation.
+    pub fn charge_atomic(&mut self, cost: u64) -> bool {
+        let completes = self.mem.cycles().saturating_add(cost) <= self.period_deadline;
+        self.mem.add_cycles(cost);
+        completes
+    }
+
+    // ---- time ----
+
+    /// Current time from the device's timekeeper, synchronized with the
+    /// cycle counter.
+    pub fn now(&mut self) -> TimeMicros {
+        let cycles = self.mem.cycles();
+        let delta = cycles - self.last_clock_sync;
+        if delta > 0 {
+            self.clock.advance_on(delta);
+            self.last_clock_sync = cycles;
+        }
+        self.clock.now()
+    }
+
+    /// Whether the timekeeper trusts its own reading.
+    pub fn time_known(&mut self) -> bool {
+        let _ = self.now();
+        self.clock.is_time_known()
+    }
+
+    /// Ground-truth wall-clock time in µs (on-time cycles plus all
+    /// outage durations). This is the *simulation oracle* — the device
+    /// itself only sees its (possibly volatile) timekeeper via
+    /// [`Machine::now`]. Experiments use it the way the paper uses an
+    /// external logic analyzer.
+    #[must_use]
+    pub fn true_now_us(&self) -> u64 {
+        self.mem.cycles() + self.total_off_us
+    }
+
+    // ---- operand stack ----
+
+    /// Pushes a value onto the operand stack of the current frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Trap`] if the frame's operand area overflows
+    /// (indicates a codegen bug) or [`VmError::Memory`] on bad addresses.
+    pub fn push(&mut self, v: i32) -> Result<()> {
+        let f = self.loaded.function_at(self.regs.pc);
+        let frame_end = self.regs.fp.offset(f.frame_size());
+        if self.regs.sp.offset(4) > frame_end {
+            return Err(VmError::Trap(format!(
+                "operand stack overflow in `{}`",
+                f.name
+            )));
+        }
+        self.mem.write_i32(self.regs.sp, v)?;
+        self.regs.sp = self.regs.sp.offset(4);
+        Ok(())
+    }
+
+    /// Pops a value from the operand stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Trap`] on underflow.
+    pub fn pop(&mut self) -> Result<i32> {
+        let f = self.loaded.function_at(self.regs.pc);
+        let operand_base = self
+            .regs
+            .fp
+            .offset(FRAME_HEADER_BYTES + f.arg_bytes() + u32::from(f.locals_bytes));
+        if self.regs.sp <= operand_base {
+            return Err(VmError::Trap(format!(
+                "operand stack underflow in `{}`",
+                f.name
+            )));
+        }
+        self.regs.sp = Addr(self.regs.sp.raw() - 4);
+        Ok(self.mem.read_i32(self.regs.sp)?)
+    }
+
+    /// Reads the top of the operand stack without popping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Memory`] on bad addresses.
+    pub fn peek_top(&self) -> Result<i32> {
+        Ok(self.mem.peek_i32(Addr(self.regs.sp.raw() - 4))?)
+    }
+
+    // ---- frames ----
+
+    /// Address of the first body byte (args) of the frame at `fp`.
+    #[must_use]
+    pub fn frame_body(fp: Addr) -> Addr {
+        fp.offset(FRAME_HEADER_BYTES)
+    }
+
+    /// Reads the frame header at `fp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Memory`] on bad addresses.
+    pub fn read_header(&mut self, fp: Addr) -> Result<FrameHeader> {
+        Ok(FrameHeader {
+            ret_pc: self.mem.read_u32(fp)?,
+            caller_fp: Addr(self.mem.read_u32(fp.offset(4))?),
+            caller_sp: Addr(self.mem.read_u32(fp.offset(8))?),
+        })
+    }
+
+    /// Writes a frame header at `fp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Memory`] on bad addresses.
+    pub fn write_header(&mut self, fp: Addr, h: FrameHeader) -> Result<()> {
+        self.mem.write_u32(fp, h.ret_pc)?;
+        self.mem.write_u32(fp.offset(4), h.caller_fp.raw())?;
+        self.mem.write_u32(fp.offset(8), h.caller_sp.raw())?;
+        Ok(())
+    }
+
+    /// Calls function `fidx`: arguments must already be on the operand
+    /// stack. `ret_pc` is where `Ret` resumes ([`RET_SENTINEL`] halts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates frame-allocation failures (e.g. stack overflow).
+    pub fn call_function(
+        &mut self,
+        rt: &mut dyn IntermittentRuntime,
+        fidx: u16,
+        ret_pc: u32,
+    ) -> Result<()> {
+        let f = &self.loaded.program.functions[fidx as usize];
+        let frame_size = f.frame_size();
+        let arg_bytes = f.arg_bytes();
+        let locals = u32::from(f.locals_bytes);
+        let entry = self.loaded.entry_of(fidx);
+        let args_src = Addr(self.regs.sp.raw().wrapping_sub(arg_bytes));
+        let caller_sp = args_src;
+        let caller_fp = self.regs.fp;
+
+        let new_fp = rt.alloc_frame(self, fidx, frame_size, arg_bytes)?;
+        if arg_bytes > 0 {
+            self.mem
+                .copy(args_src, Machine::frame_body(new_fp), arg_bytes)?;
+        }
+        self.write_header(
+            new_fp,
+            FrameHeader {
+                ret_pc,
+                caller_fp,
+                caller_sp,
+            },
+        )?;
+        self.regs.fp = new_fp;
+        self.regs.sp = Machine::frame_body(new_fp).offset(arg_bytes + locals);
+        self.regs.pc = entry;
+        Ok(())
+    }
+
+    /// Executes a `Ret`: pops the return value, unwinds the frame, and
+    /// either resumes the caller, exits an ISR, or halts the machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory and runtime failures.
+    pub fn do_return(&mut self, rt: &mut dyn IntermittentRuntime) -> Result<()> {
+        let value = self.pop()?;
+        let fp = self.regs.fp;
+        let hdr = self.read_header(fp)?;
+        rt.free_frame(self, fp)?;
+        if self.in_isr && fp == self.isr_frame_fp {
+            // Return-from-interrupt: discard the value, no push; the
+            // runtime may take its implicit post-ISR checkpoint.
+            self.in_isr = false;
+            self.regs.fp = hdr.caller_fp;
+            self.regs.sp = hdr.caller_sp;
+            self.regs.pc = hdr.ret_pc;
+            rt.on_isr_exit(self)?;
+            return Ok(());
+        }
+        if hdr.ret_pc == RET_SENTINEL {
+            self.set_halted(value);
+            return Ok(());
+        }
+        self.regs.fp = hdr.caller_fp;
+        self.regs.sp = hdr.caller_sp;
+        self.regs.pc = hdr.ret_pc;
+        self.push(value)?;
+        Ok(())
+    }
+
+    /// Starts (or restarts) the program at `main` with a fresh bottom
+    /// frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frame-allocation failures.
+    pub fn start_main(&mut self, rt: &mut dyn IntermittentRuntime) -> Result<()> {
+        self.in_isr = false;
+        self.regs.sp = Addr(0);
+        self.regs.fp = Addr(0);
+        let entry_fn = self.loaded.program.entry;
+        self.call_function(rt, entry_fn, RET_SENTINEL)
+    }
+
+    /// Fires the configured ISR if its period has elapsed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frame-allocation failures.
+    pub fn maybe_fire_isr(&mut self, rt: &mut dyn IntermittentRuntime) -> Result<()> {
+        let Some(isr) = self.isr else { return Ok(()) };
+        if self.in_isr || self.is_halted() {
+            return Ok(());
+        }
+        let now = self.now().as_micros();
+        if now < isr.next_at {
+            return Ok(());
+        }
+        if let Some(i) = &mut self.isr {
+            while i.next_at <= now {
+                i.next_at += i.period_us;
+            }
+        }
+        rt.on_isr_enter(self)?;
+        self.in_isr = true;
+        let ret_pc = self.regs.pc;
+        self.call_function(rt, isr.fidx, ret_pc)?;
+        self.isr_frame_fp = self.regs.fp;
+        self.stats.isr_entries += 1;
+        Ok(())
+    }
+
+    // ---- globals & boot ----
+
+    /// (Re)initializes globals: `.data` gets its initializer image,
+    /// `.bss` is zeroed. When `include_nv` is false, `nv`-qualified
+    /// variables keep their values (the crt0 of an FRAM device preserves
+    /// the persistent section across reboots).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Memory`] on bad addresses.
+    pub fn init_globals(&mut self, include_nv: bool) -> Result<()> {
+        let globals: Vec<_> = self
+            .loaded
+            .program
+            .globals
+            .iter()
+            .map(|g| (g.offset, g.size, g.nv, g.init.clone()))
+            .collect();
+        for (offset, size, nv, init) in globals {
+            if nv && !include_nv {
+                continue;
+            }
+            let base = self.global_addr(offset);
+            self.mem.fill(base, size, 0)?;
+            for (i, v) in init.iter().enumerate() {
+                self.mem.write_i32(base.offset(4 * i as u32), *v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Injects a power failure followed by `off_us` of darkness: volatile
+    /// memory and registers are lost, the timekeeper experiences the
+    /// outage, and the machine is ready for the runtime's `on_boot`.
+    pub fn power_failure(&mut self, off_us: u64) {
+        let _ = self.now(); // sync on-time into the clock first
+        let at = self.true_now_us();
+        self.stats.failure_times.push(at);
+        self.mem.power_fail();
+        self.regs.reset();
+        self.clock.power_cycle(off_us);
+        self.total_off_us += off_us;
+        self.in_isr = false;
+        self.stats.power_failures += 1;
+    }
+
+    // ---- syscall support ----
+
+    /// Records a completed radio transmission (called by the VM for
+    /// immediate sends and by virtualizing runtimes when they flush
+    /// their committed I/O buffers).
+    pub fn record_send(&mut self, value: i32) {
+        let at = self.true_now_us();
+        self.stats.sends.push(value);
+        self.stats.sends_timed.push((value, at));
+    }
+
+    /// Next deterministic pseudo-random value in `[0, 65536)`.
+    pub fn rand16(&mut self) -> i32 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        ((x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) & 0xFFFF) as i32
+    }
+
+    /// Next sensor value: scripted trace first, then synthetic.
+    pub fn next_sensor(&mut self) -> i32 {
+        self.stats.samples += 1;
+        let at = self.true_now_us();
+        self.stats.samples_timed.push(at);
+        if self.sensor_pos < self.sensor_trace.len() {
+            let v = self.sensor_trace[self.sensor_pos];
+            self.sensor_pos += 1;
+            v
+        } else {
+            self.rand16() & 0x3FF
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::BareRuntime;
+    use tics_minic::{compile, opt::OptLevel};
+
+    fn machine(src: &str) -> Machine {
+        let prog = compile(src, OptLevel::O0).unwrap();
+        Machine::new(prog, MachineConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn globals_are_initialized_at_load() {
+        let m = machine("int a = 7; int b[3] = {1,2}; int main() { return 0; }");
+        assert_eq!(m.mem.peek_i32(m.global_addr(0)).unwrap(), 7);
+        assert_eq!(m.mem.peek_i32(m.global_addr(4)).unwrap(), 1);
+        assert_eq!(m.mem.peek_i32(m.global_addr(8)).unwrap(), 2);
+        assert_eq!(m.mem.peek_i32(m.global_addr(12)).unwrap(), 0);
+    }
+
+    #[test]
+    fn nv_globals_survive_reinit() {
+        let mut m = machine("nv int keep = 1; int lose = 2; int main() { return 0; }");
+        m.mem.poke_i32(m.global_addr(0), 99).unwrap();
+        m.mem.poke_i32(m.global_addr(4), 98).unwrap();
+        m.init_globals(false).unwrap();
+        assert_eq!(m.mem.peek_i32(m.global_addr(0)).unwrap(), 99);
+        assert_eq!(m.mem.peek_i32(m.global_addr(4)).unwrap(), 2);
+    }
+
+    #[test]
+    fn start_main_builds_bottom_frame() {
+        let mut m = machine("int main() { int x = 1; return x; }");
+        let mut rt = BareRuntime::new();
+        m.start_main(&mut rt).unwrap();
+        assert_eq!(m.regs.pc, m.loaded().entry_of(m.loaded().program.entry));
+        let hdr = m.read_header(m.regs.fp).unwrap();
+        assert_eq!(hdr.ret_pc, RET_SENTINEL);
+    }
+
+    #[test]
+    fn push_pop_roundtrip_in_memory() {
+        // Three-arg call gives main an operand area of ≥ 3 words.
+        let mut m =
+            machine("int f(int a, int b, int c) { return a; } int main() { return f(1, 2, 3); }");
+        let mut rt = BareRuntime::new();
+        m.start_main(&mut rt).unwrap();
+        m.push(123).unwrap();
+        m.push(-5).unwrap();
+        // Values live in simulated memory, not host state.
+        assert_eq!(m.peek_top().unwrap(), -5);
+        assert_eq!(m.pop().unwrap(), -5);
+        assert_eq!(m.pop().unwrap(), 123);
+        assert!(m.pop().is_err(), "underflow must trap");
+    }
+
+    #[test]
+    fn power_failure_clears_volatile_state() {
+        let mut m = machine("int main() { return 0; }");
+        let mut rt = BareRuntime::new();
+        m.start_main(&mut rt).unwrap();
+        m.push(42).unwrap();
+        m.power_failure(1_000);
+        assert_eq!(m.regs.pc, 0);
+        assert_eq!(m.regs.sp, Addr(0));
+        assert_eq!(m.stats().power_failures, 1);
+    }
+
+    #[test]
+    fn clock_follows_cycles_and_outages() {
+        let mut m = machine("int main() { return 0; }");
+        m.mem.add_cycles(500);
+        assert_eq!(m.now().as_micros(), 500);
+        m.power_failure(1_500);
+        assert_eq!(m.now().as_micros(), 2_000);
+    }
+
+    #[test]
+    fn sensor_trace_is_consumed_then_synthetic() {
+        let prog = compile("int main() { return 0; }", OptLevel::O0).unwrap();
+        let mut m = Machine::new(
+            prog,
+            MachineConfig {
+                sensor_trace: vec![10, 20],
+                ..MachineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(m.next_sensor(), 10);
+        assert_eq!(m.next_sensor(), 20);
+        let v = m.next_sensor();
+        assert!((0..1024).contains(&v));
+        assert_eq!(m.stats().samples, 3);
+    }
+
+    #[test]
+    fn rand16_is_deterministic_per_seed() {
+        let mk = || machine("int main() { return 0; }");
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..10 {
+            assert_eq!(a.rand16(), b.rand16());
+        }
+    }
+
+    #[test]
+    fn isr_requires_existing_function() {
+        let prog = compile("int main() { return 0; }", OptLevel::O0).unwrap();
+        let r = Machine::new(
+            prog,
+            MachineConfig {
+                isr: Some(("nope".into(), 100)),
+                ..MachineConfig::default()
+            },
+        );
+        assert!(matches!(r, Err(VmError::Load(_))));
+    }
+}

@@ -1,0 +1,97 @@
+//! Execution statistics collected by the machine and its runtime.
+
+use std::collections::HashMap;
+
+/// Everything the experiments count: completions, checkpoints, traffic,
+/// violations. Runtimes update the checkpoint/log fields through
+/// [`Machine::stats_mut`](crate::Machine::stats_mut).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Boots (first boot + one per power-failure recovery).
+    pub boots: u64,
+    /// Power failures injected.
+    pub power_failures: u64,
+    /// Bytecode instructions executed.
+    pub instructions: u64,
+    /// Checkpoints actually committed (not sites visited).
+    pub checkpoints: u64,
+    /// Total bytes committed by checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Checkpoint restores performed after reboots.
+    pub restores: u64,
+    /// Undo-log entries appended.
+    pub undo_log_appends: u64,
+    /// Undo-log entries rolled back after failures.
+    pub undo_rollbacks: u64,
+    /// Stack segment grows.
+    pub stack_grows: u64,
+    /// Stack segment shrinks.
+    pub stack_shrinks: u64,
+    /// `mark(id)` completions per id (routine counting for Table 1).
+    pub marks: HashMap<i32, u64>,
+    /// `mark(id)` events with the *true* wall-clock time (µs) at which
+    /// they occurred — the simulation's logic-analyzer trace.
+    pub marks_timed: Vec<(i32, u64)>,
+    /// Values transmitted with `send`.
+    pub sends: Vec<i32>,
+    /// `send` events with true wall-clock time (µs).
+    pub sends_timed: Vec<(i32, u64)>,
+    /// True wall-clock time (µs) of every sensor sample.
+    pub samples_timed: Vec<u64>,
+    /// True wall-clock time (µs) of every power failure.
+    pub failure_times: Vec<u64>,
+    /// Values printed with `print`.
+    pub prints: Vec<i32>,
+    /// `led(x)` invocations.
+    pub led_events: u64,
+    /// Sensor samples taken (all `sample*` syscalls).
+    pub samples: u64,
+    /// `@expires` guards evaluated stale (data discarded).
+    pub expired_data_discards: u64,
+    /// `@expires`/`catch` blocks aborted by the expiration timer.
+    pub expires_catches: u64,
+    /// `@timely` branches not taken because the deadline had passed.
+    pub timely_misses: u64,
+    /// ISR invocations.
+    pub isr_entries: u64,
+}
+
+impl ExecStats {
+    /// Completions recorded for `mark(id)`.
+    #[must_use]
+    pub fn mark_count(&self, id: i32) -> u64 {
+        self.marks.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Mean checkpoint size in bytes, if any checkpoint was taken.
+    #[must_use]
+    pub fn mean_checkpoint_bytes(&self) -> Option<f64> {
+        if self.checkpoints == 0 {
+            None
+        } else {
+            Some(self.checkpoint_bytes as f64 / self.checkpoints as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_count_defaults_to_zero() {
+        let mut s = ExecStats::default();
+        assert_eq!(s.mark_count(3), 0);
+        *s.marks.entry(3).or_default() += 2;
+        assert_eq!(s.mark_count(3), 2);
+    }
+
+    #[test]
+    fn mean_checkpoint_bytes() {
+        let mut s = ExecStats::default();
+        assert_eq!(s.mean_checkpoint_bytes(), None);
+        s.checkpoints = 4;
+        s.checkpoint_bytes = 100;
+        assert_eq!(s.mean_checkpoint_bytes(), Some(25.0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Tour of the whole comparison matrix: build each benchmark for every
+//! system, run the feasible pairs briefly on intermittent power, and
+//! show who completes, who starves, and who cannot even compile — the
+//! paper's Table 5 + Figure 9 feasibility structure, live.
+//!
+//! ```sh
+//! cargo run --example system_matrix
+//! ```
+
+use tics_repro::apps::workload::ar_trace;
+use tics_repro::apps::{ar, build_app, App, SystemUnderTest};
+use tics_repro::energy::PeriodicTrace;
+use tics_repro::minic::opt::OptLevel;
+use tics_repro::vm::{Executor, Machine, MachineConfig, RunOutcome};
+
+fn cell(app: App, system: SystemUnderTest) -> String {
+    let program = match build_app(
+        app,
+        system,
+        OptLevel::O2,
+        tics_repro::apps::build::Scale(10),
+    ) {
+        Ok(p) => p,
+        Err(_) => return "  ✗  ".to_string(),
+    };
+    let sensor_trace = match app {
+        App::Ar => ar_trace(40, ar::WINDOW, 3, 5).0,
+        _ => Vec::new(),
+    };
+    let mut machine = Machine::new(
+        program.clone(),
+        MachineConfig {
+            sensor_trace,
+            ..MachineConfig::default()
+        },
+    )
+    .expect("loads");
+    let mut runtime = tics_repro::apps::build::make_runtime(system, &program);
+    let outcome = Executor::new()
+        .with_time_budget(60_000_000)
+        .with_starvation_detection(2_000)
+        .run(
+            &mut machine,
+            runtime.as_mut(),
+            &mut PeriodicTrace::new(20_000, 1_000),
+        );
+    match outcome {
+        Ok(RunOutcome::Finished(_)) => format!("{:>4}us", machine.cycles() / 1000 * 1000),
+        Ok(RunOutcome::Starved { .. }) => "starve".to_string(),
+        Ok(_) => " loop ".to_string(),
+        Err(_) => " trap ".to_string(),
+    }
+}
+
+fn main() {
+    println!("Completion matrix on 20 ms / 1 ms intermittent power (10 work items):\n");
+    print!("{:<12}", "");
+    for app in [App::Ar, App::Bc, App::Cuckoo] {
+        print!("{:>10}", app.name());
+    }
+    println!();
+    for system in SystemUnderTest::ALL {
+        print!("{:<12}", system.name());
+        for app in [App::Ar, App::Bc, App::Cuckoo] {
+            print!("{:>10}", cell(app, system));
+        }
+        println!();
+    }
+    println!(
+        "\n✗ = infeasible (no pointers/recursion, -O0-only toolchain, loop-free \
+         graphs); starve = no forward progress; loop = window ended mid-run."
+    );
+}

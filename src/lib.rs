@@ -1,0 +1,68 @@
+//! # tics-repro — TICS (ASPLOS 2020), reproduced in Rust
+//!
+//! A from-scratch reproduction of *Time-sensitive Intermittent Computing
+//! Meets Legacy Software* (Kortbeek et al., ASPLOS 2020): the TICS
+//! runtime — stack segmentation, undo-log memory consistency, two-phase
+//! checkpoints, and time-sensitivity semantics — together with every
+//! substrate it needs and every baseline it is evaluated against.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`mcu`] — MSP430FR-class machine: volatile SRAM + persistent FRAM,
+//!   register file, calibrated cycle cost model.
+//! * [`energy`] — harvesters, storage capacitor, power-failure schedules.
+//! * [`clock`] — persistent (and deliberately non-persistent)
+//!   timekeepers.
+//! * [`minic`] — the "legacy software" substrate: a mini-C compiler with
+//!   TICS time annotations, a bytecode ISA, an optimizer, and the
+//!   intermittency instrumentation passes.
+//! * [`vm`] — the bytecode VM with pluggable [`vm::IntermittentRuntime`]s
+//!   and power-failure injection.
+//! * [`core`] — **the paper's contribution**: the TICS runtime.
+//! * [`baselines`] — MementOS-style naive checkpointing, Chinchilla,
+//!   Ratchet, and the Alpaca/InK/MayFly task kernels.
+//! * [`apps`] — the evaluation applications (AR, BC, CF, GHM, the user-
+//!   study programs) and workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tics_repro::core::{TicsConfig, TicsRuntime};
+//! use tics_repro::minic::{compile, opt::OptLevel, passes};
+//! use tics_repro::vm::{Executor, Machine, MachineConfig};
+//! use tics_repro::energy::PeriodicTrace;
+//!
+//! // Unaltered legacy C — recursion included.
+//! let mut program = compile(
+//!     "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+//!      int main() { return fib(10); }",
+//!     OptLevel::O2,
+//! )?;
+//! passes::instrument_tics(&mut program)?;
+//!
+//! let mut machine = Machine::new(program, MachineConfig::default())?;
+//! let mut tics = TicsRuntime::new(TicsConfig::default());
+//! // Power fails every 20 ms; the program still finishes, correctly.
+//! let outcome = Executor::new().run(
+//!     &mut machine,
+//!     &mut tics,
+//!     &mut PeriodicTrace::new(20_000, 2_000),
+//! )?;
+//! assert_eq!(outcome.exit_code(), Some(55));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! per-table/figure reproduction record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tics_apps as apps;
+pub use tics_baselines as baselines;
+pub use tics_clock as clock;
+pub use tics_core as core;
+pub use tics_energy as energy;
+pub use tics_mcu as mcu;
+pub use tics_minic as minic;
+pub use tics_vm as vm;

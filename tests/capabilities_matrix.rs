@@ -1,0 +1,141 @@
+//! Cross-crate enforcement of Table 5: each runtime's declared
+//! capabilities must match what its `check_program` actually accepts.
+
+use tics_repro::apps::{build_app, App, SystemUnderTest};
+use tics_repro::baselines::{
+    ChinchillaRuntime, NaiveCheckpoint, RatchetRuntime, TaskFlavor, TaskKernel,
+};
+use tics_repro::core::{TicsConfig, TicsRuntime};
+use tics_repro::minic::opt::OptLevel;
+use tics_repro::minic::program::Instrumentation;
+use tics_repro::minic::{compile, passes};
+use tics_repro::vm::{IntermittentRuntime, PortingEffort};
+
+#[test]
+fn declared_capabilities_match_acceptance() {
+    // A recursive, pointer-using program image tagged for each system.
+    let recursive_pointers = "
+        int g;
+        int rec(int n, int *p) { *p = n; if (n == 0) return 0; return rec(n - 1, p); }
+        int main() { return rec(5, &g); }";
+
+    // TICS accepts it.
+    {
+        let mut prog = compile(recursive_pointers, OptLevel::O2).unwrap();
+        passes::instrument_tics(&mut prog).unwrap();
+        let rt = TicsRuntime::new(TicsConfig::default());
+        assert!(rt.check_program(&prog).is_ok());
+        assert!(rt.capabilities().pointer_support && rt.capabilities().recursion_support);
+    }
+    // Chinchilla rejects at instrumentation time (recursion).
+    {
+        let mut prog = compile(recursive_pointers, OptLevel::O0).unwrap();
+        assert!(passes::instrument_chinchilla(&mut prog).is_err());
+        assert!(
+            !ChinchillaRuntime::default()
+                .capabilities()
+                .recursion_support
+        );
+    }
+    // Task kernels reject both recursion and pointers.
+    for flavor in [TaskFlavor::Alpaca, TaskFlavor::Ink, TaskFlavor::Mayfly] {
+        let mut prog = compile(recursive_pointers, OptLevel::O2).unwrap();
+        prog.instrumentation = Instrumentation::TaskBased;
+        let rt = TaskKernel::new(flavor);
+        assert!(rt.check_program(&prog).is_err(), "{}", flavor.name());
+        let caps = rt.capabilities();
+        assert!(!caps.pointer_support && !caps.recursion_support);
+        assert_eq!(caps.porting_effort, PortingEffort::High);
+    }
+}
+
+#[test]
+fn timely_execution_column_matches_table5() {
+    let timely: Vec<(&str, bool)> = vec![
+        (
+            "MayFly",
+            TaskKernel::new(TaskFlavor::Mayfly)
+                .capabilities()
+                .timely_execution,
+        ),
+        (
+            "Alpaca",
+            TaskKernel::new(TaskFlavor::Alpaca)
+                .capabilities()
+                .timely_execution,
+        ),
+        (
+            "Ratchet",
+            RatchetRuntime::default().capabilities().timely_execution,
+        ),
+        (
+            "Chinchilla",
+            ChinchillaRuntime::default().capabilities().timely_execution,
+        ),
+        (
+            "InK",
+            TaskKernel::new(TaskFlavor::Ink)
+                .capabilities()
+                .timely_execution,
+        ),
+        (
+            "naive",
+            NaiveCheckpoint::default().capabilities().timely_execution,
+        ),
+        (
+            "TICS",
+            TicsRuntime::new(TicsConfig::default())
+                .capabilities()
+                .timely_execution,
+        ),
+    ];
+    let expected = [true, false, false, false, true, false, true];
+    for ((name, got), want) in timely.iter().zip(expected) {
+        assert_eq!(*got, want, "{name} timely column");
+    }
+}
+
+#[test]
+fn only_tics_runs_the_annotated_ar_source() {
+    // The annotated AR needs time semantics; time-blind runtimes are
+    // given the *plain* AR by the build layer, and their kernels would
+    // trap on annotation instructions anyway.
+    let prog = build_app(
+        App::Ar,
+        SystemUnderTest::Tics,
+        OptLevel::O2,
+        tics_repro::apps::build::Scale(4),
+    )
+    .unwrap();
+    assert!(!prog.annotated.is_empty(), "TICS AR is annotated");
+    let plain = build_app(
+        App::Ar,
+        SystemUnderTest::Mementos,
+        OptLevel::O2,
+        tics_repro::apps::build::Scale(4),
+    )
+    .unwrap();
+    assert!(
+        plain.annotated.is_empty(),
+        "baseline AR is the manual-time variant"
+    );
+}
+
+#[test]
+fn every_runtime_rejects_foreign_instrumentation() {
+    let plain = compile("int main() { return 0; }", OptLevel::O2).unwrap();
+    let runtimes: Vec<Box<dyn IntermittentRuntime>> = vec![
+        Box::new(TicsRuntime::new(TicsConfig::default())),
+        Box::new(NaiveCheckpoint::default()),
+        Box::new(ChinchillaRuntime::default()),
+        Box::new(RatchetRuntime::default()),
+        Box::new(TaskKernel::new(TaskFlavor::Alpaca)),
+    ];
+    for rt in &runtimes {
+        assert!(
+            rt.check_program(&plain).is_err(),
+            "{} must reject uninstrumented images",
+            rt.name()
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! The paper's Figure 3, executable: the four consistency-violation
+//! classes of checkpoint-based intermittent execution, each demonstrated
+//! *happening* on a baseline and *prevented* under TICS.
+
+use tics_repro::clock::{PerfectClock, VolatileClock};
+use tics_repro::core::{TicsConfig, TicsRuntime};
+use tics_repro::energy::RecordedTrace;
+use tics_repro::minic::{compile, opt::OptLevel, passes};
+use tics_repro::vm::{BareRuntime, Executor, Machine, MachineConfig};
+
+/// Figure 3(a): write-after-read on a non-volatile global. Plain legacy
+/// code restarting from `main` double-counts `len`; TICS rolls the
+/// uncommitted increments back.
+#[test]
+fn fig3a_war_violation_without_tics() {
+    // `len` is nv, so under plain C it persists while the loop index
+    // restarts — the classic WAR inconsistency.
+    let src = "nv int len;
+               nv int done;
+               int main() {
+                   if (done == 0) {
+                       for (int i = 0; i < 50; i++) { len = len + 1; }
+                       done = 1;
+                   }
+                   return len;
+               }";
+    let prog = compile(src, OptLevel::O2).unwrap();
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    let mut rt = BareRuntime::new();
+    // Power fails mid-loop once, then stays on.
+    let mut supply = RecordedTrace::new([(1_200, 100), (10_000_000, 0)]);
+    let out = Executor::new().run(&mut m, &mut rt, &mut supply).unwrap();
+    let len = out.exit_code().unwrap();
+    assert!(
+        len > 50,
+        "expected over-counting from the replayed increments, got {len}"
+    );
+}
+
+/// Figure 3(a), fixed: the same scenario under TICS is exact.
+#[test]
+fn fig3a_war_prevented_by_tics() {
+    let src = "nv int len;
+               int main() {
+                   for (int i = 0; i < 50; i++) { len = len + 1; checkpoint(); }
+                   return len;
+               }";
+    let mut prog = compile(src, OptLevel::O2).unwrap();
+    passes::instrument_tics(&mut prog).unwrap();
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    let mut rt = TicsRuntime::new(TicsConfig::s2());
+    let mut supply = RecordedTrace::new([(1_200, 100), (1_500, 200), (10_000_000, 0)]);
+    let out = Executor::new().run(&mut m, &mut rt, &mut supply).unwrap();
+    assert_eq!(out.exit_code(), Some(50));
+    assert!(m.stats().power_failures >= 2);
+}
+
+/// Figure 3(b): timely branching. The volatile clock resets across the
+/// outage, so the manual `time < T` check passes long after T — the
+/// alert fires hours late.
+#[test]
+fn fig3b_timely_branch_violation_with_volatile_clock() {
+    let src = "nv int phase;
+               nv int t0;
+               nv int alerted_late;
+               int main() {
+                   if (phase == 0) {
+                       t0 = time_ms();
+                       phase = 1;
+                       while (1) { }   // dies here; long outage follows
+                   }
+                   // After reboot the volatile clock restarted near zero.
+                   if (time_ms() - t0 < 100) { alerted_late = 1; send(1); }
+                   return alerted_late;
+               }";
+    let prog = compile(src, OptLevel::O2).unwrap();
+    let mut m = Machine::with_clock(
+        prog,
+        MachineConfig::default(),
+        Box::new(VolatileClock::new()),
+    )
+    .unwrap();
+    let mut rt = BareRuntime::new();
+    // 5 ms on, then a 10 *minute* outage — the data's moment is long gone.
+    let mut supply = RecordedTrace::new([(5_000, 600_000_000), (10_000_000, 0)]);
+    let out = Executor::new().run(&mut m, &mut rt, &mut supply).unwrap();
+    assert_eq!(
+        out.exit_code(),
+        Some(1),
+        "the stale branch must be taken with a volatile clock"
+    );
+    // True time says the alert came ~10 minutes late.
+    let alert = m.stats().sends_timed[0].1;
+    assert!(alert > 600_000_000);
+}
+
+/// Figure 3(b), fixed: `@timely` against a persistent timekeeper takes
+/// the else-branch after the outage.
+#[test]
+fn fig3b_timely_branch_prevented_by_tics() {
+    // A restore resumes *inside* the burn loop, so the program is
+    // structured as a phase machine: the burn is bounded and re-checked.
+    let src = "nv int phase;
+               nv int deadline;
+               int main() {
+                   while (1) {
+                       if (phase == 0) {
+                           deadline = time_ms() + 100;
+                           phase = 1;
+                           checkpoint();
+                           int burn = 0;
+                           for (int i = 0; i < 20000; i++) { burn += i; }
+                       } else {
+                           int taken = 0;
+                           @timely(deadline) { taken = 1; } else { taken = 2; }
+                           return taken;
+                       }
+                   }
+                   return 0;
+               }";
+    let mut prog = compile(src, OptLevel::O2).unwrap();
+    passes::instrument_tics(&mut prog).unwrap();
+    let mut m = Machine::with_clock(
+        prog,
+        MachineConfig::default(),
+        Box::new(PerfectClock::new()), // persistent timekeeper
+    )
+    .unwrap();
+    let mut rt = TicsRuntime::new(TicsConfig::s2());
+    let mut supply = RecordedTrace::new([(5_000, 600_000_000), (10_000_000, 0)]);
+    let out = Executor::new().run(&mut m, &mut rt, &mut supply).unwrap();
+    assert_eq!(
+        out.exit_code(),
+        Some(2),
+        "the deadline must be seen as passed"
+    );
+    assert_eq!(m.stats().timely_misses, 1);
+}
+
+/// Figure 3(d): data expiration. Plain code happily consumes data
+/// sampled before a long outage; the TICS `@expires` guard discards it.
+#[test]
+fn fig3d_expiration_violation_and_fix() {
+    // Without TICS: consume unconditionally after reboot.
+    let plain = "nv int d;
+                 nv int phase;
+                 int main() {
+                     if (phase == 0) {
+                         d = sample();
+                         phase = 1;
+                         while (1) { }
+                     }
+                     send(d);   // hours-old data, still transmitted
+                     return 1;
+                 }";
+    let prog = compile(plain, OptLevel::O2).unwrap();
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    let mut rt = BareRuntime::new();
+    let mut supply = RecordedTrace::new([(5_000, 3_600_000_000), (10_000_000, 0)]);
+    let out = Executor::new().run(&mut m, &mut rt, &mut supply).unwrap();
+    assert_eq!(out.exit_code(), Some(1));
+    assert_eq!(m.stats().sends.len(), 1, "stale data was transmitted");
+
+    // With TICS: the guard rejects the hour-old value. (Bounded burn in
+    // a phase machine — a restore resumes inside the burn loop.)
+    let fixed = "@expires_after = 1s
+                 int d;
+                 nv int phase;
+                 int main() {
+                     while (1) {
+                         if (phase == 0) {
+                             d @= sample();
+                             phase = 1;
+                             int burn = 0;
+                             for (int i = 0; i < 20000; i++) { burn += i; }
+                         } else {
+                             int used = 0;
+                             @expires(d) { send(d); used = 1; }
+                             return used;
+                         }
+                     }
+                     return 0;
+                 }";
+    let mut prog = compile(fixed, OptLevel::O2).unwrap();
+    passes::instrument_tics(&mut prog).unwrap();
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    let mut rt = TicsRuntime::new(TicsConfig::s2());
+    let mut supply = RecordedTrace::new([(5_000, 3_600_000_000), (10_000_000, 0)]);
+    let out = Executor::new().run(&mut m, &mut rt, &mut supply).unwrap();
+    assert_eq!(out.exit_code(), Some(0), "expired data must be discarded");
+    assert!(m.stats().sends.is_empty());
+    assert!(m.stats().expired_data_discards >= 1);
+}
+
+/// Figure 3(c): misalignment — a checkpoint between timestamp and data
+/// acquisition pairs fresh data with a pre-failure timestamp. Under
+/// TICS, `@=` makes the pair atomic; after a failure inside the pair,
+/// execution resumes at (or before) the assignment, so consumed pairs
+/// are always aligned.
+#[test]
+fn fig3c_alignment_is_atomic_under_tics() {
+    let src = "@expires_after = 10s
+               int d;
+               nv int rounds;
+               int main() {
+                   while (rounds < 30) {
+                       d @= sample();
+                       int ok = 0;
+                       @expires(d) { ok = 1; }
+                       send(ok);
+                       rounds = rounds + 1;
+                   }
+                   return rounds;
+               }";
+    let mut prog = compile(src, OptLevel::O2).unwrap();
+    passes::instrument_tics(&mut prog).unwrap();
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    let mut rt = TicsRuntime::new(TicsConfig::s2().with_timer(Some(2_000)));
+    // Failure storm while the pairs are being formed.
+    let mut supply = RecordedTrace::new(vec![(4_000, 1_000); 400]);
+    let out = Executor::new()
+        .with_time_budget(5_000_000_000)
+        .run(&mut m, &mut rt, &mut supply)
+        .unwrap();
+    assert_eq!(out.exit_code(), Some(30));
+    // Every consumed pair passed its own freshness check.
+    assert!(
+        m.stats().sends.iter().all(|v| *v == 1),
+        "{:?}",
+        m.stats().sends
+    );
+}

@@ -1,0 +1,129 @@
+//! The paper's Figure 7, executable: the stack-segmentation walkthrough
+//! — function entry, grow, checkpoint-on-shrink — observed through the
+//! runtime's statistics and the persistent FRAM structures.
+
+use tics_repro::core::{ctrl_flag, TicsConfig, TicsRuntime};
+use tics_repro::energy::{ContinuousPower, RecordedTrace};
+use tics_repro::minic::{compile, opt::OptLevel, passes};
+use tics_repro::vm::{Executor, Machine, MachineConfig};
+
+/// The Figure 7 shape: `main` calls `foo`, whose frame does not fit the
+/// working segment; `foo` calls `foobar`.
+const FIG7: &str = "
+int foobar(int x, int *bar) {
+    bar[0] = x;
+    return bar[0] + 1;
+}
+
+int foo(int x) {
+    int bar[32];            // 128 B of locals, like the paper's char[128]
+    x = foobar(x, bar);
+    return x;
+}
+
+int main() {
+    int s = 0;
+    for (int i = 0; i < 4; i++) { s += foo(i); }
+    return s;
+}
+";
+
+fn build() -> Machine {
+    let mut prog = compile(FIG7, OptLevel::O2).unwrap();
+    passes::instrument_tics(&mut prog).unwrap();
+    Machine::new(prog, MachineConfig::default()).unwrap()
+}
+
+#[test]
+fn grow_shrink_and_enforced_checkpoints_happen() {
+    let mut m = build();
+    let mut rt = TicsRuntime::new(TicsConfig::s2().with_seg_size(192).with_segments(10));
+    let out = Executor::new()
+        .run(&mut m, &mut rt, &mut ContinuousPower::new())
+        .unwrap();
+    assert_eq!(out.exit_code(), Some(1 + 2 + 3 + 4));
+    let s = m.stats();
+    // Step 1-2 of Figure 7: entering foo grows the working stack.
+    assert!(s.stack_grows >= 4, "grows: {}", s.stack_grows);
+    // Step 3: returning from foo shrinks it back...
+    assert!(s.stack_shrinks >= 4, "shrinks: {}", s.stack_shrinks);
+    // ...with an enforced segment checkpoint when the checkpointed
+    // segment would fall outside the live stack.
+    assert!(s.checkpoints >= 1, "ckpts: {}", s.checkpoints);
+}
+
+#[test]
+fn pointer_into_caller_segment_is_undo_logged() {
+    // `foobar` writes through `bar`, which points into `foo`'s frame.
+    // When foobar's frame lives in a *different* segment, that write must
+    // go through the undo log (§3.1.2); writes to the working stack must
+    // not.
+    let mut m = build();
+    // Small segments force foo and foobar into different segments.
+    let mut rt = TicsRuntime::new(TicsConfig::s2().with_seg_size(192).with_segments(10));
+    Executor::new()
+        .run(&mut m, &mut rt, &mut ContinuousPower::new())
+        .unwrap();
+    assert!(
+        m.stats().undo_log_appends >= 4,
+        "cross-segment pointer writes must be logged: {}",
+        m.stats().undo_log_appends
+    );
+
+    // With one huge segment, everything is the working stack: no logging.
+    let mut m = build();
+    let mut rt = TicsRuntime::new(TicsConfig::s2().with_seg_size(1024).with_segments(2));
+    Executor::new()
+        .run(&mut m, &mut rt, &mut ContinuousPower::new())
+        .unwrap();
+    assert_eq!(
+        m.stats().undo_log_appends,
+        0,
+        "working-stack writes must not be logged"
+    );
+}
+
+#[test]
+fn checkpoint_flag_alternates_buffers() {
+    // The two-phase commit alternates the valid flag between buffers A
+    // and B — observable in the persistent control block.
+    let mut prog = compile(
+        "int main() { checkpoint(); checkpoint(); checkpoint(); return 0; }",
+        OptLevel::O2,
+    )
+    .unwrap();
+    passes::instrument_tics(&mut prog).unwrap();
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    let mut rt = TicsRuntime::new(TicsConfig::s2());
+    Executor::new()
+        .run(&mut m, &mut rt, &mut ContinuousPower::new())
+        .unwrap();
+    assert_eq!(m.stats().checkpoints, 3);
+    assert_eq!(ctrl_flag(&m, &rt), Some(1), "A, B, A — flag ends on A");
+}
+
+#[test]
+fn interrupted_commit_falls_back_to_previous_checkpoint() {
+    // Die exactly inside a checkpoint commit window: the previous
+    // checkpoint must remain the restore point and the program must
+    // still finish correctly afterwards.
+    let mut prog = compile(
+        "nv int n;
+         int main() {
+             while (n < 300) { n = n + 1; }
+             return n;
+         }",
+        OptLevel::O2,
+    )
+    .unwrap();
+    passes::instrument_tics(&mut prog).unwrap();
+    let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+    let mut rt = TicsRuntime::new(TicsConfig::s2().with_timer(Some(1_000)));
+    // On-periods sized so timer checkpoints frequently race the deadline.
+    let mut periods: Vec<(u64, u64)> = (0..600u64).map(|i| (1_400 + (i % 7) * 97, 200)).collect();
+    periods.push((50_000_000, 0));
+    let out = Executor::new()
+        .run(&mut m, &mut rt, &mut RecordedTrace::new(periods))
+        .unwrap();
+    assert_eq!(out.exit_code(), Some(300), "mid-commit deaths must be safe");
+}

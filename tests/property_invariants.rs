@@ -1,0 +1,180 @@
+//! Property-based tests across the compiler and runtime stack.
+
+use proptest::prelude::*;
+use tics_repro::core::{TicsConfig, TicsRuntime};
+use tics_repro::energy::{ContinuousPower, PeriodicTrace};
+use tics_repro::minic::{compile, opt::OptLevel, passes};
+use tics_repro::vm::{BareRuntime, Executor, Machine, MachineConfig};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+impl Op {
+    fn c_op(self) -> &'static str {
+        match self {
+            Op::Add => "+",
+            Op::Sub => "-",
+            Op::Mul => "*",
+            Op::And => "&",
+            Op::Or => "|",
+            Op::Xor => "^",
+            Op::Shl => "<<",
+            Op::Shr => ">>",
+        }
+    }
+
+    fn eval(self, a: i32, b: i32) -> i32 {
+        match self {
+            Op::Add => a.wrapping_add(b),
+            Op::Sub => a.wrapping_sub(b),
+            Op::Mul => a.wrapping_mul(b),
+            Op::And => a & b,
+            Op::Or => a | b,
+            Op::Xor => a ^ b,
+            Op::Shl => a.wrapping_shl(b as u32 & 31),
+            Op::Shr => a.wrapping_shr(b as u32 & 31),
+        }
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Add),
+        Just(Op::Sub),
+        Just(Op::Mul),
+        Just(Op::And),
+        Just(Op::Or),
+        Just(Op::Xor),
+        Just(Op::Shl),
+        Just(Op::Shr),
+    ]
+}
+
+fn run_plain(src: &str, opt: OptLevel) -> i32 {
+    let prog = compile(src, opt).expect("compiles");
+    let mut m = Machine::new(prog, MachineConfig::default()).expect("loads");
+    let mut rt = BareRuntime::new();
+    Executor::new()
+        .run(&mut m, &mut rt, &mut ContinuousPower::new())
+        .expect("runs")
+        .exit_code()
+        .expect("finishes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random straight-line arithmetic agrees with Rust's wrapping
+    /// semantics at every optimization level — the compiler correctness
+    /// backbone for everything else in this repo.
+    #[test]
+    fn compiled_arithmetic_matches_host(
+        seed in -1000i32..1000,
+        steps in proptest::collection::vec((op_strategy(), -50i32..50), 1..24),
+    ) {
+        let mut body = format!("int x = {seed};\n");
+        let mut expected = seed;
+        for (op, c) in &steps {
+            // Shift counts must be sane in the source to mean the same
+            // thing; mask them into 0..16.
+            let c = match op { Op::Shl | Op::Shr => (c & 15).abs(), _ => *c };
+            body.push_str(&format!("x = x {} ({c});\n", op.c_op()));
+            expected = op.eval(expected, c);
+        }
+        let src = format!("int main() {{\n{body}return x;\n}}");
+        for opt in OptLevel::ALL {
+            prop_assert_eq!(run_plain(&src, opt), expected, "opt {}", opt);
+        }
+    }
+
+    /// Array shuffles through pointers behave identically at O0 and O2.
+    #[test]
+    fn pointer_walks_are_opt_invariant(
+        values in proptest::collection::vec(-100i32..100, 4..12),
+        rot in 1usize..4,
+    ) {
+        let n = values.len();
+        let init: Vec<String> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("a[{i}] = {v};"))
+            .collect();
+        let src = format!(
+            "int a[{n}];
+             int main() {{
+                 {}
+                 int *p = a;
+                 int acc = 0;
+                 for (int i = 0; i < {n}; i++) {{
+                     acc = acc * 31 + *(p + ((i + {rot}) % {n}));
+                 }}
+                 return acc;
+             }}",
+            init.join("\n")
+        );
+        let mut expected = 0i32;
+        for i in 0..n {
+            expected = expected.wrapping_mul(31).wrapping_add(values[(i + rot) % n]);
+        }
+        prop_assert_eq!(run_plain(&src, OptLevel::O0), expected);
+        prop_assert_eq!(run_plain(&src, OptLevel::O2), expected);
+    }
+
+    /// A random global-update workload under TICS with power failures
+    /// ends exactly where the continuous run ends (undo-log soundness
+    /// against arbitrary write patterns).
+    #[test]
+    fn undo_log_is_sound_for_random_write_patterns(
+        writes in proptest::collection::vec((0u32..8, -100i32..100), 4..40),
+        on_us in 6_000u64..20_000,
+    ) {
+        let stmts: Vec<String> = writes
+            .iter()
+            .map(|(slot, v)| format!("g[{slot}] = g[{slot}] * 3 + ({v});"))
+            .collect();
+        let src = format!(
+            "int g[8];
+             nv int reps;
+             int main() {{
+                 while (reps < 20) {{
+                     {}
+                     reps = reps + 1;
+                 }}
+                 int acc = 0;
+                 for (int i = 0; i < 8; i++) {{ acc = acc ^ (g[i] + i); }}
+                 return acc;
+             }}",
+            stmts.join("\n")
+        );
+        let build = || {
+            let mut p = compile(&src, OptLevel::O2).expect("compiles");
+            passes::instrument_tics(&mut p).expect("instruments");
+            p
+        };
+        let expected = {
+            let mut m = Machine::new(build(), MachineConfig::default()).expect("loads");
+            let mut rt = TicsRuntime::new(TicsConfig::s2());
+            Executor::new()
+                .run(&mut m, &mut rt, &mut ContinuousPower::new())
+                .expect("runs")
+                .exit_code()
+                .expect("finishes")
+        };
+        let mut m = Machine::new(build(), MachineConfig::default()).expect("loads");
+        let mut rt = TicsRuntime::new(TicsConfig::s2().with_timer(Some(2_000)));
+        let out = Executor::new()
+            .with_time_budget(20_000_000_000)
+            .run(&mut m, &mut rt, &mut PeriodicTrace::new(on_us, 700))
+            .expect("runs");
+        prop_assert_eq!(out.exit_code(), Some(expected));
+    }
+}
