@@ -1,8 +1,10 @@
-//! Criterion benches of the full paper benchmarks (AR, BC, CF) under
-//! each feasible runtime — the host-time counterpart of Figure 9.
+//! Host-time benches of the full paper benchmarks (AR, BC, CF) under
+//! each feasible runtime — the host-time counterpart of Figure 9. A
+//! plain `std::time::Instant` harness (harness = false) replaces the
+//! benchmarking crate so the workspace builds offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use tics_apps::workload::ar_trace;
 use tics_apps::{ar, build_app, App, SystemUnderTest};
 use tics_energy::ContinuousPower;
@@ -10,6 +12,7 @@ use tics_minic::opt::OptLevel;
 use tics_vm::{Executor, Machine, MachineConfig};
 
 const SCALE: u32 = 12;
+const SAMPLES: u32 = 10;
 
 fn run_once(app: App, system: SystemUnderTest) {
     let Ok(prog) = build_app(app, system, OptLevel::O2, tics_apps::build::Scale(SCALE)) else {
@@ -35,8 +38,8 @@ fn run_once(app: App, system: SystemUnderTest) {
     black_box(out);
 }
 
-fn bench_apps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("apps");
+fn main() {
+    println!("benchmarks: host-time of the Figure 9 app x system grid\n");
     for app in [App::Ar, App::Bc, App::Cuckoo] {
         for system in [
             SystemUnderTest::PlainC,
@@ -45,21 +48,26 @@ fn bench_apps(c: &mut Criterion) {
             SystemUnderTest::Alpaca,
             SystemUnderTest::Ink,
         ] {
-            // Skip infeasible pairs up-front so groups stay clean.
+            // Skip infeasible pairs up-front so the listing stays clean.
             if build_app(app, system, OptLevel::O2, tics_apps::build::Scale(SCALE)).is_err() {
                 continue;
             }
-            group.bench_function(BenchmarkId::new(app.name(), system.name()), |b| {
-                b.iter(|| run_once(app, system))
-            });
+            run_once(app, system); // warm-up
+            let mut best = f64::INFINITY;
+            let mut total = 0.0;
+            for _ in 0..SAMPLES {
+                let t0 = Instant::now();
+                run_once(app, system);
+                let dt = t0.elapsed().as_secs_f64() * 1e3;
+                best = best.min(dt);
+                total += dt;
+            }
+            println!(
+                "{:<8} {:<12} best {best:>8.2} ms   mean {:>8.2} ms",
+                app.name(),
+                system.name(),
+                total / f64::from(SAMPLES)
+            );
         }
     }
-    group.finish();
 }
-
-criterion_group!(
-    name = apps;
-    config = Criterion::default().sample_size(10);
-    targets = bench_apps
-);
-criterion_main!(apps);

@@ -1,14 +1,17 @@
-//! Criterion benches of the TICS runtime primitives (the Table 4
-//! operations) — host-time throughput of the simulator executing each
-//! operation, complementing the simulated-cycle figures of
-//! `exp_table4`.
+//! Host-time benches of the TICS runtime primitives (the Table 4
+//! operations) — throughput of the simulator executing each operation,
+//! complementing the simulated-cycle figures of `exp_table4`. A plain
+//! `std::time::Instant` harness (harness = false) replaces the
+//! benchmarking crate so the workspace builds offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use tics_core::{TicsConfig, TicsRuntime};
 use tics_energy::{ContinuousPower, PeriodicTrace};
 use tics_minic::{compile, opt::OptLevel, passes};
 use tics_vm::{Executor, Machine, MachineConfig};
+
+const SAMPLES: u32 = 20;
 
 fn tics_machine(src: &str) -> (Machine, TicsRuntime) {
     let mut prog = compile(src, OptLevel::O2).expect("compiles");
@@ -18,70 +21,79 @@ fn tics_machine(src: &str) -> (Machine, TicsRuntime) {
     (m, rt)
 }
 
-fn bench_checkpoint(c: &mut Criterion) {
-    c.bench_function("tics_checkpoint_commit_x64", |b| {
-        let src = "int main() { for (int i = 0; i < 64; i++) { checkpoint(); } return 0; }";
-        b.iter(|| {
-            let (mut m, mut rt) = tics_machine(src);
-            let out = Executor::new()
-                .run(&mut m, &mut rt, &mut ContinuousPower::new())
-                .expect("runs");
-            black_box(out);
-            assert!(m.stats().checkpoints >= 64);
-        });
+/// Times `f` over SAMPLES runs; reports best / mean in µs.
+fn bench(name: &str, mut f: impl FnMut()) {
+    f(); // warm-up (compile caches, allocator)
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64() * 1e6;
+        best = best.min(dt);
+        total += dt;
+    }
+    println!(
+        "{name:<32} best {best:>10.1} us   mean {:>10.1} us   ({SAMPLES} samples)",
+        total / f64::from(SAMPLES)
+    );
+}
+
+fn bench_checkpoint() {
+    let src = "int main() { for (int i = 0; i < 64; i++) { checkpoint(); } return 0; }";
+    bench("tics_checkpoint_commit_x64", || {
+        let (mut m, mut rt) = tics_machine(src);
+        let out = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .expect("runs");
+        black_box(out);
+        assert!(m.stats().checkpoints >= 64);
     });
 }
 
-fn bench_undo_log(c: &mut Criterion) {
-    c.bench_function("tics_logged_stores_x128", |b| {
-        let src = "int g;
-                   int main() { int *p = &g; for (int i = 0; i < 128; i++) { *p = i; } return g; }";
-        b.iter(|| {
-            let (mut m, mut rt) = tics_machine(src);
-            let out = Executor::new()
-                .run(&mut m, &mut rt, &mut ContinuousPower::new())
-                .expect("runs");
-            black_box(out);
-        });
+fn bench_undo_log() {
+    let src = "int g;
+               int main() { int *p = &g; for (int i = 0; i < 128; i++) { *p = i; } return g; }";
+    bench("tics_logged_stores_x128", || {
+        let (mut m, mut rt) = tics_machine(src);
+        let out = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .expect("runs");
+        black_box(out);
     });
 }
 
-fn bench_stack_segmentation(c: &mut Criterion) {
-    c.bench_function("tics_stack_grow_shrink_x64", |b| {
-        let src = "int leaf(int x) { int pad[56]; pad[0] = x; return pad[0]; }
-                   int main() { int s = 0; for (int i = 0; i < 64; i++) { s += leaf(i); } return s; }";
-        b.iter(|| {
-            let (mut m, mut rt) = tics_machine(src);
-            let out = Executor::new()
-                .run(&mut m, &mut rt, &mut ContinuousPower::new())
-                .expect("runs");
-            black_box(out);
-            assert!(m.stats().stack_grows >= 64);
-        });
+fn bench_stack_segmentation() {
+    let src = "int leaf(int x) { int pad[56]; pad[0] = x; return pad[0]; }
+               int main() { int s = 0; for (int i = 0; i < 64; i++) { s += leaf(i); } return s; }";
+    bench("tics_stack_grow_shrink_x64", || {
+        let (mut m, mut rt) = tics_machine(src);
+        let out = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .expect("runs");
+        black_box(out);
+        assert!(m.stats().stack_grows >= 64);
     });
 }
 
-fn bench_restore_cycle(c: &mut Criterion) {
-    c.bench_function("tics_power_cycle_restore_x32", |b| {
-        let src = "int g;
-                   int main() { for (int i = 0; i < 100000; i++) { g = g + 1; } return g; }";
-        b.iter(|| {
-            let (mut m, rt) = tics_machine(src);
-            let rt_cfg = TicsConfig::s2().with_timer(Some(2_000));
-            let mut rt2 = TicsRuntime::new(rt_cfg);
-            let _ = rt;
-            let out = Executor::new()
-                .with_time_budget(400_000)
-                .run(&mut m, &mut rt2, &mut PeriodicTrace::new(10_000, 500))
-                .expect("runs");
-            black_box(out);
-        });
+fn bench_restore_cycle() {
+    let src = "int g;
+               int main() { for (int i = 0; i < 100000; i++) { g = g + 1; } return g; }";
+    bench("tics_power_cycle_restore_x32", || {
+        let (mut m, _rt) = tics_machine(src);
+        let mut rt = TicsRuntime::new(TicsConfig::s2().with_timer(Some(2_000)));
+        let out = Executor::new()
+            .with_time_budget(400_000)
+            .run(&mut m, &mut rt, &mut PeriodicTrace::new(10_000, 500))
+            .expect("runs");
+        black_box(out);
     });
 }
 
-criterion_group!(
-    name = ops;
-    config = Criterion::default().sample_size(20);
-    targets = bench_checkpoint, bench_undo_log, bench_stack_segmentation, bench_restore_cycle
-);
-criterion_main!(ops);
+fn main() {
+    println!("runtime_ops: host-time cost of TICS runtime primitives\n");
+    bench_checkpoint();
+    bench_undo_log();
+    bench_stack_segmentation();
+    bench_restore_cycle();
+}

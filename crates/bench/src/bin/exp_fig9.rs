@@ -11,12 +11,16 @@
 //! * **right** — TICS (`S1*`, `S2*`, `ST`) vs the naive MementOS-style
 //!   system and the task kernels (MayFly ✗ on CF).
 //!
-//! Run with an optional panel argument: `left`, `center`, `right`, or
-//! nothing for all three.
+//! Every bar in every panel is one sweep cell tagged with a `panel`
+//! param, so the whole figure runs as one parallel sweep into
+//! `results/fig9.jsonl`. Run with an optional panel argument: `left`,
+//! `center`, `right`, or nothing for all three.
 
-use serde::Serialize;
 use tics_apps::workload::ar_trace;
 use tics_apps::{ar, build_app, App, SystemUnderTest};
+use tics_bench::journal::{CellStatus, JournalRow};
+use tics_bench::sweep::{Cell, CellOutput, Sweep, SweepArgs};
+use tics_bench::Json;
 use tics_core::{TicsConfig, TicsRuntime};
 use tics_energy::ContinuousPower;
 use tics_minic::opt::OptLevel;
@@ -25,16 +29,6 @@ use tics_vm::{Executor, Machine, MachineConfig};
 
 const SCALE: u32 = 30;
 const BUDGET: u64 = 60_000_000_000;
-
-#[derive(Debug, Clone, Serialize)]
-struct Point {
-    panel: String,
-    app: String,
-    config: String,
-    cycles: Option<u64>,
-    checkpoints: Option<u64>,
-    overhead_vs_plain: Option<f64>,
-}
 
 fn sensor_trace_for(app: App) -> Vec<i32> {
     match app {
@@ -48,7 +42,7 @@ fn run(
     prog: tics_minic::Program,
     rt: &mut dyn tics_vm::IntermittentRuntime,
     app: App,
-) -> (u64, u64) {
+) -> Result<CellOutput, String> {
     let mut m = Machine::new(
         prog,
         MachineConfig {
@@ -60,61 +54,66 @@ fn run(
     let out = Executor::new()
         .with_time_budget(BUDGET)
         .run(&mut m, rt, &mut ContinuousPower::new())
-        .expect("runs");
-    assert!(
-        out.exit_code().is_some(),
-        "{} did not finish: {out:?}",
-        rt.name()
-    );
-    (m.cycles(), m.stats().checkpoints)
+        .map_err(|e| format!("{e:?}"))?;
+    if out.exit_code().is_none() {
+        return Err(format!("{} did not finish: {out:?}", rt.name()));
+    }
+    Ok(CellOutput {
+        outcome: "finished".to_string(),
+        exit_code: out.exit_code(),
+        cycles: m.cycles(),
+        checkpoints: m.stats().checkpoints,
+        restores: m.stats().restores,
+        undo_appends: m.stats().undo_log_appends,
+        ..CellOutput::default()
+    })
 }
 
-/// Runs `app` under `system` with the default runtime.
-fn run_system(app: App, system: SystemUnderTest, opt: OptLevel) -> Option<(u64, u64)> {
-    let prog = build_app(app, system, opt, tics_apps::build::Scale(SCALE)).ok()?;
-    let mut rt = tics_apps::build::make_runtime(system, &prog);
-    Some(run(prog, rt.as_mut(), app))
+/// Runs `app` under `system` with that system's default runtime.
+fn run_system(cell: &Cell) -> Result<CellOutput, String> {
+    let prog = build_app(
+        cell.app,
+        cell.system,
+        cell.opt,
+        tics_apps::build::Scale(cell.scale),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut rt = tics_apps::build::make_runtime(cell.system, &prog);
+    run(prog, rt.as_mut(), cell.app)
 }
 
-/// Builds the TICS image of `app` and runs it with an explicit config.
-fn run_tics_config(app: App, cfg_base: TicsConfig, st_boundaries: Option<&[&str]>) -> (u64, u64) {
+/// Builds the TICS image of `app` and runs it with an explicit config
+/// named by the cell's `seg` ("s1"/"s2"), `timer_us`, and `st` params.
+fn run_tics_config(cell: &Cell) -> Result<CellOutput, String> {
     let mut prog = build_app(
-        app,
+        cell.app,
         SystemUnderTest::Tics,
         OptLevel::O2,
-        tics_apps::build::Scale(SCALE),
+        tics_apps::build::Scale(cell.scale),
     )
-    .expect("TICS builds everything");
-    if let Some(fns) = st_boundaries {
-        passes::add_task_boundary_checkpoints(&mut prog, fns);
+    .map_err(|e| e.to_string())?;
+    if cell.param_value("st").and_then(Json::as_bool) == Some(true) {
+        passes::add_task_boundary_checkpoints(&mut prog, st_boundaries(cell.app));
     }
-    let mut cfg = cfg_base;
-    let max_frame = prog.max_frame_size().next_multiple_of(64);
-    if cfg.seg_size < max_frame {
-        cfg.seg_size = max_frame;
+    let s1 = prog.max_frame_size().next_multiple_of(64);
+    let seg = match cell.param_str("seg") {
+        "s1" => s1,
+        _ => 4 * s1,
+    };
+    let timer = cell.param_value("timer_us").and_then(Json::as_u64);
+    let mut cfg = TicsConfig::s2().with_seg_size(seg).with_timer(timer);
+    if cfg.seg_size < s1 {
+        cfg.seg_size = s1;
     }
     // Keep the segment array byte size comparable across seg sizes.
     cfg.n_segments = (2048 / cfg.seg_size).max(4);
+    let seg_bytes = cfg.seg_size;
     let mut rt = TicsRuntime::new(cfg);
-    run(prog, &mut rt, app)
-}
-
-/// `S1`: smallest legal working stack for this app; `S2`: 4× larger.
-fn seg_sizes(app: App) -> (u32, u32) {
-    let prog = build_app(
-        app,
-        SystemUnderTest::Tics,
-        OptLevel::O2,
-        tics_apps::build::Scale(SCALE),
-    )
-    .expect("builds");
-    let s1 = prog.max_frame_size().next_multiple_of(64);
-    (s1, 4 * s1)
+    run(prog, &mut rt, cell.app).map(|out| out.with("seg_bytes", seg_bytes))
 }
 
 fn st_boundaries(app: App) -> &'static [&'static str] {
     match app {
-        App::Ar => &[],
         App::Bc => &["verify_one"],
         App::Cuckoo => &["insert", "lookup"],
         _ => &[],
@@ -123,7 +122,35 @@ fn st_boundaries(app: App) -> &'static [&'static str] {
 
 const APPS: [App; 3] = [App::Ar, App::Bc, App::Cuckoo];
 
-fn panel_left(points: &mut Vec<Point>) {
+fn tics_cell(app: App, panel: &str, config: &str, seg: &str, timer: Option<i64>, st: bool) -> Cell {
+    let mut cell = Cell::new(app, SystemUnderTest::Tics)
+        .scale(SCALE)
+        .budget(BUDGET)
+        .param("panel", panel)
+        .param("config", config)
+        .param("seg", seg)
+        .param("st", st);
+    if let Some(t) = timer {
+        cell = cell.param("timer_us", t);
+    }
+    cell
+}
+
+fn find<'a>(rows: &'a [JournalRow], panel: &str, app: App, config: &str) -> &'a JournalRow {
+    rows.iter()
+        .find(|r| {
+            r.metric("panel").and_then(Json::as_str) == Some(panel)
+                && r.app == app.name()
+                && r.metric("config").and_then(Json::as_str) == Some(config)
+        })
+        .unwrap_or_else(|| panic!("row {panel}/{}/{config} missing", app.name()))
+}
+
+fn cycles_of(r: &JournalRow) -> Option<u64> {
+    (r.status == CellStatus::Ok).then_some(r.cycles)
+}
+
+fn print_left(rows: &[JournalRow], points: &mut Vec<Json>) {
     println!("— left: TICS vs Chinchilla across optimization levels —");
     println!(
         "{:<4} {:<4} {:>12} {:>14} {:>10}",
@@ -131,151 +158,207 @@ fn panel_left(points: &mut Vec<Point>) {
     );
     for app in APPS {
         for opt in OptLevel::ALL {
-            let plain = run_system(app, SystemUnderTest::PlainC, opt).expect("plain runs");
-            let tics = run_system(app, SystemUnderTest::Tics, opt).expect("TICS runs");
-            let chin = run_system(app, SystemUnderTest::Chinchilla, opt);
+            let plain = find(rows, "left", app, &format!("plain-{opt}"));
+            let tics = find(rows, "left", app, &format!("TICS-{opt}"));
+            let chin = find(rows, "left", app, &format!("Chinchilla-{opt}"));
+            assert_eq!(plain.status, CellStatus::Ok, "plain runs: {}", plain.outcome);
+            assert_eq!(tics.status, CellStatus::Ok, "TICS runs: {}", tics.outcome);
             println!(
                 "{:<4} {:<4} {:>12} {:>14} {:>10}",
                 app.name(),
                 opt.to_string(),
-                tics.0,
-                chin.map_or("x".to_string(), |c| c.0.to_string()),
-                plain.0,
+                tics.cycles,
+                cycles_of(chin).map_or("x".to_string(), |c| c.to_string()),
+                plain.cycles,
             );
-            points.push(Point {
-                panel: "left".into(),
-                app: app.name().into(),
-                config: format!("TICS-{opt}"),
-                cycles: Some(tics.0),
-                checkpoints: Some(tics.1),
-                overhead_vs_plain: Some(tics.0 as f64 / plain.0 as f64),
-            });
-            points.push(Point {
-                panel: "left".into(),
-                app: app.name().into(),
-                config: format!("Chinchilla-{opt}"),
-                cycles: chin.map(|c| c.0),
-                checkpoints: chin.map(|c| c.1),
-                overhead_vs_plain: chin.map(|c| c.0 as f64 / plain.0 as f64),
-            });
+            for (label, r) in [(format!("TICS-{opt}"), tics), (format!("Chinchilla-{opt}"), chin)] {
+                points.push(
+                    Json::obj()
+                        .field("panel", "left")
+                        .field("app", app.name())
+                        .field("config", label)
+                        .field("cycles", cycles_of(r))
+                        .field("checkpoints", (r.status == CellStatus::Ok).then_some(r.checkpoints))
+                        .field(
+                            "overhead_vs_plain",
+                            cycles_of(r).map(|c| c as f64 / plain.cycles as f64),
+                        )
+                        .build(),
+                );
+            }
         }
     }
     println!();
 }
 
-fn panel_center(points: &mut Vec<Point>) {
+fn print_center(rows: &[JournalRow], points: &mut Vec<Json>) {
     println!("— center: TICS checkpoints vs working-stack size —");
     println!(
         "{:<4} {:<10} {:>10} {:>12}",
         "app", "config", "ckpts", "cycles (us)"
     );
     for app in APPS {
-        let (s1, s2) = seg_sizes(app);
-        for (label, seg, timer) in [
-            ("S1", s1, None),
-            ("S2", s2, None),
-            ("S1*", s1, Some(10_000)),
-            ("S2*", s2, Some(10_000)),
-        ] {
-            let (cycles, ckpts) = run_tics_config(
-                app,
-                TicsConfig::s2().with_seg_size(seg).with_timer(timer),
-                None,
-            );
+        for label in ["S1", "S2", "S1*", "S2*"] {
+            let r = find(rows, "center", app, label);
+            assert_eq!(r.status, CellStatus::Ok, "{label} runs: {}", r.outcome);
+            let seg = r.metric_u64("seg_bytes").unwrap_or(0);
             println!(
                 "{:<4} {:<10} {:>10} {:>12}",
                 app.name(),
                 label,
-                ckpts,
-                cycles
+                r.checkpoints,
+                r.cycles
             );
-            points.push(Point {
-                panel: "center".into(),
-                app: app.name().into(),
-                config: format!("{label} ({seg}B)"),
-                cycles: Some(cycles),
-                checkpoints: Some(ckpts),
-                overhead_vs_plain: None,
-            });
+            points.push(
+                Json::obj()
+                    .field("panel", "center")
+                    .field("app", app.name())
+                    .field("config", format!("{label} ({seg}B)"))
+                    .field("cycles", r.cycles)
+                    .field("checkpoints", r.checkpoints)
+                    .field("overhead_vs_plain", Json::Null)
+                    .build(),
+            );
         }
     }
     println!();
 }
 
-fn panel_right(points: &mut Vec<Point>) {
+fn print_right(rows: &[JournalRow], points: &mut Vec<Json>) {
     println!("— right: TICS vs naive and task-based systems —");
     println!(
         "{:<4} {:<12} {:>12} {:>10}",
         "app", "system", "cycles (us)", "ckpts"
     );
     for app in APPS {
-        let (s1, s2) = seg_sizes(app);
-        let mut entries: Vec<(String, Option<(u64, u64)>)> = Vec::new();
-        entries.push((
-            "TICS-S1*".into(),
-            Some(run_tics_config(
-                app,
-                TicsConfig::s2().with_seg_size(s1).with_timer(Some(10_000)),
-                None,
-            )),
-        ));
-        entries.push((
-            "TICS-S2*".into(),
-            Some(run_tics_config(
-                app,
-                TicsConfig::s2().with_seg_size(s2).with_timer(Some(10_000)),
-                None,
-            )),
-        ));
-        entries.push((
-            "TICS-ST".into(),
-            Some(run_tics_config(
-                app,
-                TicsConfig::s2().with_seg_size(s2).with_timer(Some(10_000)),
-                Some(st_boundaries(app)),
-            )),
-        ));
-        for system in [
-            SystemUnderTest::Mementos,
-            SystemUnderTest::Alpaca,
-            SystemUnderTest::Ink,
-            SystemUnderTest::Mayfly,
+        for label in [
+            "TICS-S1*",
+            "TICS-S2*",
+            "TICS-ST",
+            SystemUnderTest::Mementos.name(),
+            SystemUnderTest::Alpaca.name(),
+            SystemUnderTest::Ink.name(),
+            SystemUnderTest::Mayfly.name(),
         ] {
-            entries.push((system.name().into(), run_system(app, system, OptLevel::O2)));
-        }
-        for (label, r) in entries {
+            let r = find(rows, "right", app, label);
+            if label.starts_with("TICS") {
+                assert_eq!(r.status, CellStatus::Ok, "{label} runs: {}", r.outcome);
+            }
             println!(
                 "{:<4} {:<12} {:>12} {:>10}",
                 app.name(),
                 label,
-                r.map_or("x".to_string(), |x| x.0.to_string()),
-                r.map_or("-".to_string(), |x| x.1.to_string()),
+                cycles_of(r).map_or("x".to_string(), |c| c.to_string()),
+                (r.status == CellStatus::Ok)
+                    .then_some(r.checkpoints)
+                    .map_or("-".to_string(), |c| c.to_string()),
             );
-            points.push(Point {
-                panel: "right".into(),
-                app: app.name().into(),
-                config: label,
-                cycles: r.map(|x| x.0),
-                checkpoints: r.map(|x| x.1),
-                overhead_vs_plain: None,
-            });
+            points.push(
+                Json::obj()
+                    .field("panel", "right")
+                    .field("app", app.name())
+                    .field("config", label)
+                    .field("cycles", cycles_of(r))
+                    .field(
+                        "checkpoints",
+                        (r.status == CellStatus::Ok).then_some(r.checkpoints),
+                    )
+                    .field("overhead_vs_plain", Json::Null)
+                    .build(),
+            );
         }
         println!();
     }
 }
 
 fn main() {
-    let panel = std::env::args().nth(1).unwrap_or_default();
+    let args = SweepArgs::parse_env();
+    let panel = args.rest.first().cloned().unwrap_or_default();
+    if !matches!(panel.as_str(), "" | "left" | "center" | "right") {
+        eprintln!("error: unknown panel {panel:?}: expected left, center, or right");
+        std::process::exit(2);
+    }
+    let want = |p: &str| panel.is_empty() || panel == p;
     println!("Figure 9: benchmark performance ({SCALE} work items per app)\n");
+
+    let mut sweep = Sweep::new("fig9").args(args);
+    if want("left") {
+        for app in APPS {
+            for opt in OptLevel::ALL {
+                for system in [
+                    SystemUnderTest::PlainC,
+                    SystemUnderTest::Tics,
+                    SystemUnderTest::Chinchilla,
+                ] {
+                    let config = match system {
+                        SystemUnderTest::PlainC => format!("plain-{opt}"),
+                        SystemUnderTest::Tics => format!("TICS-{opt}"),
+                        _ => format!("Chinchilla-{opt}"),
+                    };
+                    sweep = sweep.cell(
+                        Cell::new(app, system)
+                            .opt(opt)
+                            .scale(SCALE)
+                            .budget(BUDGET)
+                            .param("panel", "left")
+                            .param("config", config),
+                    );
+                }
+            }
+        }
+    }
+    if want("center") {
+        for app in APPS {
+            for (label, seg, timer) in [
+                ("S1", "s1", None),
+                ("S2", "s2", None),
+                ("S1*", "s1", Some(10_000i64)),
+                ("S2*", "s2", Some(10_000)),
+            ] {
+                sweep = sweep.cell(tics_cell(app, "center", label, seg, timer, false));
+            }
+        }
+    }
+    if want("right") {
+        for app in APPS {
+            sweep = sweep.cell(tics_cell(app, "right", "TICS-S1*", "s1", Some(10_000), false));
+            sweep = sweep.cell(tics_cell(app, "right", "TICS-S2*", "s2", Some(10_000), false));
+            sweep = sweep.cell(tics_cell(app, "right", "TICS-ST", "s2", Some(10_000), true));
+            for system in [
+                SystemUnderTest::Mementos,
+                SystemUnderTest::Alpaca,
+                SystemUnderTest::Ink,
+                SystemUnderTest::Mayfly,
+            ] {
+                sweep = sweep.cell(
+                    Cell::new(app, system)
+                        .opt(OptLevel::O2)
+                        .scale(SCALE)
+                        .budget(BUDGET)
+                        .param("panel", "right")
+                        .param("config", system.name()),
+                );
+            }
+        }
+    }
+
+    let outcome = sweep.run_with(|cell| {
+        if cell.system == SystemUnderTest::Tics && cell.param_str("panel") != "left" {
+            run_tics_config(cell)
+        } else {
+            run_system(cell)
+        }
+    });
+
     let mut points = Vec::new();
-    if panel.is_empty() || panel == "left" {
-        panel_left(&mut points);
+    if want("left") {
+        print_left(&outcome.rows, &mut points);
     }
-    if panel.is_empty() || panel == "center" {
-        panel_center(&mut points);
+    if want("center") {
+        print_center(&outcome.rows, &mut points);
     }
-    if panel.is_empty() || panel == "right" {
-        panel_right(&mut points);
+    if want("right") {
+        print_right(&outcome.rows, &mut points);
     }
-    tics_bench::write_json("fig9", &points);
+    tics_bench::write_json("fig9", &Json::Arr(points));
 }

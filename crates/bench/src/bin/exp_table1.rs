@@ -4,12 +4,14 @@
 //! TICS, under 4 % / 48 % / 100 % intermittency (fraction of wall-clock
 //! time powered), for a fixed experiment window. Reports how many times
 //! each routine completed and whether the run is consistent (all four
-//! routine counters equal) — the paper's Table 1.
+//! routine counters equal) — the paper's Table 1. The 12 cells run as
+//! one parallel sweep; `results/table1.jsonl` keeps the per-cell
+//! evidence.
 
-use serde::Serialize;
-use tics_apps::ghm;
-use tics_apps::workload::ghm_trace;
-use tics_apps::{build_app, App, SystemUnderTest};
+use tics_apps::{build_app, ghm, App, SystemUnderTest};
+use tics_bench::journal::JournalRow;
+use tics_bench::sweep::{Cell, CellOutput, Sweep, SweepArgs, SupplySpec};
+use tics_bench::Json;
 use tics_energy::{DutyCycleTrace, PowerSupply, RecordedTrace};
 use tics_minic::opt::OptLevel;
 use tics_vm::{Executor, Machine, MachineConfig};
@@ -19,22 +21,13 @@ const WINDOW_US: u64 = 3_000_000;
 /// Nominal on/off cycle length of the reset pattern.
 const PERIOD_US: u64 = 50_000;
 
-#[derive(Debug, Serialize)]
-struct Row {
-    intermittency_pct: u32,
-    variant: String,
-    sense_moisture: i32,
-    sense_temp: i32,
-    compute: i32,
-    send: i32,
-    consistent: bool,
-}
-
+/// The reset pattern: a recorded trace covering the experiment window,
+/// sampled from a duty-cycle generator seeded by the cell.
 fn supply_for(duty_pct: u32, seed: u64) -> RecordedTrace {
     if duty_pct >= 100 {
         return RecordedTrace::new([(WINDOW_US, 0)]);
     }
-    let mut gen = DutyCycleTrace::new(f64::from(duty_pct) / 100.0, PERIOD_US, 0.25, seed);
+    let mut gen = DutyCycleTrace::new(f64::from(duty_pct) / 100.0, PERIOD_US, 0.25, seed | 1);
     let mut total = 0u64;
     let mut periods = Vec::new();
     while total < WINDOW_US {
@@ -45,93 +38,153 @@ fn supply_for(duty_pct: u32, seed: u64) -> RecordedTrace {
     RecordedTrace::new(periods)
 }
 
-fn run_variant(app: App, system: SystemUnderTest, duty_pct: u32) -> Row {
-    let prog = build_app(app, system, OptLevel::O2, tics_apps::build::Scale(100_000))
-        .expect("GHM builds for checkpointing systems");
+fn variant_name(app: App, system: SystemUnderTest) -> &'static str {
+    match (app, system) {
+        (App::Ghm, SystemUnderTest::PlainC) => "plain C",
+        (App::Ghm, SystemUnderTest::Tics) => "plain C + TICS",
+        (App::GhmTinyos, SystemUnderTest::PlainC) => "TinyOS",
+        (App::GhmTinyos, SystemUnderTest::Tics) => "TinyOS + TICS",
+        _ => "?",
+    }
+}
+
+fn run_cell(cell: &Cell) -> Result<CellOutput, String> {
+    let duty = u32::try_from(cell.param_i64("duty")).expect("duty fits u32");
+    let prog = build_app(
+        cell.app,
+        cell.system,
+        cell.opt,
+        tics_apps::build::Scale(cell.scale),
+    )
+    .map_err(|e| e.to_string())?;
     let mut machine = Machine::new(
         prog.clone(),
         MachineConfig {
-            sensor_trace: ghm_trace(64, ghm::READINGS, 11),
+            sensor_trace: cell.sensor_trace(),
+            seed: cell.seed,
             ..MachineConfig::default()
         },
     )
     .expect("program loads");
-    let mut runtime = tics_apps::build::make_runtime(system, &prog);
-    let mut supply = supply_for(duty_pct, 77 + u64::from(duty_pct));
+    let mut runtime = tics_apps::build::make_runtime(cell.system, &prog);
+    let mut supply = supply_for(duty, cell.seed);
     // The budget is the window's on-time share (generous upper bound).
     let _ = Executor::new()
         .with_time_budget(WINDOW_US)
         .run(&mut machine, runtime.as_mut(), &mut supply)
         .expect("run completes without traps");
     let c = ghm::read_counters(&machine);
-    let variant = match (app, system) {
-        (App::Ghm, SystemUnderTest::PlainC) => "plain C",
-        (App::Ghm, SystemUnderTest::Tics) => "plain C + TICS",
-        (App::GhmTinyos, SystemUnderTest::PlainC) => "TinyOS",
-        (App::GhmTinyos, SystemUnderTest::Tics) => "TinyOS + TICS",
-        _ => "?",
-    };
-    Row {
-        intermittency_pct: duty_pct,
-        variant: variant.to_string(),
-        sense_moisture: c[0],
-        sense_temp: c[1],
-        compute: c[2],
-        send: c[3],
-        consistent: ghm::is_consistent(c),
+    let stats = machine.stats();
+    Ok(CellOutput {
+        outcome: "window-elapsed".to_string(),
+        cycles: machine.cycles(),
+        checkpoints: stats.checkpoints,
+        restores: stats.restores,
+        power_failures: stats.power_failures,
+        undo_appends: stats.undo_log_appends,
+        text_bytes: prog.text_bytes(),
+        data_bytes: prog.data_bytes(),
+        ..CellOutput::default()
     }
+    .with("variant", variant_name(cell.app, cell.system))
+    .with("sense_moisture", c[0])
+    .with("sense_temp", c[1])
+    .with("compute", c[2])
+    .with("send", c[3])
+    .with("consistent", ghm::is_consistent(c)))
+}
+
+fn row_for<'a>(rows: &'a [JournalRow], duty: u32, variant: &str) -> &'a JournalRow {
+    rows.iter()
+        .find(|r| {
+            r.metric_u64("duty") == Some(u64::from(duty))
+                && r.metric("variant").and_then(Json::as_str) == Some(variant)
+        })
+        .expect("row exists")
 }
 
 fn main() {
+    let args = SweepArgs::parse_env();
     println!("Table 1: GHM routine completions under intermittent power");
     println!(
         "(window {} s, reset pattern period {} ms)\n",
         WINDOW_US / 1_000_000,
         PERIOD_US / 1_000
     );
-    println!(
-        "{:>5}  {:<16} {:>8} {:>8} {:>8} {:>8}  consistent",
-        "duty", "variant", "moist", "temp", "compute", "send"
-    );
-    let mut rows = Vec::new();
-    for duty in [4, 48, 100] {
+
+    let mut sweep = Sweep::new("table1").seed(77).args(args);
+    for duty in [4u32, 48, 100] {
         for (app, system) in [
             (App::Ghm, SystemUnderTest::PlainC),
             (App::Ghm, SystemUnderTest::Tics),
             (App::GhmTinyos, SystemUnderTest::PlainC),
             (App::GhmTinyos, SystemUnderTest::Tics),
         ] {
-            let row = run_variant(app, system, duty);
+            let supply = if duty >= 100 {
+                SupplySpec::Continuous
+            } else {
+                SupplySpec::DutyCycle {
+                    duty: f64::from(duty) / 100.0,
+                    period_us: PERIOD_US,
+                    jitter: 0.25,
+                }
+            };
+            sweep = sweep.cell(
+                Cell::new(app, system)
+                    .opt(OptLevel::O2)
+                    .supply(supply)
+                    .scale(100_000)
+                    .budget(WINDOW_US)
+                    .param("duty", duty),
+            );
+        }
+    }
+    let outcome = sweep.run_with(run_cell);
+
+    println!(
+        "{:>5}  {:<16} {:>8} {:>8} {:>8} {:>8}  consistent",
+        "duty", "variant", "moist", "temp", "compute", "send"
+    );
+    let mut table = Vec::new();
+    for duty in [4u32, 48, 100] {
+        for variant in ["plain C", "plain C + TICS", "TinyOS", "TinyOS + TICS"] {
+            let r = row_for(&outcome.rows, duty, variant);
+            let consistent = r.metric("consistent").and_then(Json::as_bool).unwrap_or(false);
             println!(
                 "{:>4}%  {:<16} {:>8} {:>8} {:>8} {:>8}  {}",
-                row.intermittency_pct,
-                row.variant,
-                row.sense_moisture,
-                row.sense_temp,
-                row.compute,
-                row.send,
-                if row.consistent { "yes" } else { "NO" }
+                duty,
+                variant,
+                r.metric_f64("sense_moisture").unwrap_or(0.0) as i64,
+                r.metric_f64("sense_temp").unwrap_or(0.0) as i64,
+                r.metric_f64("compute").unwrap_or(0.0) as i64,
+                r.metric_f64("send").unwrap_or(0.0) as i64,
+                if consistent { "yes" } else { "NO" }
             );
-            rows.push(row);
+            table.push(
+                Json::obj()
+                    .field("intermittency_pct", duty)
+                    .field("variant", variant)
+                    .field("sense_moisture", r.metric("sense_moisture").cloned().unwrap_or(Json::Null))
+                    .field("sense_temp", r.metric("sense_temp").cloned().unwrap_or(Json::Null))
+                    .field("compute", r.metric("compute").cloned().unwrap_or(Json::Null))
+                    .field("send", r.metric("send").cloned().unwrap_or(Json::Null))
+                    .field("consistent", consistent)
+                    .build(),
+            );
         }
         println!();
     }
     // Paper-shape checks (soft: print loudly if violated).
-    for duty in [4, 48] {
-        let plain = rows
-            .iter()
-            .find(|r| r.intermittency_pct == duty && r.variant == "plain C")
-            .expect("row exists");
-        let tics = rows
-            .iter()
-            .find(|r| r.intermittency_pct == duty && r.variant == "plain C + TICS")
-            .expect("row exists");
-        if plain.consistent && plain.send > 0 {
+    for duty in [4u32, 48] {
+        let plain = row_for(&outcome.rows, duty, "plain C");
+        let tics = row_for(&outcome.rows, duty, "plain C + TICS");
+        let plain_send = plain.metric_f64("send").unwrap_or(0.0) as i64;
+        if plain.metric("consistent").and_then(Json::as_bool) == Some(true) && plain_send > 0 {
             println!("!! unexpected: plain C consistent at {duty}%");
         }
-        if !tics.consistent {
+        if tics.metric("consistent").and_then(Json::as_bool) != Some(true) {
             println!("!! unexpected: TICS inconsistent at {duty}%");
         }
     }
-    tics_bench::write_json("table1", &rows);
+    tics_bench::write_json("table1", &Json::Arr(table));
 }

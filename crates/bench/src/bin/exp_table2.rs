@@ -8,70 +8,44 @@
 //! * **w/ TICS** — the annotated AR under the TICS runtime with a
 //!   persistent timekeeper.
 //!
-//! The oracle (`tics_bench::oracle`) counts timely-branching,
-//! misalignment, and data-expiration violations from the ground-truth
-//! event timeline — the paper's Table 2.
+//! Where the paper reports one testbed run per variant, this sweep runs
+//! each variant under several independently-seeded RF fading traces and
+//! reports per-seed rows plus the aggregate — the many-seed form the
+//! sweep engine makes cheap. The oracle (`tics_bench::oracle`) counts
+//! timely-branching, misalignment, and data-expiration violations from
+//! the ground-truth event timeline — the paper's Table 2.
 
-use serde::Serialize;
-use tics_apps::workload::ar_trace;
-use tics_apps::{ar, build_app, App, SystemUnderTest};
+use tics_apps::{build_app, App, SystemUnderTest};
 use tics_baselines::NaiveCheckpoint;
-use tics_bench::{count_violations, Violations};
-use tics_clock::{CapacitorRtc, Timekeeper, VolatileClock};
+use tics_bench::journal::JournalRow;
+use tics_bench::sweep::{Cell, CellOutput, Sweep, SweepArgs, SupplySpec};
+use tics_bench::{count_violations, ClockKind, Json};
 use tics_core::{TicsConfig, TicsRuntime};
-use tics_energy::{Capacitor, CapacitorSupply, RfHarvester};
 use tics_minic::opt::OptLevel;
 use tics_vm::{Executor, IntermittentRuntime, Machine, MachineConfig};
 
 const WINDOWS: u32 = 200;
 const TIME_BUDGET_US: u64 = 4_000_000_000;
+/// Independently-seeded RF traces per variant.
+const SEEDS_PER_VARIANT: usize = 6;
 
-#[derive(Debug, Serialize)]
-struct Row {
-    variant: String,
-    potential_windows: u64,
-    potential_timely: u64,
-    timely_branch: u64,
-    misalignment: u64,
-    expiration: u64,
-}
-
-fn rf_supply(seed: u64) -> CapacitorSupply<RfHarvester> {
-    // 3 W EIRP transmitter at 2 m with deep fading; 10 µF storage
-    // (2.4 V on / 1.8 V off); ~3 mW active draw. Mean on-periods of a
-    // few ms, off-periods tens to hundreds of ms.
-    let harvester = RfHarvester::new(3.0, 2.0, 0.85, seed);
-    let cap = Capacitor::new(10e-6, 3.3, 2.4, 1.8);
-    CapacitorSupply::new(harvester, cap, 3e-3)
-}
-
-fn run_variant(with_tics: bool, seed: u64) -> Violations {
-    let (trace, _) = ar_trace(WINDOWS * 4, ar::WINDOW, 5, 1234);
-    let system = if with_tics {
-        SystemUnderTest::Tics
-    } else {
-        SystemUnderTest::Mementos
-    };
+fn run_variant(cell: &Cell) -> Result<CellOutput, String> {
+    let with_tics = cell.system == SystemUnderTest::Tics;
     let prog = build_app(
-        App::Ar,
-        system,
-        OptLevel::O2,
-        tics_apps::build::Scale(WINDOWS),
+        cell.app,
+        cell.system,
+        cell.opt,
+        tics_apps::build::Scale(cell.scale),
     )
-    .expect("AR builds");
-    let clock: Box<dyn Timekeeper> = if with_tics {
-        // Persistent timekeeping is mandatory for time annotations (§4).
-        Box::new(CapacitorRtc::new(60_000_000))
-    } else {
-        Box::new(VolatileClock::new())
-    };
+    .map_err(|e| e.to_string())?;
     let mut machine = Machine::with_clock(
         prog.clone(),
         MachineConfig {
-            sensor_trace: trace,
+            sensor_trace: cell.sensor_trace(),
+            seed: cell.seed,
             ..MachineConfig::default()
         },
-        clock,
+        cell.clock.build(),
     )
     .expect("program loads");
     let mut runtime: Box<dyn IntermittentRuntime> = if with_tics {
@@ -86,51 +60,135 @@ fn run_variant(with_tics: bool, seed: u64) -> Violations {
         // exactly what creates the Figure 3 violations on restore.
         Box::new(NaiveCheckpoint::new(500))
     };
-    let mut supply = rf_supply(seed);
+    let mut supply = cell.supply.build(cell.seed);
     let _ = Executor::new()
-        .with_time_budget(TIME_BUDGET_US)
-        .run(&mut machine, runtime.as_mut(), &mut supply)
+        .with_time_budget(cell.time_budget_us)
+        .run(&mut machine, runtime.as_mut(), supply.as_mut())
         .expect("run completes");
-    count_violations(machine.stats(), with_tics)
+    let v = count_violations(machine.stats(), with_tics);
+    let stats = machine.stats();
+    Ok(CellOutput {
+        outcome: "window-elapsed".to_string(),
+        exit_code: None,
+        cycles: machine.cycles(),
+        checkpoints: stats.checkpoints,
+        restores: stats.restores,
+        power_failures: stats.power_failures,
+        undo_appends: stats.undo_log_appends,
+        text_bytes: prog.text_bytes(),
+        data_bytes: prog.data_bytes(),
+        extra: Vec::new(),
+    }
+    .with("potential_windows", v.potential_windows)
+    .with("potential_timely", v.potential_timely)
+    .with("timely_branch", v.timely_branch)
+    .with("misalignment", v.misalignment)
+    .with("expiration", v.expiration))
+}
+
+fn variant_cells(label: &str, system: SystemUnderTest, clock: ClockKind) -> Vec<Cell> {
+    (0..SEEDS_PER_VARIANT)
+        .map(|rep| {
+            Cell::new(App::Ar, system)
+                .opt(OptLevel::O2)
+                .clock(clock)
+                .supply(SupplySpec::rf_default())
+                .scale(WINDOWS)
+                .budget(TIME_BUDGET_US)
+                .param("variant", label)
+                .param("rep", rep)
+        })
+        .collect()
+}
+
+struct VariantFold {
+    label: String,
+    windows: u64,
+    timely_pts: u64,
+    timely: u64,
+    misalign: u64,
+    expire: u64,
+    rows: usize,
+}
+
+fn fold(rows: &[JournalRow], label: &str) -> VariantFold {
+    let mine: Vec<&JournalRow> = rows
+        .iter()
+        .filter(|r| r.metric("variant").and_then(Json::as_str) == Some(label))
+        .collect();
+    let sum = |k: &str| mine.iter().filter_map(|r| r.metric_u64(k)).sum::<u64>();
+    VariantFold {
+        label: label.to_string(),
+        windows: sum("potential_windows"),
+        timely_pts: sum("potential_timely"),
+        timely: sum("timely_branch"),
+        misalign: sum("misalignment"),
+        expire: sum("expiration"),
+        rows: mine.len(),
+    }
 }
 
 fn main() {
-    println!("Table 2: AR time-consistency violations on RF-harvested power\n");
+    let args = SweepArgs::parse_env();
+    println!(
+        "Table 2: AR time-consistency violations on RF-harvested power\n\
+         ({SEEDS_PER_VARIANT} seeded RF traces per variant; counts summed across traces)\n"
+    );
+
+    let mut sweep = Sweep::new("table2").seed(42).args(args);
+    for c in variant_cells("w/o TICS", SystemUnderTest::Mementos, ClockKind::Volatile) {
+        sweep = sweep.cell(c);
+    }
+    for c in variant_cells(
+        "w/ TICS",
+        SystemUnderTest::Tics,
+        // Persistent timekeeping is mandatory for time annotations (§4).
+        ClockKind::CapacitorRtc(60_000_000),
+    ) {
+        sweep = sweep.cell(c);
+    }
+    let outcome = sweep.run_with(run_variant);
+
     println!(
         "{:<22} {:>10} {:>10} | {:>8} {:>8} {:>8}",
         "variant", "windows", "timely pts", "timely", "misalign", "expire"
     );
-    let mut rows = Vec::new();
-    for (label, with_tics, seed) in [("w/o TICS", false, 42u64), ("w/ TICS", true, 42u64)] {
-        let v = run_variant(with_tics, seed);
+    let mut table = Vec::new();
+    for label in ["w/o TICS", "w/ TICS"] {
+        let f = fold(&outcome.rows, label);
+        assert_eq!(f.rows, SEEDS_PER_VARIANT, "{label}: missing journal rows");
         println!(
             "{:<22} {:>10} {:>10} | {:>8} {:>8} {:>8}",
-            label,
-            v.potential_windows,
-            v.potential_timely,
-            v.timely_branch,
-            v.misalignment,
-            v.expiration
+            f.label, f.windows, f.timely_pts, f.timely, f.misalign, f.expire
         );
-        rows.push(Row {
-            variant: label.to_string(),
-            potential_windows: v.potential_windows,
-            potential_timely: v.potential_timely,
-            timely_branch: v.timely_branch,
-            misalignment: v.misalignment,
-            expiration: v.expiration,
-        });
+        table.push(f);
     }
     println!();
-    let baseline = &rows[0];
-    let tics = &rows[1];
-    if baseline.timely_branch + baseline.misalignment + baseline.expiration == 0 {
+    let baseline = &table[0];
+    let tics = &table[1];
+    if baseline.timely + baseline.misalign + baseline.expire == 0 {
         println!("!! unexpected: no violations without TICS");
     }
-    if tics.timely_branch + tics.misalignment + tics.expiration != 0 {
+    if tics.timely + tics.misalign + tics.expire != 0 {
         println!("!! unexpected: TICS produced violations");
     } else {
         println!("TICS eliminated all three violation classes (paper: 32/78/173 -> 0/0/0).");
     }
-    tics_bench::write_json("table2", &rows);
+    let json = Json::Arr(
+        table
+            .iter()
+            .map(|f| {
+                Json::obj()
+                    .field("variant", f.label.as_str())
+                    .field("potential_windows", f.windows)
+                    .field("potential_timely", f.timely_pts)
+                    .field("timely_branch", f.timely)
+                    .field("misalignment", f.misalign)
+                    .field("expiration", f.expire)
+                    .field("traces", f.rows)
+                    .build()
+            })
+            .collect(),
+    );
+    tics_bench::write_json("table2", &json);
 }

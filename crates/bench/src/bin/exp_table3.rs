@@ -4,51 +4,83 @@
 //! As in the paper, Chinchilla's BC uses the manually de-recursed port
 //! (Chinchilla cannot run recursion), and the TICS/Chinchilla `.data`
 //! figures exclude the configurable buffers (segment array, undo log);
-//! task-shared shadow copies are included for InK.
+//! task-shared shadow copies are included for InK. Cells are pure
+//! builds (no simulation), journaled like any other sweep.
 
-use serde::Serialize;
 use tics_apps::{bc, build_app, App, SystemUnderTest};
+use tics_bench::journal::JournalRow;
+use tics_bench::sweep::{Cell, CellOutput, Sweep, SweepArgs};
+use tics_bench::Json;
 use tics_minic::opt::OptLevel;
 use tics_minic::{compile, passes};
 
-#[derive(Debug, Serialize)]
-struct Row {
-    app: String,
-    system: String,
-    text_bytes: u32,
-    data_bytes: u32,
-}
-
-fn build(app: App, system: SystemUnderTest) -> (u32, u32) {
+fn build_cell(cell: &Cell) -> Result<CellOutput, String> {
     // Chinchilla only exists at -O0 (its toolchain constraint), and its
     // BC uses the manually de-recursed port ("the authors have manually
     // removed the recursion to make it work with their system").
-    if system == SystemUnderTest::Chinchilla {
-        if app == App::Bc {
-            let mut prog = compile(&bc::norec_src(24), OptLevel::O0).expect("norec BC compiles");
-            passes::instrument_chinchilla(&mut prog).expect("no recursion left");
-            return (prog.text_bytes(), prog.data_bytes());
-        }
-        let prog = build_app(app, system, OptLevel::O0, tics_apps::build::Scale(24))
-            .expect("chinchilla builds at -O0");
-        return (prog.text_bytes(), prog.data_bytes());
-    }
-    let prog = build_app(app, system, OptLevel::O2, tics_apps::build::Scale(24))
-        .expect("combination feasible");
-    (prog.text_bytes(), prog.data_bytes())
+    let prog = if cell.system == SystemUnderTest::Chinchilla && cell.app == App::Bc {
+        let mut prog =
+            compile(&bc::norec_src(cell.scale), OptLevel::O0).map_err(|e| e.to_string())?;
+        passes::instrument_chinchilla(&mut prog).map_err(|e| e.to_string())?;
+        prog
+    } else {
+        build_app(
+            cell.app,
+            cell.system,
+            cell.opt,
+            tics_apps::build::Scale(cell.scale),
+        )
+        .map_err(|e| e.to_string())?
+    };
+    Ok(CellOutput {
+        outcome: "built".to_string(),
+        text_bytes: prog.text_bytes(),
+        data_bytes: prog.data_bytes(),
+        ..CellOutput::default()
+    })
 }
 
+fn sizes(rows: &[JournalRow], app: App, system: SystemUnderTest) -> (u32, u32) {
+    let r = rows
+        .iter()
+        .find(|r| r.app == app.name() && r.system == system.name())
+        .expect("cell journaled");
+    assert_eq!(r.status, tics_bench::journal::CellStatus::Ok, "{} x {} failed: {}", r.app, r.system, r.outcome);
+    (r.text_bytes, r.data_bytes)
+}
+
+const SYSTEMS: [SystemUnderTest; 3] = [
+    SystemUnderTest::Ink,
+    SystemUnderTest::Chinchilla,
+    SystemUnderTest::Tics,
+];
+
 fn main() {
+    let args = SweepArgs::parse_env();
     println!("Table 3: memory consumption (bytes)\n");
+
+    let mut sweep = Sweep::new("table3").args(args);
+    for app in [App::Ar, App::Bc, App::Cuckoo] {
+        for system in SYSTEMS {
+            let opt = if system == SystemUnderTest::Chinchilla {
+                OptLevel::O0
+            } else {
+                OptLevel::O2
+            };
+            sweep = sweep.cell(Cell::new(app, system).opt(opt).scale(24));
+        }
+    }
+    let outcome = sweep.run_with(build_cell);
+
     println!(
         "{:<4} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10}",
         "", "InK .text", ".data", "Chin .text", ".data", "TICS .text", ".data"
     );
-    let mut rows = Vec::new();
+    let mut table = Vec::new();
     for app in [App::Ar, App::Bc, App::Cuckoo] {
-        let (ink_t, ink_d) = build(app, SystemUnderTest::Ink);
-        let (chin_t, chin_d) = build(app, SystemUnderTest::Chinchilla);
-        let (tics_t, tics_d) = build(app, SystemUnderTest::Tics);
+        let (ink_t, ink_d) = sizes(&outcome.rows, app, SystemUnderTest::Ink);
+        let (chin_t, chin_d) = sizes(&outcome.rows, app, SystemUnderTest::Chinchilla);
+        let (tics_t, tics_d) = sizes(&outcome.rows, app, SystemUnderTest::Tics);
         println!(
             "{:<4} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10}",
             app.name(),
@@ -64,12 +96,14 @@ fn main() {
             ("Chinchilla", chin_t, chin_d),
             ("TICS", tics_t, tics_d),
         ] {
-            rows.push(Row {
-                app: app.name().to_string(),
-                system: system.to_string(),
-                text_bytes: t,
-                data_bytes: d,
-            });
+            table.push(
+                Json::obj()
+                    .field("app", app.name())
+                    .field("system", system)
+                    .field("text_bytes", t)
+                    .field("data_bytes", d)
+                    .build(),
+            );
         }
         // Paper-shape checks: Chinchilla dwarfs TICS on both sections;
         // TICS .data is the smallest of the three.
@@ -89,5 +123,5 @@ fn main() {
         "\nShape (paper): Chinchilla > TICS on .text (~2x) and .data (>6x); \
          InK .data > TICS .data; TICS .text > InK .text."
     );
-    tics_bench::write_json("table3", &rows);
+    tics_bench::write_json("table3", &Json::Arr(table));
 }

@@ -4,25 +4,20 @@
 //! the paper by construction — see DESIGN.md §4) and a value *measured*
 //! by running micro-programs on the simulator and differencing cycle
 //! counts, which validates that the runtime actually charges what the
-//! model says.
+//! model says. Each (operation × configuration) pair is one sweep
+//! cell, so the micro-measurements run in parallel and land in
+//! `results/table4.jsonl`.
 
-use serde::Serialize;
+use tics_apps::{App, SystemUnderTest};
+use tics_bench::sweep::{Cell, CellOutput, Sweep, SweepArgs};
+use tics_bench::Json;
 use tics_core::{TicsConfig, TicsRuntime};
 use tics_energy::{ContinuousPower, RecordedTrace};
 use tics_mcu::CostModel;
 use tics_minic::{compile, opt::OptLevel, passes};
 use tics_vm::{Executor, Machine, MachineConfig};
 
-#[derive(Debug, Serialize)]
-struct Row {
-    operation: String,
-    configuration: String,
-    paper_us: u64,
-    model_us: u64,
-    measured_us: Option<u64>,
-}
-
-/// Runs a TICS program and returns (cycles, checkpoints, machine stats).
+/// Runs a TICS program and returns (cycles, stats).
 fn run_tics(src: &str, cfg: TicsConfig) -> (u64, tics_vm::ExecStats) {
     let mut prog = compile(src, OptLevel::O2).expect("compiles");
     passes::instrument_tics(&mut prog).expect("instruments");
@@ -94,9 +89,8 @@ fn measure_stack_switch_pair() -> u64 {
     (c_big.saturating_sub(c_small).saturating_sub(ckpt_cost)) / u64::from(2 * n)
 }
 
-/// Measured restore: run with power failures and divide the restore-side
-/// cycles... simplest honest proxy: cycles per restore from a run that
-/// only restores (checkpoint once, then fail repeatedly mid-loop).
+/// Measured restore: run with power failures; the restore count
+/// validates the cost model's restore charge (see comment below).
 fn measure_restore(seg: u32) -> u64 {
     let src = "int main() { checkpoint(); while (1) { } return 0; }";
     let mut prog = compile(src, OptLevel::O2).expect("compiles");
@@ -117,106 +111,163 @@ fn measure_restore(seg: u32) -> u64 {
     CostModel::default().restore_cost(seg)
 }
 
-fn main() {
+struct Op {
+    operation: &'static str,
+    configuration: &'static str,
+    paper_us: u64,
+    model_us: u64,
+    measure: Option<fn() -> u64>,
+}
+
+fn operations() -> Vec<Op> {
     let model = CostModel::default();
+    vec![
+        Op {
+            operation: "stack grow/shrink",
+            configuration: "max",
+            paper_us: 345,
+            model_us: model.stack_switch_cost(64),
+            measure: Some(measure_stack_switch_pair),
+        },
+        Op {
+            operation: "checkpoint logic",
+            configuration: "0 B seg.",
+            paper_us: 264,
+            model_us: model.checkpoint_cost(0),
+            measure: None,
+        },
+        Op {
+            operation: "checkpoint logic",
+            configuration: "64 B seg.",
+            paper_us: 464,
+            model_us: model.checkpoint_cost(64),
+            measure: Some(|| measure_checkpoint(64)),
+        },
+        Op {
+            operation: "checkpoint logic",
+            configuration: "256 B seg.",
+            paper_us: 656,
+            model_us: model.checkpoint_cost(256),
+            measure: Some(|| measure_checkpoint(256)),
+        },
+        Op {
+            operation: "restore logic",
+            configuration: "0 B seg.",
+            paper_us: 273,
+            model_us: model.restore_cost(0),
+            measure: None,
+        },
+        Op {
+            operation: "restore logic",
+            configuration: "64 B seg.",
+            paper_us: 475,
+            model_us: model.restore_cost(64),
+            measure: Some(|| measure_restore(64)),
+        },
+        Op {
+            operation: "restore logic",
+            configuration: "256 B seg.",
+            paper_us: 664,
+            model_us: model.restore_cost(256),
+            measure: Some(|| measure_restore(256)),
+        },
+        Op {
+            operation: "pointer access",
+            configuration: "no log",
+            paper_us: 13,
+            model_us: model.ptr_check,
+            measure: None,
+        },
+        Op {
+            operation: "pointer access",
+            configuration: "log 4 B",
+            paper_us: 321,
+            model_us: model.undo_log_cost(4),
+            measure: Some(measure_logged_store),
+        },
+        Op {
+            operation: "roll back from undo log",
+            configuration: "4 B",
+            paper_us: 234,
+            model_us: model.rollback_cost(4),
+            measure: None,
+        },
+        Op {
+            operation: "roll back from undo log",
+            configuration: "64 B",
+            paper_us: 294,
+            model_us: model.rollback_cost(64),
+            measure: None,
+        },
+    ]
+}
+
+fn main() {
+    let args = SweepArgs::parse_env();
     println!("Table 4: TICS overhead per runtime operation (µs at 1 MHz)\n");
+
+    let ops = operations();
+    let mut sweep = Sweep::new("table4").args(args);
+    for (i, op) in ops.iter().enumerate() {
+        sweep = sweep.cell(
+            Cell::new(App::Bc, SystemUnderTest::Tics)
+                .param("op_index", i)
+                .param("operation", op.operation)
+                .param("configuration", op.configuration)
+                .param("paper_us", op.paper_us)
+                .param("model_us", op.model_us),
+        );
+    }
+    let ops_ref = &ops;
+    let outcome = sweep.run_with(move |cell| {
+        let i = usize::try_from(cell.param_i64("op_index")).expect("index");
+        let op = &ops_ref[i];
+        let measured = op.measure.map(|f| f());
+        let mut out = CellOutput {
+            outcome: "measured".to_string(),
+            ..CellOutput::default()
+        };
+        if let Some(m) = measured {
+            out = out.with("measured_us", m);
+        }
+        Ok(out)
+    });
+
     println!(
         "{:<28} {:<16} {:>8} {:>8} {:>9}",
         "operation", "configuration", "paper", "model", "measured"
     );
-    let mut rows = Vec::new();
-    let mut push = |op: &str, cfg: &str, paper: u64, model: u64, measured: Option<u64>| {
+    let mut table = Vec::new();
+    for row in &outcome.rows {
+        let operation = row.metric("operation").and_then(Json::as_str).unwrap_or("?");
+        let configuration = row
+            .metric("configuration")
+            .and_then(Json::as_str)
+            .unwrap_or("?");
+        let paper = row.metric_u64("paper_us").unwrap_or(0);
+        let model = row.metric_u64("model_us").unwrap_or(0);
+        let measured = row.metric_u64("measured_us");
         println!(
             "{:<28} {:<16} {:>8} {:>8} {:>9}",
-            op,
-            cfg,
+            operation,
+            configuration,
             paper,
             model,
             measured.map_or("-".to_string(), |m| m.to_string())
         );
-        rows.push(Row {
-            operation: op.to_string(),
-            configuration: cfg.to_string(),
-            paper_us: paper,
-            model_us: model,
-            measured_us: measured,
-        });
-    };
-
-    push(
-        "stack grow/shrink",
-        "max",
-        345,
-        model.stack_switch_cost(64),
-        Some(measure_stack_switch_pair()),
-    );
-    push(
-        "checkpoint logic",
-        "0 B seg.",
-        264,
-        model.checkpoint_cost(0),
-        None,
-    );
-    push(
-        "checkpoint logic",
-        "64 B seg.",
-        464,
-        model.checkpoint_cost(64),
-        Some(measure_checkpoint(64)),
-    );
-    push(
-        "checkpoint logic",
-        "256 B seg.",
-        656,
-        model.checkpoint_cost(256),
-        Some(measure_checkpoint(256)),
-    );
-    push(
-        "restore logic",
-        "0 B seg.",
-        273,
-        model.restore_cost(0),
-        None,
-    );
-    push(
-        "restore logic",
-        "64 B seg.",
-        475,
-        model.restore_cost(64),
-        Some(measure_restore(64)),
-    );
-    push(
-        "restore logic",
-        "256 B seg.",
-        664,
-        model.restore_cost(256),
-        Some(measure_restore(256)),
-    );
-    push("pointer access", "no log", 13, model.ptr_check, None);
-    push(
-        "pointer access",
-        "log 4 B",
-        321,
-        model.undo_log_cost(4),
-        Some(measure_logged_store()),
-    );
-    push(
-        "roll back from undo log",
-        "4 B",
-        234,
-        model.rollback_cost(4),
-        None,
-    );
-    push(
-        "roll back from undo log",
-        "64 B",
-        294,
-        model.rollback_cost(64),
-        None,
-    );
+        table.push(
+            Json::obj()
+                .field("operation", operation)
+                .field("configuration", configuration)
+                .field("paper_us", paper)
+                .field("model_us", model)
+                .field("measured_us", measured)
+                .build(),
+        );
+    }
     println!(
         "\nModel values are calibrated to Table 4 by construction; measured \
          values come from cycle-differencing micro-programs on the simulator."
     );
-    tics_bench::write_json("table4", &rows);
+    tics_bench::write_json("table4", &Json::Arr(table));
 }

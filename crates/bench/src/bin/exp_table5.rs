@@ -1,19 +1,24 @@
 //! Table 5 — the state-of-the-art programming-model capability matrix,
-//! reported live by each runtime implementation.
+//! reported live by each runtime implementation. One sweep cell per
+//! runtime; the journal keeps the machine-readable matrix.
 
-use serde::Serialize;
+use tics_apps::{App, SystemUnderTest};
 use tics_baselines::{ChinchillaRuntime, NaiveCheckpoint, RatchetRuntime, TaskFlavor, TaskKernel};
+use tics_bench::sweep::{Cell, CellOutput, Sweep, SweepArgs};
+use tics_bench::Json;
 use tics_core::{TicsConfig, TicsRuntime};
 use tics_vm::IntermittentRuntime;
 
-#[derive(Debug, Serialize)]
-struct Row {
-    runtime: String,
-    pointer_support: bool,
-    recursion_support: bool,
-    scalable: bool,
-    timely_execution: bool,
-    porting_effort: String,
+fn runtime_for(index: i64) -> Box<dyn IntermittentRuntime> {
+    match index {
+        0 => Box::new(TaskKernel::new(TaskFlavor::Mayfly)),
+        1 => Box::new(TaskKernel::new(TaskFlavor::Alpaca)),
+        2 => Box::new(RatchetRuntime::default()),
+        3 => Box::new(ChinchillaRuntime::default()),
+        4 => Box::new(TaskKernel::new(TaskFlavor::Ink)),
+        5 => Box::new(NaiveCheckpoint::default()),
+        _ => Box::new(TicsRuntime::new(TicsConfig::default())),
+    }
 }
 
 fn yn(b: bool) -> &'static str {
@@ -25,49 +30,71 @@ fn yn(b: bool) -> &'static str {
 }
 
 fn main() {
-    let runtimes: Vec<Box<dyn IntermittentRuntime>> = vec![
-        Box::new(TaskKernel::new(TaskFlavor::Mayfly)),
-        Box::new(TaskKernel::new(TaskFlavor::Alpaca)),
-        Box::new(RatchetRuntime::default()),
-        Box::new(ChinchillaRuntime::default()),
-        Box::new(TaskKernel::new(TaskFlavor::Ink)),
-        Box::new(NaiveCheckpoint::default()),
-        Box::new(TicsRuntime::new(TicsConfig::default())),
-    ];
+    let args = SweepArgs::parse_env();
     println!("Table 5: programming-model capability matrix\n");
+
+    let mut sweep = Sweep::new("table5").args(args);
+    for i in 0..7i64 {
+        sweep = sweep.cell(
+            Cell::new(App::Bc, SystemUnderTest::Tics).param("runtime_index", i),
+        );
+    }
+    let outcome = sweep.run_with(|cell| {
+        let rt = runtime_for(cell.param_i64("runtime_index"));
+        let c = rt.capabilities();
+        Ok(CellOutput {
+            outcome: "queried".to_string(),
+            ..CellOutput::default()
+        }
+        .with("runtime", rt.name())
+        .with("pointer_support", c.pointer_support)
+        .with("recursion_support", c.recursion_support)
+        .with("scalable", c.scalable)
+        .with("timely_execution", c.timely_execution)
+        .with("porting_effort", c.porting_effort.to_string()))
+    });
+
     println!(
         "{:<16} {:>8} {:>10} {:>9} {:>7} {:>9}",
         "runtime", "pointers", "recursion", "scalable", "timely", "porting"
     );
-    let mut rows = Vec::new();
-    for rt in &runtimes {
-        let c = rt.capabilities();
+    let mut table = Vec::new();
+    for row in &outcome.rows {
+        let get = |k: &str| row.metric(k).and_then(Json::as_bool).unwrap_or(false);
+        let name = row.metric("runtime").and_then(Json::as_str).unwrap_or("?");
+        let porting = row
+            .metric("porting_effort")
+            .and_then(Json::as_str)
+            .unwrap_or("?");
         println!(
             "{:<16} {:>8} {:>10} {:>9} {:>7} {:>9}",
-            rt.name(),
-            yn(c.pointer_support),
-            yn(c.recursion_support),
-            yn(c.scalable),
-            yn(c.timely_execution),
-            c.porting_effort.to_string()
+            name,
+            yn(get("pointer_support")),
+            yn(get("recursion_support")),
+            yn(get("scalable")),
+            yn(get("timely_execution")),
+            porting
         );
-        rows.push(Row {
-            runtime: rt.name().to_string(),
-            pointer_support: c.pointer_support,
-            recursion_support: c.recursion_support,
-            scalable: c.scalable,
-            timely_execution: c.timely_execution,
-            porting_effort: c.porting_effort.to_string(),
-        });
+        table.push(
+            Json::obj()
+                .field("runtime", name)
+                .field("pointer_support", get("pointer_support"))
+                .field("recursion_support", get("recursion_support"))
+                .field("scalable", get("scalable"))
+                .field("timely_execution", get("timely_execution"))
+                .field("porting_effort", porting)
+                .build(),
+        );
     }
     // The TICS row is the only all-yes row with zero porting effort.
-    let tics = rows.last().expect("rows");
+    let tics = outcome.rows.last().expect("rows");
+    let get = |k: &str| tics.metric(k).and_then(Json::as_bool).unwrap_or(false);
     assert!(
-        tics.pointer_support
-            && tics.recursion_support
-            && tics.scalable
-            && tics.timely_execution
-            && tics.porting_effort == "None"
+        get("pointer_support")
+            && get("recursion_support")
+            && get("scalable")
+            && get("timely_execution")
+            && tics.metric("porting_effort").and_then(Json::as_str) == Some("None")
     );
-    tics_bench::write_json("table5", &rows);
+    tics_bench::write_json("table5", &Json::Arr(table));
 }

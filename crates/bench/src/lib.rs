@@ -11,40 +11,45 @@
 //! | `exp_table5` | Table 5 — the runtime capability matrix |
 //! | `exp_fig9`   | Figure 9 — benchmark performance (three panels) |
 //! | `exp_fig10`  | Figure 10 — user-study proxy (complexity + synthetic reviewers) |
+//! | `exp_ablations` | design-choice ablations beyond the paper |
 //!
-//! Each binary prints the table and writes machine-readable JSON to
-//! `results/`. The [`oracle`] module is the simulation's logic analyzer:
-//! it derives the paper's three time-consistency violation counts from
-//! ground-truth event timelines.
+//! Every binary declares its cells as a [`sweep::Sweep`] grid, runs it
+//! on a work-stealing thread pool (`--threads N`, `TICS_BENCH_THREADS`,
+//! default = available parallelism), folds the resulting
+//! [`journal::JournalRow`]s into its printed table, and leaves the full
+//! per-cell record in `results/<exp>.jsonl` (`--journal PATH`
+//! overrides). The [`oracle`] module is the simulation's logic
+//! analyzer: it derives the paper's three time-consistency violation
+//! counts from ground-truth event timelines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
+pub mod json;
 pub mod oracle;
 pub mod reviewer;
 pub mod runner;
+pub mod sweep;
 
+pub use json::Json;
 pub use oracle::{count_violations, Violations};
-pub use runner::{run_app, RunConfig, RunResult};
+pub use runner::{run_app, ClockKind, RunConfig, RunResult};
+pub use sweep::{Cell, CellOutput, Sweep, SweepArgs, SweepOutcome, SweepSummary, SupplySpec};
 
 use std::path::Path;
 
-/// Writes a serializable result to `results/<name>.json` (best effort —
+/// Writes a [`Json`] result to `results/<name>.json` (best effort —
 /// experiments still print their tables if the write fails).
-pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+pub fn write_json(name: &str, value: &Json) {
     let dir = Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            } else {
-                println!("(wrote {})", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    if let Err(e) = std::fs::write(&path, value.to_pretty()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("(wrote {})", path.display());
     }
 }

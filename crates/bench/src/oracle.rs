@@ -19,13 +19,12 @@
 //! `@expires`/`@timely` guards are checked against a persistent
 //! timekeeper, which is what drives the other two counts to zero.
 
-use serde::Serialize;
 use tics_apps::ar;
 use tics_vm::ExecStats;
 
 /// Violation counts plus the potential-occurrence denominators the
 /// paper reports alongside them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Violations {
     /// Windows sampled (potential misalignment / expiration points).
     pub potential_windows: u64,

@@ -10,11 +10,10 @@
 //! the study is the direction of that dependence, which is the study's
 //! own finding; everything else is measured program structure.
 
-use serde::Serialize;
 use tics_apps::study::{complexity, StudyProgram};
 
 /// Outcome of one simulated review cohort on one program.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ReviewOutcome {
     /// Program name.
     pub program: String,

@@ -1,7 +1,6 @@
 //! Common run plumbing: build an app for a system, execute it on a
 //! supply, and collect results.
 
-use serde::Serialize;
 use tics_apps::{build_app, App, BuildError, SystemUnderTest};
 use tics_clock::{CapacitorRtc, PerfectClock, Timekeeper, VolatileClock};
 use tics_energy::PowerSupply;
@@ -21,7 +20,19 @@ pub enum ClockKind {
 }
 
 impl ClockKind {
-    fn build(self) -> Box<dyn Timekeeper> {
+    /// Journal label (`perfect`, `volatile`, `rtc:<budget µs>`).
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            ClockKind::Perfect => "perfect".to_string(),
+            ClockKind::Volatile => "volatile".to_string(),
+            ClockKind::CapacitorRtc(budget) => format!("rtc:{budget}"),
+        }
+    }
+
+    /// Instantiates the timekeeper.
+    #[must_use]
+    pub fn build(self) -> Box<dyn Timekeeper> {
         match self {
             ClockKind::Perfect => Box::new(PerfectClock::new()),
             ClockKind::Volatile => Box::new(VolatileClock::new()),
@@ -61,7 +72,7 @@ impl Default for RunConfig {
 }
 
 /// The outcome of one run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// App name.
     pub app: String,
@@ -85,8 +96,7 @@ pub struct RunResult {
     pub text_bytes: u32,
     /// `.data` bytes of the built image.
     pub data_bytes: u32,
-    /// Full stats (not serialized).
-    #[serde(skip)]
+    /// Full stats (not journaled).
     pub stats: ExecStats,
 }
 

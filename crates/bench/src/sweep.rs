@@ -1,0 +1,797 @@
+//! The parallel sweep engine.
+//!
+//! Every paper artifact is a sweep over (app × system × opt × clock ×
+//! supply × scale × seed) cells. This module turns that loop into a
+//! declarative grid executed by a work-stealing thread pool:
+//!
+//! * **declarative grids** — [`Sweep::grid`] takes the axes and appends
+//!   their cartesian product; [`Sweep::cell`] appends hand-built cells
+//!   for irregular experiments,
+//! * **deterministic seeding** — each cell's seed is derived from the
+//!   sweep seed and the cell's grid index with a splitmix64 mix, so the
+//!   journal is a pure function of (grid, sweep seed) regardless of
+//!   thread count or scheduling,
+//! * **panic isolation** — each cell runs under
+//!   [`std::panic::catch_unwind`]; a VM trap or harness bug is recorded
+//!   as a `panicked` row and its siblings keep running,
+//! * **the run journal** — every cell becomes one [`JournalRow`] in
+//!   `results/<exp>.jsonl` (override with `--journal`), written in cell
+//!   order,
+//! * **a summary** — cells run / failed / panicked, simulated cycles,
+//!   wall-time, and the estimated speedup over a single-threaded run.
+//!
+//! Thread count comes from `--threads N`, the `TICS_BENCH_THREADS`
+//! environment variable, or the machine's available parallelism, in
+//! that order of precedence.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use tics_apps::workload::{ar_trace, ghm_trace};
+use tics_apps::{ar, ghm, App, SystemUnderTest};
+use tics_energy::{Capacitor, CapacitorSupply, ContinuousPower, DutyCycleTrace, PeriodicTrace,
+                  PowerSupply, RfHarvester};
+use tics_minic::opt::OptLevel;
+
+use crate::journal::{CellStatus, Journal, JournalRow};
+use crate::json::Json;
+use crate::runner::{run_app, ClockKind, RunConfig, RunResult};
+
+/// splitmix64 — the per-cell seed derivation. Small, well-mixed, and
+/// stable across platforms; also reused by the deterministic test
+/// suites in place of the `rand` crate.
+#[must_use]
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the deterministic seed of cell `index` under `sweep_seed`.
+#[must_use]
+pub fn cell_seed(sweep_seed: u64, index: u64) -> u64 {
+    splitmix64(sweep_seed ^ splitmix64(index.wrapping_add(1)))
+}
+
+/// A declarative power-supply specification, instantiated per cell with
+/// the cell's derived seed so stochastic supplies stay deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SupplySpec {
+    /// Never fails.
+    Continuous,
+    /// Fixed on/off pattern (µs).
+    Periodic {
+        /// On-time per period.
+        on_us: u64,
+        /// Off-time per period.
+        off_us: u64,
+    },
+    /// Stochastic duty-cycled power (seeded per cell).
+    DutyCycle {
+        /// Fraction of time powered, `0.0..=1.0`.
+        duty: f64,
+        /// Nominal period (µs).
+        period_us: u64,
+        /// Jitter fraction, `0.0..=1.0`.
+        jitter: f64,
+    },
+    /// RF harvester + storage capacitor (the Table 2 supply; seeded per
+    /// cell). Field defaults mirror `exp_table2`'s Powercast setup.
+    Rf {
+        /// Transmitter EIRP (W).
+        eirp_w: f64,
+        /// Distance (m).
+        distance_m: f64,
+        /// Fading depth `0.0..=1.0`.
+        fading: f64,
+    },
+}
+
+impl SupplySpec {
+    /// The paper's RF testbed supply (3 W EIRP at 2 m, deep fading).
+    #[must_use]
+    pub fn rf_default() -> SupplySpec {
+        SupplySpec::Rf {
+            eirp_w: 3.0,
+            distance_m: 2.0,
+            fading: 0.85,
+        }
+    }
+
+    /// Journal label.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            SupplySpec::Continuous => "continuous".to_string(),
+            SupplySpec::Periodic { on_us, off_us } => format!("periodic:{on_us}/{off_us}"),
+            SupplySpec::DutyCycle {
+                duty,
+                period_us,
+                jitter,
+            } => format!("duty:{duty}/{period_us}/{jitter}"),
+            SupplySpec::Rf {
+                eirp_w,
+                distance_m,
+                fading,
+            } => format!("rf:{eirp_w}/{distance_m}/{fading}"),
+        }
+    }
+
+    /// Instantiates the supply with the cell's seed.
+    #[must_use]
+    pub fn build(&self, seed: u64) -> Box<dyn PowerSupply> {
+        match self {
+            SupplySpec::Continuous => Box::new(ContinuousPower::new()),
+            SupplySpec::Periodic { on_us, off_us } => Box::new(PeriodicTrace::new(*on_us, *off_us)),
+            SupplySpec::DutyCycle {
+                duty,
+                period_us,
+                jitter,
+            } => Box::new(DutyCycleTrace::new(*duty, *period_us, *jitter, seed | 1)),
+            SupplySpec::Rf {
+                eirp_w,
+                distance_m,
+                fading,
+            } => {
+                // 10 µF storage (2.4 V on / 1.8 V off), ~3 mW active draw.
+                let harvester = RfHarvester::new(*eirp_w, *distance_m, *fading, seed | 1);
+                let cap = Capacitor::new(10e-6, 3.3, 2.4, 1.8);
+                Box::new(CapacitorSupply::new(harvester, cap, 3e-3))
+            }
+        }
+    }
+}
+
+/// One sweep cell: the full coordinates of a run.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// App under test.
+    pub app: App,
+    /// System under test.
+    pub system: SystemUnderTest,
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// Timekeeper.
+    pub clock: ClockKind,
+    /// Power supply spec.
+    pub supply: SupplySpec,
+    /// Workload scale.
+    pub scale: u32,
+    /// Total on-time budget (µs).
+    pub time_budget_us: u64,
+    /// The derived seed (filled in by the engine before the runner).
+    pub seed: u64,
+    /// Declarative per-cell parameters; journaled into `extra` and
+    /// readable by custom runners via [`Cell::param`].
+    pub params: Vec<(String, Json)>,
+}
+
+impl Cell {
+    /// A cell with the default clock (perfect), continuous power, and
+    /// default scale/budget.
+    #[must_use]
+    pub fn new(app: App, system: SystemUnderTest) -> Cell {
+        Cell {
+            app,
+            system,
+            opt: OptLevel::O2,
+            clock: ClockKind::Perfect,
+            supply: SupplySpec::Continuous,
+            scale: 24,
+            time_budget_us: 10_000_000_000,
+            seed: 0,
+            params: Vec::new(),
+        }
+    }
+
+    /// Sets the optimization level.
+    #[must_use]
+    pub fn opt(mut self, opt: OptLevel) -> Cell {
+        self.opt = opt;
+        self
+    }
+
+    /// Sets the timekeeper.
+    #[must_use]
+    pub fn clock(mut self, clock: ClockKind) -> Cell {
+        self.clock = clock;
+        self
+    }
+
+    /// Sets the supply spec.
+    #[must_use]
+    pub fn supply(mut self, supply: SupplySpec) -> Cell {
+        self.supply = supply;
+        self
+    }
+
+    /// Sets the workload scale.
+    #[must_use]
+    pub fn scale(mut self, scale: u32) -> Cell {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the on-time budget (µs).
+    #[must_use]
+    pub fn budget(mut self, time_budget_us: u64) -> Cell {
+        self.time_budget_us = time_budget_us;
+        self
+    }
+
+    /// Attaches a declarative parameter (journaled; visible to custom
+    /// runners).
+    #[must_use]
+    pub fn param(mut self, key: &str, value: impl Into<Json>) -> Cell {
+        self.params.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Reads back a declarative parameter.
+    #[must_use]
+    pub fn param_value(&self, key: &str) -> Option<&Json> {
+        self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A parameter as i64 (panics if absent/mistyped — grid-declaration
+    /// bugs should fail loudly, and the engine isolates the panic).
+    #[must_use]
+    pub fn param_i64(&self, key: &str) -> i64 {
+        self.param_value(key)
+            .and_then(Json::as_i64)
+            .unwrap_or_else(|| panic!("cell param {key:?} missing or not an integer"))
+    }
+
+    /// A parameter as str (panics if absent/mistyped).
+    #[must_use]
+    pub fn param_str(&self, key: &str) -> &str {
+        self.param_value(key)
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("cell param {key:?} missing or not a string"))
+    }
+
+    /// The standard scripted sensor trace for this cell's app — what
+    /// the default runner feeds the machine.
+    #[must_use]
+    pub fn sensor_trace(&self) -> Vec<i32> {
+        match self.app {
+            App::Ar => ar_trace(self.scale * 4, ar::WINDOW, 5, 1234).0,
+            App::Ghm | App::GhmTinyos => ghm_trace(64, ghm::READINGS, 11),
+            _ => Vec::new(),
+        }
+    }
+
+    /// The [`RunConfig`] this cell denotes.
+    #[must_use]
+    pub fn run_config(&self) -> RunConfig {
+        RunConfig {
+            scale: self.scale,
+            opt: self.opt,
+            clock: self.clock,
+            sensor_trace: self.sensor_trace(),
+            time_budget_us: self.time_budget_us,
+            seed: self.seed,
+        }
+    }
+}
+
+/// What a cell runner hands back to the engine.
+#[derive(Debug, Clone, Default)]
+pub struct CellOutput {
+    /// Outcome text (`finished`, `out-of-energy`, ...).
+    pub outcome: String,
+    /// Exit code if the program finished.
+    pub exit_code: Option<i32>,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Checkpoints committed.
+    pub checkpoints: u64,
+    /// Restores performed.
+    pub restores: u64,
+    /// Power failures experienced.
+    pub power_failures: u64,
+    /// Undo-log appends.
+    pub undo_appends: u64,
+    /// `.text` bytes.
+    pub text_bytes: u32,
+    /// `.data` bytes.
+    pub data_bytes: u32,
+    /// Experiment-specific metrics appended to the journal row.
+    pub extra: Vec<(String, Json)>,
+}
+
+impl CellOutput {
+    /// Attaches a metric.
+    #[must_use]
+    pub fn with(mut self, key: &str, value: impl Into<Json>) -> CellOutput {
+        self.extra.push((key.to_string(), value.into()));
+        self
+    }
+}
+
+impl From<RunResult> for CellOutput {
+    fn from(r: RunResult) -> CellOutput {
+        CellOutput {
+            outcome: r.outcome,
+            exit_code: r.exit_code,
+            cycles: r.cycles,
+            checkpoints: r.checkpoints,
+            restores: r.restores,
+            power_failures: r.power_failures,
+            undo_appends: r.undo_appends,
+            text_bytes: r.text_bytes,
+            data_bytes: r.data_bytes,
+            extra: Vec::new(),
+        }
+    }
+}
+
+/// Sweep-wide execution knobs, usually parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct SweepArgs {
+    /// Worker threads (default: `TICS_BENCH_THREADS` or available
+    /// parallelism).
+    pub threads: usize,
+    /// Journal path override (default `results/<exp>.jsonl`).
+    pub journal: Option<PathBuf>,
+    /// Positional arguments the sweep did not consume (e.g. `exp_fig9`'s
+    /// panel selector).
+    pub rest: Vec<String>,
+}
+
+impl Default for SweepArgs {
+    fn default() -> SweepArgs {
+        SweepArgs {
+            threads: default_threads(),
+            journal: None,
+            rest: Vec::new(),
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("TICS_BENCH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+        eprintln!("warning: ignoring unparsable TICS_BENCH_THREADS={v:?}");
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+impl SweepArgs {
+    /// Parses `--threads N` / `--journal PATH` from the process
+    /// arguments; everything else lands in `rest`.
+    #[must_use]
+    pub fn parse_env() -> SweepArgs {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit argument iterator (for tests).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> SweepArgs {
+        let mut out = SweepArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            if arg == "--threads" {
+                match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => out.threads = n,
+                    _ => eprintln!("warning: --threads needs a positive integer"),
+                }
+            } else if let Some(v) = arg.strip_prefix("--threads=") {
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => out.threads = n,
+                    _ => eprintln!("warning: --threads needs a positive integer"),
+                }
+            } else if arg == "--journal" {
+                match it.next() {
+                    Some(p) => out.journal = Some(PathBuf::from(p)),
+                    None => eprintln!("warning: --journal needs a path"),
+                }
+            } else if let Some(v) = arg.strip_prefix("--journal=") {
+                out.journal = Some(PathBuf::from(v));
+            } else {
+                out.rest.push(arg);
+            }
+        }
+        out
+    }
+}
+
+/// Aggregate counts and timing of one sweep execution.
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Experiment name.
+    pub exp: String,
+    /// Cells declared (= journal rows).
+    pub cells: usize,
+    /// Cells whose runner returned a result.
+    pub ok: usize,
+    /// Cells that failed to build / run.
+    pub failed: usize,
+    /// Cells whose runner panicked.
+    pub panicked: usize,
+    /// Total simulated on-time cycles across cells.
+    pub total_cycles: u64,
+    /// Sweep wall-time (seconds).
+    pub wall_s: f64,
+    /// Sum of per-cell wall-times (seconds) — what one thread would
+    /// have spent.
+    pub cell_wall_s: f64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Journal path, if one was written.
+    pub journal: Option<PathBuf>,
+}
+
+impl SweepSummary {
+    /// Estimated speedup over a 1-thread run of the same grid
+    /// (Σ per-cell wall-time / sweep wall-time).
+    #[must_use]
+    pub fn speedup_vs_one_thread(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.cell_wall_s / self.wall_s
+        } else {
+            1.0
+        }
+    }
+}
+
+impl std::fmt::Display for SweepSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep {}: {} cells ({} ok, {} failed, {} panicked), \
+             {} cycles simulated, {:.2} s wall on {} thread{} \
+             ({:.1}x vs 1 thread)",
+            self.exp,
+            self.cells,
+            self.ok,
+            self.failed,
+            self.panicked,
+            self.total_cycles,
+            self.wall_s,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            self.speedup_vs_one_thread(),
+        )?;
+        if let Some(p) = &self.journal {
+            write!(f, ", journal {}", p.display())?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of [`Sweep::run`]: all journal rows (in cell order) plus
+/// the summary.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One row per declared cell, ordered by cell index.
+    pub rows: Vec<JournalRow>,
+    /// Aggregate counts and timing.
+    pub summary: SweepSummary,
+}
+
+impl SweepOutcome {
+    /// Rows whose runner returned a result.
+    pub fn ok_rows(&self) -> impl Iterator<Item = &JournalRow> {
+        self.rows.iter().filter(|r| r.status == CellStatus::Ok)
+    }
+}
+
+/// A declarative sweep: an experiment name, a grid of cells, and the
+/// execution knobs.
+#[derive(Debug)]
+pub struct Sweep {
+    exp: String,
+    cells: Vec<Cell>,
+    sweep_seed: u64,
+    args: SweepArgs,
+    quiet: bool,
+}
+
+impl Sweep {
+    /// An empty sweep for experiment `exp` (journal defaults to
+    /// `results/<exp>.jsonl`).
+    #[must_use]
+    pub fn new(exp: &str) -> Sweep {
+        Sweep {
+            exp: exp.to_string(),
+            cells: Vec::new(),
+            sweep_seed: 0x71C5,
+            args: SweepArgs::default(),
+            quiet: false,
+        }
+    }
+
+    /// Sets the sweep seed every cell seed derives from.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Sweep {
+        self.sweep_seed = seed;
+        self
+    }
+
+    /// Applies parsed CLI knobs.
+    #[must_use]
+    pub fn args(mut self, args: SweepArgs) -> Sweep {
+        self.args = args;
+        self
+    }
+
+    /// Suppresses the summary print (for tests).
+    #[must_use]
+    pub fn quiet(mut self) -> Sweep {
+        self.quiet = true;
+        self
+    }
+
+    /// Appends one cell; returns `self` for chaining.
+    #[must_use]
+    pub fn cell(mut self, cell: Cell) -> Sweep {
+        self.cells.push(cell);
+        self
+    }
+
+    /// Appends the cartesian product of the given axes, in row-major
+    /// order (apps outermost, scales innermost).
+    #[must_use]
+    pub fn grid(
+        mut self,
+        apps: &[App],
+        systems: &[SystemUnderTest],
+        opts: &[OptLevel],
+        clocks: &[ClockKind],
+        supplies: &[SupplySpec],
+        scales: &[u32],
+    ) -> Sweep {
+        for &app in apps {
+            for &system in systems {
+                for &opt in opts {
+                    for &clock in clocks {
+                        for supply in supplies {
+                            for &scale in scales {
+                                self.cells.push(
+                                    Cell::new(app, system)
+                                        .opt(opt)
+                                        .clock(clock)
+                                        .supply(supply.clone())
+                                        .scale(scale),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Number of declared cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the grid is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Runs every cell through the default runner
+    /// ([`run_app`] with the cell's derived config and supply).
+    #[must_use]
+    pub fn run(self) -> SweepOutcome {
+        self.run_with(default_runner)
+    }
+
+    /// Runs every cell through a custom runner. The runner sees the
+    /// cell with its derived seed already filled in; `Err` journals as
+    /// `build-error`, panics journal as `panicked`, and sibling cells
+    /// always complete.
+    pub fn run_with<F>(self, runner: F) -> SweepOutcome
+    where
+        F: Fn(&Cell) -> Result<CellOutput, String> + Sync,
+    {
+        let n = self.cells.len();
+        let threads = self.args.threads.max(1).min(n.max(1));
+        let next = AtomicUsize::new(0);
+        let rows: Mutex<Vec<(usize, JournalRow)>> = Mutex::new(Vec::with_capacity(n));
+        let cell_wall_ns = AtomicU64::new(0);
+        let t0 = Instant::now();
+
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let next = &next;
+                let rows = &rows;
+                let cells = &self.cells;
+                let runner = &runner;
+                let exp = &self.exp;
+                let sweep_seed = self.sweep_seed;
+                let cell_wall_ns = &cell_wall_ns;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    let mut cell = cells[i].clone();
+                    cell.seed = cell_seed(sweep_seed, i as u64);
+                    let start = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| runner(&cell)));
+                    let wall = start.elapsed();
+                    let mut row = match outcome {
+                        Ok(Ok(out)) => JournalRow {
+                            status: CellStatus::Ok,
+                            outcome: out.outcome,
+                            exit_code: out.exit_code,
+                            cycles: out.cycles,
+                            checkpoints: out.checkpoints,
+                            restores: out.restores,
+                            power_failures: out.power_failures,
+                            undo_appends: out.undo_appends,
+                            text_bytes: out.text_bytes,
+                            data_bytes: out.data_bytes,
+                            extra: out.extra,
+                            ..JournalRow::default()
+                        },
+                        Ok(Err(e)) => JournalRow {
+                            status: CellStatus::BuildError,
+                            outcome: e,
+                            ..JournalRow::default()
+                        },
+                        Err(payload) => JournalRow {
+                            status: CellStatus::Panicked,
+                            outcome: format!("panicked: {}", panic_text(payload.as_ref())),
+                            ..JournalRow::default()
+                        },
+                    };
+                    row.exp = exp.clone();
+                    row.cell = i as u64;
+                    row.app = cell.app.name().to_string();
+                    row.system = cell.system.name().to_string();
+                    row.opt = cell.opt.to_string();
+                    row.clock = cell.clock.label();
+                    row.supply = cell.supply.label();
+                    row.scale = cell.scale;
+                    row.seed = cell.seed;
+                    // Declarative cell params lead the extras so they
+                    // keep a stable position for journal folding.
+                    let mut extra = cell.params.clone();
+                    extra.append(&mut row.extra);
+                    row.extra = extra;
+                    row.wall_ms = wall.as_secs_f64() * 1_000.0;
+                    row.thread = tid as u64;
+                    cell_wall_ns.fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+                    rows.lock().expect("rows mutex").push((i, row));
+                });
+            }
+        });
+
+        let wall_s = t0.elapsed().as_secs_f64();
+        let mut indexed = rows.into_inner().expect("rows mutex");
+        indexed.sort_by_key(|(i, _)| *i);
+        let rows: Vec<JournalRow> = indexed.into_iter().map(|(_, r)| r).collect();
+
+        let journal_path = self
+            .args
+            .journal
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results").join(format!("{}.jsonl", self.exp)));
+        let journal = write_journal(&journal_path, &rows);
+
+        let summary = SweepSummary {
+            exp: self.exp,
+            cells: rows.len(),
+            ok: rows.iter().filter(|r| r.status == CellStatus::Ok).count(),
+            failed: rows
+                .iter()
+                .filter(|r| r.status == CellStatus::BuildError)
+                .count(),
+            panicked: rows
+                .iter()
+                .filter(|r| r.status == CellStatus::Panicked)
+                .count(),
+            total_cycles: rows.iter().map(|r| r.cycles).sum(),
+            wall_s,
+            cell_wall_s: cell_wall_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            threads,
+            journal,
+        };
+        if !self.quiet {
+            println!("{summary}");
+        }
+        SweepOutcome { rows, summary }
+    }
+}
+
+/// The default cell runner: build + run through [`run_app`] on the
+/// cell's supply.
+///
+/// # Errors
+///
+/// Infeasible app × system × opt combinations surface as `Err` (the
+/// journal's `build-error` rows).
+pub fn default_runner(cell: &Cell) -> Result<CellOutput, String> {
+    let mut supply = cell.supply.build(cell.seed);
+    run_app(
+        cell.app,
+        cell.system,
+        &cell.run_config(),
+        supply.as_mut(),
+    )
+    .map(CellOutput::from)
+    .map_err(|e| e.to_string())
+}
+
+fn write_journal(path: &PathBuf, rows: &[JournalRow]) -> Option<PathBuf> {
+    let write = || -> std::io::Result<PathBuf> {
+        let mut j = Journal::create(path)?;
+        for row in rows {
+            j.append(row)?;
+        }
+        j.finish()
+    };
+    match write() {
+        Ok(p) => Some(p),
+        Err(e) => {
+            eprintln!("warning: could not write journal {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_seeds_are_stable_and_distinct() {
+        let a = cell_seed(42, 0);
+        let b = cell_seed(42, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, cell_seed(42, 0));
+        assert_ne!(a, cell_seed(43, 0));
+    }
+
+    #[test]
+    fn grid_is_row_major_cartesian() {
+        let s = Sweep::new("t").grid(
+            &[App::Ar, App::Bc],
+            &[SystemUnderTest::Tics],
+            &[OptLevel::O0, OptLevel::O2],
+            &[ClockKind::Perfect],
+            &[SupplySpec::Continuous],
+            &[8, 16],
+        );
+        assert_eq!(s.len(), 2 * 2 * 2);
+        assert_eq!(s.cells[0].app, App::Ar);
+        assert_eq!(s.cells[0].scale, 8);
+        assert_eq!(s.cells[1].scale, 16);
+        assert_eq!(s.cells[4].app, App::Bc);
+    }
+
+    #[test]
+    fn args_parse_threads_and_journal() {
+        let a = SweepArgs::parse(
+            ["--threads", "3", "left", "--journal=/tmp/x.jsonl"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(a.threads, 3);
+        assert_eq!(a.journal.as_deref(), Some(std::path::Path::new("/tmp/x.jsonl")));
+        assert_eq!(a.rest, vec!["left".to_string()]);
+    }
+}

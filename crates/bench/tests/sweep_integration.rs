@@ -1,0 +1,218 @@
+//! Integration tests of the sweep engine: thread-count invariance of
+//! the journal, panic isolation, and journal round-trips through disk.
+
+use std::path::PathBuf;
+
+use tics_apps::{App, SystemUnderTest};
+use tics_bench::journal::{self, CellStatus};
+use tics_bench::sweep::{Cell, CellOutput, SupplySpec, Sweep, SweepArgs};
+use tics_bench::ClockKind;
+use tics_minic::opt::OptLevel;
+
+/// A per-test scratch journal path (removed on drop).
+struct TempJournal(PathBuf);
+
+impl TempJournal {
+    fn new(tag: &str) -> TempJournal {
+        TempJournal(
+            std::env::temp_dir().join(format!("tics-sweep-{}-{tag}.jsonl", std::process::id())),
+        )
+    }
+}
+
+impl Drop for TempJournal {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn args(threads: usize, journal: &TempJournal) -> SweepArgs {
+    SweepArgs {
+        threads,
+        journal: Some(journal.0.clone()),
+        rest: Vec::new(),
+    }
+}
+
+/// A 12-cell grid spanning TICS plus two baseline systems, two apps,
+/// and two supplies — the representative end-to-end sweep.
+fn twelve_cell_sweep(exp: &str) -> Sweep {
+    Sweep::new(exp)
+        .seed(0xBEEF)
+        .grid(
+            &[App::Ar, App::Bc],
+            &[
+                SystemUnderTest::Tics,
+                SystemUnderTest::Mementos,
+                SystemUnderTest::Ink,
+            ],
+            &[OptLevel::O2],
+            &[ClockKind::Perfect],
+            &[
+                SupplySpec::Continuous,
+                SupplySpec::Periodic {
+                    on_us: 20_000,
+                    off_us: 1_000,
+                },
+            ],
+            &[6],
+        )
+        .quiet()
+}
+
+/// Multi-threaded execution yields byte-identical journal rows to a
+/// single-threaded run, modulo row order (already fixed by the engine)
+/// and the wall-time/thread provenance fields.
+#[test]
+fn journal_is_thread_count_invariant() {
+    let j1 = TempJournal::new("t1");
+    let j4 = TempJournal::new("t4");
+    let one = twelve_cell_sweep("inv").args(args(1, &j1)).run();
+    let four = twelve_cell_sweep("inv").args(args(4, &j4)).run();
+
+    assert_eq!(one.rows.len(), 12);
+    assert_eq!(four.rows.len(), 12);
+    assert!(one.rows.iter().any(|r| r.system == "TICS"));
+    assert!(one.rows.iter().any(|r| r.system == "MementOS"));
+    assert!(one.rows.iter().any(|r| r.system == "InK"));
+    for (a, b) in one.rows.iter().zip(&four.rows) {
+        assert_eq!(a.deterministic_view(), b.deterministic_view());
+    }
+    // The equality also holds through the on-disk journals.
+    let from_disk_1 = journal::read(&j1.0).expect("journal 1 reads");
+    let from_disk_4 = journal::read(&j4.0).expect("journal 4 reads");
+    for (a, b) in from_disk_1.iter().zip(&from_disk_4) {
+        assert_eq!(a.deterministic_view(), b.deterministic_view());
+    }
+}
+
+/// Each cell's seed derives from (sweep seed, cell index) only, so two
+/// identical grids get identical seeds and a different sweep seed
+/// changes them.
+#[test]
+fn cell_seeds_follow_sweep_seed() {
+    let ja = TempJournal::new("seed-a");
+    let jb = TempJournal::new("seed-b");
+    let a = twelve_cell_sweep("seed").args(args(2, &ja)).run();
+    let b = twelve_cell_sweep("seed")
+        .seed(0xFEED)
+        .args(args(2, &jb))
+        .run();
+    assert!(a.rows.iter().zip(&b.rows).any(|(x, y)| x.seed != y.seed));
+}
+
+/// A panicking cell is journaled as `panicked` while its siblings run
+/// to completion — one bad cell cannot take down a sweep.
+#[test]
+fn panicking_cell_is_isolated() {
+    let j = TempJournal::new("panic");
+    let mut sweep = Sweep::new("panic").args(args(3, &j)).quiet();
+    for i in 0..6i64 {
+        sweep = sweep.cell(Cell::new(App::Bc, SystemUnderTest::Tics).param("i", i));
+    }
+    let outcome = sweep.run_with(|cell| {
+        if cell.param_i64("i") == 2 {
+            panic!("cell 2 exploded");
+        }
+        Ok(CellOutput {
+            outcome: "fine".to_string(),
+            cycles: 10,
+            ..CellOutput::default()
+        })
+    });
+    assert_eq!(outcome.rows.len(), 6);
+    assert_eq!(outcome.summary.panicked, 1);
+    assert_eq!(outcome.summary.ok, 5);
+    let bad = &outcome.rows[2];
+    assert_eq!(bad.status, CellStatus::Panicked);
+    assert!(bad.outcome.contains("cell 2 exploded"), "{}", bad.outcome);
+    for (i, row) in outcome.rows.iter().enumerate() {
+        if i != 2 {
+            assert_eq!(row.status, CellStatus::Ok, "sibling {i} must complete");
+        }
+    }
+    // The journaled form agrees, including the panic row.
+    let from_disk = journal::read(&j.0).expect("journal reads");
+    assert_eq!(from_disk.len(), 6);
+    assert_eq!(from_disk[2].status, CellStatus::Panicked);
+}
+
+/// A runner error journals as `build-error` without stopping siblings
+/// (the Figure 9 "red cross" cells).
+#[test]
+fn failing_cell_is_isolated() {
+    let j = TempJournal::new("fail");
+    let mut sweep = Sweep::new("fail").args(args(2, &j)).quiet();
+    for i in 0..4i64 {
+        sweep = sweep.cell(Cell::new(App::Ar, SystemUnderTest::Tics).param("i", i));
+    }
+    let outcome = sweep.run_with(|cell| {
+        if cell.param_i64("i") % 2 == 0 {
+            Err("infeasible".to_string())
+        } else {
+            Ok(CellOutput::default())
+        }
+    });
+    assert_eq!(outcome.summary.failed, 2);
+    assert_eq!(outcome.summary.ok, 2);
+    assert_eq!(outcome.rows[0].status, CellStatus::BuildError);
+    assert_eq!(outcome.rows[0].outcome, "infeasible");
+}
+
+/// Journal rows survive a serialize → write → read → parse round trip
+/// exactly, including floats, metrics, and provenance fields.
+#[test]
+fn journal_round_trips_through_disk() {
+    let j = TempJournal::new("rt");
+    let mut sweep = Sweep::new("rt").args(args(2, &j)).quiet();
+    for i in 0..5i64 {
+        sweep = sweep.cell(
+            Cell::new(App::Cuckoo, SystemUnderTest::Tics)
+                .opt(OptLevel::O1)
+                .clock(ClockKind::CapacitorRtc(1_000_000))
+                .supply(SupplySpec::rf_default())
+                .scale(7)
+                .param("i", i),
+        );
+    }
+    let outcome = sweep.run_with(|cell| {
+        Ok(CellOutput {
+            outcome: "done".to_string(),
+            exit_code: Some(0),
+            cycles: 1234,
+            checkpoints: 5,
+            ..CellOutput::default()
+        }
+        .with("ratio", 0.125 + cell.param_i64("i") as f64)
+        .with("label", format!("cell-{}", cell.param_i64("i")))
+        .with("flag", true))
+    });
+    let from_disk = journal::read(&j.0).expect("journal reads");
+    assert_eq!(from_disk, outcome.rows);
+}
+
+/// The summary accounts for every cell and estimates the speedup from
+/// the per-cell wall-times.
+#[test]
+fn summary_accounts_for_all_cells() {
+    let j = TempJournal::new("sum");
+    let mut sweep = Sweep::new("sum").args(args(4, &j)).quiet();
+    for i in 0..8i64 {
+        sweep = sweep.cell(Cell::new(App::Bc, SystemUnderTest::Tics).param("i", i));
+    }
+    let outcome = sweep.run_with(|_| {
+        Ok(CellOutput {
+            cycles: 100,
+            ..CellOutput::default()
+        })
+    });
+    let s = &outcome.summary;
+    assert_eq!(s.cells, 8);
+    assert_eq!(s.ok + s.failed + s.panicked, 8);
+    assert_eq!(s.total_cycles, 800);
+    assert!(s.wall_s >= 0.0 && s.cell_wall_s >= 0.0);
+    assert!(s.speedup_vs_one_thread() > 0.0);
+    let text = s.to_string();
+    assert!(text.contains("8 cells"), "{text}");
+    assert!(text.contains("vs 1 thread"), "{text}");
+}

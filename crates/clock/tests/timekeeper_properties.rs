@@ -1,20 +1,41 @@
-//! Property-based tests of the timekeepers: monotonicity, bounded error,
-//! and the exact semantics of trust loss.
+//! Property-style tests of the timekeepers: monotonicity, bounded error,
+//! and the exact semantics of trust loss. Inputs come from a seeded
+//! splitmix64 stream (128 deterministic cases per property) instead of a
+//! fuzzing crate, so the suite builds offline and replays exactly.
 
-use proptest::prelude::*;
 use tics_clock::{CapacitorRtc, PerfectClock, RemanenceTimer, Timekeeper, VolatileClock};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    /// Persistent timekeepers are monotone under arbitrary on/off
-    /// sequences. (The capacitor RTC is excluded: losing its charge
-    /// legitimately resets it to zero — its own property below covers
-    /// the trusted regime.)
-    #[test]
-    fn persistent_clocks_are_monotone(
-        events in proptest::collection::vec((0u64..100_000, 0u64..1_000_000), 1..50),
-    ) {
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `lo..hi`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+/// Persistent timekeepers are monotone under arbitrary on/off
+/// sequences. (The capacitor RTC is excluded: losing its charge
+/// legitimately resets it to zero — its own property below covers
+/// the trusted regime.)
+#[test]
+fn persistent_clocks_are_monotone() {
+    for case in 0..CASES {
+        let mut rng = Rng(0x0110_0000 + case);
+        let n = rng.range(1, 50) as usize;
+        let events: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.range(0, 100_000), rng.range(0, 1_000_000)))
+            .collect();
         let mut clocks: Vec<Box<dyn Timekeeper>> = vec![
             Box::new(PerfectClock::new()),
             Box::new(RemanenceTimer::new(10_000_000, 0.2, 9)),
@@ -23,85 +44,104 @@ proptest! {
             let mut last = c.now();
             for (on, off) in &events {
                 c.advance_on(*on);
-                prop_assert!(c.now() >= last);
+                assert!(c.now() >= last, "case {case}");
                 last = c.now();
                 c.power_cycle(*off);
-                prop_assert!(c.now() >= last);
+                assert!(c.now() >= last, "case {case}");
                 last = c.now();
             }
         }
     }
+}
 
-    /// The volatile clock never exceeds the duration of the current
-    /// boot — its defining flaw.
-    #[test]
-    fn volatile_clock_is_bounded_by_boot_time(
-        events in proptest::collection::vec((0u64..50_000, 1u64..1_000_000), 1..30),
-        tail_on in 0u64..50_000,
-    ) {
+/// The volatile clock never exceeds the duration of the current
+/// boot — its defining flaw.
+#[test]
+fn volatile_clock_is_bounded_by_boot_time() {
+    for case in 0..CASES {
+        let mut rng = Rng(0x0220_0000 + case);
+        let n = rng.range(1, 30) as usize;
         let mut c = VolatileClock::new();
-        for (on, off) in &events {
-            c.advance_on(*on);
-            c.power_cycle(*off);
+        for _ in 0..n {
+            c.advance_on(rng.range(0, 50_000));
+            c.power_cycle(rng.range(1, 1_000_000));
         }
+        let tail_on = rng.range(0, 50_000);
         c.advance_on(tail_on);
-        prop_assert_eq!(c.now().as_micros(), tail_on);
-        prop_assert!(!c.is_time_known());
+        assert_eq!(c.now().as_micros(), tail_on, "case {case}");
+        assert!(!c.is_time_known(), "case {case}");
     }
+}
 
-    /// Within its budget, the capacitor RTC is *exact*; one over-budget
-    /// outage loses trust permanently until resync.
-    #[test]
-    fn rtc_exact_within_budget(
-        budget in 1_000u64..1_000_000,
-        offs in proptest::collection::vec(1u64..1_000_000, 1..30),
-    ) {
+/// Within its budget, the capacitor RTC is *exact*; one over-budget
+/// outage loses trust permanently until resync.
+#[test]
+fn rtc_exact_within_budget() {
+    for case in 0..CASES {
+        let mut rng = Rng(0x0330_0000 + case);
+        let budget = rng.range(1_000, 1_000_000);
+        let n = rng.range(1, 30) as usize;
         let mut rtc = CapacitorRtc::new(budget);
         let mut truth = PerfectClock::new();
         let mut trusted = true;
-        for off in &offs {
-            rtc.power_cycle(*off);
-            truth.power_cycle(*off);
-            if *off > budget {
+        for _ in 0..n {
+            // Bias half the outages near the budget so both regimes get
+            // exercised in every case.
+            let off = if rng.next().is_multiple_of(2) {
+                rng.range(1, 1_000_000)
+            } else {
+                rng.range(budget.saturating_sub(500).max(1), budget + 500)
+            };
+            rtc.power_cycle(off);
+            truth.power_cycle(off);
+            if off > budget {
                 trusted = false;
             }
-            prop_assert_eq!(rtc.is_time_known(), trusted);
+            assert_eq!(rtc.is_time_known(), trusted, "case {case}");
             if trusted {
-                prop_assert_eq!(rtc.now(), truth.now());
+                assert_eq!(rtc.now(), truth.now(), "case {case}");
             }
         }
     }
+}
 
-    /// The remanence timer's cumulative error stays within the declared
-    /// fraction of true off-time (on-time is tracked exactly).
-    #[test]
-    fn remanence_error_is_fraction_bounded(
-        error_pct in 0u32..40,
-        offs in proptest::collection::vec(1_000u64..500_000, 1..60),
-        seed in 1u64..1_000,
-    ) {
+/// The remanence timer's cumulative error stays within the declared
+/// fraction of true off-time (on-time is tracked exactly).
+#[test]
+fn remanence_error_is_fraction_bounded() {
+    for case in 0..CASES {
+        let mut rng = Rng(0x0440_0000 + case);
+        let error_pct = rng.range(0, 40) as u32;
+        let n = rng.range(1, 60) as usize;
+        let seed = rng.range(1, 1_000);
         let frac = f64::from(error_pct) / 100.0;
         let mut t = RemanenceTimer::new(u64::MAX, frac, seed);
         let mut true_off = 0u64;
-        for off in &offs {
-            t.power_cycle(*off);
+        for _ in 0..n {
+            let off = rng.range(1_000, 500_000);
+            t.power_cycle(off);
             true_off += off;
         }
         let est = t.now().as_micros();
-        let bound = (true_off as f64 * frac).ceil() as u64 + offs.len() as u64;
-        prop_assert!(
+        let bound = (true_off as f64 * frac).ceil() as u64 + n as u64;
+        assert!(
             est.abs_diff(true_off) <= bound,
-            "est {} truth {} bound {}", est, true_off, bound
+            "case {case}: est {est} truth {true_off} bound {bound}"
         );
     }
+}
 
-    /// Saturation: off-times beyond the measurable range are reported as
-    /// exactly the maximum (the device knows only "at least this long").
-    #[test]
-    fn remanence_saturates(max in 1_000u64..100_000, over in 1u64..1_000_000) {
+/// Saturation: off-times beyond the measurable range are reported as
+/// exactly the maximum (the device knows only "at least this long").
+#[test]
+fn remanence_saturates() {
+    for case in 0..CASES {
+        let mut rng = Rng(0x0550_0000 + case);
+        let max = rng.range(1_000, 100_000);
+        let over = rng.range(1, 1_000_000);
         let mut t = RemanenceTimer::new(max, 0.3, 7);
         t.power_cycle(max + over);
-        prop_assert_eq!(t.now().as_micros(), max);
-        prop_assert!(t.saturated());
+        assert_eq!(t.now().as_micros(), max, "case {case}");
+        assert!(t.saturated(), "case {case}");
     }
 }

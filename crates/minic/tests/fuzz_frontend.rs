@@ -1,69 +1,122 @@
 //! Fuzz-style robustness tests: the frontend must never panic, whatever
 //! bytes it is fed — malformed input yields `CompileError`, not a crash.
+//! Inputs come from a seeded splitmix64 stream (256 deterministic cases
+//! per property) instead of a fuzzing crate, so the suite builds offline
+//! and replays exactly.
 
-use proptest::prelude::*;
 use tics_minic::{compile, lexer, opt::OptLevel, parser};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: u64 = 256;
 
-    /// The lexer is total: any ASCII input produces tokens or an error.
-    #[test]
-    fn lexer_never_panics(input in "[ -~\\n\\t]{0,200}") {
-        let _ = lexer::lex(&input);
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
-    /// The parser is total over arbitrary token streams from arbitrary
-    /// text.
-    #[test]
-    fn parser_never_panics(input in "[ -~\\n\\t]{0,200}") {
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+/// Printable-ASCII soup (plus newline/tab), up to 200 bytes.
+fn ascii_soup(rng: &mut Rng) -> String {
+    let len = rng.range(0, 201) as usize;
+    (0..len)
+        .map(|_| match rng.range(0, 97) {
+            95 => '\n',
+            96 => '\t',
+            c => (b' ' + c as u8) as char,
+        })
+        .collect()
+}
+
+/// The lexer is total: any ASCII input produces tokens or an error.
+#[test]
+fn lexer_never_panics() {
+    for case in 0..CASES {
+        let input = ascii_soup(&mut Rng(0x1EC5_0000 + case));
+        let _ = lexer::lex(&input);
+    }
+}
+
+/// The parser is total over arbitrary token streams from arbitrary
+/// text.
+#[test]
+fn parser_never_panics() {
+    for case in 0..CASES {
+        let input = ascii_soup(&mut Rng(0x9A25_0000 + case));
         if let Ok(tokens) = lexer::lex(&input) {
             let _ = parser::parse(tokens);
         }
     }
+}
 
-    /// Full pipeline never panics on syntactically plausible soups built
-    /// from the language's own keywords and punctuation.
-    #[test]
-    fn compiler_never_panics_on_keyword_soup(
-        words in proptest::collection::vec(
-            prop_oneof![
-                Just("int"), Just("while"), Just("if"), Just("else"),
-                Just("return"), Just("{"), Just("}"), Just("("), Just(")"),
-                Just(";"), Just("x"), Just("y"), Just("main"), Just("="),
-                Just("+"), Just("*"), Just("&"), Just("1"), Just("0"),
-                Just("for"), Just("break"), Just("nv"), Just("[ 3 ]"),
-                Just("@timely"), Just("catch"),
-            ],
-            0..60,
-        )
-    ) {
-        let src = words.join(" ");
+/// Full pipeline never panics on syntactically plausible soups built
+/// from the language's own keywords and punctuation.
+#[test]
+fn compiler_never_panics_on_keyword_soup() {
+    const WORDS: [&str; 25] = [
+        "int", "while", "if", "else", "return", "{", "}", "(", ")", ";", "x", "y", "main", "=",
+        "+", "*", "&", "1", "0", "for", "break", "nv", "[ 3 ]", "@timely", "catch",
+    ];
+    for case in 0..CASES {
+        let mut rng = Rng(0x50FF_0000 + case);
+        let n = rng.range(0, 60) as usize;
+        let src = (0..n)
+            .map(|_| WORDS[rng.range(0, WORDS.len() as u64) as usize])
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = compile(&src, OptLevel::O2);
     }
+}
 
-    /// Deeply nested expressions neither crash nor mis-resolve.
-    #[test]
-    fn nested_parentheses_compile(depth in 1usize..40) {
+/// Deeply nested expressions neither crash nor mis-resolve.
+#[test]
+fn nested_parentheses_compile() {
+    for depth in 1usize..40 {
         let open = "(".repeat(depth);
         let close = ")".repeat(depth);
         let src = format!("int main() {{ return {open}1{close} + 1; }}");
         let prog = compile(&src, OptLevel::O2).unwrap();
         assert!(prog.function("main").is_some());
     }
+}
 
-    /// Identifier names never collide with internal machinery.
-    #[test]
-    fn arbitrary_identifiers_work(name in "[a-z_][a-z0-9_]{0,20}") {
-        prop_assume!(![
-            "int", "unsigned", "void", "if", "else", "while", "for",
-            "return", "break", "continue", "nv", "catch", "main",
-        ]
-        .contains(&name.as_str()));
+/// Identifier names never collide with internal machinery.
+#[test]
+fn arbitrary_identifiers_work() {
+    const KEYWORDS: [&str; 13] = [
+        "int", "unsigned", "void", "if", "else", "while", "for", "return", "break", "continue",
+        "nv", "catch", "main",
+    ];
+    for case in 0..CASES {
+        let mut rng = Rng(0x1DE7_0000 + case);
+        let len = rng.range(0, 21) as usize;
+        let first = match rng.range(0, 27) {
+            26 => '_',
+            c => (b'a' + c as u8) as char,
+        };
+        let mut name = String::from(first);
+        for _ in 0..len {
+            name.push(match rng.range(0, 37) {
+                36 => '_',
+                c if c >= 26 => (b'0' + (c - 26) as u8) as char,
+                c => (b'a' + c as u8) as char,
+            });
+        }
+        if KEYWORDS.contains(&name.as_str()) {
+            continue;
+        }
         // Builtins may not be redefined; that's an error, not a panic.
         let src = format!("int {name}(int a) {{ return a; }} int main() {{ return {name}(7); }}");
         if let Ok(prog) = compile(&src, OptLevel::O2) {
-            assert!(prog.function(&name).is_some());
+            assert!(prog.function(&name).is_some(), "case {case}: {name}");
         }
     }
 }

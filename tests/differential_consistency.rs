@@ -3,7 +3,6 @@
 //! every consistency-preserving runtime. This is the strongest
 //! end-to-end statement of the paper's correctness claims.
 
-use proptest::prelude::*;
 use tics_repro::baselines::{NaiveCheckpoint, RatchetRuntime};
 use tics_repro::core::{TicsConfig, TicsRuntime};
 use tics_repro::energy::{ContinuousPower, DutyCycleTrace, PeriodicTrace};
@@ -152,23 +151,32 @@ fn ratchet_matches_continuous_for_corpus() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
-    /// Power-failure storms with random duty cycles, periods, and seeds
-    /// never change a TICS program's result.
-    #[test]
-    fn tics_survives_random_power_storms(
+/// Power-failure storms with seeded-random duty cycles, periods, and
+/// trace seeds never change a TICS program's result. 24 deterministic
+/// cases drawn from a splitmix64 stream stand in for the fuzzing crate.
+#[test]
+fn tics_survives_random_power_storms() {
+    for case in 0..24u64 {
+        let mut state = 0x5707_2000 + case;
+        let mut draw = || {
+            state = splitmix64(state);
+            state
+        };
         // On-periods stay above the restore + checkpoint floor so forward
         // progress is physically possible (below it, starvation is the
         // *correct* outcome — covered by dedicated tests).
-        duty in 0.45f64..0.95,
-        period in 15_000u64..60_000,
-        jitter in 0.0f64..0.25,
-        seed in 0u64..1_000,
-        pick in 0usize..CORPUS.len(),
-    ) {
-        let (name, src) = CORPUS[pick];
+        let duty = 0.45 + (draw() % 1_000) as f64 / 1_000.0 * 0.5;
+        let period = 15_000 + draw() % 45_000;
+        let jitter = (draw() % 1_000) as f64 / 1_000.0 * 0.25;
+        let seed = draw() % 1_000;
+        let (name, src) = CORPUS[(draw() % CORPUS.len() as u64) as usize];
         let expected = run(
             tics_program(src),
             &mut TicsRuntime::new(TicsConfig::s2()),
@@ -181,11 +189,10 @@ proptest! {
             .with_time_budget(20_000_000_000)
             .run(&mut m, &mut rt, &mut supply)
             .expect("no traps");
-        prop_assert_eq!(
+        assert_eq!(
             out.exit_code(),
             Some(expected),
-            "{} diverged (duty={}, period={}, seed={})",
-            name, duty, period, seed
+            "{name} diverged (duty={duty}, period={period}, seed={seed})"
         );
     }
 }
