@@ -123,6 +123,7 @@ impl IntermittentRuntime for ChinchillaRuntime {
             recursion_support: false,
             scalable: false,
             timely_execution: false,
+            memory_consistency: true,
             porting_effort: PortingEffort::None,
         }
     }
@@ -147,8 +148,15 @@ impl IntermittentRuntime for ChinchillaRuntime {
         self.last_ckpt_at = m.cycles();
         let flag = ctrl.flag(m)?;
         if flag == 0 {
+            // No checkpoint has ever committed, so the committed image is
+            // the pristine load image. Chinchilla's versioned memory
+            // discards uncommitted writes — and the promoted locals are
+            // `nv` by construction, outside the executor's volatile-only
+            // reinit — so *all* statics must go back to their
+            // initializers here.
+            m.init_globals(true)?;
             return Ok(ResumeAction::Restart {
-                reinit_globals: true,
+                reinit_globals: false,
             });
         }
         let buf = if flag == 1 { self.buf_a } else { self.buf_b };

@@ -124,6 +124,12 @@ impl IntermittentRuntime for NaiveCheckpoint {
             recursion_support: true,
             scalable: false,
             timely_execution: false,
+            // A reboot before the first commit restarts main with
+            // whatever `nv` state earlier execution left behind (the
+            // executor's restart reinit covers volatile statics only) —
+            // the WAR hole Table 5 scores against this class of systems
+            // and the divergence the fault harness reproduces.
+            memory_consistency: false,
             porting_effort: PortingEffort::None,
         }
     }

@@ -109,6 +109,7 @@ impl IntermittentRuntime for RatchetRuntime {
             recursion_support: false,
             scalable: false,
             timely_execution: false,
+            memory_consistency: true,
             porting_effort: PortingEffort::High,
         }
     }

@@ -211,6 +211,7 @@ impl IntermittentRuntime for TaskKernel {
             recursion_support: false,
             scalable: false,
             timely_execution: self.supports_time(),
+            memory_consistency: true,
             porting_effort: PortingEffort::High,
         }
     }

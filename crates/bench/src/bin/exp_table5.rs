@@ -51,12 +51,13 @@ fn main() {
         .with("recursion_support", c.recursion_support)
         .with("scalable", c.scalable)
         .with("timely_execution", c.timely_execution)
+        .with("memory_consistency", c.memory_consistency)
         .with("porting_effort", c.porting_effort.to_string()))
     });
 
     println!(
-        "{:<16} {:>8} {:>10} {:>9} {:>7} {:>9}",
-        "runtime", "pointers", "recursion", "scalable", "timely", "porting"
+        "{:<16} {:>8} {:>10} {:>9} {:>7} {:>11} {:>9}",
+        "runtime", "pointers", "recursion", "scalable", "timely", "consistent", "porting"
     );
     let mut table = Vec::new();
     for row in &outcome.rows {
@@ -67,12 +68,13 @@ fn main() {
             .and_then(Json::as_str)
             .unwrap_or("?");
         println!(
-            "{:<16} {:>8} {:>10} {:>9} {:>7} {:>9}",
+            "{:<16} {:>8} {:>10} {:>9} {:>7} {:>11} {:>9}",
             name,
             yn(get("pointer_support")),
             yn(get("recursion_support")),
             yn(get("scalable")),
             yn(get("timely_execution")),
+            yn(get("memory_consistency")),
             porting
         );
         table.push(
@@ -82,6 +84,7 @@ fn main() {
                 .field("recursion_support", get("recursion_support"))
                 .field("scalable", get("scalable"))
                 .field("timely_execution", get("timely_execution"))
+                .field("memory_consistency", get("memory_consistency"))
                 .field("porting_effort", porting)
                 .build(),
         );
@@ -94,6 +97,7 @@ fn main() {
             && get("recursion_support")
             && get("scalable")
             && get("timely_execution")
+            && get("memory_consistency")
             && tics.metric("porting_effort").and_then(Json::as_str) == Some("None")
     );
     tics_bench::write_json("table5", &Json::Arr(table));

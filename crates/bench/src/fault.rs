@@ -1,0 +1,1169 @@
+//! Adversarial power-failure fault injection with a crash-consistency
+//! oracle.
+//!
+//! The trace-driven experiments only ever cut power on a fixed cadence,
+//! so a runtime's recovery protocol is exercised at a handful of
+//! accidental alignments. This module instead drives each run from a
+//! [`FaultPlan`] — power dies at *chosen* absolute cycles — and judges
+//! the survivors against a golden run on continuous power:
+//!
+//! 1. **Golden run** — the program runs to completion without failures;
+//!    its externally visible events (`send`/`mark`, the simulation's
+//!    logic-analyzer trace) and exit code are recorded.
+//! 2. **Faulted replay** — the same image reruns under an
+//!    [`AdversarialSupply`]. The machine arms a torn-write boundary at
+//!    each period deadline, so multi-word stores straddling a cut
+//!    commit only a prefix.
+//! 3. **Oracle** — the replay's event stream, segmented at each power
+//!    failure, must be *idempotent-prefix-equivalent* to the golden
+//!    trace: every post-reboot segment must replay from some position
+//!    at or before the high-water mark of golden progress. Duplicated
+//!    suffixes (re-execution from a checkpoint) are legal; events that
+//!    match no golden prefix are a memory-consistency violation.
+//! 4. **Shrinking** — a violating multi-cut plan is greedily reduced to
+//!    a minimal cut set that still violates, so the journal carries a
+//!    directly replayable counterexample.
+//!
+//! Live-lock (no new checkpoint and no new visible event across many
+//! consecutive reboots, e.g. a checkpoint that cannot fit in the
+//! on-period) is reported as a *diagnosis*, distinct from a memory
+//! violation — the run never lies about state, it just never advances.
+
+use tics_apps::build::make_runtime;
+use tics_apps::SystemUnderTest;
+use tics_baselines::TaskFlavor;
+use tics_energy::{AdversarialSupply, ContinuousPower, FaultPlan, Tail};
+use tics_minic::opt::OptLevel;
+use tics_minic::{compile, passes, Program};
+use tics_vm::{ExecStats, Executor, Machine, MachineConfig, RunOutcome, VmError};
+
+use crate::sweep::splitmix64;
+
+/// Outage injected after each planned cut (µs). Strictly positive so
+/// post-reboot events can never share a timestamp with the failure.
+pub const OFF_US: u64 = 150;
+
+/// Reboots without progress before the executor's guard calls it a
+/// live-lock.
+pub const GUARD_BOOTS: u64 = 48;
+
+// ---------------------------------------------------------------------
+// Corpus
+// ---------------------------------------------------------------------
+
+/// A deliberately small, fully deterministic program corpus for fault
+/// injection. None of these touch `sample()`/`rand16()`/time syscalls:
+/// host-side sensor and RNG positions are not rolled back by a
+/// checkpoint restore, so any nondeterminism would blame the runtime
+/// for divergence it did not cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultProgram {
+    /// `nv` scalars and a small `nv` histogram with WAR-heavy updates.
+    NvAccumulator,
+    /// A Lehmer generator streaming values over `send` — one corrupted
+    /// state word derails every later event.
+    LcgStream,
+    /// Windowed min/max over a synthetic series (greenhouse-monitor
+    /// shape), mixing `mark` and `send` events.
+    GhmMini,
+    /// Pointer-walk writes through a volatile buffer guarded by an `nv`
+    /// commit counter (exercises pointer-conservative instrumentation).
+    PtrJournal,
+    /// Recursive checksum accumulated into `nv` state.
+    RecChecksum,
+    /// Sample → transform → emit pipeline; also available as a
+    /// hand-ported task graph for the task kernels.
+    TaskPipeline,
+    /// 12 KB of `nv` state mutated in long silent loops: whole-state
+    /// checkpointers cannot commit inside a short on-period, which is
+    /// what the live-lock probe demonstrates.
+    BigState,
+}
+
+const NV_ACCUMULATOR_SRC: &str = "
+nv int acc;
+nv int steps;
+nv int hist[8];
+int main() {
+    for (int i = 0; i < 40; i++) {
+        acc = acc + i;
+        hist[i % 8] = hist[i % 8] + acc;
+        steps = steps + 1;
+        if (i % 8 == 7) { send(acc); send(hist[7]); }
+    }
+    send(acc);
+    send(steps);
+    return acc;
+}
+";
+
+const NV_ACCUMULATOR_TASK_SRC: &str = "
+nv int cur_task;
+nv int i;
+nv int acc;
+nv int steps;
+nv int hist[8];
+int task_step() {
+    acc = acc + i;
+    hist[i % 8] = hist[i % 8] + acc;
+    steps = steps + 1;
+    i = i + 1;
+    if (i % 8 == 0) { return 1; }
+    return 0;
+}
+int task_emit() {
+    send(acc);
+    send(hist[7]);
+    return 0;
+}
+int main() {
+    while (i < 40) {
+        if (cur_task == 0) { cur_task = task_step(); }
+        else { cur_task = task_emit(); }
+    }
+    send(acc);
+    send(steps);
+    return acc;
+}
+";
+
+const NV_ACCUMULATOR_TASKS: &[&str] = &["task_step", "task_emit"];
+
+const LCG_STREAM_SRC: &str = "
+nv int lcg;
+nv int emitted;
+int main() {
+    lcg = 1;
+    for (int i = 0; i < 60; i++) {
+        lcg = (lcg * 75 + 74) % 65537;
+        if (i % 6 == 5) { send(lcg); emitted = emitted + 1; }
+    }
+    send(emitted);
+    return lcg % 32768;
+}
+";
+
+const LCG_STREAM_TASK_SRC: &str = "
+nv int cur_task;
+nv int i;
+nv int lcg;
+nv int emitted;
+int task_seed() {
+    lcg = 1;
+    return 1;
+}
+int task_step() {
+    lcg = (lcg * 75 + 74) % 65537;
+    i = i + 1;
+    if (i % 6 == 0) { return 2; }
+    return 1;
+}
+int task_emit() {
+    send(lcg);
+    emitted = emitted + 1;
+    return 1;
+}
+int main() {
+    while (i < 60) {
+        if (cur_task == 0) { cur_task = task_seed(); }
+        else {
+            if (cur_task == 1) { cur_task = task_step(); }
+            else { cur_task = task_emit(); }
+        }
+    }
+    send(emitted);
+    return lcg % 32768;
+}
+";
+
+const LCG_STREAM_TASKS: &[&str] = &["task_seed", "task_step", "task_emit"];
+
+const GHM_MINI_SRC: &str = "
+nv int mn;
+nv int mx;
+nv int w;
+int main() {
+    int x = 7;
+    mn = 9999;
+    mx = 0 - 9999;
+    for (int i = 0; i < 48; i++) {
+        x = (x * 31 + 17) % 101;
+        if (x < mn) { mn = x; }
+        if (x > mx) { mx = x; }
+        w = w + 1;
+        if (i % 12 == 11) {
+            send(mn);
+            send(mx);
+            mark(1);
+            mn = 9999;
+            mx = 0 - 9999;
+        }
+    }
+    send(w);
+    return w;
+}
+";
+
+const PTR_JOURNAL_SRC: &str = "
+int buf[16];
+nv int commits;
+int main() {
+    int *p = buf;
+    for (int r = 0; r < 6; r++) {
+        for (int i = 0; i < 16; i++) { *(p + i) = r * 16 + i + commits; }
+        int s = 0;
+        for (int i = 0; i < 16; i++) { s = s + *(p + i); }
+        commits = commits + 1;
+        send(s);
+    }
+    send(commits);
+    return commits;
+}
+";
+
+const REC_CHECKSUM_SRC: &str = "
+nv int total;
+int rec(int n) {
+    if (n == 0) { return 0; }
+    return n + rec(n - 1);
+}
+int main() {
+    for (int r = 1; r < 9; r++) {
+        total = total + rec(r + 4);
+        send(total);
+    }
+    return total;
+}
+";
+
+const TASK_PIPELINE_SRC: &str = "
+nv int raw;
+nv int cooked;
+nv int emitted;
+int main() {
+    for (int u = 0; u < 12; u++) {
+        raw = u * 7 + 3;
+        cooked = cooked + raw * raw % 97;
+        send(cooked);
+        emitted = emitted + 1;
+    }
+    send(emitted);
+    return cooked;
+}
+";
+
+const TASK_PIPELINE_TASK_SRC: &str = "
+nv int cur_task;
+nv int u;
+nv int raw;
+nv int cooked;
+nv int emitted;
+int task_sample() {
+    raw = u * 7 + 3;
+    return 1;
+}
+int task_cook() {
+    cooked = cooked + raw * raw % 97;
+    return 2;
+}
+int task_emit() {
+    send(cooked);
+    emitted = emitted + 1;
+    u = u + 1;
+    return 0;
+}
+int main() {
+    while (u < 12) {
+        if (cur_task == 0) { cur_task = task_sample(); }
+        else {
+            if (cur_task == 1) { cur_task = task_cook(); }
+            else { cur_task = task_emit(); }
+        }
+    }
+    send(emitted);
+    return cooked;
+}
+";
+
+const TASK_PIPELINE_TASKS: &[&str] = &["task_sample", "task_cook", "task_emit"];
+
+const BIG_STATE_SRC: &str = "
+nv int blob[3000];
+nv int done;
+int main() {
+    for (int r = 0; r < 3; r++) {
+        for (int i = 0; i < 3000; i++) { blob[i] = blob[i] + i + r; }
+        mark(1);
+    }
+    done = blob[0] + blob[2999];
+    send(done);
+    return done % 32768;
+}
+";
+
+impl FaultProgram {
+    /// The whole corpus, grid order.
+    pub const ALL: [FaultProgram; 7] = [
+        FaultProgram::NvAccumulator,
+        FaultProgram::LcgStream,
+        FaultProgram::GhmMini,
+        FaultProgram::PtrJournal,
+        FaultProgram::RecChecksum,
+        FaultProgram::TaskPipeline,
+        FaultProgram::BigState,
+    ];
+
+    /// Journal label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultProgram::NvAccumulator => "nv-accumulator",
+            FaultProgram::LcgStream => "lcg-stream",
+            FaultProgram::GhmMini => "ghm-mini",
+            FaultProgram::PtrJournal => "ptr-journal",
+            FaultProgram::RecChecksum => "rec-checksum",
+            FaultProgram::TaskPipeline => "task-pipeline",
+            FaultProgram::BigState => "big-state",
+        }
+    }
+
+    /// Parses a journal label back into a program.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<FaultProgram> {
+        FaultProgram::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    fn legacy_src(self) -> &'static str {
+        match self {
+            FaultProgram::NvAccumulator => NV_ACCUMULATOR_SRC,
+            FaultProgram::LcgStream => LCG_STREAM_SRC,
+            FaultProgram::GhmMini => GHM_MINI_SRC,
+            FaultProgram::PtrJournal => PTR_JOURNAL_SRC,
+            FaultProgram::RecChecksum => REC_CHECKSUM_SRC,
+            FaultProgram::TaskPipeline => TASK_PIPELINE_SRC,
+            FaultProgram::BigState => BIG_STATE_SRC,
+        }
+    }
+
+    fn task_src(self) -> Option<(&'static str, &'static [&'static str])> {
+        match self {
+            FaultProgram::NvAccumulator => {
+                Some((NV_ACCUMULATOR_TASK_SRC, NV_ACCUMULATOR_TASKS))
+            }
+            FaultProgram::LcgStream => Some((LCG_STREAM_TASK_SRC, LCG_STREAM_TASKS)),
+            FaultProgram::TaskPipeline => Some((TASK_PIPELINE_TASK_SRC, TASK_PIPELINE_TASKS)),
+            _ => None,
+        }
+    }
+}
+
+/// Builds (compiles + instruments) a corpus program for `system`,
+/// mirroring the per-system rules of [`tics_apps::build::build_app`]:
+/// task kernels get the hand-ported task graph (loop-free task bodies,
+/// so MayFly accepts them too), Chinchilla compiles at `-O0` and
+/// rejects recursion, everything else runs the legacy source.
+///
+/// # Errors
+///
+/// Returns a human-readable reason for the infeasible cells (no task
+/// port, recursion on Chinchilla) and for compile failures.
+pub fn build_fault_program(
+    program: FaultProgram,
+    system: SystemUnderTest,
+) -> Result<Program, String> {
+    if system.is_task_based() {
+        let Some((src, tasks)) = program.task_src() else {
+            return Err(format!(
+                "{} has no task-graph port (pointer or recursion shape)",
+                program.name()
+            ));
+        };
+        let flavor = match system {
+            SystemUnderTest::Alpaca => TaskFlavor::Alpaca,
+            SystemUnderTest::Ink => TaskFlavor::Ink,
+            _ => TaskFlavor::Mayfly,
+        };
+        let mut prog = compile(src, OptLevel::O1).map_err(|e| e.to_string())?;
+        passes::instrument_task_based(
+            &mut prog,
+            tasks,
+            flavor.runtime_text_bytes(),
+            flavor.runtime_data_bytes(),
+        )
+        .map_err(|e| e.to_string())?;
+        return Ok(prog);
+    }
+    let opt = if system == SystemUnderTest::Chinchilla {
+        OptLevel::O0
+    } else {
+        OptLevel::O1
+    };
+    let mut prog = compile(program.legacy_src(), opt).map_err(|e| e.to_string())?;
+    match system {
+        SystemUnderTest::PlainC => {}
+        SystemUnderTest::Tics => passes::instrument_tics(&mut prog).map_err(|e| e.to_string())?,
+        SystemUnderTest::Mementos => {
+            passes::instrument_mementos(&mut prog).map_err(|e| e.to_string())?;
+        }
+        SystemUnderTest::Chinchilla => {
+            if prog.has_recursion {
+                return Err("recursion cannot run on Chinchilla (locals are promoted)".into());
+            }
+            passes::instrument_chinchilla(&mut prog).map_err(|e| e.to_string())?;
+        }
+        SystemUnderTest::Ratchet => {
+            passes::instrument_ratchet(&mut prog).map_err(|e| e.to_string())?;
+        }
+        _ => unreachable!("task systems handled above"),
+    }
+    Ok(prog)
+}
+
+// ---------------------------------------------------------------------
+// Event traces and the golden run
+// ---------------------------------------------------------------------
+
+/// One externally visible event. The oracle compares event *values*,
+/// never timestamps — a faulted run is slower than the golden run by
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Event {
+    /// `mark(id)` completion.
+    Mark(i32),
+    /// `send(value)` transmission.
+    Send(i32),
+}
+
+/// The run's visible events in emission order, with true wall-clock
+/// timestamps (µs).
+#[must_use]
+pub fn event_timeline(stats: &ExecStats) -> Vec<(u64, Event)> {
+    let mut v: Vec<(u64, Event)> = stats
+        .marks_timed
+        .iter()
+        .map(|&(id, t)| (t, Event::Mark(id)))
+        .chain(stats.sends_timed.iter().map(|&(x, t)| (t, Event::Send(x))))
+        .collect();
+    // Events are at least one cycle apart in practice; the secondary key
+    // keeps the merge deterministic regardless.
+    v.sort_by_key(|&(t, e)| (t, e));
+    v
+}
+
+/// The event stream split at each power failure: segment `k` holds the
+/// events emitted between reboot `k` and failure `k` (the final segment
+/// runs to the end). An event stamped exactly at a failure time
+/// completed on the dying edge and belongs *before* the cut; post-reboot
+/// events are at least `off_us` later.
+#[must_use]
+pub fn segmented_events(stats: &ExecStats) -> Vec<Vec<Event>> {
+    let timeline = event_timeline(stats);
+    let mut segments = Vec::with_capacity(stats.failure_times.len() + 1);
+    let mut it = timeline.into_iter().peekable();
+    for &f in &stats.failure_times {
+        let mut seg = Vec::new();
+        while let Some(&(t, e)) = it.peek() {
+            if t > f {
+                break;
+            }
+            seg.push(e);
+            it.next();
+        }
+        segments.push(seg);
+    }
+    segments.push(it.map(|(_, e)| e).collect());
+    segments
+}
+
+/// The reference trace: what the program does when power never fails.
+#[derive(Debug, Clone)]
+pub struct Golden {
+    /// Visible events in order.
+    pub events: Vec<Event>,
+    /// Exit code of the completed run.
+    pub exit_code: i32,
+    /// On-time cycles the golden run took — the fault-plan span.
+    pub on_cycles: u64,
+}
+
+/// Runs `prog` under `system` on continuous power and records the
+/// golden trace.
+///
+/// # Errors
+///
+/// A golden run that does not finish is a corpus or runtime bug, not a
+/// fault-injection result — it is reported as a string error.
+pub fn golden_run(prog: &Program, system: SystemUnderTest) -> Result<Golden, String> {
+    let mut m = Machine::new(prog.clone(), MachineConfig::default())
+        .map_err(|e| format!("golden load failed: {e}"))?;
+    let mut rt = make_runtime(system, prog);
+    let out = Executor::new()
+        .with_time_budget(30_000_000_000)
+        .run(&mut m, rt.as_mut(), &mut ContinuousPower::new());
+    match out {
+        Ok(RunOutcome::Finished(code)) => Ok(Golden {
+            events: event_timeline(m.stats()).into_iter().map(|(_, e)| e).collect(),
+            exit_code: code,
+            on_cycles: m.cycles(),
+        }),
+        Ok(other) => Err(format!("golden run did not finish: {other:?}")),
+        Err(e) => Err(format!("golden run trapped: {e}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Faulted trials and the oracle
+// ---------------------------------------------------------------------
+
+/// One faulted replay: outcome plus everything the oracle needs.
+#[derive(Debug)]
+pub struct Trial {
+    /// How the executor finished (or the error it surfaced).
+    pub outcome: Result<RunOutcome, VmError>,
+    /// Machine statistics at the end of the run.
+    pub stats: ExecStats,
+    /// Stores truncated at a power cut (word-granularity torn writes).
+    pub torn_writes: u64,
+    /// On-time cycles consumed.
+    pub cycles: u64,
+}
+
+/// On-time budget for a faulted replay of `golden`: generous enough
+/// that any completing runtime completes, small enough that a wedged
+/// replay terminates.
+#[must_use]
+pub fn fault_budget_us(golden: &Golden) -> u64 {
+    golden.on_cycles.saturating_mul(64).saturating_add(10_000_000)
+}
+
+/// Replays `prog` under `system` with power dying per `plan`.
+#[must_use]
+pub fn run_plan(
+    prog: &Program,
+    system: SystemUnderTest,
+    plan: &FaultPlan,
+    budget_us: u64,
+    guard_boots: u64,
+) -> Trial {
+    let mut m = match Machine::new(prog.clone(), MachineConfig::default()) {
+        Ok(m) => m,
+        Err(e) => {
+            return Trial {
+                outcome: Err(e),
+                stats: ExecStats::default(),
+                torn_writes: 0,
+                cycles: 0,
+            }
+        }
+    };
+    let mut rt = make_runtime(system, prog);
+    let mut supply = AdversarialSupply::new(plan.clone());
+    let outcome = Executor::new()
+        .with_time_budget(budget_us)
+        .with_progress_guard(guard_boots)
+        .run(&mut m, rt.as_mut(), &mut supply);
+    Trial {
+        outcome,
+        stats: m.stats().clone(),
+        torn_writes: m.mem.stats().torn_writes,
+        cycles: m.cycles(),
+    }
+}
+
+/// The oracle's judgment of one faulted replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every segment replayed a golden prefix and the run finished with
+    /// the golden exit code.
+    Consistent,
+    /// A post-reboot segment matches no golden position at or before
+    /// the progress high-water mark: state was corrupted.
+    Divergent {
+        /// Index of the offending segment (0 = before the first cut).
+        segment: usize,
+        /// Golden progress (events) proven before the mismatch.
+        matched: usize,
+        /// Human-readable mismatch description.
+        detail: String,
+    },
+    /// Events matched but the final exit code did not.
+    WrongExit {
+        /// Golden exit code.
+        expected: i32,
+        /// Replay exit code.
+        got: i32,
+    },
+    /// The replay never finished inside the (generous) budget.
+    Incomplete {
+        /// Executor outcome text.
+        outcome: String,
+    },
+    /// No checkpoint and no visible event across many consecutive
+    /// reboots — a liveness diagnosis, not a memory violation.
+    Livelock {
+        /// Reboots the guard observed without progress.
+        boots: u64,
+    },
+    /// The replay trapped (a crash is a robustness failure too).
+    Error {
+        /// Trap description.
+        detail: String,
+    },
+}
+
+impl Verdict {
+    /// Short journal label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Consistent => "consistent",
+            Verdict::Divergent { .. } => "divergent",
+            Verdict::WrongExit { .. } => "wrong-exit",
+            Verdict::Incomplete { .. } => "incomplete",
+            Verdict::Livelock { .. } => "livelock",
+            Verdict::Error { .. } => "error",
+        }
+    }
+
+    /// Whether this verdict counts against a memory-consistency claim.
+    /// Live-lock is deliberately excluded (liveness, not consistency);
+    /// `strict_completion` controls whether a non-finishing replay
+    /// counts (it should for plans with a continuous tail, where
+    /// nothing stops a healthy runtime from finishing).
+    #[must_use]
+    pub fn is_violation(&self, strict_completion: bool) -> bool {
+        match self {
+            Verdict::Divergent { .. } | Verdict::WrongExit { .. } | Verdict::Error { .. } => true,
+            Verdict::Incomplete { .. } => strict_completion,
+            Verdict::Consistent | Verdict::Livelock { .. } => false,
+        }
+    }
+}
+
+/// Largest `r ≤ high_water` with `golden[r .. r+seg.len()] == seg`.
+/// Preferring the largest sound resume point can only overestimate
+/// progress, never invent a match — so it cannot produce a false
+/// violation for a correct runtime.
+fn match_segment(golden: &[Event], high_water: usize, seg: &[Event]) -> Option<usize> {
+    if seg.is_empty() {
+        return Some(high_water);
+    }
+    for r in (0..=high_water).rev() {
+        if r + seg.len() <= golden.len() && golden[r..r + seg.len()] == *seg {
+            return Some(r);
+        }
+    }
+    None
+}
+
+fn describe_mismatch(golden: &Golden, high_water: usize, seg: &[Event]) -> String {
+    // Align at the high-water mark for the message — the position a
+    // correct resume would replay from at the latest.
+    let mut i = 0;
+    while i < seg.len()
+        && high_water + i < golden.events.len()
+        && seg[i] == golden.events[high_water + i]
+    {
+        i += 1;
+    }
+    format!(
+        "segment event {} is {:?} but golden[{}] is {:?}",
+        i,
+        seg.get(i),
+        high_water + i,
+        golden.events.get(high_water + i),
+    )
+}
+
+/// Judges one faulted replay against the golden trace.
+#[must_use]
+pub fn judge(golden: &Golden, trial: &Trial) -> Verdict {
+    match &trial.outcome {
+        Err(VmError::NoForwardProgress { boots, .. }) => {
+            return Verdict::Livelock { boots: *boots }
+        }
+        Err(e) => {
+            return Verdict::Error {
+                detail: e.to_string(),
+            }
+        }
+        Ok(_) => {}
+    }
+    let segments = segmented_events(&trial.stats);
+    let mut high_water = 0usize;
+    for (index, seg) in segments.iter().enumerate() {
+        match match_segment(&golden.events, high_water, seg) {
+            Some(r) => high_water = high_water.max(r + seg.len()),
+            None => {
+                return Verdict::Divergent {
+                    segment: index,
+                    matched: high_water,
+                    detail: describe_mismatch(golden, high_water, seg),
+                }
+            }
+        }
+    }
+    match &trial.outcome {
+        Ok(RunOutcome::Finished(code)) => {
+            let code = *code;
+            if high_water < golden.events.len() {
+                return Verdict::Divergent {
+                    segment: segments.len(),
+                    matched: high_water,
+                    detail: format!(
+                        "finished having replayed only {high_water} of {} golden events",
+                        golden.events.len()
+                    ),
+                };
+            }
+            if code == golden.exit_code {
+                Verdict::Consistent
+            } else {
+                Verdict::WrongExit {
+                    expected: golden.exit_code,
+                    got: code,
+                }
+            }
+        }
+        Ok(RunOutcome::Starved { boots }) => Verdict::Livelock { boots: *boots },
+        Ok(other) => Verdict::Incomplete {
+            outcome: format!("{other:?}"),
+        },
+        Err(_) => unreachable!("executor errors are handled before segment matching"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------
+
+/// Greedily removes cuts from a violating plan while the violation
+/// persists, yielding a minimal cut set (1-minimal: removing any single
+/// remaining cut makes the violation disappear).
+#[must_use]
+pub fn shrink_plan(
+    prog: &Program,
+    system: SystemUnderTest,
+    golden: &Golden,
+    plan: &FaultPlan,
+    budget_us: u64,
+    guard_boots: u64,
+    strict_completion: bool,
+) -> FaultPlan {
+    let mut current = plan.clone();
+    let mut changed = true;
+    while changed && current.cuts.len() > 1 {
+        changed = false;
+        for i in 0..current.cuts.len() {
+            let candidate = current.without(i);
+            let trial = run_plan(prog, system, &candidate, budget_us, guard_boots);
+            if judge(golden, &trial).is_violation(strict_completion) {
+                current = candidate;
+                changed = true;
+                break;
+            }
+        }
+    }
+    current
+}
+
+// ---------------------------------------------------------------------
+// Cut-point strategies and the cell driver
+// ---------------------------------------------------------------------
+
+/// How a cell chooses its fault plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Single-cut plans on an even stride across the golden span —
+    /// exhaustive coverage of "power dies once, anywhere".
+    Stride,
+    /// Seeded multi-cut plans (up to 4 cuts) — compound failures.
+    Random,
+    /// No planned cuts, a periodic tail instead: the live-lock probe.
+    Probe,
+}
+
+impl Strategy {
+    /// All strategies, grid order.
+    pub const ALL: [Strategy; 3] = [Strategy::Stride, Strategy::Random, Strategy::Probe];
+
+    /// Journal label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Stride => "stride",
+            Strategy::Random => "random",
+            Strategy::Probe => "probe",
+        }
+    }
+
+    /// Whether a non-finishing replay counts as a violation under this
+    /// strategy. Probe plans keep killing power forever, so a slow
+    /// runtime legitimately never finishes.
+    #[must_use]
+    pub fn strict_completion(self) -> bool {
+        !matches!(self, Strategy::Probe)
+    }
+
+    /// The plans this strategy runs against `golden`.
+    #[must_use]
+    pub fn plans(self, golden: &Golden, trials: usize, seed: u64) -> Vec<FaultPlan> {
+        match self {
+            Strategy::Stride => FaultPlan::sweep(golden.on_cycles, trials as u64, OFF_US),
+            Strategy::Random => (0..trials)
+                .map(|i| {
+                    let s = splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    FaultPlan::random(s, golden.on_cycles, 1 + i % 4, OFF_US)
+                })
+                .collect(),
+            // On-periods from just above the paper's S2* progress floor
+            // down to "nothing with a whole-state checkpoint survives".
+            Strategy::Probe => [2_500u64, 5_000, 8_000, 14_000, 20_000]
+                .iter()
+                .map(|&on_us| {
+                    FaultPlan::new(Vec::new(), 300).with_tail(Tail::Periodic { on_us, off_us: 300 })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A violating plan with its shrunk minimal counterexample.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The plan as generated.
+    pub plan: FaultPlan,
+    /// The 1-minimal shrunk plan (equal to `plan` for single cuts).
+    pub shrunk: FaultPlan,
+    /// Verdict label (`divergent`, `wrong-exit`, ...).
+    pub verdict: String,
+    /// Mismatch description from the oracle.
+    pub detail: String,
+}
+
+/// Aggregated verdicts of one (program × system × strategy) cell.
+#[derive(Debug, Clone, Default)]
+pub struct CellReport {
+    /// Golden trace length (events).
+    pub golden_events: usize,
+    /// Golden on-time span (cycles) — the cut window.
+    pub golden_cycles: u64,
+    /// Trials executed.
+    pub trials: u64,
+    /// Verdict tallies.
+    pub consistent: u64,
+    /// Divergent replays.
+    pub divergent: u64,
+    /// Finished with the wrong exit code.
+    pub wrong_exit: u64,
+    /// Never finished within budget.
+    pub incomplete: u64,
+    /// Live-lock diagnoses.
+    pub livelocks: u64,
+    /// Trapped replays.
+    pub errors: u64,
+    /// Memory-consistency violations (strategy-aware).
+    pub violations: u64,
+    /// Trials in which at least one store was torn at a cut.
+    pub torn_write_trials: u64,
+    /// Power failures injected across all trials.
+    pub failures_injected: u64,
+    /// On-time cycles simulated across all trials.
+    pub total_cycles: u64,
+    /// First violation found, shrunk for the journal.
+    pub first_violation: Option<Violation>,
+}
+
+/// Runs every plan of `strategy` for one cell and judges each replay.
+#[must_use]
+pub fn run_fault_cell(
+    prog: &Program,
+    system: SystemUnderTest,
+    golden: &Golden,
+    strategy: Strategy,
+    trials: usize,
+    seed: u64,
+) -> CellReport {
+    let plans = strategy.plans(golden, trials, seed);
+    let budget = fault_budget_us(golden);
+    let strict = strategy.strict_completion();
+    let mut report = CellReport {
+        golden_events: golden.events.len(),
+        golden_cycles: golden.on_cycles,
+        ..CellReport::default()
+    };
+    for plan in &plans {
+        let trial = run_plan(prog, system, plan, budget, GUARD_BOOTS);
+        let verdict = judge(golden, &trial);
+        report.trials += 1;
+        report.failures_injected += trial.stats.power_failures;
+        report.total_cycles += trial.cycles;
+        if trial.torn_writes > 0 {
+            report.torn_write_trials += 1;
+        }
+        match &verdict {
+            Verdict::Consistent => report.consistent += 1,
+            Verdict::Divergent { .. } => report.divergent += 1,
+            Verdict::WrongExit { .. } => report.wrong_exit += 1,
+            Verdict::Incomplete { .. } => report.incomplete += 1,
+            Verdict::Livelock { .. } => report.livelocks += 1,
+            Verdict::Error { .. } => report.errors += 1,
+        }
+        if verdict.is_violation(strict) {
+            report.violations += 1;
+            if report.first_violation.is_none() {
+                let shrunk = shrink_plan(prog, system, golden, plan, budget, GUARD_BOOTS, strict);
+                let detail = match &verdict {
+                    Verdict::Divergent { detail, .. } => detail.clone(),
+                    Verdict::WrongExit { expected, got } => {
+                        format!("expected exit {expected}, got {got}")
+                    }
+                    Verdict::Incomplete { outcome } => outcome.clone(),
+                    Verdict::Error { detail } => detail.clone(),
+                    _ => String::new(),
+                };
+                report.first_violation = Some(Violation {
+                    plan: plan.clone(),
+                    shrunk,
+                    verdict: verdict.label().to_string(),
+                    detail,
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Formats a plan's cuts for the journal (`"1200,8400"`).
+#[must_use]
+pub fn cuts_string(plan: &FaultPlan) -> String {
+    plan.cuts
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses a journal cut string back into cycles. Ignores garbage —
+/// replaying a truncated row is better than refusing to.
+#[must_use]
+pub fn parse_cuts(s: &str) -> Vec<u64> {
+    s.split(',').filter_map(|t| t.trim().parse().ok()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn golden_of(p: FaultProgram, system: SystemUnderTest) -> (Program, Golden) {
+        let prog = build_fault_program(p, system).unwrap();
+        let golden = golden_run(&prog, system).unwrap();
+        (prog, golden)
+    }
+
+    #[test]
+    fn golden_runs_emit_events_on_every_feasible_system() {
+        for &p in &[FaultProgram::NvAccumulator, FaultProgram::LcgStream] {
+            for system in SystemUnderTest::ALL {
+                let prog = match build_fault_program(p, system) {
+                    Ok(prog) => prog,
+                    Err(_) => continue,
+                };
+                let golden = golden_run(&prog, system)
+                    .unwrap_or_else(|e| panic!("{} x {}: {e}", p.name(), system.name()));
+                assert!(!golden.events.is_empty(), "{} x {}", p.name(), system.name());
+                assert!(golden.on_cycles > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_accepts_idempotent_replay() {
+        let golden = Golden {
+            events: vec![Event::Send(1), Event::Send(2), Event::Send(3)],
+            exit_code: 7,
+            on_cycles: 100,
+        };
+        // Replay re-emits event 2 after a reboot — a legal duplicate.
+        let stats = ExecStats {
+            sends_timed: vec![(1, 10), (2, 20), (2, 40), (3, 50)],
+            failure_times: vec![30],
+            ..ExecStats::default()
+        };
+        let trial = Trial {
+            outcome: Ok(RunOutcome::Finished(7)),
+            stats,
+            torn_writes: 0,
+            cycles: 60,
+        };
+        assert_eq!(judge(&golden, &trial), Verdict::Consistent);
+    }
+
+    #[test]
+    fn oracle_flags_divergent_replay() {
+        let golden = Golden {
+            events: vec![Event::Send(1), Event::Send(2), Event::Send(3)],
+            exit_code: 7,
+            on_cycles: 100,
+        };
+        // After the reboot the replay emits 9 — matching no golden
+        // prefix at or before the high-water mark.
+        let stats = ExecStats {
+            sends_timed: vec![(1, 10), (9, 40), (3, 50)],
+            failure_times: vec![30],
+            ..ExecStats::default()
+        };
+        let trial = Trial {
+            outcome: Ok(RunOutcome::Finished(7)),
+            stats,
+            torn_writes: 0,
+            cycles: 60,
+        };
+        match judge(&golden, &trial) {
+            Verdict::Divergent { segment, .. } => assert_eq!(segment, 1),
+            v => panic!("expected divergence, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn oracle_flags_lost_events_and_wrong_exit() {
+        let golden = Golden {
+            events: vec![Event::Send(1), Event::Send(2)],
+            exit_code: 7,
+            on_cycles: 100,
+        };
+        let mut stats = ExecStats {
+            sends_timed: vec![(1, 10)],
+            ..ExecStats::default()
+        };
+        let lost = Trial {
+            outcome: Ok(RunOutcome::Finished(7)),
+            stats: stats.clone(),
+            torn_writes: 0,
+            cycles: 60,
+        };
+        assert!(matches!(judge(&golden, &lost), Verdict::Divergent { .. }));
+
+        stats.sends_timed = vec![(1, 10), (2, 20)];
+        let wrong = Trial {
+            outcome: Ok(RunOutcome::Finished(8)),
+            stats,
+            torn_writes: 0,
+            cycles: 60,
+        };
+        assert_eq!(
+            judge(&golden, &wrong),
+            Verdict::WrongExit {
+                expected: 7,
+                got: 8
+            }
+        );
+    }
+
+    #[test]
+    fn naive_diverges_and_tics_passes_the_same_shrunk_plan() {
+        // The headline result: sweep cut points over naive-mementos,
+        // find a reproducible divergence, shrink it, then replay the
+        // minimal plan under TICS — which must stay consistent.
+        let (naive_prog, naive_golden) =
+            golden_of(FaultProgram::NvAccumulator, SystemUnderTest::Mementos);
+        let report = run_fault_cell(
+            &naive_prog,
+            SystemUnderTest::Mementos,
+            &naive_golden,
+            Strategy::Stride,
+            40,
+            0xF417,
+        );
+        assert!(
+            report.violations > 0,
+            "naive checkpointing must diverge somewhere in the sweep: {report:?}"
+        );
+        let violation = report.first_violation.expect("violation recorded");
+        assert!(!violation.shrunk.cuts.is_empty());
+
+        // Same program image shape, same cut plan, TICS runtime.
+        let (tics_prog, tics_golden) =
+            golden_of(FaultProgram::NvAccumulator, SystemUnderTest::Tics);
+        let trial = run_plan(
+            &tics_prog,
+            SystemUnderTest::Tics,
+            &violation.shrunk,
+            fault_budget_us(&tics_golden),
+            GUARD_BOOTS,
+        );
+        let verdict = judge(&tics_golden, &trial);
+        assert_eq!(verdict, Verdict::Consistent, "TICS on {:?}", violation.shrunk);
+    }
+
+    #[test]
+    fn tics_survives_a_stride_sweep() {
+        let (prog, golden) = golden_of(FaultProgram::NvAccumulator, SystemUnderTest::Tics);
+        let report = run_fault_cell(
+            &prog,
+            SystemUnderTest::Tics,
+            &golden,
+            Strategy::Stride,
+            32,
+            0xF417,
+        );
+        assert_eq!(report.violations, 0, "{report:?}");
+        assert_eq!(report.trials, 32);
+    }
+
+    #[test]
+    fn whole_state_checkpointing_livelocks_under_short_periods() {
+        // 12 KB of nv state means a naive checkpoint costs ~12.5 ms —
+        // it can never commit inside a 8 ms on-period, and the long
+        // silent loops emit no events either: the probe diagnoses
+        // live-lock instead of blaming memory.
+        let (prog, golden) = golden_of(FaultProgram::BigState, SystemUnderTest::Mementos);
+        let plan =
+            FaultPlan::new(Vec::new(), 300).with_tail(Tail::Periodic { on_us: 8_000, off_us: 300 });
+        let trial = run_plan(
+            &prog,
+            SystemUnderTest::Mementos,
+            &plan,
+            fault_budget_us(&golden),
+            GUARD_BOOTS,
+        );
+        assert!(
+            matches!(judge(&golden, &trial), Verdict::Livelock { .. }),
+            "got {:?}",
+            judge(&golden, &trial)
+        );
+    }
+
+    #[test]
+    fn shrinker_reduces_random_plans_to_minimal_cut_sets() {
+        let (prog, golden) = golden_of(FaultProgram::NvAccumulator, SystemUnderTest::Mementos);
+        // A plan with several cuts, at least one of which lands in the
+        // pre-first-checkpoint window and diverges.
+        let span = golden.on_cycles;
+        let plan = FaultPlan::new(vec![span / 4, span / 2, 3 * span / 4], OFF_US);
+        let budget = fault_budget_us(&golden);
+        let trial = run_plan(&prog, SystemUnderTest::Mementos, &plan, budget, GUARD_BOOTS);
+        if judge(&golden, &trial).is_violation(true) {
+            let shrunk = shrink_plan(
+                &prog,
+                SystemUnderTest::Mementos,
+                &golden,
+                &plan,
+                budget,
+                GUARD_BOOTS,
+                true,
+            );
+            assert!(!shrunk.cuts.is_empty() && shrunk.cuts.len() <= plan.cuts.len());
+            let replay = run_plan(&prog, SystemUnderTest::Mementos, &shrunk, budget, GUARD_BOOTS);
+            assert!(judge(&golden, &replay).is_violation(true));
+        }
+    }
+
+    #[test]
+    fn cuts_roundtrip_through_the_journal_format() {
+        let plan = FaultPlan::new(vec![1_200, 8_400], 150);
+        assert_eq!(cuts_string(&plan), "1200,8400");
+        assert_eq!(parse_cuts(&cuts_string(&plan)), vec![1_200, 8_400]);
+        assert_eq!(parse_cuts(""), Vec::<u64>::new());
+    }
+}

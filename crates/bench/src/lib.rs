@@ -12,6 +12,7 @@
 //! | `exp_fig9`   | Figure 9 — benchmark performance (three panels) |
 //! | `exp_fig10`  | Figure 10 — user-study proxy (complexity + synthetic reviewers) |
 //! | `exp_ablations` | design-choice ablations beyond the paper |
+//! | `exp_fault`  | adversarial fault injection vs the crash-consistency oracle |
 //!
 //! Every binary declares its cells as a [`sweep::Sweep`] grid, runs it
 //! on a work-stealing thread pool (`--threads N`, `TICS_BENCH_THREADS`,
@@ -25,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod journal;
 pub mod json;
 pub mod oracle;

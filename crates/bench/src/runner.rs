@@ -121,7 +121,7 @@ pub fn run_app(
     )?;
     let text_bytes = prog.text_bytes();
     let data_bytes = prog.data_bytes();
-    let mut machine = Machine::with_clock(
+    let mut machine = match Machine::with_clock(
         prog.clone(),
         MachineConfig {
             sensor_trace: config.sensor_trace.clone(),
@@ -129,8 +129,28 @@ pub fn run_app(
             ..MachineConfig::default()
         },
         config.clock.build(),
-    )
-    .expect("program loads");
+    ) {
+        Ok(m) => m,
+        // A program that compiles but does not load (image too large,
+        // bad layout) is a data point, not a harness panic: report it
+        // as an error row so the surrounding sweep keeps going.
+        Err(e) => {
+            return Ok(RunResult {
+                app: app.name().to_string(),
+                system: system.name().to_string(),
+                outcome: format!("error: load failed under {}: {e}", system.name()),
+                exit_code: None,
+                cycles: 0,
+                checkpoints: 0,
+                restores: 0,
+                power_failures: 0,
+                undo_appends: 0,
+                text_bytes,
+                data_bytes,
+                stats: ExecStats::default(),
+            });
+        }
+    };
     let mut runtime = tics_apps::build::make_runtime(system, &prog);
     let exec = Executor::new().with_time_budget(config.time_budget_us);
     let outcome: Result<RunOutcome, VmError> = exec.run(&mut machine, runtime.as_mut(), supply);

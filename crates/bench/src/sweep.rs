@@ -168,6 +168,10 @@ pub struct Cell {
     /// Declarative per-cell parameters; journaled into `extra` and
     /// readable by custom runners via [`Cell::param`].
     pub params: Vec<(String, Json)>,
+    /// Journal label override for the `app` column — used by cells whose
+    /// subject is not one of the benchmark [`App`]s (e.g. the fault
+    /// corpus programs of `exp_fault`).
+    pub label: Option<String>,
 }
 
 impl Cell {
@@ -185,7 +189,15 @@ impl Cell {
             time_budget_us: 10_000_000_000,
             seed: 0,
             params: Vec::new(),
+            label: None,
         }
+    }
+
+    /// Overrides the journal's `app` column (for non-app cells).
+    #[must_use]
+    pub fn label(mut self, label: &str) -> Cell {
+        self.label = Some(label.to_string());
+        self
     }
 
     /// Sets the optimization level.
@@ -650,7 +662,10 @@ impl Sweep {
                     };
                     row.exp = exp.clone();
                     row.cell = i as u64;
-                    row.app = cell.app.name().to_string();
+                    row.app = cell
+                        .label
+                        .clone()
+                        .unwrap_or_else(|| cell.app.name().to_string());
                     row.system = cell.system.name().to_string();
                     row.opt = cell.opt.to_string();
                     row.clock = cell.clock.label();

@@ -18,7 +18,10 @@
 //!   loss with seeded fading, like the paper's 915 MHz Powercast setup),
 //!   and solar (diurnal),
 //! * [`CapacitorSupply`] — combines a harvester and a capacitor into a
-//!   physical [`PowerSupply`], used for the Table 2 RF experiments.
+//!   physical [`PowerSupply`], used for the Table 2 RF experiments,
+//! * [`adversarial`] — [`AdversarialSupply`] executes a [`FaultPlan`]:
+//!   explicit cut cycles for fault injection, so a harness can kill power
+//!   at *any* cycle boundary rather than on a fixed cadence.
 //!
 //! ```
 //! use tics_energy::{PeriodicTrace, PowerSupply};
@@ -32,10 +35,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod capacitor;
 pub mod harvester;
 pub mod trace;
 
+pub use adversarial::{AdversarialSupply, FaultPlan, Tail};
 pub use capacitor::Capacitor;
 pub use harvester::{ConstantHarvester, Harvester, RfHarvester, SolarHarvester};
 pub use trace::{

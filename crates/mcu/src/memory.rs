@@ -48,6 +48,9 @@ pub struct MemoryStats {
     pub fram_writes: u64,
     /// Number of power failures experienced.
     pub power_failures: u64,
+    /// Cycle-accounted stores truncated by a power cut (torn commits): the
+    /// store charged its full cost but only a word-granular prefix landed.
+    pub torn_writes: u64,
 }
 
 /// The simulated memory system: volatile SRAM plus persistent FRAM, with a
@@ -60,6 +63,19 @@ pub struct MemoryStats {
 /// The `peek_*`/`poke_*` methods bypass cycle accounting and statistics —
 /// they model a debugger probe, and tests use them to inspect state without
 /// perturbing measurements.
+///
+/// # Torn writes
+///
+/// Real FRAM commits word by word; a store interrupted by a power failure
+/// leaves a *prefix* of the words written and the rest untouched. When a
+/// power cut is armed with [`Memory::set_power_cut`], every cycle-accounted
+/// store ([`Memory::write_bytes`], [`Memory::fill`], and everything built
+/// on them) commits only the whole 4-byte words whose write traffic fits
+/// before the cut cycle, charges its full cost regardless (the device spent
+/// the energy attempting the store), and counts a
+/// [`MemoryStats::torn_writes`] when truncated. `poke_*` writes are exempt:
+/// they model runtime/debugger operations whose atomicity is governed by
+/// the machine's atomic-charge protocol, not by the memory bus.
 #[derive(Debug, Clone)]
 pub struct Memory {
     layout: MemoryLayout,
@@ -68,6 +84,8 @@ pub struct Memory {
     costs: CostModel,
     cycles: u64,
     stats: MemoryStats,
+    /// Absolute cycle at which power dies; stores straddling it tear.
+    cut_at: Option<u64>,
 }
 
 impl Memory {
@@ -87,6 +105,7 @@ impl Memory {
             costs,
             cycles: 0,
             stats: MemoryStats::default(),
+            cut_at: None,
         }
     }
 
@@ -121,11 +140,48 @@ impl Memory {
     }
 
     /// Simulates a power failure: SRAM is clobbered with a recognizable
-    /// pattern, FRAM is untouched. Registers live outside this struct; the
-    /// machine owner must also call [`crate::Registers::reset`].
+    /// pattern, FRAM is untouched — *including* the torn prefix of any
+    /// store the armed power cut truncated. Registers live outside this
+    /// struct; the machine owner must also call [`crate::Registers::reset`].
+    /// The cut itself is disarmed: the next boot runs untorn until a new
+    /// deadline is armed.
     pub fn power_fail(&mut self) {
         self.sram.fill(SRAM_CLOBBER);
         self.stats.power_failures += 1;
+        self.cut_at = None;
+    }
+
+    /// Arms (or disarms, with `None`) the power-cut boundary at an
+    /// absolute cycle count. Cycle-accounted stores whose traffic crosses
+    /// the boundary commit only the whole words that fit before it.
+    pub fn set_power_cut(&mut self, cut_at: Option<u64>) {
+        self.cut_at = cut_at;
+    }
+
+    /// The armed power-cut cycle, if any.
+    #[must_use]
+    pub fn power_cut(&self) -> Option<u64> {
+        self.cut_at
+    }
+
+    /// How many of `len` bytes starting at `addr` a store beginning now
+    /// would actually commit: whole 4-byte words whose per-word write cost
+    /// completes at or before the armed cut.
+    fn committed_prefix(&self, addr: Addr, len: u32) -> u32 {
+        let Some(cut) = self.cut_at else { return len };
+        let per_word = if self.layout.is_volatile(addr) {
+            self.costs.sram_access_per_word
+        } else {
+            self.costs.fram_write_per_word
+        };
+        if per_word == 0 {
+            return len;
+        }
+        let affordable_words = cut.saturating_sub(self.cycles) / per_word;
+        if affordable_words >= u64::from(len.div_ceil(4)) {
+            return len;
+        }
+        (affordable_words as u32).saturating_mul(4).min(len)
     }
 
     fn slice(&self, addr: Addr, len: u32) -> Result<&[u8], MemoryError> {
@@ -187,14 +243,24 @@ impl Memory {
         Ok(())
     }
 
-    /// Writes `buf` starting at `addr`.
+    /// Writes `buf` starting at `addr`. If a power cut is armed and the
+    /// store's traffic crosses it, only a word-granular prefix commits
+    /// (see the struct-level *Torn writes* notes); the full cost is
+    /// charged either way.
     ///
     /// # Errors
     ///
     /// Returns [`MemoryError::Unmapped`] if the range is not fully mapped.
     pub fn write_bytes(&mut self, addr: Addr, buf: &[u8]) -> Result<(), MemoryError> {
         let len = buf.len() as u32;
-        self.slice_mut(addr, len)?.copy_from_slice(buf);
+        let committed = self.committed_prefix(addr, len) as usize;
+        // Bounds-check the whole range — the MCU decodes the access before
+        // the bus starts moving words, so an unmapped tail still faults.
+        let dst = self.slice_mut(addr, len)?;
+        dst[..committed].copy_from_slice(&buf[..committed]);
+        if committed < len as usize {
+            self.stats.torn_writes += 1;
+        }
         self.charge_write(addr, len);
         Ok(())
     }
@@ -289,13 +355,19 @@ impl Memory {
         self.write_bytes(dst, &buf)
     }
 
-    /// Fills `len` bytes at `addr` with `value`.
+    /// Fills `len` bytes at `addr` with `value`. Subject to the same
+    /// torn-write truncation as [`Memory::write_bytes`].
     ///
     /// # Errors
     ///
     /// Returns [`MemoryError::Unmapped`] if the range is not mapped.
     pub fn fill(&mut self, addr: Addr, len: u32, value: u8) -> Result<(), MemoryError> {
-        self.slice_mut(addr, len)?.fill(value);
+        let committed = self.committed_prefix(addr, len) as usize;
+        let dst = self.slice_mut(addr, len)?;
+        dst[..committed].fill(value);
+        if committed < len as usize {
+            self.stats.torn_writes += 1;
+        }
         self.charge_write(addr, len);
         Ok(())
     }
@@ -469,6 +541,79 @@ mod tests {
         assert!(m.write_u8(Addr(0x100), 1).is_ok());
         assert!(m.write_u8(Addr(0x200), 1).is_err());
         assert!(m.write_u8(Addr(0x1FFF), 1).is_ok());
+    }
+
+    #[test]
+    fn torn_write_commits_word_prefix_only() {
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        m.write_u64(a, 0x1111_1111_1111_1111).unwrap();
+        let per_word = m.costs().fram_write_per_word;
+        // Budget for exactly one of the two words of a u64 store.
+        m.set_power_cut(Some(m.cycles() + per_word));
+        m.write_u64(a, 0xAAAA_BBBB_CCCC_DDDD).unwrap();
+        // Low word landed, high word still holds the old value.
+        assert_eq!(m.peek_u64(a).unwrap(), 0x1111_1111_CCCC_DDDD);
+        assert_eq!(m.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn write_past_cut_commits_nothing_but_still_charges() {
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        m.write_u32(a, 7).unwrap();
+        m.set_power_cut(Some(m.cycles())); // dead right now
+        let before = m.cycles();
+        m.write_u32(a, 99).unwrap();
+        assert_eq!(m.peek_i32(a).unwrap(), 7);
+        assert!(m.cycles() > before); // full cost charged regardless
+        assert_eq!(m.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn exact_fit_store_is_not_torn() {
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        let per_word = m.costs().fram_write_per_word;
+        m.set_power_cut(Some(m.cycles() + 2 * per_word));
+        m.write_u64(a, 0xDEAD_BEEF_0BAD_F00D).unwrap();
+        assert_eq!(m.peek_u64(a).unwrap(), 0xDEAD_BEEF_0BAD_F00D);
+        assert_eq!(m.stats().torn_writes, 0);
+    }
+
+    #[test]
+    fn power_fail_disarms_the_cut() {
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        m.set_power_cut(Some(0));
+        m.power_fail();
+        assert_eq!(m.power_cut(), None);
+        m.write_u64(a, 42).unwrap();
+        assert_eq!(m.peek_u64(a).unwrap(), 42);
+        assert_eq!(m.stats().torn_writes, 0);
+    }
+
+    #[test]
+    fn pokes_ignore_the_cut() {
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        m.set_power_cut(Some(0));
+        m.poke_bytes(a, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        assert_eq!(m.peek_u64(a).unwrap(), u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
+        assert_eq!(m.stats().torn_writes, 0);
+    }
+
+    #[test]
+    fn torn_fill_truncates_at_word_boundary() {
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        let per_word = m.costs().fram_write_per_word;
+        m.set_power_cut(Some(m.cycles() + 2 * per_word));
+        m.fill(a, 16, 0xFF).unwrap();
+        let bytes = m.peek_bytes(a, 16).unwrap();
+        assert!(bytes[..8].iter().all(|&b| b == 0xFF));
+        assert!(bytes[8..].iter().all(|&b| b == 0));
+        assert_eq!(m.stats().torn_writes, 1);
     }
 
     #[test]

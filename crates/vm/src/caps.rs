@@ -31,6 +31,12 @@ pub struct RuntimeCapabilities {
     pub scalable: bool,
     /// Provides time-aware semantics (data expiration, timely branches).
     pub timely_execution: bool,
+    /// Claims crash consistency of memory: the externally visible event
+    /// trace under arbitrary power failures stays idempotent-prefix
+    /// equivalent to a continuously powered run. Plain C (no runtime) is
+    /// the one row that does not claim this — the fault-injection oracle
+    /// holds every claiming runtime to it.
+    pub memory_consistency: bool,
     /// Manual effort to port legacy code.
     pub porting_effort: PortingEffort,
 }
@@ -44,6 +50,7 @@ impl RuntimeCapabilities {
             recursion_support: true,
             scalable: true,
             timely_execution: true,
+            memory_consistency: true,
             porting_effort: PortingEffort::None,
         }
     }
@@ -57,6 +64,7 @@ mod tests {
     fn tics_row_matches_table5() {
         let c = RuntimeCapabilities::tics();
         assert!(c.pointer_support && c.recursion_support && c.scalable && c.timely_execution);
+        assert!(c.memory_consistency);
         assert_eq!(c.porting_effort, PortingEffort::None);
         assert_eq!(c.porting_effort.to_string(), "None");
     }

@@ -30,6 +30,16 @@ pub enum VmError {
         /// What the program carries.
         found: String,
     },
+    /// The executor's forward-progress guard tripped: `boots` consecutive
+    /// reboots elapsed with no new checkpoint, no new externally visible
+    /// event, and no termination — the classic checkpoint live-lock of a
+    /// runtime whose recovery never outruns the power schedule.
+    NoForwardProgress {
+        /// Consecutive reboots observed without progress.
+        boots: u64,
+        /// Runtime that was executing when the guard tripped.
+        runtime: String,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -43,6 +53,13 @@ impl fmt::Display for VmError {
                 write!(
                     f,
                     "runtime expects {expected} instrumentation, program has {found}"
+                )
+            }
+            VmError::NoForwardProgress { boots, runtime } => {
+                write!(
+                    f,
+                    "no forward progress: {runtime} made no new checkpoint or \
+                     visible event across {boots} consecutive reboots (live-lock)"
                 )
             }
         }

@@ -50,6 +50,14 @@ pub struct Executor {
     /// Declare starvation after this many consecutive boots with no new
     /// checkpoint and no program completion. `u64::MAX` disables.
     pub starvation_boots: u64,
+    /// Forward-progress guard: after this many consecutive boots with no
+    /// new checkpoint, no new externally visible event, and no
+    /// completion, `run` returns [`VmError::NoForwardProgress`] instead
+    /// of spinning forever on an infinite supply. Unlike
+    /// [`Executor::starvation_boots`] (a measured outcome for runtimes
+    /// that checkpoint), this is a harness-level diagnosis: it fires only
+    /// when *nothing at all* is happening. `u64::MAX` disables.
+    pub progress_guard_boots: u64,
     /// Hardware-assisted checkpointing (§4's policy ii): when set, a
     /// low-voltage comparator interrupt fires this many µs before the
     /// supply dies, giving the runtime one [`CheckpointKind::Voltage`]
@@ -64,6 +72,7 @@ impl Default for Executor {
             max_total_us: u64::MAX / 4,
             max_instructions: u64::MAX,
             starvation_boots: u64::MAX,
+            progress_guard_boots: u64::MAX,
             voltage_warning_us: None,
         }
     }
@@ -97,6 +106,14 @@ impl Executor {
         self
     }
 
+    /// Enables the forward-progress guard after `boots` consecutive
+    /// boots with no checkpoint, no visible event, and no completion.
+    #[must_use]
+    pub fn with_progress_guard(mut self, boots: u64) -> Executor {
+        self.progress_guard_boots = boots;
+        self
+    }
+
     /// Enables the low-voltage comparator interrupt `margin_us` before
     /// each power failure.
     #[must_use]
@@ -119,12 +136,14 @@ impl Executor {
     ) -> Result<RunOutcome> {
         rt.check_program(&m.loaded().program)?;
         let mut unproductive_boots = 0u64;
+        let mut stalled_boots = 0u64;
         loop {
             let Some(period) = supply.next_period() else {
                 return Ok(RunOutcome::OutOfEnergy);
             };
             m.stats_mut().boots += 1;
             let ckpts_at_boot = m.stats().checkpoints;
+            let events_at_boot = m.stats().visible_events();
             // Boot-time recovery draws from the same energy budget as the
             // rest of the period; a restore that exceeds it dies mid-way
             // (the paper's starvation-by-recovery-cost).
@@ -146,7 +165,14 @@ impl Executor {
                 .map(|margin| deadline.saturating_sub(margin));
             loop {
                 if m.is_halted() {
-                    return Ok(RunOutcome::Finished(m.exit_code().expect("halted")));
+                    let code = m.exit_code().ok_or_else(|| {
+                        VmError::Trap(format!(
+                            "machine halted without an exit code under {} at cycle {}",
+                            rt.name(),
+                            m.cycles()
+                        ))
+                    })?;
+                    return Ok(RunOutcome::Finished(code));
                 }
                 if m.cycles() >= deadline {
                     break;
@@ -176,6 +202,22 @@ impl Executor {
                 }
             } else {
                 unproductive_boots = 0;
+            }
+            // The progress guard is stricter about what counts as stalled:
+            // a reboot that produced *any* visible event is still moving,
+            // even without a checkpoint (plain C re-executing from main).
+            if m.stats().checkpoints == ckpts_at_boot
+                && m.stats().visible_events() == events_at_boot
+            {
+                stalled_boots += 1;
+                if stalled_boots >= self.progress_guard_boots {
+                    return Err(VmError::NoForwardProgress {
+                        boots: stalled_boots,
+                        runtime: rt.name().to_string(),
+                    });
+                }
+            } else {
+                stalled_boots = 0;
             }
         }
     }

@@ -282,9 +282,12 @@ impl Machine {
     }
 
     /// Sets the end-of-period deadline (called by the executor at each
-    /// period start).
+    /// period start). Also arms the memory's torn-write boundary so a
+    /// multi-word store straddling the deadline commits only a prefix —
+    /// power death is not aligned to store boundaries.
     pub fn set_period_deadline(&mut self, deadline: u64) {
         self.period_deadline = deadline;
+        self.mem.set_power_cut(Some(deadline));
     }
 
     /// Charges `cost` cycles for an atomic runtime operation and reports

@@ -276,6 +276,10 @@ impl IntermittentRuntime for BareRuntime {
             recursion_support: true,
             scalable: true,
             timely_execution: false,
+            // Unprotected legacy code: nv state survives a reboot while
+            // volatile state restarts — the one row Table 5 does not
+            // claim consistency for.
+            memory_consistency: false,
             porting_effort: PortingEffort::None,
         }
     }

@@ -63,6 +63,20 @@ impl ExecStats {
         self.marks.get(&id).copied().unwrap_or(0)
     }
 
+    /// Count of externally visible events so far (sends, marks, samples,
+    /// prints, LED toggles). The executor's forward-progress guard treats
+    /// any increase as progress even when no checkpoint was committed —
+    /// an unprotected runtime re-executing from `main` still *does*
+    /// things the outside world can see.
+    #[must_use]
+    pub fn visible_events(&self) -> u64 {
+        self.sends_timed.len() as u64
+            + self.marks_timed.len() as u64
+            + self.samples_timed.len() as u64
+            + self.prints.len() as u64
+            + self.led_events
+    }
+
     /// Mean checkpoint size in bytes, if any checkpoint was taken.
     #[must_use]
     pub fn mean_checkpoint_bytes(&self) -> Option<f64> {

@@ -96,6 +96,59 @@ fn timely_execution_column_matches_table5() {
 }
 
 #[test]
+fn memory_consistency_column_matches_table5() {
+    // Naive (MementOS-style) is the one checkpointing system without a
+    // consistency story: a reboot before its first commit restarts with
+    // dirty `nv` state. Everything designed after WAR hazards were
+    // understood claims — and, per the fault-injection harness, delivers
+    // — consistent memory.
+    let column: Vec<(&str, bool)> = vec![
+        (
+            "MayFly",
+            TaskKernel::new(TaskFlavor::Mayfly)
+                .capabilities()
+                .memory_consistency,
+        ),
+        (
+            "Alpaca",
+            TaskKernel::new(TaskFlavor::Alpaca)
+                .capabilities()
+                .memory_consistency,
+        ),
+        (
+            "Ratchet",
+            RatchetRuntime::default().capabilities().memory_consistency,
+        ),
+        (
+            "Chinchilla",
+            ChinchillaRuntime::default()
+                .capabilities()
+                .memory_consistency,
+        ),
+        (
+            "InK",
+            TaskKernel::new(TaskFlavor::Ink)
+                .capabilities()
+                .memory_consistency,
+        ),
+        (
+            "naive",
+            NaiveCheckpoint::default().capabilities().memory_consistency,
+        ),
+        (
+            "TICS",
+            TicsRuntime::new(TicsConfig::default())
+                .capabilities()
+                .memory_consistency,
+        ),
+    ];
+    let expected = [true, true, true, true, true, false, true];
+    for ((name, got), want) in column.iter().zip(expected) {
+        assert_eq!(*got, want, "{name} memory-consistency column");
+    }
+}
+
+#[test]
 fn only_tics_runs_the_annotated_ar_source() {
     // The annotated AR needs time semantics; time-blind runtimes are
     // given the *plain* AR by the build layer, and their kernels would
