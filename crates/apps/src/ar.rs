@@ -277,18 +277,18 @@ mod tests {
         assert_eq!(out.exit_code(), Some(windows as i32));
         let activities: Vec<i32> = m
             .stats()
-            .sends
+            .sends_timed
             .iter()
-            .copied()
+            .map(|&(v, _)| v)
             .filter(|v| *v >= 0)
             .collect();
         assert_eq!(activities, expected, "classification must match labels");
         // Activity changes: first window plus each toggle → alerts.
         let alerts = m
             .stats()
-            .sends
+            .sends_timed
             .iter()
-            .filter(|v| **v == ALERT_VALUE)
+            .filter(|&&(v, _)| v == ALERT_VALUE)
             .count();
         assert_eq!(alerts as u64, m.stats().mark_count(MARK_ALERT));
         assert!(alerts >= 3);
@@ -317,9 +317,9 @@ mod tests {
         assert_eq!(out.exit_code(), Some(windows as i32));
         let activities: Vec<i32> = m
             .stats()
-            .sends
+            .sends_timed
             .iter()
-            .copied()
+            .map(|&(v, _)| v)
             .filter(|v| *v >= 0)
             .collect();
         assert_eq!(activities, expected);

@@ -204,7 +204,7 @@ mod tests {
         let c = read_counters(&m);
         assert_eq!(c, [10, 10, 10, 10]);
         assert!(is_consistent(c));
-        assert_eq!(m.stats().sends.len(), 20);
+        assert_eq!(m.stats().sends().len(), 20);
     }
 
     #[test]

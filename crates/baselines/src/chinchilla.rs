@@ -3,6 +3,7 @@
 use tics_mcu::{Addr, Registers};
 use tics_minic::isa::CkptSite;
 use tics_minic::program::{Instrumentation, Program};
+use tics_trace::{CkptCause, SpanKind, TraceEvent};
 use tics_vm::{
     CheckpointKind, IntermittentRuntime, Machine, PortingEffort, ResumeAction, RuntimeCapabilities,
     VmError,
@@ -71,8 +72,10 @@ impl ChinchillaRuntime {
         Ok(ctrl)
     }
 
-    fn commit(&mut self, m: &mut Machine) -> Result<()> {
+    fn commit(&mut self, m: &mut Machine, cause: CkptCause) -> Result<()> {
         let ctrl = self.attach(m)?;
+        let mut span = m.span(SpanKind::Checkpoint);
+        let m = &mut *span;
         let target = if ctrl.flag(m)? == 1 { 2 } else { 1 };
         let buf = if target == 1 { self.buf_a } else { self.buf_b };
         let sram = m.mem.layout().sram;
@@ -99,9 +102,10 @@ impl ChinchillaRuntime {
             return Ok(()); // died mid-commit: previous checkpoint stands
         }
         ctrl.set_flag(m, target)?;
-        let st = m.stats_mut();
-        st.checkpoints += 1;
-        st.checkpoint_bytes += u64::from(bytes);
+        m.emit(TraceEvent::CheckpointCommit {
+            cause,
+            bytes: u64::from(bytes),
+        });
         Ok(())
     }
 }
@@ -176,12 +180,16 @@ impl IntermittentRuntime for ChinchillaRuntime {
             m.mem.poke_bytes(m.data_base(), &statics)?;
         }
         m.regs = Registers::from_words(words);
+        let mut span = m.span(SpanKind::Restore);
+        let m = &mut *span;
         let costs = m.mem.costs().clone();
         let cost = costs.restore_base
             + costs.restore_seg_fixed
             + costs.restore_seg_per_byte * u64::from(20 + used + statics_len);
         let _ = m.charge_atomic(cost);
-        m.stats_mut().restores += 1;
+        m.emit(TraceEvent::Restore {
+            bytes: u64::from(20 + used + statics_len),
+        });
         Ok(ResumeAction::Restored)
     }
 
@@ -219,12 +227,17 @@ impl IntermittentRuntime for ChinchillaRuntime {
             CheckpointKind::Site(CkptSite::Auto | CkptSite::VoltageCheck)
             | CheckpointKind::Timer
             | CheckpointKind::Voltage => {
+                let cause = match kind {
+                    CheckpointKind::Timer => CkptCause::Timer,
+                    CheckpointKind::Voltage => CkptCause::Voltage,
+                    _ => CkptCause::Site,
+                };
                 if m.cycles().saturating_sub(self.last_ckpt_at) >= self.min_interval_us {
-                    self.commit(m)?;
+                    self.commit(m, cause)?;
                 }
                 Ok(())
             }
-            CheckpointKind::Site(_) => self.commit(m),
+            CheckpointKind::Site(_) => self.commit(m, CkptCause::Site),
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use tics_mcu::{Addr, Registers};
 use tics_minic::isa::CkptSite;
+use tics_trace::{CkptCause, SpanKind, TraceEvent};
 use tics_minic::program::{Instrumentation, Program};
 use tics_vm::{
     CheckpointKind, IntermittentRuntime, Machine, PortingEffort, ResumeAction, RuntimeCapabilities,
@@ -75,8 +76,10 @@ impl NaiveCheckpoint {
         Ok(ctrl)
     }
 
-    fn commit(&mut self, m: &mut Machine) -> Result<()> {
+    fn commit(&mut self, m: &mut Machine, cause: CkptCause) -> Result<()> {
         let ctrl = self.attach(m)?;
+        let mut span = m.span(SpanKind::Checkpoint);
+        let m = &mut *span;
         let target = if ctrl.flag(m)? == 1 { 2 } else { 1 };
         let buf = if target == 1 { self.buf_a } else { self.buf_b };
         let sram = m.mem.layout().sram;
@@ -106,9 +109,10 @@ impl NaiveCheckpoint {
             return Ok(());
         }
         ctrl.set_flag(m, target)?;
-        let st = m.stats_mut();
-        st.checkpoints += 1;
-        st.checkpoint_bytes += u64::from(bytes);
+        m.emit(TraceEvent::CheckpointCommit {
+            cause,
+            bytes: u64::from(bytes),
+        });
         Ok(())
     }
 }
@@ -170,13 +174,17 @@ impl IntermittentRuntime for NaiveCheckpoint {
             m.mem.poke_bytes(m.data_base(), &globals)?;
         }
         m.regs = Registers::from_words(words);
+        let mut span = m.span(SpanKind::Restore);
+        let m = &mut *span;
         let costs = m.mem.costs().clone();
         m.mem.add_cycles(
             costs.restore_base
                 + costs.restore_seg_fixed
                 + costs.restore_seg_per_byte * u64::from(20 + used + globals_len),
         );
-        m.stats_mut().restores += 1;
+        m.emit(TraceEvent::Restore {
+            bytes: u64::from(20 + used + globals_len),
+        });
         Ok(ResumeAction::Restored)
     }
 
@@ -217,11 +225,13 @@ impl IntermittentRuntime for NaiveCheckpoint {
                 // systems (≈35 µs per measurement on the MSP430).
                 m.mem.add_cycles(VOLTAGE_PROBE_US);
                 if m.cycles().saturating_sub(self.last_ckpt_at) >= self.min_interval_us {
-                    self.commit(m)?;
+                    self.commit(m, CkptCause::Voltage)?;
                 }
                 Ok(())
             }
-            CheckpointKind::Site(CkptSite::Manual | CkptSite::TaskBoundary) => self.commit(m),
+            CheckpointKind::Site(CkptSite::Manual | CkptSite::TaskBoundary) => {
+                self.commit(m, CkptCause::Site)
+            }
             _ => Ok(()),
         }
     }

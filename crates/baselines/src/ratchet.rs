@@ -3,6 +3,7 @@
 use tics_mcu::{Addr, Region, Registers};
 use tics_minic::isa::CkptSite;
 use tics_minic::program::{Instrumentation, Program};
+use tics_trace::{CkptCause, SpanKind, TraceEvent};
 use tics_vm::{
     CheckpointKind, IntermittentRuntime, Machine, PortingEffort, ResumeAction, RuntimeCapabilities,
     VmError,
@@ -65,8 +66,10 @@ impl RatchetRuntime {
         Ok(ctrl)
     }
 
-    fn commit(&mut self, m: &mut Machine) -> Result<()> {
+    fn commit(&mut self, m: &mut Machine, cause: CkptCause) -> Result<()> {
         let ctrl = self.attach(m)?;
+        let mut span = m.span(SpanKind::Checkpoint);
+        let m = &mut *span;
         let target = if ctrl.flag(m)? == 1 { 2 } else { 1 };
         let buf = if target == 1 { self.buf_a } else { self.buf_b };
         for (i, w) in m.regs.to_words().iter().enumerate() {
@@ -85,9 +88,10 @@ impl RatchetRuntime {
             return Ok(());
         }
         ctrl.set_flag(m, target)?;
-        let st = m.stats_mut();
-        st.checkpoints += 1;
-        st.checkpoint_bytes += u64::from(16 + 4 + frame_len);
+        m.emit(TraceEvent::CheckpointCommit {
+            cause,
+            bytes: u64::from(16 + 4 + frame_len),
+        });
         Ok(())
     }
 }
@@ -143,8 +147,12 @@ impl IntermittentRuntime for RatchetRuntime {
             let frame = m.mem.peek_bytes(buf.offset(20), frame_len)?;
             m.mem.poke_bytes(m.regs.fp, &frame)?;
         }
+        let mut span = m.span(SpanKind::Restore);
+        let m = &mut *span;
         let _ = m.charge_atomic(m.mem.costs().restore_base + u64::from(frame_len) / 4);
-        m.stats_mut().restores += 1;
+        m.emit(TraceEvent::Restore {
+            bytes: u64::from(16 + 4 + frame_len),
+        });
         Ok(ResumeAction::Restored)
     }
 
@@ -180,7 +188,9 @@ impl IntermittentRuntime for RatchetRuntime {
     fn checkpoint(&mut self, m: &mut Machine, kind: CheckpointKind) -> Result<()> {
         match kind {
             // Every idempotent boundary checkpoints — that is Ratchet.
-            CheckpointKind::Site(CkptSite::Auto | CkptSite::Manual) => self.commit(m),
+            CheckpointKind::Site(CkptSite::Auto | CkptSite::Manual) => {
+                self.commit(m, CkptCause::Site)
+            }
             _ => Ok(()),
         }
     }

@@ -3,6 +3,7 @@
 use tics_mcu::{Addr, Registers};
 use tics_minic::isa::{CkptSite, VarId};
 use tics_minic::program::{Instrumentation, Program};
+use tics_trace::{CkptCause, SpanKind, TraceEvent};
 use tics_vm::{
     CheckpointKind, IntermittentRuntime, Machine, PortingEffort, ResumeAction, RuntimeCapabilities,
     VmError,
@@ -150,6 +151,8 @@ impl TaskKernel {
     /// state and a fresh dispatcher checkpoint is taken.
     fn commit_boundary(&mut self, m: &mut Machine) -> Result<()> {
         let ctrl = self.attach(m)?;
+        let mut span = m.span(SpanKind::Checkpoint);
+        let m = &mut *span;
         let target = if ctrl.flag(m)? == 1 { 2 } else { 1 };
         let buf = if target == 1 { self.buf_a } else { self.buf_b };
         let sram = m.mem.layout().sram;
@@ -172,14 +175,17 @@ impl TaskKernel {
         ctrl.set_flag(m, target)?;
         self.undo_count = 0;
         ctrl.set_scratch(m, 0)?;
-        let st = m.stats_mut();
-        st.checkpoints += 1;
-        st.checkpoint_bytes += u64::from(bytes);
+        m.emit(TraceEvent::CheckpointCommit {
+            cause: CkptCause::Site,
+            bytes: u64::from(bytes),
+        });
         Ok(())
     }
 
     fn rollback_all(&mut self, m: &mut Machine) -> Result<()> {
         let ctrl = self.attach(m)?;
+        let mut span = m.span(SpanKind::Rollback);
+        let m = &mut *span;
         self.undo_count = ctrl.scratch(m)?;
         let mut i = self.undo_count;
         while i > 0 {
@@ -189,7 +195,7 @@ impl TaskKernel {
             let old = peek_u32(m, slot.offset(4))?;
             poke_u32(m, addr, old)?;
             m.mem.add_cycles(m.mem.costs().rollback_cost(4));
-            m.stats_mut().undo_rollbacks += 1;
+            m.emit(TraceEvent::Rollback { bytes: 4 });
         }
         self.undo_count = 0;
         ctrl.set_scratch(m, 0)
@@ -261,12 +267,16 @@ impl IntermittentRuntime for TaskKernel {
             m.mem.poke_bytes(sram.start, &stack)?;
         }
         m.regs = Registers::from_words(words);
+        let mut span = m.span(SpanKind::Restore);
+        let m = &mut *span;
         let costs = m.mem.costs().clone();
         let cost = costs.restore_base
             + costs.restore_seg_fixed
             + costs.restore_seg_per_byte * u64::from(20 + used);
         let _ = m.charge_atomic(cost);
-        m.stats_mut().restores += 1;
+        m.emit(TraceEvent::Restore {
+            bytes: u64::from(20 + used),
+        });
         Ok(ResumeAction::Restored)
     }
 
@@ -314,6 +324,8 @@ impl IntermittentRuntime for TaskKernel {
                 self.undo_capacity
             )));
         }
+        let mut span = m.span(SpanKind::UndoLog);
+        let m = &mut *span;
         let old = peek_u32(m, addr)?;
         let slot = self.undo_base.offset(8 * self.undo_count);
         poke_u32(m, slot, addr.raw())?;
@@ -321,7 +333,9 @@ impl IntermittentRuntime for TaskKernel {
         self.undo_count += 1;
         ctrl.set_scratch(m, self.undo_count)?;
         m.mem.add_cycles(m.mem.costs().undo_log_cost(len));
-        m.stats_mut().undo_log_appends += 1;
+        m.emit(TraceEvent::UndoAppend {
+            bytes: u64::from(len),
+        });
         Ok(())
     }
 
@@ -441,7 +455,7 @@ mod tests {
             .run(&mut m, &mut rt, &mut ContinuousPower::new())
             .unwrap();
         assert_eq!(out.exit_code(), Some(50));
-        assert_eq!(m.stats().sends, vec![50]);
+        assert_eq!(m.stats().sends(), vec![50]);
     }
 
     #[test]

@@ -58,6 +58,7 @@ fn run_segment_size(cell: &Cell) -> Result<CellOutput, String> {
         exit_code: out.exit_code(),
         cycles: m.cycles(),
         checkpoints: m.stats().checkpoints,
+        spans: m.mem.span_cycles_all(),
         ..CellOutput::default()
     }
     .with("x", seg))
@@ -86,6 +87,7 @@ fn run_undo_capacity(cell: &Cell) -> Result<CellOutput, String> {
         cycles: m.cycles(),
         checkpoints: m.stats().checkpoints,
         undo_appends: m.stats().undo_log_appends,
+        spans: m.mem.span_cycles_all(),
         ..CellOutput::default()
     }
     .with("x", capacity))
@@ -119,6 +121,7 @@ fn run_checkpoint_policy(cell: &Cell) -> Result<CellOutput, String> {
         checkpoints: m.stats().checkpoints,
         restores: m.stats().restores,
         power_failures: m.stats().power_failures,
+        spans: m.mem.span_cycles_all(),
         ..CellOutput::default()
     })
 }
@@ -153,13 +156,14 @@ fn run_timekeeper_error(cell: &Cell) -> Result<CellOutput, String> {
         .with_time_budget(cell.time_budget_us)
         .run(&mut m, &mut rt, &mut supply)
         .map_err(|e| format!("{e:?}"))?;
-    let v = count_violations(m.stats(), true);
+    let v = count_violations(m.trace().records(), true);
     Ok(CellOutput {
         outcome: "finished-or-window".to_string(),
         cycles: m.cycles(),
         checkpoints: m.stats().checkpoints,
         restores: m.stats().restores,
         power_failures: m.stats().power_failures,
+        spans: m.mem.span_cycles_all(),
         ..CellOutput::default()
     }
     .with("violations", v.total())

@@ -65,6 +65,7 @@ fn run(
         checkpoints: m.stats().checkpoints,
         restores: m.stats().restores,
         undo_appends: m.stats().undo_log_appends,
+        spans: m.mem.span_cycles_all(),
         ..CellOutput::default()
     })
 }

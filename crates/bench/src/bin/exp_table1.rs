@@ -84,6 +84,7 @@ fn run_cell(cell: &Cell) -> Result<CellOutput, String> {
         undo_appends: stats.undo_log_appends,
         text_bytes: prog.text_bytes(),
         data_bytes: prog.data_bytes(),
+        spans: machine.mem.span_cycles_all(),
         ..CellOutput::default()
     }
     .with("variant", variant_name(cell.app, cell.system))

@@ -65,7 +65,7 @@ fn run_variant(cell: &Cell) -> Result<CellOutput, String> {
         .with_time_budget(cell.time_budget_us)
         .run(&mut machine, runtime.as_mut(), supply.as_mut())
         .expect("run completes");
-    let v = count_violations(machine.stats(), with_tics);
+    let v = count_violations(machine.trace().records(), with_tics);
     let stats = machine.stats();
     Ok(CellOutput {
         outcome: "window-elapsed".to_string(),
@@ -77,6 +77,7 @@ fn run_variant(cell: &Cell) -> Result<CellOutput, String> {
         undo_appends: stats.undo_log_appends,
         text_bytes: prog.text_bytes(),
         data_bytes: prog.data_bytes(),
+        spans: machine.mem.span_cycles_all(),
         extra: Vec::new(),
     }
     .with("potential_windows", v.potential_windows)

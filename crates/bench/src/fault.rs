@@ -35,7 +35,8 @@ use tics_baselines::TaskFlavor;
 use tics_energy::{AdversarialSupply, ContinuousPower, FaultPlan, Tail};
 use tics_minic::opt::OptLevel;
 use tics_minic::{compile, passes, Program};
-use tics_vm::{ExecStats, Executor, Machine, MachineConfig, RunOutcome, VmError};
+use tics_trace::{TraceEvent, TraceRecord};
+use tics_vm::{Executor, Machine, MachineConfig, RunOutcome, VmError};
 
 use crate::sweep::splitmix64;
 
@@ -432,18 +433,46 @@ pub enum Event {
     Mark(i32),
     /// `send(value)` transmission.
     Send(i32),
+    /// Sensor sample taken.
+    Sample(i32),
+    /// `print(value)` output.
+    Print(i32),
+    /// `led(x)` toggle.
+    Led(i32),
+}
+
+impl Event {
+    /// The oracle-comparable form of an externally visible trace event
+    /// ([`TraceEvent::is_externally_visible`] — the same fold the
+    /// executor's forward-progress guard counts through, so the two can
+    /// never disagree about what "visible" means). `None` for everything
+    /// the outside world cannot see.
+    #[must_use]
+    pub fn from_trace(ev: &TraceEvent) -> Option<Event> {
+        match *ev {
+            TraceEvent::Mark { id } => Some(Event::Mark(id)),
+            TraceEvent::Send { value } => Some(Event::Send(value)),
+            TraceEvent::Sample { value } => Some(Event::Sample(value)),
+            TraceEvent::Print { value } => Some(Event::Print(value)),
+            TraceEvent::Led { value } => Some(Event::Led(value)),
+            _ => None,
+        }
+    }
 }
 
 /// The run's visible events in emission order, with true wall-clock
-/// timestamps (µs).
+/// timestamps (µs), folded out of the structured trace.
 #[must_use]
-pub fn event_timeline(stats: &ExecStats) -> Vec<(u64, Event)> {
-    let mut v: Vec<(u64, Event)> = stats
-        .marks_timed
+pub fn event_timeline(records: &[TraceRecord]) -> Vec<(u64, Event)> {
+    let mut v: Vec<(u64, Event)> = records
         .iter()
-        .map(|&(id, t)| (t, Event::Mark(id)))
-        .chain(stats.sends_timed.iter().map(|&(x, t)| (t, Event::Send(x))))
+        .filter_map(|r| Event::from_trace(&r.event).map(|e| (r.at_us, e)))
         .collect();
+    debug_assert_eq!(
+        v.len() as u64,
+        tics_trace::visible_event_count(records),
+        "oracle event fold and visibility fold must agree"
+    );
     // Events are at least one cycle apart in practice; the secondary key
     // keeps the merge deterministic regardless.
     v.sort_by_key(|&(t, e)| (t, e));
@@ -456,11 +485,16 @@ pub fn event_timeline(stats: &ExecStats) -> Vec<(u64, Event)> {
 /// completed on the dying edge and belongs *before* the cut; post-reboot
 /// events are at least `off_us` later.
 #[must_use]
-pub fn segmented_events(stats: &ExecStats) -> Vec<Vec<Event>> {
-    let timeline = event_timeline(stats);
-    let mut segments = Vec::with_capacity(stats.failure_times.len() + 1);
+pub fn segmented_events(records: &[TraceRecord]) -> Vec<Vec<Event>> {
+    let failure_times: Vec<u64> = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::PowerFailure { .. }))
+        .map(|r| r.at_us)
+        .collect();
+    let timeline = event_timeline(records);
+    let mut segments = Vec::with_capacity(failure_times.len() + 1);
     let mut it = timeline.into_iter().peekable();
-    for &f in &stats.failure_times {
+    for &f in &failure_times {
         let mut seg = Vec::new();
         while let Some(&(t, e)) = it.peek() {
             if t > f {
@@ -502,7 +536,10 @@ pub fn golden_run(prog: &Program, system: SystemUnderTest) -> Result<Golden, Str
         .run(&mut m, rt.as_mut(), &mut ContinuousPower::new());
     match out {
         Ok(RunOutcome::Finished(code)) => Ok(Golden {
-            events: event_timeline(m.stats()).into_iter().map(|(_, e)| e).collect(),
+            events: event_timeline(m.trace().records())
+                .into_iter()
+                .map(|(_, e)| e)
+                .collect(),
             exit_code: code,
             on_cycles: m.cycles(),
         }),
@@ -520,8 +557,10 @@ pub fn golden_run(prog: &Program, system: SystemUnderTest) -> Result<Golden, Str
 pub struct Trial {
     /// How the executor finished (or the error it surfaced).
     pub outcome: Result<RunOutcome, VmError>,
-    /// Machine statistics at the end of the run.
-    pub stats: ExecStats,
+    /// The run's recorded trace (timeline events; the oracle's input).
+    pub trace: Vec<TraceRecord>,
+    /// Power failures injected during the run.
+    pub power_failures: u64,
     /// Stores truncated at a power cut (word-granularity torn writes).
     pub torn_writes: u64,
     /// On-time cycles consumed.
@@ -550,7 +589,8 @@ pub fn run_plan(
         Err(e) => {
             return Trial {
                 outcome: Err(e),
-                stats: ExecStats::default(),
+                trace: Vec::new(),
+                power_failures: 0,
                 torn_writes: 0,
                 cycles: 0,
             }
@@ -564,7 +604,8 @@ pub fn run_plan(
         .run(&mut m, rt.as_mut(), &mut supply);
     Trial {
         outcome,
-        stats: m.stats().clone(),
+        trace: m.trace().records().to_vec(),
+        power_failures: m.stats().power_failures,
         torn_writes: m.mem.stats().torn_writes,
         cycles: m.cycles(),
     }
@@ -689,7 +730,7 @@ pub fn judge(golden: &Golden, trial: &Trial) -> Verdict {
         }
         Ok(_) => {}
     }
-    let segments = segmented_events(&trial.stats);
+    let segments = segmented_events(&trial.trace);
     let mut high_water = 0usize;
     for (index, seg) in segments.iter().enumerate() {
         match match_segment(&golden.events, high_water, seg) {
@@ -896,7 +937,7 @@ pub fn run_fault_cell(
         let trial = run_plan(prog, system, plan, budget, GUARD_BOOTS);
         let verdict = judge(golden, &trial);
         report.trials += 1;
-        report.failures_injected += trial.stats.power_failures;
+        report.failures_injected += trial.power_failures;
         report.total_cycles += trial.cycles;
         if trial.torn_writes > 0 {
             report.torn_write_trials += 1;
@@ -961,6 +1002,22 @@ mod tests {
         (prog, golden)
     }
 
+    fn send(value: i32, at_us: u64) -> TraceRecord {
+        TraceRecord {
+            at_us,
+            cycle: at_us,
+            event: TraceEvent::Send { value },
+        }
+    }
+
+    fn failure(at_us: u64) -> TraceRecord {
+        TraceRecord {
+            at_us,
+            cycle: at_us,
+            event: TraceEvent::PowerFailure { off_us: OFF_US },
+        }
+    }
+
     #[test]
     fn golden_runs_emit_events_on_every_feasible_system() {
         for &p in &[FaultProgram::NvAccumulator, FaultProgram::LcgStream] {
@@ -985,14 +1042,11 @@ mod tests {
             on_cycles: 100,
         };
         // Replay re-emits event 2 after a reboot — a legal duplicate.
-        let stats = ExecStats {
-            sends_timed: vec![(1, 10), (2, 20), (2, 40), (3, 50)],
-            failure_times: vec![30],
-            ..ExecStats::default()
-        };
+        let trace = vec![send(1, 10), send(2, 20), failure(30), send(2, 40), send(3, 50)];
         let trial = Trial {
             outcome: Ok(RunOutcome::Finished(7)),
-            stats,
+            trace,
+            power_failures: 1,
             torn_writes: 0,
             cycles: 60,
         };
@@ -1008,14 +1062,11 @@ mod tests {
         };
         // After the reboot the replay emits 9 — matching no golden
         // prefix at or before the high-water mark.
-        let stats = ExecStats {
-            sends_timed: vec![(1, 10), (9, 40), (3, 50)],
-            failure_times: vec![30],
-            ..ExecStats::default()
-        };
+        let trace = vec![send(1, 10), failure(30), send(9, 40), send(3, 50)];
         let trial = Trial {
             outcome: Ok(RunOutcome::Finished(7)),
-            stats,
+            trace,
+            power_failures: 1,
             torn_writes: 0,
             cycles: 60,
         };
@@ -1032,22 +1083,19 @@ mod tests {
             exit_code: 7,
             on_cycles: 100,
         };
-        let mut stats = ExecStats {
-            sends_timed: vec![(1, 10)],
-            ..ExecStats::default()
-        };
         let lost = Trial {
             outcome: Ok(RunOutcome::Finished(7)),
-            stats: stats.clone(),
+            trace: vec![send(1, 10)],
+            power_failures: 0,
             torn_writes: 0,
             cycles: 60,
         };
         assert!(matches!(judge(&golden, &lost), Verdict::Divergent { .. }));
 
-        stats.sends_timed = vec![(1, 10), (2, 20)];
         let wrong = Trial {
             outcome: Ok(RunOutcome::Finished(8)),
-            stats,
+            trace: vec![send(1, 10), send(2, 20)],
+            power_failures: 0,
             torn_writes: 0,
             cycles: 60,
         };

@@ -21,6 +21,8 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use tics_trace::SpanKind;
+
 use crate::json::Json;
 
 /// How a sweep cell ended.
@@ -103,6 +105,10 @@ pub struct JournalRow {
     pub text_bytes: u32,
     /// `.data` bytes of the built image.
     pub data_bytes: u32,
+    /// Cycles charged to each [`SpanKind`], indexed by
+    /// [`SpanKind::index`]. All-zero for rows predating span
+    /// attribution (older journals parse with zeros).
+    pub spans: [u64; SpanKind::COUNT],
     /// Experiment-specific metrics (violation counts, panel labels...).
     pub extra: Vec<(String, Json)>,
     /// Host wall-time of the cell in milliseconds (non-deterministic).
@@ -133,6 +139,7 @@ impl Default for JournalRow {
             undo_appends: 0,
             text_bytes: 0,
             data_bytes: 0,
+            spans: [0; SpanKind::COUNT],
             extra: Vec::new(),
             wall_ms: 0.0,
             thread: 0,
@@ -166,6 +173,15 @@ impl JournalRow {
             .field("undo_appends", self.undo_appends)
             .field("text_bytes", self.text_bytes)
             .field("data_bytes", self.data_bytes)
+            .field(
+                "spans",
+                Json::Obj(
+                    SpanKind::ALL
+                        .iter()
+                        .map(|&k| (k.label().to_string(), Json::from(self.spans[k.index()])))
+                        .collect(),
+                ),
+            )
             .field("extra", Json::Obj(self.extra.clone()))
             .field("wall_ms", self.wall_ms)
             .field("thread", self.thread)
@@ -220,6 +236,18 @@ impl JournalRow {
             undo_appends: u64_field("undo_appends")?,
             text_bytes: u32::try_from(u64_field("text_bytes")?).map_err(|e| e.to_string())?,
             data_bytes: u32::try_from(u64_field("data_bytes")?).map_err(|e| e.to_string())?,
+            spans: {
+                // Missing (pre-attribution journals) parses as all-zero.
+                let mut spans = [0u64; SpanKind::COUNT];
+                if let Some(obj) = v.get("spans") {
+                    for k in SpanKind::ALL {
+                        if let Some(n) = obj.get(k.label()).and_then(Json::as_u64) {
+                            spans[k.index()] = n;
+                        }
+                    }
+                }
+                spans
+            },
             extra: match v.get("extra") {
                 Some(Json::Obj(fields)) => fields.clone(),
                 _ => return Err("missing object field \"extra\"".to_string()),
@@ -387,6 +415,7 @@ mod tests {
             undo_appends: 999,
             text_bytes: 2048,
             data_bytes: 512,
+            spans: [900_000, 120_000, 17_000, 5_000, 1_000, 400, 50],
             extra: vec![
                 ("violations".into(), Json::Int(3)),
                 ("panel".into(), Json::Str("left".into())),
@@ -434,6 +463,19 @@ mod tests {
         j.finish().unwrap();
         assert_eq!(read(&path).unwrap(), rows);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rows_without_spans_parse_with_zeros() {
+        // Journals written before span attribution have no "spans"
+        // field; they must still parse (with zeroed attribution).
+        let line = sample_row().to_json().to_compact();
+        let Json::Obj(fields) = Json::parse(&line).unwrap() else {
+            panic!("row is not an object");
+        };
+        let stripped = Json::Obj(fields.into_iter().filter(|(k, _)| k != "spans").collect());
+        let parsed = JournalRow::from_json(&stripped).unwrap();
+        assert_eq!(parsed.spans, [0; SpanKind::COUNT]);
     }
 
     #[test]

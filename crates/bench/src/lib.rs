@@ -13,6 +13,7 @@
 //! | `exp_fig10`  | Figure 10 — user-study proxy (complexity + synthetic reviewers) |
 //! | `exp_ablations` | design-choice ablations beyond the paper |
 //! | `exp_fault`  | adversarial fault injection vs the crash-consistency oracle |
+//! | `exp_profile` | Table 4 re-derived from attributed spans + Figure-9-style cycle breakdown + Chrome trace export |
 //!
 //! Every binary declares its cells as a [`sweep::Sweep`] grid, runs it
 //! on a work-stealing thread pool (`--threads N`, `TICS_BENCH_THREADS`,

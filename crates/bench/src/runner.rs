@@ -5,6 +5,7 @@ use tics_apps::{build_app, App, BuildError, SystemUnderTest};
 use tics_clock::{CapacitorRtc, PerfectClock, Timekeeper, VolatileClock};
 use tics_energy::PowerSupply;
 use tics_minic::opt::OptLevel;
+use tics_trace::{SpanKind, TraceRecord};
 use tics_vm::{ExecStats, Executor, Machine, MachineConfig, RunOutcome, VmError};
 
 /// Which timekeeper the device carries.
@@ -96,8 +97,14 @@ pub struct RunResult {
     pub text_bytes: u32,
     /// `.data` bytes of the built image.
     pub data_bytes: u32,
+    /// Cycles charged to each [`SpanKind`] (indexed by
+    /// [`SpanKind::index`]); sums to `cycles` by construction.
+    pub span_cycles: [u64; SpanKind::COUNT],
     /// Full stats (not journaled).
     pub stats: ExecStats,
+    /// The run's recorded trace (timeline events; detail events only if
+    /// the machine ran in detailed mode).
+    pub trace: Vec<TraceRecord>,
 }
 
 /// Builds and runs `app` under `system` on `supply`.
@@ -147,7 +154,9 @@ pub fn run_app(
                 undo_appends: 0,
                 text_bytes,
                 data_bytes,
+                span_cycles: [0; SpanKind::COUNT],
                 stats: ExecStats::default(),
+                trace: Vec::new(),
             });
         }
     };
@@ -174,7 +183,9 @@ pub fn run_app(
         undo_appends: stats.undo_log_appends,
         text_bytes,
         data_bytes,
+        span_cycles: machine.mem.span_cycles_all(),
         stats,
+        trace: machine.trace().records().to_vec(),
     })
 }
 
@@ -200,6 +211,10 @@ mod tests {
         assert!(r.exit_code.unwrap() > 0);
         assert!(r.cycles > 0);
         assert!(r.text_bytes > 0 && r.data_bytes > 0);
+        // Span-total identity: every cycle is attributed to exactly one
+        // span, so the per-span totals sum back to the cycle counter.
+        assert_eq!(r.span_cycles.iter().sum::<u64>(), r.cycles);
+        assert!(!r.trace.is_empty());
     }
 
     #[test]

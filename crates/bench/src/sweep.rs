@@ -35,6 +35,7 @@ use tics_apps::{ar, ghm, App, SystemUnderTest};
 use tics_energy::{Capacitor, CapacitorSupply, ContinuousPower, DutyCycleTrace, PeriodicTrace,
                   PowerSupply, RfHarvester};
 use tics_minic::opt::OptLevel;
+use tics_trace::SpanKind;
 
 use crate::journal::{CellStatus, Journal, JournalRow};
 use crate::json::Json;
@@ -312,6 +313,9 @@ pub struct CellOutput {
     pub text_bytes: u32,
     /// `.data` bytes.
     pub data_bytes: u32,
+    /// Cycles charged to each [`SpanKind`], indexed by
+    /// [`SpanKind::index`] (zeros when the runner does not attribute).
+    pub spans: [u64; SpanKind::COUNT],
     /// Experiment-specific metrics appended to the journal row.
     pub extra: Vec<(String, Json)>,
 }
@@ -337,6 +341,7 @@ impl From<RunResult> for CellOutput {
             undo_appends: r.undo_appends,
             text_bytes: r.text_bytes,
             data_bytes: r.data_bytes,
+            spans: r.span_cycles,
             extra: Vec::new(),
         }
     }
@@ -646,6 +651,7 @@ impl Sweep {
                             undo_appends: out.undo_appends,
                             text_bytes: out.text_bytes,
                             data_bytes: out.data_bytes,
+                            spans: out.spans,
                             extra: out.extra,
                             ..JournalRow::default()
                         },

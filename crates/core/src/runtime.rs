@@ -3,6 +3,7 @@
 use tics_mcu::Addr;
 use tics_minic::isa::{CkptSite, VarId};
 use tics_minic::program::{Instrumentation, Program};
+use tics_trace::{CkptCause, SpanKind, TraceEvent};
 use tics_vm::{
     CheckpointKind, IntermittentRuntime, Machine, ResumeAction, RuntimeCapabilities, VmError,
 };
@@ -119,8 +120,10 @@ impl TicsRuntime {
     /// Commits a checkpoint: registers + runtime state + the working
     /// segment into the inactive buffer, then flips the valid flag
     /// (two-phase commit, §4). Clears the undo log.
-    fn commit_checkpoint(&mut self, m: &mut Machine) -> Result<()> {
+    fn commit_checkpoint(&mut self, m: &mut Machine, cause: CkptCause) -> Result<()> {
         let l = self.attach(m)?;
+        let mut span = m.span(SpanKind::Checkpoint);
+        let m = &mut *span;
         let active = Self::peek_u32(m, l.control.offset(ctrl::CKPT_FLAG))?;
         let target = if active == 1 { 2 } else { 1 };
         let buf = l.ckpt_buffer(target);
@@ -147,9 +150,10 @@ impl TicsRuntime {
         // The log only needs to undo writes newer than this checkpoint.
         self.set_undo_count(m, &l, 0)?;
         self.last_ckpt_seg = Some(self.working_seg);
-        let st = m.stats_mut();
-        st.checkpoints += 1;
-        st.checkpoint_bytes += u64::from(ckpt::HEADER + l.seg_size);
+        m.emit(TraceEvent::CheckpointCommit {
+            cause,
+            bytes: u64::from(ckpt::HEADER + l.seg_size),
+        });
         // Virtualized I/O: the commit is the transmission point — every
         // buffered send now becomes externally visible, exactly once.
         if self.io_count > 0 {
@@ -167,6 +171,8 @@ impl TicsRuntime {
     /// Rolls back undo-log entries down to `mark` (newest first).
     fn rollback_to_mark(&mut self, m: &mut Machine, mark: u32) -> Result<()> {
         let l = self.attach(m)?;
+        let mut span = m.span(SpanKind::Rollback);
+        let m = &mut *span;
         let mut i = self.undo_count;
         while i > mark {
             i -= 1;
@@ -175,7 +181,7 @@ impl TicsRuntime {
             let old = Self::peek_u32(m, slot.offset(4))?;
             Self::poke_u32(m, addr, old)?;
             m.mem.add_cycles(m.mem.costs().rollback_cost(4));
-            m.stats_mut().undo_rollbacks += 1;
+            m.emit(TraceEvent::Rollback { bytes: 4 });
         }
         self.set_undo_count(m, &l, mark)
     }
@@ -243,6 +249,8 @@ impl IntermittentRuntime for TicsRuntime {
         }
         self.atomic_depth = Self::peek_u32(m, buf.offset(ckpt::ATOMIC_DEPTH))?;
         self.working_seg = Self::peek_u32(m, buf.offset(ckpt::WORKING_SEG))?;
+        let mut span = m.span(SpanKind::Restore);
+        let m = &mut *span;
         let seg = l.segment(self.working_seg);
         let image = m.mem.peek_bytes(buf.offset(ckpt::SEG_IMAGE), l.seg_size)?;
         m.mem.poke_bytes(seg.start, &image)?;
@@ -252,7 +260,9 @@ impl IntermittentRuntime for TicsRuntime {
         // executor injects the failure before any instruction runs.
         let cost = m.mem.costs().restore_cost(l.seg_size);
         let _completed = m.charge_atomic(cost);
-        m.stats_mut().restores += 1;
+        m.emit(TraceEvent::Restore {
+            bytes: u64::from(ckpt::HEADER + l.seg_size),
+        });
         Ok(ResumeAction::Restored)
     }
 
@@ -297,8 +307,10 @@ impl IntermittentRuntime for TicsRuntime {
             });
         }
         self.working_seg += 1;
+        let mut span = m.span(SpanKind::StackSegment);
+        let m = &mut *span;
         m.mem.add_cycles(m.mem.costs().stack_switch_cost(arg_bytes));
-        m.stats_mut().stack_grows += 1;
+        m.emit(TraceEvent::StackGrow);
         Ok(l.segment(self.working_seg).start)
     }
 
@@ -316,8 +328,12 @@ impl IntermittentRuntime for TicsRuntime {
             // the next instruction boundary, when the return has
             // completed and the registers are consistent.
             self.working_seg = caller;
-            m.mem.add_cycles(m.mem.costs().stack_switch_cost(0));
-            m.stats_mut().stack_shrinks += 1;
+            {
+                let mut span = m.span(SpanKind::StackSegment);
+                let m = &mut *span;
+                m.mem.add_cycles(m.mem.costs().stack_switch_cost(0));
+                m.emit(TraceEvent::StackShrink);
+            }
             // Checkpoint when the previously checkpointed segment is now
             // above the live stack (its image would restore into dead
             // space), or when no restore point exists at all — this is
@@ -334,15 +350,21 @@ impl IntermittentRuntime for TicsRuntime {
         let l = self.attach(m)?;
         if l.segment(self.working_seg).contains_range(addr, len) {
             // Direct write to the working stack: no logging needed, just
-            // the pointer classification cost (Table 4, "no log").
+            // the pointer classification cost (Table 4, "no log"). Still
+            // undo-log work for attribution purposes — the span covers
+            // classification as well as appends.
+            let mut span = m.span(SpanKind::UndoLog);
+            let m = &mut *span;
             m.mem.add_cycles(m.mem.costs().ptr_check);
             return Ok(());
         }
         if self.undo_count >= l.undo_capacity {
             // Forced checkpoint to drain the log and guarantee forward
             // progress (§3.1.2).
-            self.commit_checkpoint(m)?;
+            self.commit_checkpoint(m, CkptCause::Forced)?;
         }
+        let mut span = m.span(SpanKind::UndoLog);
+        let m = &mut *span;
         let old = Self::peek_u32(m, addr)?;
         let slot = l.undo_slot(self.undo_count);
         Self::poke_u32(m, slot, addr.raw())?;
@@ -350,7 +372,9 @@ impl IntermittentRuntime for TicsRuntime {
         let n = self.undo_count + 1;
         self.set_undo_count(m, &l, n)?;
         m.mem.add_cycles(m.mem.costs().undo_log_cost(len));
-        m.stats_mut().undo_log_appends += 1;
+        m.emit(TraceEvent::UndoAppend {
+            bytes: u64::from(len),
+        });
         Ok(())
     }
 
@@ -358,20 +382,22 @@ impl IntermittentRuntime for TicsRuntime {
         match kind {
             CheckpointKind::Timer | CheckpointKind::Voltage if self.atomic_depth > 0 => Ok(()),
             CheckpointKind::Site(CkptSite::VoltageCheck) => Ok(()), // not a TICS site
-            _ => self.commit_checkpoint(m),
+            CheckpointKind::Site(_) => self.commit_checkpoint(m, CkptCause::Site),
+            CheckpointKind::Timer => self.commit_checkpoint(m, CkptCause::Timer),
+            CheckpointKind::Voltage => self.commit_checkpoint(m, CkptCause::Voltage),
         }
     }
 
     fn on_instruction(&mut self, m: &mut Machine) -> Result<()> {
         if self.pending_shrink_ckpt {
             self.pending_shrink_ckpt = false;
-            self.commit_checkpoint(m)?;
+            self.commit_checkpoint(m, CkptCause::Forced)?;
         }
         if let Some(period) = self.config.timer_period_us {
             if m.cycles() >= self.next_timer_at {
                 self.next_timer_at = m.cycles() + period;
                 if self.atomic_depth == 0 {
-                    self.commit_checkpoint(m)?;
+                    self.commit_checkpoint(m, CkptCause::Timer)?;
                 }
             }
         }
@@ -388,7 +414,7 @@ impl IntermittentRuntime for TicsRuntime {
                 let operand_base = Machine::frame_body(m.regs.fp)
                     .offset(f.arg_bytes() + u32::from(f.locals_bytes));
                 m.regs.sp = operand_base;
-                m.stats_mut().expires_catches += 1;
+                m.emit(TraceEvent::ExpiresCatch);
             }
         }
         Ok(())
@@ -408,7 +434,7 @@ impl IntermittentRuntime for TicsRuntime {
         // Implicit checkpoint right after return-from-interrupt: if power
         // fails before it completes, the ISR appears not to have run.
         self.atomic_end(m)?;
-        self.commit_checkpoint(m)
+        self.commit_checkpoint(m, CkptCause::Isr)
     }
 
     fn timestamp_var(&mut self, m: &mut Machine, var: VarId) -> Result<()> {
@@ -465,7 +491,7 @@ impl IntermittentRuntime for TicsRuntime {
         if m.now().as_micros() >= expire_at_us {
             // Already stale on entry: straight to the catch handler.
             m.regs.pc = catch_pc;
-            m.stats_mut().expires_catches += 1;
+            m.emit(TraceEvent::ExpiresCatch);
             return Ok(());
         }
         self.atomic_begin(m)?;
@@ -481,7 +507,7 @@ impl IntermittentRuntime for TicsRuntime {
         if self.expires_block.take().is_some() {
             self.atomic_end(m)?;
             // The paper seals time blocks with a checkpoint.
-            self.commit_checkpoint(m)?;
+            self.commit_checkpoint(m, CkptCause::Site)?;
         }
         Ok(())
     }
@@ -493,7 +519,7 @@ impl IntermittentRuntime for TicsRuntime {
         let l = self.attach(m)?;
         if self.io_count >= l.io_capacity {
             // Commit to drain the buffer (also publishes it).
-            self.commit_checkpoint(m)?;
+            self.commit_checkpoint(m, CkptCause::Forced)?;
             if self.io_count >= l.io_capacity {
                 // The commit died on the energy deadline; the device is
                 // about to brown out — the send is lost with this
@@ -794,7 +820,7 @@ mod tests {
                 .unwrap();
             assert_eq!(out.exit_code(), Some(40));
             assert!(m.stats().power_failures > 0);
-            m.stats().sends.clone()
+            m.stats().sends()
         };
         let duplicated = run(false);
         assert!(
@@ -1021,7 +1047,7 @@ mod tests {
             .unwrap();
         assert_eq!(out.exit_code(), Some(2), "catch path must run");
         assert_eq!(m.stats().expires_catches, 1);
-        assert_eq!(m.stats().sends, vec![0], "witness write must be undone");
+        assert_eq!(m.stats().sends(), vec![0], "witness write must be undone");
     }
 
     #[test]

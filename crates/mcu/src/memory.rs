@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use tics_trace::SpanKind;
+
 use crate::costs::CostModel;
 use crate::layout::MemoryLayout;
 use crate::region::Addr;
@@ -86,6 +88,11 @@ pub struct Memory {
     stats: MemoryStats,
     /// Absolute cycle at which power dies; stores straddling it tear.
     cut_at: Option<u64>,
+    /// Cycle-attribution: who the current work is charged to.
+    current_span: SpanKind,
+    /// Cycles charged per span. Every increment of `cycles` also lands
+    /// here, so `span_cycles.sum() == cycles` holds by construction.
+    span_cycles: [u64; SpanKind::COUNT],
 }
 
 impl Memory {
@@ -106,6 +113,8 @@ impl Memory {
             cycles: 0,
             stats: MemoryStats::default(),
             cut_at: None,
+            current_span: SpanKind::App,
+            span_cycles: [0; SpanKind::COUNT],
         }
     }
 
@@ -131,6 +140,34 @@ impl Memory {
     /// logic). Runtimes use this to charge the Table 4 operation costs.
     pub fn add_cycles(&mut self, n: u64) {
         self.cycles += n;
+        self.span_cycles[self.current_span.index()] += n;
+    }
+
+    /// Opens span `kind` for subsequent cycle charges and returns the
+    /// previously open span (so callers can restore it — the machine's
+    /// RAII span guard does exactly that).
+    pub fn set_span(&mut self, kind: SpanKind) -> SpanKind {
+        std::mem::replace(&mut self.current_span, kind)
+    }
+
+    /// The currently open cycle-attribution span.
+    #[must_use]
+    pub fn current_span(&self) -> SpanKind {
+        self.current_span
+    }
+
+    /// Cycles charged to `kind` so far.
+    #[must_use]
+    pub fn span_cycles(&self, kind: SpanKind) -> u64 {
+        self.span_cycles[kind.index()]
+    }
+
+    /// Per-span cycle totals, indexed by [`SpanKind::index`]. Their sum
+    /// equals [`Memory::cycles`] by construction — the span-total
+    /// identity the profiling experiment asserts.
+    #[must_use]
+    pub fn span_cycles_all(&self) -> [u64; SpanKind::COUNT] {
+        self.span_cycles
     }
 
     /// Usage statistics.
@@ -210,24 +247,28 @@ impl Memory {
 
     fn charge_read(&mut self, addr: Addr, len: u32) {
         let words = u64::from(len.div_ceil(4));
-        if self.layout.is_volatile(addr) {
+        let cost = if self.layout.is_volatile(addr) {
             self.stats.sram_reads += u64::from(len);
-            self.cycles += self.costs.sram_access_per_word * words;
+            self.costs.sram_access_per_word * words
         } else {
             self.stats.fram_reads += u64::from(len);
-            self.cycles += self.costs.fram_read_per_word * words;
-        }
+            self.costs.fram_read_per_word * words
+        };
+        self.cycles += cost;
+        self.span_cycles[self.current_span.index()] += cost;
     }
 
     fn charge_write(&mut self, addr: Addr, len: u32) {
         let words = u64::from(len.div_ceil(4));
-        if self.layout.is_volatile(addr) {
+        let cost = if self.layout.is_volatile(addr) {
             self.stats.sram_writes += u64::from(len);
-            self.cycles += self.costs.sram_access_per_word * words;
+            self.costs.sram_access_per_word * words
         } else {
             self.stats.fram_writes += u64::from(len);
-            self.cycles += self.costs.fram_write_per_word * words;
-        }
+            self.costs.fram_write_per_word * words
+        };
+        self.cycles += cost;
+        self.span_cycles[self.current_span.index()] += cost;
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
@@ -614,6 +655,28 @@ mod tests {
         assert!(bytes[..8].iter().all(|&b| b == 0xFF));
         assert!(bytes[8..].iter().all(|&b| b == 0));
         assert_eq!(m.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn span_cycles_sum_to_total_cycles() {
+        let mut m = mem();
+        let f = m.layout().fram.start;
+        let s = m.layout().sram.start;
+        m.write_u32(f, 1).unwrap();
+        let prev = m.set_span(SpanKind::Checkpoint);
+        assert_eq!(prev, SpanKind::App);
+        m.copy(f, f.offset(64), 32).unwrap();
+        m.add_cycles(264);
+        m.set_span(SpanKind::UndoLog);
+        m.write_u32(s, 2).unwrap();
+        m.set_span(SpanKind::App);
+        m.read_u32(f).unwrap();
+        let spans = m.span_cycles_all();
+        assert_eq!(spans.iter().sum::<u64>(), m.cycles());
+        assert!(m.span_cycles(SpanKind::Checkpoint) >= 264);
+        assert!(m.span_cycles(SpanKind::UndoLog) > 0);
+        assert!(m.span_cycles(SpanKind::App) > 0);
+        assert_eq!(m.span_cycles(SpanKind::Rollback), 0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use tics_energy::PowerSupply;
 use tics_mcu::Addr;
 use tics_minic::isa::{Instr, Syscall};
+use tics_trace::TraceEvent;
 
 use crate::error::VmError;
 use crate::machine::Machine;
@@ -141,9 +142,12 @@ impl Executor {
             let Some(period) = supply.next_period() else {
                 return Ok(RunOutcome::OutOfEnergy);
             };
-            m.stats_mut().boots += 1;
+            m.emit(TraceEvent::Boot);
             let ckpts_at_boot = m.stats().checkpoints;
-            let events_at_boot = m.stats().visible_events();
+            // Progress is counted on the trace's incremental fold — the
+            // same `is_externally_visible` predicate the fault oracle
+            // replays, so the two can never disagree.
+            let events_at_boot = m.trace().visible_events();
             // Boot-time recovery draws from the same energy budget as the
             // rest of the period; a restore that exceeds it dies mid-way
             // (the paper's starvation-by-recovery-cost).
@@ -207,7 +211,7 @@ impl Executor {
             // a reboot that produced *any* visible event is still moving,
             // even without a checkpoint (plain C re-executing from main).
             if m.stats().checkpoints == ckpts_at_boot
-                && m.stats().visible_events() == events_at_boot
+                && m.trace().visible_events() == events_at_boot
             {
                 stalled_boots += 1;
                 if stalled_boots >= self.progress_guard_boots {
@@ -387,7 +391,7 @@ pub fn step(m: &mut Machine, rt: &mut dyn IntermittentRuntime) -> Result<()> {
         Instr::ExpiresCheck(v) => {
             let fresh = rt.expires_check(m, v)?;
             if !fresh {
-                m.stats_mut().expired_data_discards += 1;
+                m.emit(TraceEvent::ExpireDiscard);
             }
             m.push(i32::from(fresh))?;
         }
@@ -395,7 +399,7 @@ pub fn step(m: &mut Machine, rt: &mut dyn IntermittentRuntime) -> Result<()> {
             let deadline_ms = m.pop()?;
             let ok = rt.timely_check(m, deadline_ms)?;
             if !ok {
-                m.stats_mut().timely_misses += 1;
+                m.emit(TraceEvent::TimelyMiss);
             }
             m.push(i32::from(ok))?;
         }
@@ -445,8 +449,8 @@ fn do_syscall(m: &mut Machine, rt: &mut dyn IntermittentRuntime, sys: Syscall) -
             m.push(t)?;
         }
         Syscall::Led => {
-            m.pop()?;
-            m.stats_mut().led_events += 1;
+            let v = m.pop()?;
+            m.emit(TraceEvent::Led { value: v });
             m.push(0)?;
         }
         Syscall::Rand => {
@@ -455,15 +459,12 @@ fn do_syscall(m: &mut Machine, rt: &mut dyn IntermittentRuntime, sys: Syscall) -
         }
         Syscall::Mark => {
             let id = m.pop()?;
-            let at = m.true_now_us();
-            let st = m.stats_mut();
-            *st.marks.entry(id).or_default() += 1;
-            st.marks_timed.push((id, at));
+            m.emit(TraceEvent::Mark { id });
             m.push(0)?;
         }
         Syscall::Print => {
             let v = m.pop()?;
-            m.stats_mut().prints.push(v);
+            m.emit(TraceEvent::Print { value: v });
             m.push(0)?;
         }
         Syscall::CheckpointNow => {
@@ -638,7 +639,7 @@ mod tests {
             "int main() { send(7); send(8); mark(1); mark(1); print(99); led(1); return 0; }",
         );
         assert_eq!(out.exit_code(), Some(0));
-        assert_eq!(m.stats().sends, vec![7, 8]);
+        assert_eq!(m.stats().sends(), vec![7, 8]);
         assert_eq!(m.stats().mark_count(1), 2);
         assert_eq!(m.stats().prints, vec![99]);
         assert_eq!(m.stats().led_events, 1);

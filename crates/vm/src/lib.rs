@@ -50,7 +50,7 @@ pub use caps::{PortingEffort, RuntimeCapabilities};
 pub use error::VmError;
 pub use exec::{Executor, RunOutcome};
 pub use loaded::LoadedProgram;
-pub use machine::{Machine, MachineConfig};
+pub use machine::{Machine, MachineConfig, SpanGuard};
 pub use runtime::{BareRuntime, CheckpointKind, IntermittentRuntime, ResumeAction};
 pub use stats::ExecStats;
 

@@ -1,8 +1,11 @@
 //! The simulated machine: memory + registers + clock + program image.
 
+use std::ops::{Deref, DerefMut};
+
 use tics_clock::{PerfectClock, TimeMicros, Timekeeper};
 use tics_mcu::{Addr, CostModel, Memory, MemoryLayout, Registers};
 use tics_minic::program::{Program, FRAME_HEADER_BYTES};
+use tics_trace::{SpanKind, TraceEvent, TraceRecord, TraceSink};
 
 use crate::error::VmError;
 use crate::loaded::{LoadedProgram, RET_SENTINEL};
@@ -87,6 +90,8 @@ pub struct Machine {
     period_deadline: u64,
     total_off_us: u64,
     heap_bytes: u32,
+    trace: TraceSink,
+    torn_reported: u64,
 }
 
 impl std::fmt::Debug for Machine {
@@ -166,6 +171,8 @@ impl Machine {
             period_deadline: u64::MAX,
             total_off_us: 0,
             heap_bytes: config.heap_bytes,
+            trace: TraceSink::new(),
+            torn_reported: 0,
         };
         machine.init_globals(true)?;
         Ok(machine)
@@ -237,9 +244,50 @@ impl Machine {
         &self.stats
     }
 
-    /// Mutable statistics (runtimes record checkpoints, rollbacks, ...).
+    /// Mutable statistics. Event-backed fields must be updated through
+    /// [`Machine::emit`] so the trace and the counters stay in lockstep;
+    /// this accessor remains for the executor's hot `instructions`
+    /// counter and for tests.
     pub fn stats_mut(&mut self) -> &mut ExecStats {
         &mut self.stats
+    }
+
+    /// The structured event trace recorded so far.
+    #[must_use]
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Mutable trace access (profilers enable detailed recording with
+    /// [`TraceSink::set_detailed`]).
+    pub fn trace_mut(&mut self) -> &mut TraceSink {
+        &mut self.trace
+    }
+
+    /// Emits one structured event, stamped with the true wall-clock µs
+    /// and the cycle position. The event is folded into [`ExecStats`]
+    /// and appended to the trace — the single update path shared by the
+    /// VM, the runtimes, and the executor.
+    pub fn emit(&mut self, event: TraceEvent) {
+        let at_us = self.true_now_us();
+        let cycle = self.mem.cycles();
+        self.stats.fold_event(&event, at_us);
+        self.trace.push(TraceRecord { at_us, cycle, event });
+    }
+
+    /// Opens cycle-attribution span `kind`: every cycle charged until
+    /// the returned guard drops is attributed to `kind`. The guard
+    /// derefs to the machine, so runtime code does
+    /// `let mut g = m.span(SpanKind::Checkpoint); let m = &mut *g;` and
+    /// proceeds unchanged.
+    pub fn span(&mut self, kind: SpanKind) -> SpanGuard<'_> {
+        let prev = self.mem.set_span(kind);
+        self.emit(TraceEvent::SpanEnter { kind });
+        SpanGuard {
+            machine: self,
+            prev,
+            kind,
+        }
     }
 
     /// Exit code if `main` returned.
@@ -470,6 +518,8 @@ impl Machine {
             // Return-from-interrupt: discard the value, no push; the
             // runtime may take its implicit post-ISR checkpoint.
             self.in_isr = false;
+            self.mem.set_span(SpanKind::App);
+            self.emit(TraceEvent::IsrExit);
             self.regs.fp = hdr.caller_fp;
             self.regs.sp = hdr.caller_sp;
             self.regs.pc = hdr.ret_pc;
@@ -520,12 +570,15 @@ impl Machine {
                 i.next_at += i.period_us;
             }
         }
+        self.emit(TraceEvent::IsrEnter);
         rt.on_isr_enter(self)?;
         self.in_isr = true;
         let ret_pc = self.regs.pc;
         self.call_function(rt, isr.fidx, ret_pc)?;
         self.isr_frame_fp = self.regs.fp;
-        self.stats.isr_entries += 1;
+        // The ISR body executes in the main loop, so the span is set
+        // non-lexically here and restored at return-from-interrupt.
+        self.mem.set_span(SpanKind::Isr);
         Ok(())
     }
 
@@ -565,14 +618,22 @@ impl Machine {
     /// outage, and the machine is ready for the runtime's `on_boot`.
     pub fn power_failure(&mut self, off_us: u64) {
         let _ = self.now(); // sync on-time into the clock first
-        let at = self.true_now_us();
-        self.stats.failure_times.push(at);
+        let torn = self.mem.stats().torn_writes;
+        if torn > self.torn_reported {
+            self.emit(TraceEvent::TornWrite {
+                count: torn - self.torn_reported,
+            });
+            self.torn_reported = torn;
+        }
+        self.emit(TraceEvent::PowerFailure { off_us });
         self.mem.power_fail();
+        // Whatever span was open died with the power; the next boot
+        // starts attributing to the application again.
+        self.mem.set_span(SpanKind::App);
         self.regs.reset();
         self.clock.power_cycle(off_us);
         self.total_off_us += off_us;
         self.in_isr = false;
-        self.stats.power_failures += 1;
     }
 
     // ---- syscall support ----
@@ -581,9 +642,7 @@ impl Machine {
     /// immediate sends and by virtualizing runtimes when they flush
     /// their committed I/O buffers).
     pub fn record_send(&mut self, value: i32) {
-        let at = self.true_now_us();
-        self.stats.sends.push(value);
-        self.stats.sends_timed.push((value, at));
+        self.emit(TraceEvent::Send { value });
     }
 
     /// Next deterministic pseudo-random value in `[0, 65536)`.
@@ -598,16 +657,45 @@ impl Machine {
 
     /// Next sensor value: scripted trace first, then synthetic.
     pub fn next_sensor(&mut self) -> i32 {
-        self.stats.samples += 1;
-        let at = self.true_now_us();
-        self.stats.samples_timed.push(at);
-        if self.sensor_pos < self.sensor_trace.len() {
+        let v = if self.sensor_pos < self.sensor_trace.len() {
             let v = self.sensor_trace[self.sensor_pos];
             self.sensor_pos += 1;
             v
         } else {
             self.rand16() & 0x3FF
-        }
+        };
+        self.emit(TraceEvent::Sample { value: v });
+        v
+    }
+}
+
+/// RAII cycle-attribution span: returned by [`Machine::span`], derefs to
+/// the machine, and restores the previously open span on drop (emitting
+/// the matching [`TraceEvent::SpanExit`]).
+pub struct SpanGuard<'a> {
+    machine: &'a mut Machine,
+    prev: SpanKind,
+    kind: SpanKind,
+}
+
+impl Deref for SpanGuard<'_> {
+    type Target = Machine;
+
+    fn deref(&self) -> &Machine {
+        self.machine
+    }
+}
+
+impl DerefMut for SpanGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Machine {
+        self.machine
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.machine.emit(TraceEvent::SpanExit { kind: self.kind });
+        self.machine.mem.set_span(self.prev);
     }
 }
 

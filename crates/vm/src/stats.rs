@@ -1,10 +1,18 @@
-//! Execution statistics collected by the machine and its runtime.
+//! Execution statistics: an incremental fold over the structured trace.
+//!
+//! Historically these counters were updated ad hoc at dozens of call
+//! sites, with parallel structures (`marks` next to `marks_timed`,
+//! `sends` next to `sends_timed`) that could silently diverge. They are
+//! now maintained in exactly one place — [`ExecStats::fold_event`],
+//! called by [`Machine::emit`](crate::Machine::emit) for every
+//! [`TraceEvent`] — and the un-timed views are derived accessors over
+//! the single timed stream.
 
-use std::collections::HashMap;
+use tics_trace::TraceEvent;
 
 /// Everything the experiments count: completions, checkpoints, traffic,
-/// violations. Runtimes update the checkpoint/log fields through
-/// [`Machine::stats_mut`](crate::Machine::stats_mut).
+/// violations. All fields are updated by [`ExecStats::fold_event`]; only
+/// `instructions` (too hot to event) is bumped directly by the executor.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ExecStats {
     /// Boots (first boot + one per power-failure recovery).
@@ -27,14 +35,12 @@ pub struct ExecStats {
     pub stack_grows: u64,
     /// Stack segment shrinks.
     pub stack_shrinks: u64,
-    /// `mark(id)` completions per id (routine counting for Table 1).
-    pub marks: HashMap<i32, u64>,
     /// `mark(id)` events with the *true* wall-clock time (µs) at which
-    /// they occurred — the simulation's logic-analyzer trace.
+    /// they occurred — the simulation's logic-analyzer trace. The single
+    /// source of truth for mark counting (see [`ExecStats::mark_count`]).
     pub marks_timed: Vec<(i32, u64)>,
-    /// Values transmitted with `send`.
-    pub sends: Vec<i32>,
-    /// `send` events with true wall-clock time (µs).
+    /// `send` events with true wall-clock time (µs). The single source
+    /// of truth for transmissions (see [`ExecStats::sends`]).
     pub sends_timed: Vec<(i32, u64)>,
     /// True wall-clock time (µs) of every sensor sample.
     pub samples_timed: Vec<u64>,
@@ -57,17 +63,63 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
-    /// Completions recorded for `mark(id)`.
+    /// Folds one trace event into the counters. This is the *only*
+    /// update path for every field except `instructions`: the machine
+    /// calls it from `emit`, so the stats and the trace cannot disagree.
+    pub fn fold_event(&mut self, event: &TraceEvent, at_us: u64) {
+        match *event {
+            TraceEvent::Boot => self.boots += 1,
+            TraceEvent::PowerFailure { .. } => {
+                self.power_failures += 1;
+                self.failure_times.push(at_us);
+            }
+            TraceEvent::CheckpointCommit { bytes, .. } => {
+                self.checkpoints += 1;
+                self.checkpoint_bytes += bytes;
+            }
+            TraceEvent::Restore { .. } => self.restores += 1,
+            TraceEvent::UndoAppend { .. } => self.undo_log_appends += 1,
+            TraceEvent::Rollback { .. } => self.undo_rollbacks += 1,
+            TraceEvent::Mark { id } => self.marks_timed.push((id, at_us)),
+            TraceEvent::Send { value } => self.sends_timed.push((value, at_us)),
+            TraceEvent::Sample { .. } => {
+                self.samples += 1;
+                self.samples_timed.push(at_us);
+            }
+            TraceEvent::Print { value } => self.prints.push(value),
+            TraceEvent::Led { .. } => self.led_events += 1,
+            TraceEvent::IsrEnter => self.isr_entries += 1,
+            TraceEvent::ExpireDiscard => self.expired_data_discards += 1,
+            TraceEvent::ExpiresCatch => self.expires_catches += 1,
+            TraceEvent::TimelyMiss => self.timely_misses += 1,
+            TraceEvent::StackGrow => self.stack_grows += 1,
+            TraceEvent::StackShrink => self.stack_shrinks += 1,
+            TraceEvent::TornWrite { .. }
+            | TraceEvent::IsrExit
+            | TraceEvent::SpanEnter { .. }
+            | TraceEvent::SpanExit { .. } => {}
+        }
+    }
+
+    /// Completions recorded for `mark(id)`, derived from the timed
+    /// stream (there is no separate counter to fall out of sync).
     #[must_use]
     pub fn mark_count(&self, id: i32) -> u64 {
-        self.marks.get(&id).copied().unwrap_or(0)
+        self.marks_timed.iter().filter(|&&(i, _)| i == id).count() as u64
+    }
+
+    /// Values transmitted with `send`, in order, derived from the timed
+    /// stream.
+    #[must_use]
+    pub fn sends(&self) -> Vec<i32> {
+        self.sends_timed.iter().map(|&(v, _)| v).collect()
     }
 
     /// Count of externally visible events so far (sends, marks, samples,
-    /// prints, LED toggles). The executor's forward-progress guard treats
-    /// any increase as progress even when no checkpoint was committed —
-    /// an unprotected runtime re-executing from `main` still *does*
-    /// things the outside world can see.
+    /// prints, LED toggles). Kept consistent with the trace's
+    /// incremental counter; the executor's forward-progress guard reads
+    /// the trace-side counter, this is the stats-side view of the same
+    /// fold.
     #[must_use]
     pub fn visible_events(&self) -> u64 {
         self.sends_timed.len() as u64
@@ -96,16 +148,51 @@ mod tests {
     fn mark_count_defaults_to_zero() {
         let mut s = ExecStats::default();
         assert_eq!(s.mark_count(3), 0);
-        *s.marks.entry(3).or_default() += 2;
+        s.fold_event(&TraceEvent::Mark { id: 3 }, 10);
+        s.fold_event(&TraceEvent::Mark { id: 3 }, 20);
+        s.fold_event(&TraceEvent::Mark { id: 4 }, 30);
         assert_eq!(s.mark_count(3), 2);
+        assert_eq!(s.mark_count(4), 1);
+    }
+
+    #[test]
+    fn sends_derive_from_timed_stream() {
+        let mut s = ExecStats::default();
+        s.fold_event(&TraceEvent::Send { value: 7 }, 100);
+        s.fold_event(&TraceEvent::Send { value: -2 }, 200);
+        assert_eq!(s.sends(), vec![7, -2]);
+        assert_eq!(s.sends_timed, vec![(7, 100), (-2, 200)]);
+    }
+
+    #[test]
+    fn fold_tracks_visible_events_and_failures() {
+        let mut s = ExecStats::default();
+        s.fold_event(&TraceEvent::Boot, 0);
+        s.fold_event(&TraceEvent::Sample { value: 3 }, 5);
+        s.fold_event(&TraceEvent::Print { value: 1 }, 6);
+        s.fold_event(&TraceEvent::Led { value: 1 }, 7);
+        s.fold_event(&TraceEvent::PowerFailure { off_us: 50 }, 9);
+        assert_eq!(s.boots, 1);
+        assert_eq!(s.samples, 1);
+        assert_eq!(s.samples_timed, vec![5]);
+        assert_eq!(s.visible_events(), 3);
+        assert_eq!(s.failure_times, vec![9]);
+        assert_eq!(s.power_failures, 1);
     }
 
     #[test]
     fn mean_checkpoint_bytes() {
         let mut s = ExecStats::default();
         assert_eq!(s.mean_checkpoint_bytes(), None);
-        s.checkpoints = 4;
-        s.checkpoint_bytes = 100;
+        for _ in 0..4 {
+            s.fold_event(
+                &TraceEvent::CheckpointCommit {
+                    cause: tics_trace::CkptCause::Site,
+                    bytes: 25,
+                },
+                0,
+            );
+        }
         assert_eq!(s.mean_checkpoint_bytes(), Some(25.0));
     }
 }

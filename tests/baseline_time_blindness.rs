@@ -22,7 +22,7 @@ fn run_ar(
     system: SystemUnderTest,
     clock: Box<dyn Timekeeper>,
     runtime: &mut dyn IntermittentRuntime,
-) -> tics_repro::vm::ExecStats {
+) -> (tics_repro::vm::ExecStats, Vec<tics_trace::TraceRecord>) {
     let windows = 120;
     let (trace, _) = ar_trace(windows * 4, ar::WINDOW, 5, 77);
     let prog = build_app(
@@ -46,18 +46,18 @@ fn run_ar(
         .with_time_budget(3_000_000_000)
         .run(&mut m, runtime, &mut s)
         .expect("runs");
-    m.stats().clone()
+    (m.stats().clone(), m.trace().records().to_vec())
 }
 
 #[test]
 fn naive_checkpointing_violates_time_consistency() {
     let mut rt = tics_repro::baselines::NaiveCheckpoint::new(500);
-    let stats = run_ar(
+    let (_, trace) = run_ar(
         SystemUnderTest::Mementos,
         Box::new(VolatileClock::new()),
         &mut rt,
     );
-    let v = count_violations(&stats, false);
+    let v = count_violations(&trace, false);
     assert!(
         v.total() > 0,
         "the volatile clock + restores must produce violations, got {v:?}"
@@ -69,8 +69,8 @@ fn naive_checkpointing_violates_time_consistency() {
 fn ratchet_violates_time_consistency() {
     let prog_system = SystemUnderTest::Ratchet;
     let mut rt = tics_repro::baselines::RatchetRuntime::default();
-    let stats = run_ar(prog_system, Box::new(VolatileClock::new()), &mut rt);
-    let v = count_violations(&stats, false);
+    let (_, trace) = run_ar(prog_system, Box::new(VolatileClock::new()), &mut rt);
+    let v = count_violations(&trace, false);
     assert!(
         v.total() > 0,
         "ratchet is time-blind; violations expected, got {v:?}"
@@ -90,12 +90,12 @@ fn tics_on_the_same_trace_is_violation_free() {
     let mut cfg = TicsConfig::s2_star();
     cfg.seg_size = cfg.seg_size.max(prog.max_frame_size().next_multiple_of(64));
     let mut rt = TicsRuntime::new(cfg);
-    let stats = run_ar(
+    let (stats, trace) = run_ar(
         SystemUnderTest::Tics,
         Box::new(CapacitorRtc::new(120_000_000)),
         &mut rt,
     );
-    let v = count_violations(&stats, true);
+    let v = count_violations(&trace, true);
     assert_eq!(v.total(), 0, "{v:?}");
     assert!(
         stats.expired_data_discards > 0,

@@ -159,7 +159,7 @@ fn fig3d_expiration_violation_and_fix() {
     let mut supply = RecordedTrace::new([(5_000, 3_600_000_000), (10_000_000, 0)]);
     let out = Executor::new().run(&mut m, &mut rt, &mut supply).unwrap();
     assert_eq!(out.exit_code(), Some(1));
-    assert_eq!(m.stats().sends.len(), 1, "stale data was transmitted");
+    assert_eq!(m.stats().sends().len(), 1, "stale data was transmitted");
 
     // With TICS: the guard rejects the hour-old value. (Bounded burn in
     // a phase machine — a restore resumes inside the burn loop.)
@@ -188,7 +188,7 @@ fn fig3d_expiration_violation_and_fix() {
     let mut supply = RecordedTrace::new([(5_000, 3_600_000_000), (10_000_000, 0)]);
     let out = Executor::new().run(&mut m, &mut rt, &mut supply).unwrap();
     assert_eq!(out.exit_code(), Some(0), "expired data must be discarded");
-    assert!(m.stats().sends.is_empty());
+    assert!(m.stats().sends().is_empty());
     assert!(m.stats().expired_data_discards >= 1);
 }
 
@@ -225,8 +225,8 @@ fn fig3c_alignment_is_atomic_under_tics() {
     assert_eq!(out.exit_code(), Some(30));
     // Every consumed pair passed its own freshness check.
     assert!(
-        m.stats().sends.iter().all(|v| *v == 1),
+        m.stats().sends().iter().all(|v| *v == 1),
         "{:?}",
-        m.stats().sends
+        m.stats().sends()
     );
 }

@@ -87,7 +87,7 @@ fn table2_shape_violations_eliminated() {
         .with_time_budget(1_500_000_000)
         .run(&mut m, &mut rt, &mut s)
         .expect("runs");
-    let without = count_violations(m.stats(), false);
+    let without = count_violations(m.trace().records(), false);
     assert!(without.total() > 0, "{without:?}");
 
     // w/ TICS.
@@ -114,7 +114,7 @@ fn table2_shape_violations_eliminated() {
         .with_time_budget(1_500_000_000)
         .run(&mut m, &mut rt, &mut s)
         .expect("runs");
-    let with = count_violations(m.stats(), true);
+    let with = count_violations(m.trace().records(), true);
     assert_eq!(with.total(), 0, "{with:?}");
 }
 
