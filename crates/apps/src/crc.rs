@@ -11,6 +11,13 @@
 /// `mark` id: one frame checksummed and cross-verified.
 pub const MARK_FRAME: i32 = 1;
 
+/// CRC-32 used to stamp and validate checkpoint banks, re-exported so
+/// experiment code can cross-check journal/bank checksums with the same
+/// polynomial the runtimes use. (The implementation lives in
+/// [`tics_mcu`] because `tics-core` and `tics-baselines` sit below this
+/// crate in the dependency graph.)
+pub use tics_mcu::crc32;
+
 /// CRC-16/CCITT-FALSE of `data` (init 0xFFFF, poly 0x1021) — the host
 /// oracle the device result is checked against in tests.
 #[must_use]

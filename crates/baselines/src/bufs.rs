@@ -1,6 +1,18 @@
-//! Shared helpers: control block and raw word access to simulated FRAM.
+//! Shared helpers: control block, raw word access to simulated FRAM,
+//! and self-validating ("hardened") checkpoint banks.
+//!
+//! The hardened-bank helpers implement the same detect-or-die protocol
+//! as the TICS runtime for every baseline that claims memory
+//! consistency: each double-buffered bank carries a monotonic sequence
+//! number, its payload length, and a CRC-32; staging is verified by
+//! read-back (a brown-out can corrupt multi-word burst stores), and
+//! boot-time selection falls back to the older valid bank — or degrades
+//! to a fresh start — rather than executing from a corrupted
+//! checkpoint. The naive MementOS-style runtime deliberately does *not*
+//! use them: it is the experiment's un-hardened control.
 
-use tics_mcu::Addr;
+use tics_mcu::{crc32, Addr};
+use tics_trace::TraceEvent;
 use tics_vm::{Machine, VmError};
 
 type Result<T> = std::result::Result<T, VmError>;
@@ -59,4 +71,142 @@ pub(crate) fn peek_u32(m: &Machine, a: Addr) -> Result<u32> {
 pub(crate) fn poke_u32(m: &mut Machine, a: Addr, v: u32) -> Result<()> {
     m.mem.poke_bytes(a, &v.to_le_bytes())?;
     Ok(())
+}
+
+/// Per-bank hardening header: `u64` sequence number (never 0 for a
+/// committed bank), `u32` payload length, `u32` CRC-32 over sequence +
+/// length + payload.
+pub(crate) const BANK_HEADER: u32 = 16;
+
+/// Read-back verification attempts for staging/restore pokes. Each
+/// attempt re-draws the corruption RNG, so retries converge whenever
+/// the per-store corruption probability is below 1.
+const VERIFY_ATTEMPTS: u32 = 16;
+
+/// Pokes `bytes` at `a` and reads them back, retrying until the write
+/// landed intact. Returns `false` if corruption defeated every attempt.
+pub(crate) fn verified_poke(m: &mut Machine, a: Addr, bytes: &[u8]) -> Result<bool> {
+    for _ in 0..VERIFY_ATTEMPTS {
+        m.mem.poke_bytes(a, bytes)?;
+        if m.mem.peek_bytes(a, bytes.len() as u32)? == bytes {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+fn bank_crc(seq: u64, payload: &[u8]) -> u32 {
+    let mut data = Vec::with_capacity(12 + payload.len());
+    data.extend_from_slice(&seq.to_le_bytes());
+    data.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    data.extend_from_slice(payload);
+    crc32(&data)
+}
+
+/// Stages `payload` into bank `buf` under sequence number `seq`, CRC
+/// stamped, with read-back verification. Returns `false` if corruption
+/// defeated every staging attempt (the bank must not become the restore
+/// point; the previously committed bank is untouched).
+pub(crate) fn stage_bank(m: &mut Machine, buf: Addr, seq: u64, payload: &[u8]) -> Result<bool> {
+    let mut bank = Vec::with_capacity(BANK_HEADER as usize + payload.len());
+    bank.extend_from_slice(&seq.to_le_bytes());
+    bank.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bank.extend_from_slice(&bank_crc(seq, payload).to_le_bytes());
+    bank.extend_from_slice(payload);
+    verified_poke(m, buf, &bank)
+}
+
+/// Validates bank `buf`: nonzero sequence, sane payload length (at most
+/// `max_payload`), matching CRC. Returns the sequence number if valid.
+pub(crate) fn validate_bank(m: &Machine, buf: Addr, max_payload: u32) -> Result<Option<u64>> {
+    let head = m.mem.peek_bytes(buf, BANK_HEADER)?;
+    let seq = u64::from_le_bytes(head[0..8].try_into().expect("8-byte seq"));
+    let len = u32::from_le_bytes(head[8..12].try_into().expect("4-byte len"));
+    let stored = u32::from_le_bytes(head[12..16].try_into().expect("4-byte crc"));
+    if seq == 0 || len > max_payload {
+        return Ok(None);
+    }
+    let payload = m.mem.peek_bytes(buf.offset(BANK_HEADER), len)?;
+    if bank_crc(seq, &payload) != stored {
+        return Ok(None);
+    }
+    Ok(Some(seq))
+}
+
+/// Reads a validated bank's payload.
+pub(crate) fn bank_payload(m: &Machine, buf: Addr) -> Result<Vec<u8>> {
+    let len = peek_u32(m, buf.offset(8))?;
+    Ok(m.mem.peek_bytes(buf.offset(BANK_HEADER), len)?)
+}
+
+/// The sequence number for the next commit: one past the highest valid
+/// bank (a torn or invalid bank contributes 0, so ordering between the
+/// two committed generations always holds).
+pub(crate) fn next_seq(m: &Machine, buf_a: Addr, buf_b: Addr, max_payload: u32) -> Result<u64> {
+    let a = validate_bank(m, buf_a, max_payload)?.unwrap_or(0);
+    let b = validate_bank(m, buf_b, max_payload)?.unwrap_or(0);
+    Ok(a.max(b) + 1)
+}
+
+/// Boot-time bank selection for the detect-or-die protocol.
+pub(crate) enum BankChoice {
+    /// No committed checkpoint: plain restart.
+    None,
+    /// Restore from this bank.
+    Bank(Addr),
+    /// Both banks invalid: the flag was cleared and a fresh-start
+    /// [`TraceEvent::Recovery`] emitted — restart with globals
+    /// re-initialized.
+    FreshStart,
+}
+
+/// Validates the active bank and self-heals: an invalid active bank
+/// falls back to the other valid bank (repairing the flag and emitting
+/// a [`TraceEvent::Recovery`]); with neither bank valid the flag is
+/// cleared and recovery degrades to a fresh start.
+pub(crate) fn select_bank(
+    m: &mut Machine,
+    ctrl: CtrlBlock,
+    buf_a: Addr,
+    buf_b: Addr,
+    max_payload: u32,
+) -> Result<BankChoice> {
+    let flag = ctrl.flag(m)?;
+    if flag == 0 {
+        return Ok(BankChoice::None);
+    }
+    let v_a = validate_bank(m, buf_a, max_payload)?;
+    let v_b = validate_bank(m, buf_b, max_payload)?;
+    let active_valid = match flag {
+        1 => v_a.is_some(),
+        2 => v_b.is_some(),
+        _ => false, // corrupt flag: fall through to highest-seq repair
+    };
+    if active_valid {
+        return Ok(BankChoice::Bank(if flag == 1 { buf_a } else { buf_b }));
+    }
+    let best = match (v_a, v_b) {
+        (Some(a), Some(b)) => Some(if a >= b { 1 } else { 2 }),
+        (Some(_), None) => Some(1),
+        (None, Some(_)) => Some(2),
+        (None, None) => None,
+    };
+    match best {
+        Some(w) => {
+            ctrl.set_flag(m, w)?;
+            m.emit(TraceEvent::Recovery {
+                invalid_banks: 1,
+                fresh_start: false,
+            });
+            Ok(BankChoice::Bank(if w == 1 { buf_a } else { buf_b }))
+        }
+        None => {
+            ctrl.set_flag(m, 0)?;
+            m.emit(TraceEvent::Recovery {
+                invalid_banks: 2,
+                fresh_start: true,
+            });
+            Ok(BankChoice::FreshStart)
+        }
+    }
 }

@@ -9,7 +9,10 @@ use tics_vm::{
     VmError,
 };
 
-use crate::bufs::{peek_u32, poke_u32, CtrlBlock, CTRL_SIZE};
+use crate::bufs::{
+    bank_payload, next_seq, select_bank, stage_bank, verified_poke, BankChoice, CtrlBlock,
+    BANK_HEADER, CTRL_SIZE,
+};
 
 type Result<T> = std::result::Result<T, VmError>;
 
@@ -57,7 +60,7 @@ impl ChinchillaRuntime {
         let base = m.runtime_area_base();
         let sram = m.mem.layout().sram;
         let statics = m.loaded().program.globals_size;
-        self.buf_bytes = 16 + 4 + sram.len() + statics;
+        self.buf_bytes = BANK_HEADER + 16 + 4 + sram.len() + statics;
         self.buf_a = base.offset(CTRL_SIZE);
         self.buf_b = self.buf_a.offset(self.buf_bytes);
         let end = self.buf_b.offset(self.buf_bytes);
@@ -80,19 +83,21 @@ impl ChinchillaRuntime {
         let buf = if target == 1 { self.buf_a } else { self.buf_b };
         let sram = m.mem.layout().sram;
         let used = m.regs.sp.raw().saturating_sub(sram.start.raw());
-        for (i, w) in m.regs.to_words().iter().enumerate() {
-            poke_u32(m, buf.offset(4 * i as u32), *w)?;
-        }
-        poke_u32(m, buf.offset(16), used)?;
-        if used > 0 {
-            let stack = m.mem.peek_bytes(sram.start, used)?;
-            m.mem.poke_bytes(buf.offset(20), &stack)?;
-        }
         let statics_len = m.loaded().program.globals_size;
-        if statics_len > 0 {
-            let statics = m.mem.peek_bytes(m.data_base(), statics_len)?;
-            m.mem.poke_bytes(buf.offset(20 + sram.len()), &statics)?;
+        let mut payload = Vec::with_capacity((20 + used + statics_len) as usize);
+        for w in m.regs.to_words() {
+            payload.extend_from_slice(&w.to_le_bytes());
         }
+        payload.extend_from_slice(&used.to_le_bytes());
+        if used > 0 {
+            payload.extend_from_slice(&m.mem.peek_bytes(sram.start, used)?);
+        }
+        if statics_len > 0 {
+            payload.extend_from_slice(&m.mem.peek_bytes(m.data_base(), statics_len)?);
+        }
+        let max_payload = self.buf_bytes - BANK_HEADER;
+        let seq = next_seq(m, self.buf_a, self.buf_b, max_payload)?;
+        let staged = stage_bank(m, buf, seq, &payload)?;
         let bytes = 20 + used + statics_len;
         let costs = m.mem.costs().clone();
         let cost =
@@ -100,6 +105,12 @@ impl ChinchillaRuntime {
         self.last_ckpt_at = m.cycles();
         if !m.charge_atomic(cost) {
             return Ok(()); // died mid-commit: previous checkpoint stands
+        }
+        if !staged {
+            // Corruption defeated staging: skip this commit. Restores
+            // replace the whole state image, so continuing from the
+            // previous checkpoint stays consistent.
+            return Ok(());
         }
         ctrl.set_flag(m, target)?;
         m.emit(TraceEvent::CheckpointCommit {
@@ -150,34 +161,41 @@ impl IntermittentRuntime for ChinchillaRuntime {
     fn on_boot(&mut self, m: &mut Machine) -> Result<ResumeAction> {
         let ctrl = self.attach(m)?;
         self.last_ckpt_at = m.cycles();
-        let flag = ctrl.flag(m)?;
-        if flag == 0 {
-            // No checkpoint has ever committed, so the committed image is
-            // the pristine load image. Chinchilla's versioned memory
-            // discards uncommitted writes — and the promoted locals are
-            // `nv` by construction, outside the executor's volatile-only
-            // reinit — so *all* statics must go back to their
-            // initializers here.
-            m.init_globals(true)?;
-            return Ok(ResumeAction::Restart {
-                reinit_globals: false,
-            });
-        }
-        let buf = if flag == 1 { self.buf_a } else { self.buf_b };
+        let max_payload = self.buf_bytes - BANK_HEADER;
+        let buf = match select_bank(m, ctrl, self.buf_a, self.buf_b, max_payload)? {
+            BankChoice::None | BankChoice::FreshStart => {
+                // No (valid) checkpoint, so the committed image is the
+                // pristine load image. Chinchilla's versioned memory
+                // discards uncommitted writes — and the promoted locals
+                // are `nv` by construction, outside the executor's
+                // volatile-only reinit — so *all* statics must go back
+                // to their initializers here.
+                m.init_globals(true)?;
+                return Ok(ResumeAction::Restart {
+                    reinit_globals: false,
+                });
+            }
+            BankChoice::Bank(buf) => buf,
+        };
+        let payload = bank_payload(m, buf)?;
         let mut words = [0u32; 4];
         for (i, w) in words.iter_mut().enumerate() {
-            *w = peek_u32(m, buf.offset(4 * i as u32))?;
+            *w = u32::from_le_bytes(payload[4 * i..4 * i + 4].try_into().expect("reg word"));
         }
-        let used = peek_u32(m, buf.offset(16))?;
+        let used = u32::from_le_bytes(payload[16..20].try_into().expect("used len"));
         let sram = m.mem.layout().sram;
-        if used > 0 {
-            let stack = m.mem.peek_bytes(buf.offset(20), used)?;
-            m.mem.poke_bytes(sram.start, &stack)?;
+        if used > 0 && !verified_poke(m, sram.start, &payload[20..(20 + used) as usize])? {
+            return Err(VmError::Trap(
+                "Chinchilla: stack restore failed read-back verification".into(),
+            ));
         }
         let statics_len = m.loaded().program.globals_size;
-        if statics_len > 0 {
-            let statics = m.mem.peek_bytes(buf.offset(20 + sram.len()), statics_len)?;
-            m.mem.poke_bytes(m.data_base(), &statics)?;
+        if statics_len > 0
+            && !verified_poke(m, m.data_base(), &payload[(20 + used) as usize..])?
+        {
+            return Err(VmError::Trap(
+                "Chinchilla: statics restore failed read-back verification".into(),
+            ));
         }
         m.regs = Registers::from_words(words);
         let mut span = m.span(SpanKind::Restore);
@@ -329,5 +347,48 @@ mod tests {
     fn rejects_wrong_instrumentation() {
         let prog = compile("int main() { return 0; }", OptLevel::O0).unwrap();
         assert!(ChinchillaRuntime::default().check_program(&prog).is_err());
+    }
+
+    fn clobber(m: &mut Machine, buf: Addr) {
+        let a = buf.offset(BANK_HEADER + 2);
+        let b = m.mem.peek_bytes(a, 1).unwrap()[0];
+        m.mem.poke_bytes(a, &[b ^ 0x10]).unwrap();
+    }
+
+    #[test]
+    fn corrupt_banks_fall_back_then_fresh_start() {
+        let mut m = chin_machine(
+            "int g;
+             int main() { for (int i = 0; i < 600; i++) { g = g + 1; } return g; }",
+        );
+        let mut rt = ChinchillaRuntime::new(1_500);
+        Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap();
+        let ctrl = rt.ctrl.unwrap();
+        let flag = ctrl.flag(&m).unwrap();
+        assert!(flag == 1 || flag == 2, "a checkpoint must have committed");
+        let (active, other) = if flag == 1 {
+            (rt.buf_a, rt.buf_b)
+        } else {
+            (rt.buf_b, rt.buf_a)
+        };
+        clobber(&mut m, active);
+        let action = rt.on_boot(&mut m).unwrap();
+        assert!(matches!(action, ResumeAction::Restored));
+        assert_eq!(m.stats().recoveries, 1);
+        // With the fallback corrupted too, recovery degrades to a fresh
+        // start (Chinchilla re-seeds all statics from the load image).
+        clobber(&mut m, other);
+        let action = rt.on_boot(&mut m).unwrap();
+        assert!(matches!(
+            action,
+            ResumeAction::Restart {
+                reinit_globals: false
+            }
+        ));
+        assert_eq!(m.stats().recoveries, 2);
+        assert_eq!(m.stats().fresh_starts, 1);
+        assert_eq!(ctrl.flag(&m).unwrap(), 0);
     }
 }

@@ -9,7 +9,10 @@ use tics_vm::{
     VmError,
 };
 
-use crate::bufs::{peek_u32, poke_u32, CtrlBlock, CTRL_SIZE};
+use crate::bufs::{
+    bank_payload, next_seq, select_bank, stage_bank, verified_poke, BankChoice, CtrlBlock,
+    BANK_HEADER, CTRL_SIZE,
+};
 
 type Result<T> = std::result::Result<T, VmError>;
 
@@ -28,6 +31,7 @@ pub struct RatchetRuntime {
     ctrl: Option<CtrlBlock>,
     buf_a: Addr,
     buf_b: Addr,
+    max_payload: u32,
     stack: Region,
 }
 
@@ -40,6 +44,7 @@ impl RatchetRuntime {
             ctrl: None,
             buf_a: Addr(0),
             buf_b: Addr(0),
+            max_payload: 0,
             stack: Region::with_len(Addr(0), 0),
         }
     }
@@ -52,7 +57,8 @@ impl RatchetRuntime {
         // A buffer holds the registers, the frame length, and the current
         // frame image — this VM's analog of Ratchet's renamed register
         // set (operand scratch lives in the frame here, not in registers).
-        let buf_bytes = 16 + 4 + m.loaded().program.max_frame_size();
+        self.max_payload = 16 + 4 + m.loaded().program.max_frame_size();
+        let buf_bytes = BANK_HEADER + self.max_payload;
         self.buf_a = base.offset(CTRL_SIZE);
         self.buf_b = self.buf_a.offset(buf_bytes);
         let stack_start = self.buf_b.offset(buf_bytes);
@@ -72,14 +78,23 @@ impl RatchetRuntime {
         let m = &mut *span;
         let target = if ctrl.flag(m)? == 1 { 2 } else { 1 };
         let buf = if target == 1 { self.buf_a } else { self.buf_b };
-        for (i, w) in m.regs.to_words().iter().enumerate() {
-            poke_u32(m, buf.offset(4 * i as u32), *w)?;
-        }
         let frame_len = m.regs.sp.raw().saturating_sub(m.regs.fp.raw());
-        poke_u32(m, buf.offset(16), frame_len)?;
+        let mut payload = Vec::with_capacity(20 + frame_len as usize);
+        for w in m.regs.to_words() {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        payload.extend_from_slice(&frame_len.to_le_bytes());
         if frame_len > 0 {
-            let frame = m.mem.peek_bytes(m.regs.fp, frame_len)?;
-            m.mem.poke_bytes(buf.offset(20), &frame)?;
+            payload.extend_from_slice(&m.mem.peek_bytes(m.regs.fp, frame_len)?);
+        }
+        let seq = next_seq(m, self.buf_a, self.buf_b, self.max_payload)?;
+        if !stage_bank(m, buf, seq, &payload)? {
+            // Ratchet's consistency *is* the boundary checkpoint: a
+            // skipped commit before a WAR-closing store would silently
+            // violate idempotence on the next reboot. Die loudly.
+            return Err(VmError::Trap(
+                "Ratchet: boundary checkpoint failed read-back verification".into(),
+            ));
         }
         // Bounded by the largest frame — effectively constant, unlike
         // stack- or statics-sized checkpoints.
@@ -130,22 +145,32 @@ impl IntermittentRuntime for RatchetRuntime {
 
     fn on_boot(&mut self, m: &mut Machine) -> Result<ResumeAction> {
         let ctrl = self.attach(m)?;
-        let flag = ctrl.flag(m)?;
-        if flag == 0 {
-            return Ok(ResumeAction::Restart {
-                reinit_globals: false,
-            });
-        }
-        let buf = if flag == 1 { self.buf_a } else { self.buf_b };
+        let buf = match select_bank(m, ctrl, self.buf_a, self.buf_b, self.max_payload)? {
+            BankChoice::None => {
+                return Ok(ResumeAction::Restart {
+                    reinit_globals: false,
+                })
+            }
+            BankChoice::FreshStart => {
+                return Ok(ResumeAction::Restart {
+                    reinit_globals: true,
+                })
+            }
+            BankChoice::Bank(buf) => buf,
+        };
+        let payload = bank_payload(m, buf)?;
         let mut words = [0u32; 4];
         for (i, w) in words.iter_mut().enumerate() {
-            *w = peek_u32(m, buf.offset(4 * i as u32))?;
+            *w = u32::from_le_bytes(payload[4 * i..4 * i + 4].try_into().expect("reg word"));
         }
         m.regs = Registers::from_words(words);
-        let frame_len = peek_u32(m, buf.offset(16))?;
-        if frame_len > 0 {
-            let frame = m.mem.peek_bytes(buf.offset(20), frame_len)?;
-            m.mem.poke_bytes(m.regs.fp, &frame)?;
+        let frame_len = u32::from_le_bytes(payload[16..20].try_into().expect("frame len"));
+        if frame_len > 0
+            && !verified_poke(m, m.regs.fp, &payload[20..20 + frame_len as usize])?
+        {
+            return Err(VmError::Trap(
+                "Ratchet: checkpoint restore failed read-back verification".into(),
+            ));
         }
         let mut span = m.span(SpanKind::Restore);
         let m = &mut *span;
@@ -267,5 +292,49 @@ mod tests {
     fn rejects_wrong_instrumentation() {
         let prog = compile("int main() { return 0; }", OptLevel::O0).unwrap();
         assert!(RatchetRuntime::default().check_program(&prog).is_err());
+    }
+
+    fn clobber(m: &mut Machine, buf: Addr) {
+        let a = buf.offset(BANK_HEADER + 2);
+        let b = m.mem.peek_bytes(a, 1).unwrap()[0];
+        m.mem.poke_bytes(a, &[b ^ 0x10]).unwrap();
+    }
+
+    #[test]
+    fn corrupt_banks_fall_back_then_fresh_start() {
+        let mut m = ratchet_machine(
+            "int g;
+             int main() { for (int i = 0; i < 10; i++) { g = g + 1; } return g; }",
+        );
+        let mut rt = RatchetRuntime::default();
+        Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap();
+        let ctrl = rt.ctrl.unwrap();
+        let flag = ctrl.flag(&m).unwrap();
+        assert!(flag == 1 || flag == 2, "a checkpoint must have committed");
+        let (active, other) = if flag == 1 {
+            (rt.buf_a, rt.buf_b)
+        } else {
+            (rt.buf_b, rt.buf_a)
+        };
+        // Corrupt the active bank: boot detects it and falls back.
+        clobber(&mut m, active);
+        let action = rt.on_boot(&mut m).unwrap();
+        assert!(matches!(action, ResumeAction::Restored));
+        assert_eq!(m.stats().recoveries, 1);
+        assert_eq!(ctrl.flag(&m).unwrap(), if flag == 1 { 2 } else { 1 });
+        // Corrupt the fallback too: recovery degrades to a fresh start.
+        clobber(&mut m, other);
+        let action = rt.on_boot(&mut m).unwrap();
+        assert!(matches!(
+            action,
+            ResumeAction::Restart {
+                reinit_globals: true
+            }
+        ));
+        assert_eq!(m.stats().recoveries, 2);
+        assert_eq!(m.stats().fresh_starts, 1);
+        assert_eq!(ctrl.flag(&m).unwrap(), 0);
     }
 }

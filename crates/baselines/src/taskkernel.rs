@@ -9,7 +9,10 @@ use tics_vm::{
     VmError,
 };
 
-use crate::bufs::{peek_u32, poke_u32, CtrlBlock, CTRL_SIZE};
+use crate::bufs::{
+    bank_payload, next_seq, peek_u32, poke_u32, select_bank, stage_bank, verified_poke, BankChoice,
+    CtrlBlock, BANK_HEADER, CTRL_SIZE,
+};
 
 type Result<T> = std::result::Result<T, VmError>;
 
@@ -128,7 +131,7 @@ impl TaskKernel {
         }
         let base = m.runtime_area_base();
         let sram = m.mem.layout().sram;
-        let buf_bytes = 16 + 4 + sram.len();
+        let buf_bytes = BANK_HEADER + 16 + 4 + sram.len();
         self.buf_a = base.offset(CTRL_SIZE);
         self.buf_b = self.buf_a.offset(buf_bytes);
         self.ts_base = self.buf_b.offset(buf_bytes);
@@ -157,19 +160,28 @@ impl TaskKernel {
         let buf = if target == 1 { self.buf_a } else { self.buf_b };
         let sram = m.mem.layout().sram;
         let used = m.regs.sp.raw().saturating_sub(sram.start.raw());
-        for (i, w) in m.regs.to_words().iter().enumerate() {
-            poke_u32(m, buf.offset(4 * i as u32), *w)?;
+        let mut payload = Vec::with_capacity(20 + used as usize);
+        for w in m.regs.to_words() {
+            payload.extend_from_slice(&w.to_le_bytes());
         }
-        poke_u32(m, buf.offset(16), used)?;
+        payload.extend_from_slice(&used.to_le_bytes());
         if used > 0 {
-            let stack = m.mem.peek_bytes(sram.start, used)?;
-            m.mem.poke_bytes(buf.offset(20), &stack)?;
+            payload.extend_from_slice(&m.mem.peek_bytes(sram.start, used)?);
         }
+        let max_payload = 16 + 4 + sram.len();
+        let seq = next_seq(m, self.buf_a, self.buf_b, max_payload)?;
+        let staged = stage_bank(m, buf, seq, &payload)?;
         let bytes = 20 + used;
         let costs = m.mem.costs().clone();
         let cost =
             costs.ckpt_base + costs.ckpt_seg_fixed + costs.ckpt_seg_per_byte * u64::from(bytes);
         if !m.charge_atomic(cost) {
+            return Ok(());
+        }
+        if !staged {
+            // Corruption defeated staging: skip this boundary commit.
+            // The undo log keeps privatizing past the boundary, so a
+            // reboot rolls back to the still-valid previous checkpoint.
             return Ok(());
         }
         ctrl.set_flag(m, target)?;
@@ -249,22 +261,32 @@ impl IntermittentRuntime for TaskKernel {
         // Writes of the interrupted task are rolled back: the task
         // restarts idempotently from its boundary.
         self.rollback_all(m)?;
-        let flag = ctrl.flag(m)?;
-        if flag == 0 {
-            return Ok(ResumeAction::Restart {
-                reinit_globals: false,
-            });
-        }
-        let buf = if flag == 1 { self.buf_a } else { self.buf_b };
+        let sram = m.mem.layout().sram;
+        let max_payload = 16 + 4 + sram.len();
+        let buf = match select_bank(m, ctrl, self.buf_a, self.buf_b, max_payload)? {
+            BankChoice::None => {
+                return Ok(ResumeAction::Restart {
+                    reinit_globals: false,
+                })
+            }
+            BankChoice::FreshStart => {
+                return Ok(ResumeAction::Restart {
+                    reinit_globals: true,
+                })
+            }
+            BankChoice::Bank(buf) => buf,
+        };
+        let payload = bank_payload(m, buf)?;
         let mut words = [0u32; 4];
         for (i, w) in words.iter_mut().enumerate() {
-            *w = peek_u32(m, buf.offset(4 * i as u32))?;
+            *w = u32::from_le_bytes(payload[4 * i..4 * i + 4].try_into().expect("reg word"));
         }
-        let used = peek_u32(m, buf.offset(16))?;
-        let sram = m.mem.layout().sram;
-        if used > 0 {
-            let stack = m.mem.peek_bytes(buf.offset(20), used)?;
-            m.mem.poke_bytes(sram.start, &stack)?;
+        let used = u32::from_le_bytes(payload[16..20].try_into().expect("used len"));
+        if used > 0 && !verified_poke(m, sram.start, &payload[20..(20 + used) as usize])? {
+            return Err(VmError::Trap(format!(
+                "{}: stack restore failed read-back verification",
+                self.flavor.name()
+            )));
         }
         m.regs = Registers::from_words(words);
         let mut span = m.span(SpanKind::Restore);
@@ -552,6 +574,49 @@ mod tests {
         assert!(TaskKernel::new(TaskFlavor::Mayfly)
             .timely_check(&mut m, 100)
             .is_ok());
+    }
+
+    fn clobber(m: &mut Machine, buf: Addr) {
+        let a = buf.offset(BANK_HEADER + 2);
+        let b = m.mem.peek_bytes(a, 1).unwrap()[0];
+        m.mem.poke_bytes(a, &[b ^ 0x10]).unwrap();
+    }
+
+    #[test]
+    fn corrupt_banks_fall_back_then_fresh_start() {
+        let mut m = task_machine(
+            TASK_PROGRAM,
+            &["task_work", "task_publish"],
+            TaskFlavor::Alpaca,
+        );
+        let mut rt = TaskKernel::new(TaskFlavor::Alpaca);
+        Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap();
+        let ctrl = rt.ctrl.unwrap();
+        let flag = ctrl.flag(&m).unwrap();
+        assert!(flag == 1 || flag == 2, "a boundary must have committed");
+        let (active, other) = if flag == 1 {
+            (rt.buf_a, rt.buf_b)
+        } else {
+            (rt.buf_b, rt.buf_a)
+        };
+        clobber(&mut m, active);
+        let action = rt.on_boot(&mut m).unwrap();
+        assert!(matches!(action, ResumeAction::Restored));
+        assert_eq!(m.stats().recoveries, 1);
+        assert_eq!(ctrl.flag(&m).unwrap(), if flag == 1 { 2 } else { 1 });
+        clobber(&mut m, other);
+        let action = rt.on_boot(&mut m).unwrap();
+        assert!(matches!(
+            action,
+            ResumeAction::Restart {
+                reinit_globals: true
+            }
+        ));
+        assert_eq!(m.stats().recoveries, 2);
+        assert_eq!(m.stats().fresh_starts, 1);
+        assert_eq!(ctrl.flag(&m).unwrap(), 0);
     }
 
     #[test]

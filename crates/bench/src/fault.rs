@@ -32,7 +32,8 @@
 use tics_apps::build::make_runtime;
 use tics_apps::SystemUnderTest;
 use tics_baselines::TaskFlavor;
-use tics_energy::{AdversarialSupply, ContinuousPower, FaultPlan, Tail};
+use tics_energy::{AdversarialSupply, ContinuousPower, Corruption, FaultPlan, Tail};
+use tics_mcu::CorruptionModel;
 use tics_minic::opt::OptLevel;
 use tics_minic::{compile, passes, Program};
 use tics_trace::{TraceEvent, TraceRecord};
@@ -563,6 +564,13 @@ pub struct Trial {
     pub power_failures: u64,
     /// Stores truncated at a power cut (word-granularity torn writes).
     pub torn_writes: u64,
+    /// Stores bit-flipped or dropped by the brown-out corruption model
+    /// (zero unless the plan carries a [`Corruption`] spec).
+    pub corrupted_writes: u64,
+    /// Checkpoint-bank recoveries the runtime performed (CRC-detected
+    /// corruption healed by falling back to the older bank or to a
+    /// fresh start).
+    pub recoveries: u64,
     /// On-time cycles consumed.
     pub cycles: u64,
 }
@@ -592,21 +600,46 @@ pub fn run_plan(
                 trace: Vec::new(),
                 power_failures: 0,
                 torn_writes: 0,
+                corrupted_writes: 0,
+                recoveries: 0,
                 cycles: 0,
             }
         }
     };
+    if let Some(c) = &plan.corruption {
+        m.mem.set_corruption(Some(
+            CorruptionModel::new(c.window, c.flip_prob, c.drop_prob, c.seed)
+                .with_sram_decay(c.sram_decay),
+        ));
+    }
     let mut rt = make_runtime(system, prog);
     let mut supply = AdversarialSupply::new(plan.clone());
-    let outcome = Executor::new()
-        .with_time_budget(budget_us)
-        .with_progress_guard(guard_boots)
-        .run(&mut m, rt.as_mut(), &mut supply);
+    // Executing from hardware-corrupted state can drive the VM somewhere
+    // its own checks never anticipated (a restored register becomes a
+    // wild pc). On silicon that is a fail-stop crash; here the panic is
+    // contained and judged as a loud `Error` verdict rather than taking
+    // the harness thread down.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Executor::new()
+            .with_time_budget(budget_us)
+            .with_progress_guard(guard_boots)
+            .run(&mut m, rt.as_mut(), &mut supply)
+    }))
+    .unwrap_or_else(|payload| {
+        let text = payload
+            .downcast_ref::<&str>()
+            .map(ToString::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Err(VmError::Trap(format!("vm crashed on corrupted state: {text}")))
+    });
     Trial {
         outcome,
         trace: m.trace().records().to_vec(),
         power_failures: m.stats().power_failures,
         torn_writes: m.mem.stats().torn_writes,
+        corrupted_writes: m.mem.stats().corrupted_writes,
+        recoveries: m.stats().recoveries,
         cycles: m.cycles(),
     }
 }
@@ -634,6 +667,17 @@ pub enum Verdict {
         /// Replay exit code.
         got: i32,
     },
+    /// Silent divergence in a trial where the brown-out model corrupted
+    /// at least one store: the runtime consumed corrupted state without
+    /// detecting it. The detect-or-die failure mode — a runtime is
+    /// allowed to heal (fall back to a valid bank), restart fresh, or
+    /// trap loudly, but never to keep computing on garbage.
+    CorruptedState {
+        /// Stores the brown-out model corrupted during the trial.
+        corrupted_writes: u64,
+        /// The underlying silent-divergence description.
+        detail: String,
+    },
     /// The replay never finished inside the (generous) budget.
     Incomplete {
         /// Executor outcome text.
@@ -660,6 +704,7 @@ impl Verdict {
             Verdict::Consistent => "consistent",
             Verdict::Divergent { .. } => "divergent",
             Verdict::WrongExit { .. } => "wrong-exit",
+            Verdict::CorruptedState { .. } => "corrupted-state",
             Verdict::Incomplete { .. } => "incomplete",
             Verdict::Livelock { .. } => "livelock",
             Verdict::Error { .. } => "error",
@@ -674,7 +719,10 @@ impl Verdict {
     #[must_use]
     pub fn is_violation(&self, strict_completion: bool) -> bool {
         match self {
-            Verdict::Divergent { .. } | Verdict::WrongExit { .. } | Verdict::Error { .. } => true,
+            Verdict::Divergent { .. }
+            | Verdict::WrongExit { .. }
+            | Verdict::CorruptedState { .. }
+            | Verdict::Error { .. } => true,
             Verdict::Incomplete { .. } => strict_completion,
             Verdict::Consistent | Verdict::Livelock { .. } => false,
         }
@@ -717,8 +765,39 @@ fn describe_mismatch(golden: &Golden, high_water: usize, seg: &[Event]) -> Strin
 }
 
 /// Judges one faulted replay against the golden trace.
+///
+/// When the trial ran under a brown-out [`Corruption`] model and at
+/// least one store was actually corrupted, silent divergence
+/// (`Divergent` / `WrongExit`) is upgraded to
+/// [`Verdict::CorruptedState`]: the runtime kept computing on state the
+/// hardware damaged, without detecting it. Loud failures (traps) keep
+/// their `Error` verdict — dying is an acceptable answer to corruption,
+/// lying is not — and `run_chaos_cell` counts them as detections.
 #[must_use]
 pub fn judge(golden: &Golden, trial: &Trial) -> Verdict {
+    match judge_events(golden, trial) {
+        v @ (Verdict::Divergent { .. } | Verdict::WrongExit { .. })
+            if trial.corrupted_writes > 0 =>
+        {
+            let detail = match &v {
+                Verdict::Divergent { detail, .. } => detail.clone(),
+                Verdict::WrongExit { expected, got } => {
+                    format!("expected exit {expected}, got {got}")
+                }
+                _ => unreachable!("guard admits only divergent/wrong-exit"),
+            };
+            Verdict::CorruptedState {
+                corrupted_writes: trial.corrupted_writes,
+                detail,
+            }
+        }
+        v => v,
+    }
+}
+
+/// The corruption-blind core of [`judge`]: segment matching against the
+/// golden trace plus the exit-code check.
+fn judge_events(golden: &Golden, trial: &Trial) -> Verdict {
     match &trial.outcome {
         Err(VmError::NoForwardProgress { boots, .. }) => {
             return Verdict::Livelock { boots: *boots }
@@ -897,6 +976,9 @@ pub struct CellReport {
     pub divergent: u64,
     /// Finished with the wrong exit code.
     pub wrong_exit: u64,
+    /// Silent divergence on hardware-corrupted state (chaos cells only;
+    /// always zero when plans carry no corruption spec).
+    pub corrupted_state: u64,
     /// Never finished within budget.
     pub incomplete: u64,
     /// Live-lock diagnoses.
@@ -946,6 +1028,7 @@ pub fn run_fault_cell(
             Verdict::Consistent => report.consistent += 1,
             Verdict::Divergent { .. } => report.divergent += 1,
             Verdict::WrongExit { .. } => report.wrong_exit += 1,
+            Verdict::CorruptedState { .. } => report.corrupted_state += 1,
             Verdict::Incomplete { .. } => report.incomplete += 1,
             Verdict::Livelock { .. } => report.livelocks += 1,
             Verdict::Error { .. } => report.errors += 1,
@@ -955,7 +1038,8 @@ pub fn run_fault_cell(
             if report.first_violation.is_none() {
                 let shrunk = shrink_plan(prog, system, golden, plan, budget, GUARD_BOOTS, strict);
                 let detail = match &verdict {
-                    Verdict::Divergent { detail, .. } => detail.clone(),
+                    Verdict::Divergent { detail, .. }
+                    | Verdict::CorruptedState { detail, .. } => detail.clone(),
                     Verdict::WrongExit { expected, got } => {
                         format!("expected exit {expected}, got {got}")
                     }
@@ -970,6 +1054,129 @@ pub fn run_fault_cell(
                     detail,
                 });
             }
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// Chaos cells: brown-out corruption vs the detect-or-die oracle
+// ---------------------------------------------------------------------
+
+/// At-risk window (cycles of on-time before each cut) the chaos grid
+/// arms. Wide enough that a checkpoint committed anywhere near a cut is
+/// exposed; the hardened runtimes read back every staged bank, so width
+/// costs them retries, not correctness.
+pub const CHAOS_WINDOW: u64 = 4_000;
+
+/// Aggregated verdicts of one (program × system × corruption-rate)
+/// chaos cell, judged by the detect-or-die rule: a runtime facing
+/// corrupted state may *recover* (finish consistently, healing via CRC
+/// fallback), *die loudly* (trap on a failed read-back), or live-lock —
+/// but silently computing on garbage is a [`Verdict::CorruptedState`]
+/// violation.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosReport {
+    /// Trials executed.
+    pub trials: u64,
+    /// Finished consistently (recovered or unharmed).
+    pub consistent: u64,
+    /// Trapped loudly (fail-stop detection — an acceptable death).
+    pub detected: u64,
+    /// Silent divergence on corrupted state: the oracle's failures.
+    pub corrupted_state: u64,
+    /// Silent divergence or wrong exit in trials the corruption model
+    /// never actually touched (plain torn-write divergence).
+    pub clean_divergence: u64,
+    /// Live-lock diagnoses.
+    pub livelocks: u64,
+    /// Never finished inside the budget.
+    pub incomplete: u64,
+    /// Trials in which the model corrupted at least one store.
+    pub corrupted_write_trials: u64,
+    /// Stores corrupted across all trials.
+    pub corrupted_writes: u64,
+    /// CRC-detected bank recoveries the runtime performed.
+    pub recoveries: u64,
+    /// Power failures injected across all trials.
+    pub failures_injected: u64,
+    /// Reboots summed over consistent trials (numerator of
+    /// [`ChaosReport::mean_reboots_to_recover`]).
+    pub reboots_in_consistent: u64,
+    /// On-time cycles simulated across all trials.
+    pub total_cycles: u64,
+    /// Detail of the first corrupted-state verdict, for the journal.
+    pub first_corruption: Option<String>,
+}
+
+impl ChaosReport {
+    /// Fraction of trials that recovered or died loudly — everything
+    /// except silent corruption. The gate demands `1.0` from every
+    /// runtime that claims memory consistency.
+    #[must_use]
+    pub fn detect_or_recover_rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 1.0;
+        }
+        1.0 - self.corrupted_state as f64 / self.trials as f64
+    }
+
+    /// Mean reboots a consistent trial took to reach completion — how
+    /// many retries self-healing cost.
+    #[must_use]
+    pub fn mean_reboots_to_recover(&self) -> f64 {
+        if self.consistent == 0 {
+            return 0.0;
+        }
+        self.reboots_in_consistent as f64 / self.consistent as f64
+    }
+}
+
+/// Runs `trials` seeded multi-cut plans with brown-out corruption at
+/// `rate` riding on every cut, and folds the detect-or-die verdicts.
+/// Deterministic: same seed, same plans, same corruption stream.
+#[must_use]
+pub fn run_chaos_cell(
+    prog: &Program,
+    system: SystemUnderTest,
+    golden: &Golden,
+    rate: f64,
+    trials: usize,
+    seed: u64,
+) -> ChaosReport {
+    let budget = fault_budget_us(golden);
+    let mut report = ChaosReport::default();
+    for i in 0..trials {
+        let s = splitmix64(seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        let plan = FaultPlan::random(s, golden.on_cycles, 1 + i % 3, OFF_US)
+            .with_corruption(Corruption::with_rate(CHAOS_WINDOW, rate, splitmix64(s)));
+        let trial = run_plan(prog, system, &plan, budget, GUARD_BOOTS);
+        let verdict = judge(golden, &trial);
+        report.trials += 1;
+        report.failures_injected += trial.power_failures;
+        report.total_cycles += trial.cycles;
+        report.corrupted_writes += trial.corrupted_writes;
+        report.recoveries += trial.recoveries;
+        if trial.corrupted_writes > 0 {
+            report.corrupted_write_trials += 1;
+        }
+        match &verdict {
+            Verdict::Consistent => {
+                report.consistent += 1;
+                report.reboots_in_consistent += trial.power_failures;
+            }
+            Verdict::Error { .. } => report.detected += 1,
+            Verdict::CorruptedState { detail, .. } => {
+                report.corrupted_state += 1;
+                if report.first_corruption.is_none() {
+                    report.first_corruption = Some(detail.clone());
+                }
+            }
+            Verdict::Divergent { .. } | Verdict::WrongExit { .. } => {
+                report.clean_divergence += 1;
+            }
+            Verdict::Livelock { .. } => report.livelocks += 1,
+            Verdict::Incomplete { .. } => report.incomplete += 1,
         }
     }
     report
@@ -1048,6 +1255,8 @@ mod tests {
             trace,
             power_failures: 1,
             torn_writes: 0,
+            corrupted_writes: 0,
+            recoveries: 0,
             cycles: 60,
         };
         assert_eq!(judge(&golden, &trial), Verdict::Consistent);
@@ -1068,6 +1277,8 @@ mod tests {
             trace,
             power_failures: 1,
             torn_writes: 0,
+            corrupted_writes: 0,
+            recoveries: 0,
             cycles: 60,
         };
         match judge(&golden, &trial) {
@@ -1088,6 +1299,8 @@ mod tests {
             trace: vec![send(1, 10)],
             power_failures: 0,
             torn_writes: 0,
+            corrupted_writes: 0,
+            recoveries: 0,
             cycles: 60,
         };
         assert!(matches!(judge(&golden, &lost), Verdict::Divergent { .. }));
@@ -1097,6 +1310,8 @@ mod tests {
             trace: vec![send(1, 10), send(2, 20)],
             power_failures: 0,
             torn_writes: 0,
+            corrupted_writes: 0,
+            recoveries: 0,
             cycles: 60,
         };
         assert_eq!(
@@ -1205,6 +1420,93 @@ mod tests {
             let replay = run_plan(&prog, SystemUnderTest::Mementos, &shrunk, budget, GUARD_BOOTS);
             assert!(judge(&golden, &replay).is_violation(true));
         }
+    }
+
+    #[test]
+    fn silent_divergence_upgrades_to_corrupted_state_only_under_corruption() {
+        let golden = Golden {
+            events: vec![Event::Send(1), Event::Send(2), Event::Send(3)],
+            exit_code: 7,
+            on_cycles: 100,
+        };
+        let diverging_trace = vec![send(1, 10), failure(30), send(9, 40), send(3, 50)];
+        let clean = Trial {
+            outcome: Ok(RunOutcome::Finished(7)),
+            trace: diverging_trace.clone(),
+            power_failures: 1,
+            torn_writes: 1,
+            corrupted_writes: 0,
+            recoveries: 0,
+            cycles: 60,
+        };
+        assert!(matches!(judge(&golden, &clean), Verdict::Divergent { .. }));
+
+        let dirty = Trial {
+            corrupted_writes: 3,
+            ..Trial {
+                outcome: Ok(RunOutcome::Finished(7)),
+                trace: diverging_trace,
+                power_failures: 1,
+                torn_writes: 1,
+                corrupted_writes: 0,
+                recoveries: 0,
+                cycles: 60,
+            }
+        };
+        match judge(&golden, &dirty) {
+            Verdict::CorruptedState {
+                corrupted_writes, ..
+            } => assert_eq!(corrupted_writes, 3),
+            v => panic!("expected corrupted-state, got {v:?}"),
+        }
+        assert!(judge(&golden, &dirty).is_violation(false));
+        assert_eq!(judge(&golden, &dirty).label(), "corrupted-state");
+    }
+
+    #[test]
+    fn naive_corrupts_silently_where_tics_detects_or_recovers() {
+        // The chaos headline: under brown-out corruption the naive
+        // whole-state checkpointer restores flipped banks and keeps
+        // going (silent corrupted-state), while TICS's CRC-validated
+        // double banks either heal or trap — never lie.
+        let (naive_prog, naive_golden) =
+            golden_of(FaultProgram::NvAccumulator, SystemUnderTest::Mementos);
+        let naive = run_chaos_cell(
+            &naive_prog,
+            SystemUnderTest::Mementos,
+            &naive_golden,
+            0.4,
+            24,
+            0xC0FF,
+        );
+        assert!(
+            naive.corrupted_write_trials > 0,
+            "corruption model never fired: {naive:?}"
+        );
+        assert!(
+            naive.corrupted_state > 0,
+            "naive checkpointing must silently consume corruption somewhere: {naive:?}"
+        );
+
+        let (tics_prog, tics_golden) =
+            golden_of(FaultProgram::NvAccumulator, SystemUnderTest::Tics);
+        let tics = run_chaos_cell(
+            &tics_prog,
+            SystemUnderTest::Tics,
+            &tics_golden,
+            0.4,
+            24,
+            0xC0FF,
+        );
+        assert_eq!(tics.corrupted_state, 0, "{tics:?}");
+        assert!(
+            (tics.detect_or_recover_rate() - 1.0).abs() < f64::EPSILON,
+            "{tics:?}"
+        );
+        assert!(
+            tics.corrupted_write_trials > 0,
+            "TICS trials must actually face corruption: {tics:?}"
+        );
     }
 
     #[test]

@@ -35,6 +35,12 @@ pub enum CellStatus {
     BuildError,
     /// The runner panicked; the sweep isolated it and continued.
     Panicked,
+    /// The runner blew the sweep's per-cell wall-clock budget; the
+    /// watchdog journaled the cell and moved on (see
+    /// [`SweepArgs::cell_timeout_ms`]).
+    ///
+    /// [`SweepArgs::cell_timeout_ms`]: crate::sweep::SweepArgs::cell_timeout_ms
+    Timeout,
 }
 
 impl CellStatus {
@@ -45,6 +51,7 @@ impl CellStatus {
             CellStatus::Ok => "ok",
             CellStatus::BuildError => "build-error",
             CellStatus::Panicked => "panicked",
+            CellStatus::Timeout => "timeout",
         }
     }
 
@@ -53,6 +60,7 @@ impl CellStatus {
             "ok" => Ok(CellStatus::Ok),
             "build-error" => Ok(CellStatus::BuildError),
             "panicked" => Ok(CellStatus::Panicked),
+            "timeout" => Ok(CellStatus::Timeout),
             other => Err(format!("unknown cell status {other:?}")),
         }
     }

@@ -25,7 +25,7 @@
 //! that order of precedence.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -355,6 +355,18 @@ pub struct SweepArgs {
     pub threads: usize,
     /// Journal path override (default `results/<exp>.jsonl`).
     pub journal: Option<PathBuf>,
+    /// Per-cell wall-clock watchdog (`--cell-timeout-ms N`): a cell
+    /// whose runner exceeds this host-time budget is journaled as
+    /// `timeout` and the sweep moves on. The abandoned runner keeps its
+    /// thread until its own simulated-cycle budget expires (every
+    /// runner bounds simulation time), so the watchdog bounds journal
+    /// latency, not process lifetime.
+    pub cell_timeout_ms: Option<u64>,
+    /// Resume from an existing journal (`--resume`): rows of a previous
+    /// run of the *same grid and sweep seed* whose deterministic
+    /// coordinates match are reused verbatim instead of re-simulated.
+    /// `panicked`/`timeout` rows are always re-run.
+    pub resume: bool,
     /// Positional arguments the sweep did not consume (e.g. `exp_fig9`'s
     /// panel selector).
     pub rest: Vec<String>,
@@ -365,6 +377,8 @@ impl Default for SweepArgs {
         SweepArgs {
             threads: default_threads(),
             journal: None,
+            cell_timeout_ms: None,
+            resume: false,
             rest: Vec::new(),
         }
     }
@@ -410,6 +424,18 @@ impl SweepArgs {
                 }
             } else if let Some(v) = arg.strip_prefix("--journal=") {
                 out.journal = Some(PathBuf::from(v));
+            } else if arg == "--cell-timeout-ms" {
+                match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(ms) if ms >= 1 => out.cell_timeout_ms = Some(ms),
+                    _ => eprintln!("warning: --cell-timeout-ms needs a positive integer"),
+                }
+            } else if let Some(v) = arg.strip_prefix("--cell-timeout-ms=") {
+                match v.parse::<u64>() {
+                    Ok(ms) if ms >= 1 => out.cell_timeout_ms = Some(ms),
+                    _ => eprintln!("warning: --cell-timeout-ms needs a positive integer"),
+                }
+            } else if arg == "--resume" {
+                out.resume = true;
             } else {
                 out.rest.push(arg);
             }
@@ -431,6 +457,10 @@ pub struct SweepSummary {
     pub failed: usize,
     /// Cells whose runner panicked.
     pub panicked: usize,
+    /// Cells the wall-clock watchdog abandoned.
+    pub timed_out: usize,
+    /// Cells reused verbatim from a prior journal (`--resume`).
+    pub reused: usize,
     /// Total simulated on-time cycles across cells.
     pub total_cycles: u64,
     /// Sweep wall-time (seconds).
@@ -459,9 +489,16 @@ impl SweepSummary {
 
 impl std::fmt::Display for SweepSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut tail = String::new();
+        if self.timed_out > 0 {
+            tail.push_str(&format!(", {} timed out", self.timed_out));
+        }
+        if self.reused > 0 {
+            tail.push_str(&format!(", {} reused", self.reused));
+        }
         write!(
             f,
-            "sweep {}: {} cells ({} ok, {} failed, {} panicked), \
+            "sweep {}: {} cells ({} ok, {} failed, {} panicked{tail}), \
              {} cycles simulated, {:.2} s wall on {} thread{} \
              ({:.1}x vs 1 thread)",
             self.exp,
@@ -615,6 +652,19 @@ impl Sweep {
     {
         let n = self.cells.len();
         let threads = self.args.threads.max(1).min(n.max(1));
+        let journal_path = self
+            .args
+            .journal
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results").join(format!("{}.jsonl", self.exp)));
+        // --resume: reuse deterministic rows of a prior (interrupted or
+        // partial) run of the same grid before the journal is truncated.
+        let cached: Vec<Option<JournalRow>> = if self.args.resume {
+            resume_cache(&journal_path, &self.exp, self.sweep_seed, &self.cells)
+        } else {
+            (0..n).map(|_| None).collect()
+        };
+        let reused = cached.iter().filter(|c| c.is_some()).count();
         let next = AtomicUsize::new(0);
         let rows: Mutex<Vec<(usize, JournalRow)>> = Mutex::new(Vec::with_capacity(n));
         let cell_wall_ns = AtomicU64::new(0);
@@ -625,22 +675,54 @@ impl Sweep {
                 let next = &next;
                 let rows = &rows;
                 let cells = &self.cells;
+                let cached = &cached;
                 let runner = &runner;
                 let exp = &self.exp;
                 let sweep_seed = self.sweep_seed;
+                let timeout_ms = self.args.cell_timeout_ms;
                 let cell_wall_ns = &cell_wall_ns;
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::SeqCst);
                     if i >= n {
                         break;
                     }
+                    if let Some(row) = &cached[i] {
+                        rows.lock().expect("rows mutex").push((i, row.clone()));
+                        continue;
+                    }
                     let mut cell = cells[i].clone();
                     cell.seed = cell_seed(sweep_seed, i as u64);
                     let start = Instant::now();
-                    let outcome = catch_unwind(AssertUnwindSafe(|| runner(&cell)));
+                    // With a watchdog armed, the runner executes on its
+                    // own scoped thread and the worker waits with a
+                    // deadline. An overrunning cell is journaled as
+                    // `timeout` and its siblings proceed immediately;
+                    // the abandoned runner finishes on its own (every
+                    // runner bounds *simulated* time) and its late
+                    // result is dropped with the channel.
+                    let outcome = match timeout_ms {
+                        None => Some(catch_unwind(AssertUnwindSafe(|| runner(&cell)))),
+                        Some(ms) => {
+                            let (tx, rx) = std::sync::mpsc::channel();
+                            let watched = cell.clone();
+                            scope.spawn(move || {
+                                let r = catch_unwind(AssertUnwindSafe(|| runner(&watched)));
+                                let _ = tx.send(r);
+                            });
+                            rx.recv_timeout(std::time::Duration::from_millis(ms)).ok()
+                        }
+                    };
                     let wall = start.elapsed();
                     let mut row = match outcome {
-                        Ok(Ok(out)) => JournalRow {
+                        None => JournalRow {
+                            status: CellStatus::Timeout,
+                            outcome: format!(
+                                "timeout: cell exceeded the {} ms wall-clock budget",
+                                timeout_ms.unwrap_or(0)
+                            ),
+                            ..JournalRow::default()
+                        },
+                        Some(Ok(Ok(out))) => JournalRow {
                             status: CellStatus::Ok,
                             outcome: out.outcome,
                             exit_code: out.exit_code,
@@ -655,12 +737,12 @@ impl Sweep {
                             extra: out.extra,
                             ..JournalRow::default()
                         },
-                        Ok(Err(e)) => JournalRow {
+                        Some(Ok(Err(e))) => JournalRow {
                             status: CellStatus::BuildError,
                             outcome: e,
                             ..JournalRow::default()
                         },
-                        Err(payload) => JournalRow {
+                        Some(Err(payload)) => JournalRow {
                             status: CellStatus::Panicked,
                             outcome: format!("panicked: {}", panic_text(payload.as_ref())),
                             ..JournalRow::default()
@@ -696,11 +778,6 @@ impl Sweep {
         indexed.sort_by_key(|(i, _)| *i);
         let rows: Vec<JournalRow> = indexed.into_iter().map(|(_, r)| r).collect();
 
-        let journal_path = self
-            .args
-            .journal
-            .clone()
-            .unwrap_or_else(|| PathBuf::from("results").join(format!("{}.jsonl", self.exp)));
         let journal = write_journal(&journal_path, &rows);
 
         let summary = SweepSummary {
@@ -715,6 +792,11 @@ impl Sweep {
                 .iter()
                 .filter(|r| r.status == CellStatus::Panicked)
                 .count(),
+            timed_out: rows
+                .iter()
+                .filter(|r| r.status == CellStatus::Timeout)
+                .count(),
+            reused,
             total_cycles: rows.iter().map(|r| r.cycles).sum(),
             wall_s,
             cell_wall_s: cell_wall_ns.load(Ordering::Relaxed) as f64 / 1e9,
@@ -745,6 +827,61 @@ pub fn default_runner(cell: &Cell) -> Result<CellOutput, String> {
     )
     .map(CellOutput::from)
     .map_err(|e| e.to_string())
+}
+
+/// Loads reusable rows from a prior journal for `--resume`: a row is
+/// reused only if every deterministic coordinate (experiment, cell
+/// index, app label, system, opt, clock, supply, scale, derived seed)
+/// matches the declared cell — so resuming against a different grid or
+/// sweep seed silently degrades to a full run rather than stitching
+/// mismatched results. `panicked` and `timeout` rows are never reused:
+/// the former may be a transient harness condition, the latter is
+/// exactly what a resume is expected to retry.
+fn resume_cache(
+    path: &Path,
+    exp: &str,
+    sweep_seed: u64,
+    cells: &[Cell],
+) -> Vec<Option<JournalRow>> {
+    let mut cache: Vec<Option<JournalRow>> = (0..cells.len()).map(|_| None).collect();
+    let rows = match crate::journal::read(path) {
+        Ok(rows) => rows,
+        Err(_) => return cache, // no prior journal (or unreadable): run everything
+    };
+    let mut reusable = 0usize;
+    for row in rows {
+        let Ok(i) = usize::try_from(row.cell) else {
+            continue;
+        };
+        let Some(cell) = cells.get(i) else { continue };
+        let app = cell
+            .label
+            .clone()
+            .unwrap_or_else(|| cell.app.name().to_string());
+        let matches = row.exp == exp
+            && row.app == app
+            && row.system == cell.system.name()
+            && row.opt == cell.opt.to_string()
+            && row.clock == cell.clock.label()
+            && row.supply == cell.supply.label()
+            && row.scale == cell.scale
+            && row.seed == cell_seed(sweep_seed, i as u64)
+            && matches!(row.status, CellStatus::Ok | CellStatus::BuildError);
+        if matches {
+            if cache[i].is_none() {
+                reusable += 1;
+            }
+            cache[i] = Some(row);
+        }
+    }
+    if reusable > 0 {
+        eprintln!(
+            "resume: reusing {reusable} of {} cells from {}",
+            cells.len(),
+            path.display()
+        );
+    }
+    cache
 }
 
 fn write_journal(path: &PathBuf, rows: &[JournalRow]) -> Option<PathBuf> {

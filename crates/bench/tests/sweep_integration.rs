@@ -30,7 +30,7 @@ fn args(threads: usize, journal: &TempJournal) -> SweepArgs {
     SweepArgs {
         threads,
         journal: Some(journal.0.clone()),
-        rest: Vec::new(),
+        ..SweepArgs::default()
     }
 }
 
@@ -189,6 +189,103 @@ fn journal_round_trips_through_disk() {
     });
     let from_disk = journal::read(&j.0).expect("journal reads");
     assert_eq!(from_disk, outcome.rows);
+}
+
+/// A cell that blows the wall-clock watchdog is journaled as `timeout`
+/// while its siblings complete normally — a runaway simulation cannot
+/// stall the sweep.
+#[test]
+fn watchdog_journals_runaway_cells_as_timeout() {
+    let j = TempJournal::new("watchdog");
+    let mut sweep = Sweep::new("watchdog")
+        .args(SweepArgs {
+            cell_timeout_ms: Some(100),
+            ..args(2, &j)
+        })
+        .quiet();
+    for i in 0..5i64 {
+        sweep = sweep.cell(Cell::new(App::Bc, SystemUnderTest::Tics).param("i", i));
+    }
+    let outcome = sweep.run_with(|cell| {
+        if cell.param_i64("i") == 3 {
+            std::thread::sleep(std::time::Duration::from_millis(600));
+        }
+        Ok(CellOutput {
+            outcome: "fine".to_string(),
+            cycles: 1,
+            ..CellOutput::default()
+        })
+    });
+    assert_eq!(outcome.summary.timed_out, 1);
+    assert_eq!(outcome.summary.ok, 4);
+    assert_eq!(outcome.rows[3].status, CellStatus::Timeout);
+    assert!(
+        outcome.rows[3].outcome.contains("100 ms wall-clock budget"),
+        "{}",
+        outcome.rows[3].outcome
+    );
+    // The timeout row survives the journal round trip.
+    let from_disk = journal::read(&j.0).expect("journal reads");
+    assert_eq!(from_disk[3].status, CellStatus::Timeout);
+}
+
+/// `--resume` against a truncated journal re-runs only the missing
+/// cells and reproduces the uninterrupted journal byte-for-byte in its
+/// deterministic view.
+#[test]
+fn resume_completes_an_interrupted_sweep_without_rerunning() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let j = TempJournal::new("resume");
+    let full = twelve_cell_sweep("resume").args(args(2, &j)).run();
+    assert_eq!(full.rows.len(), 12);
+
+    // Simulate an interrupted sweep: keep only the first 7 journal rows.
+    let text = std::fs::read_to_string(&j.0).expect("journal text");
+    let truncated: String = text.lines().take(7).map(|l| format!("{l}\n")).collect();
+    std::fs::write(&j.0, truncated).expect("truncate journal");
+
+    // Resume with an instrumented runner: only the 5 missing cells may
+    // execute, and the merged journal must match the uninterrupted one.
+    let ran = AtomicUsize::new(0);
+    let resumed = twelve_cell_sweep("resume")
+        .args(SweepArgs {
+            resume: true,
+            ..args(3, &j)
+        })
+        .run_with(|cell| {
+            ran.fetch_add(1, Ordering::SeqCst);
+            tics_bench::sweep::default_runner(cell)
+        });
+    assert_eq!(ran.load(Ordering::SeqCst), 5, "only missing cells re-run");
+    assert_eq!(resumed.summary.reused, 7);
+    assert_eq!(resumed.rows.len(), 12);
+    for (a, b) in full.rows.iter().zip(&resumed.rows) {
+        assert_eq!(a.deterministic_view(), b.deterministic_view());
+    }
+    let from_disk = journal::read(&j.0).expect("journal reads");
+    assert_eq!(from_disk.len(), 12);
+    for (a, b) in full.rows.iter().zip(&from_disk) {
+        assert_eq!(a.deterministic_view(), b.deterministic_view());
+    }
+}
+
+/// Resuming against a journal from a *different* grid or seed reuses
+/// nothing — coordinate mismatches degrade to a full re-run instead of
+/// stitching stale results.
+#[test]
+fn resume_rejects_rows_from_a_different_sweep() {
+    let j = TempJournal::new("resume-mismatch");
+    let _ = twelve_cell_sweep("mismatch").args(args(2, &j)).run();
+    let resumed = twelve_cell_sweep("mismatch")
+        .seed(0xD1FF) // different sweep seed → different derived cell seeds
+        .args(SweepArgs {
+            resume: true,
+            ..args(2, &j)
+        })
+        .run();
+    assert_eq!(resumed.summary.reused, 0);
+    assert_eq!(resumed.rows.len(), 12);
 }
 
 /// The summary accounts for every cell and estimates the speedup from

@@ -165,8 +165,12 @@ impl Timekeeper for CapacitorRtc {
 /// SRAM cell decay lets the device *estimate* how long it was off, with
 /// multiplicative error and a maximum measurable duration. Beyond the
 /// maximum the estimate saturates — the device only knows it was off "at
-/// least that long". The error is deterministic per outage (seeded
-/// xorshift) so experiments are reproducible.
+/// least that long", so from that point its absolute time is a lower
+/// bound, not a measurement, and
+/// [`is_time_known`](Timekeeper::is_time_known) reports `false` forever
+/// after (there is no resynchronization source to restore trust). The
+/// error is deterministic per outage (seeded xorshift) so experiments
+/// are reproducible.
 ///
 /// ```
 /// use tics_clock::{RemanenceTimer, Timekeeper};
@@ -182,6 +186,7 @@ pub struct RemanenceTimer {
     error_frac: f64,
     rng_state: u64,
     saturated: bool,
+    ever_saturated: bool,
 }
 
 impl RemanenceTimer {
@@ -207,10 +212,15 @@ impl RemanenceTimer {
             error_frac,
             rng_state: seed | 1,
             saturated: false,
+            ever_saturated: false,
         }
     }
 
-    /// Whether the last outage exceeded the measurable range.
+    /// Whether the *last* outage exceeded the measurable range (its true
+    /// duration is unknown — the timer only advanced by the saturation
+    /// floor). Resets on the next in-range outage, unlike
+    /// [`is_time_known`](Timekeeper::is_time_known), which stays `false`
+    /// once any outage has saturated.
     #[must_use]
     pub fn saturated(&self) -> bool {
         self.saturated
@@ -237,14 +247,26 @@ impl Timekeeper for RemanenceTimer {
     }
     fn power_cycle(&mut self, true_off_us: u64) {
         if true_off_us > self.max_measurable_us {
+            // The true duration is unknown; advance by the measurable
+            // floor (a lower bound) and mark absolute time untrusted.
             self.now += TimeMicros(self.max_measurable_us);
             self.saturated = true;
+            self.ever_saturated = true;
         } else {
             let err = 1.0 + self.error_frac * self.next_unit();
-            let est = (true_off_us as f64 * err).max(0.0) as u64;
+            // Round to the nearest microsecond: truncation would bias
+            // every estimate low and could push the quantized error just
+            // past the ±error_frac bound.
+            let est = (true_off_us as f64 * err).round().max(0.0) as u64;
             self.now += TimeMicros(est);
             self.saturated = false;
         }
+    }
+    fn is_time_known(&self) -> bool {
+        // A saturated outage advanced `now` by a lower bound, not a
+        // measurement — every timestamp after that is fabricated, and
+        // nothing can resynchronize a remanence timer.
+        !self.ever_saturated
     }
 }
 
@@ -316,6 +338,53 @@ mod tests {
         t.power_cycle(50_000);
         assert_eq!(t.now(), TimeMicros(1_000));
         assert!(t.saturated());
+    }
+
+    #[test]
+    fn remanence_per_outage_error_is_within_error_frac() {
+        // Property: over many seeds and off-durations, each individual
+        // in-range estimate stays within ±error_frac of the truth
+        // (modulo 1 µs of rounding quantization), and never saturates.
+        for seed in 0..32u64 {
+            for frac in [0.0, 0.01, 0.1, 0.5] {
+                let mut t = RemanenceTimer::new(u64::MAX, frac, seed);
+                let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                for _ in 0..64 {
+                    // Cheap xorshift for varied off-durations.
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let off = 1 + state % 10_000_000;
+                    let before = t.now().as_micros();
+                    t.power_cycle(off);
+                    let est = t.now().as_micros() - before;
+                    let bound = frac * off as f64 + 1.0;
+                    assert!(
+                        (est.abs_diff(off)) as f64 <= bound,
+                        "seed {seed} frac {frac}: off {off} estimated as {est}"
+                    );
+                    assert!(!t.saturated());
+                    assert!(t.is_time_known());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remanence_saturation_is_reported_as_unknown_time() {
+        let mut t = RemanenceTimer::new(1_000, 0.05, 9);
+        t.power_cycle(500);
+        assert!(t.is_time_known());
+        // Saturated outage: duration unknown, timestamp is a lower
+        // bound, and trust is lost...
+        t.power_cycle(50_000);
+        assert!(t.saturated());
+        assert!(!t.is_time_known());
+        // ...permanently: a later in-range outage resets `saturated()`
+        // (it measured fine) but cannot restore absolute-time trust.
+        t.power_cycle(500);
+        assert!(!t.saturated());
+        assert!(!t.is_time_known());
     }
 
     #[test]

@@ -24,7 +24,13 @@ pub mod ctrl {
     pub const SIZE: u32 = 24;
 }
 
-/// Offsets within one checkpoint buffer.
+/// Offsets within one checkpoint buffer (bank).
+///
+/// Each bank is self-validating: it carries a monotonic sequence number
+/// and a CRC-32 over everything except the CRC field itself. The CRC is
+/// stamped during phase 1 of the two-phase commit and checked before
+/// any restore — a bank whose staging writes were corrupted by a
+/// brown-out fails validation instead of being trusted.
 pub mod ckpt {
     /// 4 × `u32` register image (pc, sp, fp, sr).
     pub const REGS: u32 = 0;
@@ -32,10 +38,15 @@ pub mod ckpt {
     pub const ATOMIC_DEPTH: u32 = 16;
     /// `u32` working-segment index at checkpoint time.
     pub const WORKING_SEG: u32 = 20;
+    /// `u64` per-bank monotonic commit sequence number (never 0 for a
+    /// committed bank — 0 marks a bank that has never been written).
+    pub const SEQ: u32 = 24;
+    /// `u32` CRC-32 over the header (minus this field) + segment image.
+    pub const CRC: u32 = 32;
     /// Start of the working-segment image.
-    pub const SEG_IMAGE: u32 = 24;
+    pub const SEG_IMAGE: u32 = 36;
     /// Header bytes before the segment image.
-    pub const HEADER: u32 = 24;
+    pub const HEADER: u32 = 36;
 }
 
 /// Resolved addresses of every persistent runtime structure.

@@ -1,6 +1,6 @@
 //! The TICS [`IntermittentRuntime`] implementation.
 
-use tics_mcu::Addr;
+use tics_mcu::{crc32, Addr};
 use tics_minic::isa::{CkptSite, VarId};
 use tics_minic::program::{Instrumentation, Program};
 use tics_trace::{CkptCause, SpanKind, TraceEvent};
@@ -19,6 +19,24 @@ struct ExpiresBlock {
     expire_at_us: u64,
     undo_mark: u32,
 }
+
+/// Why a checkpoint commit did or did not reach phase 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CommitOutcome {
+    /// The flag flipped; the new bank is the restore point.
+    Committed,
+    /// The energy budget could not cover the commit — the device is about
+    /// to brown out, and every subsequent store tears to nothing.
+    EnergyAbort,
+    /// Brown-out corruption defeated every staging attempt; the previous
+    /// checkpoint and the undo log are intact, and execution continues.
+    VerifyAbort,
+}
+
+/// Read-back verification attempts for staging / restore pokes. Each
+/// attempt re-draws the corruption RNG, so retries converge whenever the
+/// per-store corruption probability is below 1.
+const VERIFY_ATTEMPTS: u32 = 16;
 
 /// The TICS runtime: stack segmentation, undo-log memory consistency,
 /// double-buffered checkpoints, and time-sensitivity semantics.
@@ -117,36 +135,89 @@ impl TicsRuntime {
         Self::poke_u32(m, l.control.offset(ctrl::UNDO_COUNT), n)
     }
 
+    /// CRC-32 over a full bank image with the CRC field itself skipped.
+    fn bank_crc(bank: &[u8]) -> u32 {
+        let mut data = Vec::with_capacity(bank.len() - 4);
+        data.extend_from_slice(&bank[..ckpt::CRC as usize]);
+        data.extend_from_slice(&bank[ckpt::SEG_IMAGE as usize..]);
+        crc32(&data)
+    }
+
+    /// Pokes `bytes` at `a` and reads them back, retrying until the
+    /// write actually landed intact. Multi-word burst stores can be
+    /// bit-flipped or dropped by a brown-out ([`tics_mcu::CorruptionModel`]);
+    /// read-back verification is what makes a *committed* bank
+    /// trustworthy. Returns `false` if every attempt was corrupted.
+    fn verified_poke(m: &mut Machine, a: Addr, bytes: &[u8]) -> Result<bool> {
+        for _ in 0..VERIFY_ATTEMPTS {
+            m.mem.poke_bytes(a, bytes)?;
+            if m.mem.peek_bytes(a, bytes.len() as u32)? == bytes {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Validates checkpoint bank `which` (1 or 2): a committed bank has a
+    /// nonzero sequence number and a matching CRC. Returns the sequence
+    /// number if valid.
+    fn validate_bank(m: &Machine, l: &RuntimeLayout, which: u32) -> Result<Option<u64>> {
+        let buf = l.ckpt_buffer(which);
+        let bank = m.mem.peek_bytes(buf, ckpt::HEADER + l.seg_size)?;
+        let s = ckpt::SEQ as usize;
+        let c = ckpt::CRC as usize;
+        let seq = u64::from_le_bytes(bank[s..s + 8].try_into().expect("8-byte seq"));
+        let stored = u32::from_le_bytes(bank[c..c + 4].try_into().expect("4-byte crc"));
+        if seq == 0 || Self::bank_crc(&bank) != stored {
+            return Ok(None);
+        }
+        Ok(Some(seq))
+    }
+
     /// Commits a checkpoint: registers + runtime state + the working
-    /// segment into the inactive buffer, then flips the valid flag
-    /// (two-phase commit, §4). Clears the undo log.
-    fn commit_checkpoint(&mut self, m: &mut Machine, cause: CkptCause) -> Result<()> {
+    /// segment into the inactive buffer, stamped with a monotonic
+    /// sequence number and a CRC-32 and verified by read-back, then flips
+    /// the valid flag (two-phase commit, §4). Clears the undo log.
+    fn commit_checkpoint(&mut self, m: &mut Machine, cause: CkptCause) -> Result<CommitOutcome> {
         let l = self.attach(m)?;
         let mut span = m.span(SpanKind::Checkpoint);
         let m = &mut *span;
         let active = Self::peek_u32(m, l.control.offset(ctrl::CKPT_FLAG))?;
         let target = if active == 1 { 2 } else { 1 };
         let buf = l.ckpt_buffer(target);
-        // Phase 1: stage everything in the inactive buffer.
-        let words = m.regs.to_words();
-        for (i, w) in words.iter().enumerate() {
-            Self::poke_u32(m, buf.offset(ckpt::REGS + 4 * i as u32), *w)?;
+        let seq = m.mem.peek_u64(l.control.offset(ctrl::CKPT_SEQ))? + 1;
+        // Phase 1: assemble the whole bank host-side (registers, runtime
+        // state, sequence number, CRC, segment image), then stage it into
+        // the inactive buffer with read-back verification — a brown-out
+        // can corrupt the multi-word burst store, and a corrupted bank
+        // must never become the restore point.
+        let mut bank = Vec::with_capacity((ckpt::HEADER + l.seg_size) as usize);
+        for w in m.regs.to_words() {
+            bank.extend_from_slice(&w.to_le_bytes());
         }
-        Self::poke_u32(m, buf.offset(ckpt::ATOMIC_DEPTH), self.atomic_depth)?;
-        Self::poke_u32(m, buf.offset(ckpt::WORKING_SEG), self.working_seg)?;
+        bank.extend_from_slice(&self.atomic_depth.to_le_bytes());
+        bank.extend_from_slice(&self.working_seg.to_le_bytes());
+        bank.extend_from_slice(&seq.to_le_bytes());
+        bank.extend_from_slice(&[0u8; 4]); // CRC, stamped below
         let seg = l.segment(self.working_seg);
-        let image = m.mem.peek_bytes(seg.start, l.seg_size)?;
-        m.mem.poke_bytes(buf.offset(ckpt::SEG_IMAGE), &image)?;
+        bank.extend_from_slice(&m.mem.peek_bytes(seg.start, l.seg_size)?);
+        let crc = Self::bank_crc(&bank);
+        bank[ckpt::CRC as usize..ckpt::SEG_IMAGE as usize].copy_from_slice(&crc.to_le_bytes());
+        if !Self::verified_poke(m, buf, &bank)? {
+            // Corruption defeated every staging attempt. Abort cleanly:
+            // the previous checkpoint and the undo log are intact.
+            return Ok(CommitOutcome::VerifyAbort);
+        }
         // Phase 2: a single flag write makes it the restore point — but
         // only if the energy budget covers the whole commit. Dying
         // mid-commit leaves the previous checkpoint valid.
         let cost = m.mem.costs().checkpoint_cost(l.seg_size);
         if !m.charge_atomic(cost) {
-            return Ok(());
+            return Ok(CommitOutcome::EnergyAbort);
         }
         Self::poke_u32(m, l.control.offset(ctrl::CKPT_FLAG), target)?;
-        let seq = u64::from(Self::peek_u32(m, l.control.offset(ctrl::CKPT_SEQ))?) + 1;
-        Self::poke_u32(m, l.control.offset(ctrl::CKPT_SEQ), seq as u32)?;
+        m.mem
+            .poke_bytes(l.control.offset(ctrl::CKPT_SEQ), &seq.to_le_bytes())?;
         // The log only needs to undo writes newer than this checkpoint.
         self.set_undo_count(m, &l, 0)?;
         self.last_ckpt_seg = Some(self.working_seg);
@@ -165,7 +236,7 @@ impl TicsRuntime {
             self.io_count = 0;
             Self::poke_u32(m, l.control.offset(ctrl::IO_COUNT), 0)?;
         }
-        Ok(())
+        Ok(CommitOutcome::Committed)
     }
 
     /// Rolls back undo-log entries down to `mark` (newest first).
@@ -236,13 +307,63 @@ impl IntermittentRuntime for TicsRuntime {
         self.rollback_to_mark(m, 0)?;
         let flag = Self::peek_u32(m, l.control.offset(ctrl::CKPT_FLAG))?;
         if flag == 0 {
+            // No committed checkpoint (a fully staged bank whose flag
+            // never flipped is an *uncommitted* checkpoint and must not
+            // be restored): plain restart, not a recovery.
             self.working_seg = 0;
             self.last_ckpt_seg = None;
             return Ok(ResumeAction::Restart {
                 reinit_globals: false,
             });
         }
-        let buf = l.ckpt_buffer(flag);
+        // Validate before trusting: the bank's CRC catches any corruption
+        // the staging write-back verification could not have seen (e.g.
+        // FRAM disturbed after commit, or a clobbered image planted by a
+        // fault-injection harness).
+        let v_a = Self::validate_bank(m, &l, 1)?;
+        let v_b = Self::validate_bank(m, &l, 2)?;
+        let active_valid = match flag {
+            1 => v_a.is_some(),
+            2 => v_b.is_some(),
+            _ => false, // corrupt flag: fall through to highest-seq repair
+        };
+        let restore_from = if active_valid {
+            flag
+        } else {
+            // Self-healing fallback: prefer the valid bank with the
+            // highest sequence number; with neither valid, degrade
+            // gracefully to a fresh start rather than executing from a
+            // corrupted checkpoint.
+            let best = match (v_a, v_b) {
+                (Some(a), Some(b)) => Some(if a >= b { 1 } else { 2 }),
+                (Some(_), None) => Some(1),
+                (None, Some(_)) => Some(2),
+                (None, None) => None,
+            };
+            match best {
+                Some(w) => {
+                    Self::poke_u32(m, l.control.offset(ctrl::CKPT_FLAG), w)?;
+                    m.emit(TraceEvent::Recovery {
+                        invalid_banks: 1,
+                        fresh_start: false,
+                    });
+                    w
+                }
+                None => {
+                    Self::poke_u32(m, l.control.offset(ctrl::CKPT_FLAG), 0)?;
+                    m.emit(TraceEvent::Recovery {
+                        invalid_banks: 2,
+                        fresh_start: true,
+                    });
+                    self.working_seg = 0;
+                    self.last_ckpt_seg = None;
+                    return Ok(ResumeAction::Restart {
+                        reinit_globals: true,
+                    });
+                }
+            }
+        };
+        let buf = l.ckpt_buffer(restore_from);
         let mut words = [0u32; 4];
         for (i, w) in words.iter_mut().enumerate() {
             *w = Self::peek_u32(m, buf.offset(ckpt::REGS + 4 * i as u32))?;
@@ -253,7 +374,11 @@ impl IntermittentRuntime for TicsRuntime {
         let m = &mut *span;
         let seg = l.segment(self.working_seg);
         let image = m.mem.peek_bytes(buf.offset(ckpt::SEG_IMAGE), l.seg_size)?;
-        m.mem.poke_bytes(seg.start, &image)?;
+        if !Self::verified_poke(m, seg.start, &image)? {
+            return Err(VmError::Trap(
+                "checkpoint restore failed read-back verification".into(),
+            ));
+        }
         m.regs = tics_mcu::Registers::from_words(words);
         self.last_ckpt_seg = Some(self.working_seg);
         // A restore whose cost exceeds the on-period dies mid-way; the
@@ -361,7 +486,21 @@ impl IntermittentRuntime for TicsRuntime {
         if self.undo_count >= l.undo_capacity {
             // Forced checkpoint to drain the log and guarantee forward
             // progress (§3.1.2).
-            self.commit_checkpoint(m, CkptCause::Forced)?;
+            match self.commit_checkpoint(m, CkptCause::Forced)? {
+                CommitOutcome::Committed => {}
+                // The device is about to brown out: every subsequent
+                // store tears to nothing, so skipping the (out-of-room)
+                // append cannot lose an old value.
+                CommitOutcome::EnergyAbort => return Ok(()),
+                // Corruption defeated the drain; appending past the log
+                // would clobber neighbouring structures. Die loudly
+                // rather than corrupt silently.
+                CommitOutcome::VerifyAbort => {
+                    return Err(VmError::Trap(
+                        "undo log full and checkpoint drain failed verification".into(),
+                    ))
+                }
+            }
         }
         let mut span = m.span(SpanKind::UndoLog);
         let m = &mut *span;
@@ -382,9 +521,9 @@ impl IntermittentRuntime for TicsRuntime {
         match kind {
             CheckpointKind::Timer | CheckpointKind::Voltage if self.atomic_depth > 0 => Ok(()),
             CheckpointKind::Site(CkptSite::VoltageCheck) => Ok(()), // not a TICS site
-            CheckpointKind::Site(_) => self.commit_checkpoint(m, CkptCause::Site),
-            CheckpointKind::Timer => self.commit_checkpoint(m, CkptCause::Timer),
-            CheckpointKind::Voltage => self.commit_checkpoint(m, CkptCause::Voltage),
+            CheckpointKind::Site(_) => self.commit_checkpoint(m, CkptCause::Site).map(|_| ()),
+            CheckpointKind::Timer => self.commit_checkpoint(m, CkptCause::Timer).map(|_| ()),
+            CheckpointKind::Voltage => self.commit_checkpoint(m, CkptCause::Voltage).map(|_| ()),
         }
     }
 
@@ -434,7 +573,7 @@ impl IntermittentRuntime for TicsRuntime {
         // Implicit checkpoint right after return-from-interrupt: if power
         // fails before it completes, the ISR appears not to have run.
         self.atomic_end(m)?;
-        self.commit_checkpoint(m, CkptCause::Isr)
+        self.commit_checkpoint(m, CkptCause::Isr).map(|_| ())
     }
 
     fn timestamp_var(&mut self, m: &mut Machine, var: VarId) -> Result<()> {
@@ -519,13 +658,20 @@ impl IntermittentRuntime for TicsRuntime {
         let l = self.attach(m)?;
         if self.io_count >= l.io_capacity {
             // Commit to drain the buffer (also publishes it).
-            self.commit_checkpoint(m, CkptCause::Forced)?;
-            if self.io_count >= l.io_capacity {
+            match self.commit_checkpoint(m, CkptCause::Forced)? {
+                CommitOutcome::Committed => {}
                 // The commit died on the energy deadline; the device is
                 // about to brown out — the send is lost with this
                 // execution, exactly as an un-virtualized radio would
                 // lose a half-clocked packet.
-                return Ok(true);
+                CommitOutcome::EnergyAbort => return Ok(true),
+                // Corruption defeated the drain: dropping the send here
+                // while execution continues would be a silent loss.
+                CommitOutcome::VerifyAbort => {
+                    return Err(VmError::Trap(
+                        "I/O buffer full and checkpoint drain failed verification".into(),
+                    ))
+                }
             }
         }
         Self::poke_u32(m, l.io_slot(self.io_count), value as u32)?;
@@ -879,6 +1025,121 @@ mod tests {
         let l = rt.layout().unwrap();
         let flag = TicsRuntime::peek_u32(&m, l.control.offset(ctrl::CKPT_FLAG)).unwrap();
         assert_eq!(flag, 2);
+    }
+
+    // ---- brown-out corruption: detect-or-die ----
+
+    /// Runs two checkpoints on continuous power so both banks hold
+    /// committed generations (A at seq 1, B at seq 2, flag = 2).
+    fn machine_with_two_committed_banks() -> (Machine, TicsRuntime) {
+        let mut m = tics_machine(
+            "int g; int main() { g = 1; checkpoint(); g = 2; checkpoint(); return 0; }",
+            MachineConfig::default(),
+        );
+        let mut rt = TicsRuntime::new(TicsConfig::default());
+        let out = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap();
+        assert_eq!(out.exit_code(), Some(0));
+        assert_eq!(ctrl_flag(&m, &rt), Some(2));
+        (m, rt)
+    }
+
+    fn clobber_bank(m: &mut Machine, rt: &TicsRuntime, which: u32) {
+        let l = rt.layout().unwrap();
+        let a = l.ckpt_buffer(which).offset(ckpt::SEG_IMAGE + 3);
+        let b = m.mem.peek_bytes(a, 1).unwrap()[0];
+        m.mem.poke_bytes(a, &[b ^ 0x40]).unwrap();
+    }
+
+    #[test]
+    fn corrupt_active_bank_falls_back_to_older_bank() {
+        let (mut m, mut rt) = machine_with_two_committed_banks();
+        clobber_bank(&mut m, &rt, 2); // active bank
+        let action = rt.on_boot(&mut m).unwrap();
+        assert_eq!(action, ResumeAction::Restored);
+        assert_eq!(ctrl_flag(&m, &rt), Some(1), "flag repaired to bank A");
+        assert_eq!(m.stats().recoveries, 1);
+        assert_eq!(m.stats().fresh_starts, 0);
+    }
+
+    #[test]
+    fn corrupt_inactive_bank_is_harmless() {
+        let (mut m, mut rt) = machine_with_two_committed_banks();
+        clobber_bank(&mut m, &rt, 1); // older, inactive bank
+        let action = rt.on_boot(&mut m).unwrap();
+        assert_eq!(action, ResumeAction::Restored);
+        assert_eq!(ctrl_flag(&m, &rt), Some(2), "active bank still trusted");
+        assert_eq!(m.stats().recoveries, 0);
+    }
+
+    #[test]
+    fn corrupt_both_banks_degrades_to_fresh_start() {
+        let (mut m, mut rt) = machine_with_two_committed_banks();
+        clobber_bank(&mut m, &rt, 1);
+        clobber_bank(&mut m, &rt, 2);
+        let action = rt.on_boot(&mut m).unwrap();
+        assert_eq!(
+            action,
+            ResumeAction::Restart {
+                reinit_globals: true
+            }
+        );
+        assert_eq!(ctrl_flag(&m, &rt), Some(0), "no bank left to trust");
+        assert_eq!(m.stats().recoveries, 1);
+        assert_eq!(m.stats().fresh_starts, 1);
+        let recovered = m
+            .trace()
+            .records()
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::Recovery { invalid_banks: 2, fresh_start: true }));
+        assert!(recovered, "typed Recovery event must be on the trace");
+    }
+
+    #[test]
+    fn staged_but_uncommitted_bank_is_not_restored() {
+        // A fully staged bank whose flag never flipped (the commit died
+        // on the energy gate) is an *uncommitted* checkpoint: flag == 0
+        // must stay a plain restart even though the bank's CRC is valid.
+        let (mut m, mut rt) = machine_with_two_committed_banks();
+        let l = *rt.layout().unwrap();
+        TicsRuntime::poke_u32(&mut m, l.control.offset(ctrl::CKPT_FLAG), 0).unwrap();
+        let action = rt.on_boot(&mut m).unwrap();
+        assert_eq!(
+            action,
+            ResumeAction::Restart {
+                reinit_globals: false
+            }
+        );
+        assert_eq!(m.stats().recoveries, 0, "not a recovery, just a restart");
+    }
+
+    #[test]
+    fn completes_exactly_under_brownout_corruption() {
+        // End-to-end: with writes near every power cut being bit-flipped
+        // or dropped, the verified two-phase commit still yields an exact
+        // WAR-consistent result — corruption is detected and retried or
+        // recovered, never silently consumed.
+        let mut prog = compile(
+            "int len;
+             int main() {
+                 for (int i = 0; i < 1500; i++) { len = len + 1; }
+                 return len;
+             }",
+            OptLevel::O1,
+        )
+        .unwrap();
+        passes::instrument_tics(&mut prog).unwrap();
+        let mut m = Machine::new(prog, MachineConfig::default()).unwrap();
+        m.mem
+            .set_corruption(Some(tics_mcu::CorruptionModel::new(2_000, 0.2, 0.1, 7)));
+        let mut rt = TicsRuntime::new(TicsConfig::s2_star());
+        let out = Executor::new()
+            .with_time_budget(1_000_000_000)
+            .run(&mut m, &mut rt, &mut PeriodicTrace::new(25_000, 300))
+            .unwrap();
+        assert_eq!(out.exit_code(), Some(1500), "WAR consistency violated");
+        assert!(m.stats().power_failures > 0);
     }
 
     #[test]

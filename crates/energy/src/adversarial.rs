@@ -30,13 +30,52 @@ pub enum Tail {
     End,
 }
 
+/// Brown-out corruption parameters carried by a [`FaultPlan`].
+///
+/// Plain data: `tics-energy` does not depend on the memory system, so
+/// the fault harness reads these fields and arms the machine's
+/// memory-level corruption model from them. Same seed, same plan, same
+/// corruption — chaos runs replay bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corruption {
+    /// At-risk window before each cut, in cycles: stores issued with
+    /// fewer than `window` cycles of on-time left may corrupt.
+    pub window: u64,
+    /// Probability an at-risk store suffers a single random bit flip.
+    pub flip_prob: f64,
+    /// Probability an at-risk store is dropped entirely.
+    pub drop_prob: f64,
+    /// Per-byte probability that SRAM decays across an outage
+    /// (`1.0` = full deterministic clobber).
+    pub sram_decay: f64,
+    /// Seed for the corruption RNG stream.
+    pub seed: u64,
+}
+
+impl Corruption {
+    /// A spec where at-risk stores corrupt with total probability
+    /// `rate`, split evenly between bit flips and dropped stores, with
+    /// full SRAM clobber. The single-knob form the chaos grid sweeps.
+    #[must_use]
+    pub fn with_rate(window: u64, rate: f64, seed: u64) -> Corruption {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        Corruption {
+            window,
+            flip_prob: rate / 2.0,
+            drop_prob: rate / 2.0,
+            sram_decay: 1.0,
+            seed,
+        }
+    }
+}
+
 /// A deterministic fault plan: power dies exactly when the machine's
 /// cumulative on-time reaches each cut, in order.
 ///
 /// Cuts are *absolute* cycle counts of on-time (the machine's `cycles()`
 /// axis), not per-period durations — so a plan read out of a journal row
 /// replays the same failures regardless of how the run got there.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Strictly increasing absolute cut cycles.
     pub cuts: Vec<u64>,
@@ -44,6 +83,8 @@ pub struct FaultPlan {
     pub off_us: u64,
     /// Behavior after the last cut.
     pub tail: Tail,
+    /// Optional brown-out corruption riding on each cut.
+    pub corruption: Option<Corruption>,
 }
 
 /// `splitmix64` — the standard seed expander; deterministic and
@@ -69,6 +110,7 @@ impl FaultPlan {
             cuts,
             off_us,
             tail: Tail::Continuous,
+            corruption: None,
         }
     }
 
@@ -82,6 +124,13 @@ impl FaultPlan {
     #[must_use]
     pub fn with_tail(mut self, tail: Tail) -> FaultPlan {
         self.tail = tail;
+        self
+    }
+
+    /// The same plan with brown-out corruption riding on its cuts.
+    #[must_use]
+    pub fn with_corruption(mut self, corruption: Corruption) -> FaultPlan {
+        self.corruption = Some(corruption);
         self
     }
 
@@ -116,6 +165,7 @@ impl FaultPlan {
             cuts,
             off_us: self.off_us,
             tail: self.tail,
+            corruption: self.corruption,
         }
     }
 }
@@ -237,5 +287,15 @@ mod tests {
         let p = FaultPlan::new(vec![10, 20, 30], 5);
         assert_eq!(p.without(1).cuts, vec![10, 30]);
         assert_eq!(p.without(9).cuts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn corruption_rides_through_shrinking() {
+        let c = Corruption::with_rate(500, 0.4, 99);
+        assert!((c.flip_prob - 0.2).abs() < 1e-12);
+        assert!((c.drop_prob - 0.2).abs() < 1e-12);
+        let p = FaultPlan::new(vec![10, 20], 5).with_corruption(c);
+        assert_eq!(p.without(0).corruption, Some(c));
+        assert_eq!(FaultPlan::new(vec![10], 5).corruption, None);
     }
 }

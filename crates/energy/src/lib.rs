@@ -40,7 +40,7 @@ pub mod capacitor;
 pub mod harvester;
 pub mod trace;
 
-pub use adversarial::{AdversarialSupply, FaultPlan, Tail};
+pub use adversarial::{AdversarialSupply, Corruption, FaultPlan, Tail};
 pub use capacitor::Capacitor;
 pub use harvester::{ConstantHarvester, Harvester, RfHarvester, SolarHarvester};
 pub use trace::{

@@ -35,14 +35,16 @@
 #![warn(missing_docs)]
 
 pub mod costs;
+pub mod crc;
 pub mod layout;
 pub mod memory;
 pub mod region;
 pub mod registers;
 
 pub use costs::CostModel;
+pub use crc::crc32;
 pub use layout::MemoryLayout;
-pub use memory::{Memory, MemoryError};
+pub use memory::{CorruptionModel, Memory, MemoryError, ATOMIC_STORE_BYTES};
 pub use region::{Addr, Region};
 pub use registers::Registers;
 

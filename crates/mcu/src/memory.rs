@@ -53,6 +53,106 @@ pub struct MemoryStats {
     /// Cycle-accounted stores truncated by a power cut (torn commits): the
     /// store charged its full cost but only a word-granular prefix landed.
     pub torn_writes: u64,
+    /// Stores corrupted by the brown-out model: bit-flipped or dropped
+    /// inside the configured pre-cut window (see [`CorruptionModel`]).
+    pub corrupted_writes: u64,
+}
+
+/// Brown-out corruption model: what dirty power does to in-flight
+/// stores and to resting SRAM. Torn writes (clean word-prefix
+/// truncation at the cut) are always on; this model adds the *dirty*
+/// failure modes real MSP430FR brown-outs exhibit — single-bit upsets
+/// and dropped writes in the undervolted window right before the cut,
+/// plus probabilistic SRAM decay across outages.
+///
+/// Only stores longer than [`ATOMIC_STORE_BYTES`] are at risk: the
+/// MSP430FR memory controller commits individual words atomically even
+/// through a brown-out (its internal write buffer holds up to two
+/// words), so single-word control writes — validity flags, counters,
+/// undo-log slots — cannot be half-written or flipped. Multi-word burst
+/// stores (checkpoint bank images) keep the bus busy through the
+/// undervolted window and are where real silent corruption lands.
+///
+/// All randomness is drawn from a private splitmix64 stream seeded by
+/// [`CorruptionModel::seed`]: the same seed and the same access sequence
+/// produce byte-identical corruption, so every chaos run is replayable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionModel {
+    /// Width in cycles of the at-risk window before the armed power
+    /// cut. A store (cycle-accounted *or* poke-path) issued when fewer
+    /// than `window` cycles remain before the cut may be corrupted.
+    pub window: u64,
+    /// Probability an at-risk store suffers a single random bit flip.
+    pub flip_prob: f64,
+    /// Probability an at-risk store is dropped entirely (no bytes land).
+    pub drop_prob: f64,
+    /// Per-byte probability that SRAM decays (loses its contents)
+    /// across an outage. `1.0` reproduces the deterministic full
+    /// clobber; lower values model short outages where SRAM partially
+    /// retains data — stale-but-plausible bytes that are far more
+    /// dangerous than obvious garbage.
+    pub sram_decay: f64,
+    /// Seed for the corruption RNG stream.
+    pub seed: u64,
+}
+
+impl CorruptionModel {
+    /// A model with the given at-risk window and flip/drop rates, full
+    /// SRAM clobber (the conservative default), seeded by `seed`.
+    #[must_use]
+    pub fn new(window: u64, flip_prob: f64, drop_prob: f64, seed: u64) -> CorruptionModel {
+        assert!(
+            flip_prob >= 0.0 && drop_prob >= 0.0 && flip_prob + drop_prob <= 1.0,
+            "corruption probabilities must be in [0, 1] and sum to at most 1"
+        );
+        CorruptionModel {
+            window,
+            flip_prob,
+            drop_prob,
+            sram_decay: 1.0,
+            seed,
+        }
+    }
+
+    /// Sets the per-byte SRAM decay probability across outages.
+    #[must_use]
+    pub fn with_sram_decay(mut self, sram_decay: f64) -> CorruptionModel {
+        assert!(
+            (0.0..=1.0).contains(&sram_decay),
+            "sram_decay must be in [0, 1]"
+        );
+        self.sram_decay = sram_decay;
+        self
+    }
+}
+
+/// Largest store the FRAM controller commits atomically: two 32-bit
+/// words, the depth of its internal write buffer. Stores of this size
+/// or smaller are immune to brown-out corruption (see
+/// [`CorruptionModel`]).
+pub const ATOMIC_STORE_BYTES: usize = 8;
+
+/// What the corruption model decided to do to one store.
+enum StoreFate {
+    /// Clean: all bytes land.
+    Keep,
+    /// One bit flips: XOR `mask` into the byte at `offset`.
+    Flip { offset: usize, mask: u8 },
+    /// The store is dropped entirely.
+    Drop,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from a 64-bit word (53 mantissa bits).
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// The simulated memory system: volatile SRAM plus persistent FRAM, with a
@@ -78,6 +178,18 @@ pub struct MemoryStats {
 /// [`MemoryStats::torn_writes`] when truncated. `poke_*` writes are exempt:
 /// they model runtime/debugger operations whose atomicity is governed by
 /// the machine's atomic-charge protocol, not by the memory bus.
+///
+/// # Brown-out corruption
+///
+/// Torn writes model a *clean* cut: every word that lands is correct.
+/// Real brown-outs are dirtier — in the undervolted window right before
+/// the supply dies, FRAM stores can flip bits or be silently dropped,
+/// and SRAM decays rather than vanishing. Arming a [`CorruptionModel`]
+/// via [`Memory::set_corruption`] enables these modes for *all* stores,
+/// poke-path included (checkpoint banks are written with pokes, and the
+/// electrons do not care who issued the store). Corrupted stores are
+/// counted in [`MemoryStats::corrupted_writes`]; the model is seeded
+/// and fully deterministic.
 #[derive(Debug, Clone)]
 pub struct Memory {
     layout: MemoryLayout,
@@ -88,6 +200,11 @@ pub struct Memory {
     stats: MemoryStats,
     /// Absolute cycle at which power dies; stores straddling it tear.
     cut_at: Option<u64>,
+    /// Brown-out corruption model, if armed (see [`CorruptionModel`]).
+    corruption: Option<CorruptionModel>,
+    /// State of the corruption RNG stream (reseeded by
+    /// [`Memory::set_corruption`]).
+    corrupt_rng: u64,
     /// Cycle-attribution: who the current work is charged to.
     current_span: SpanKind,
     /// Cycles charged per span. Every increment of `cycles` also lands
@@ -113,6 +230,8 @@ impl Memory {
             cycles: 0,
             stats: MemoryStats::default(),
             cut_at: None,
+            corruption: None,
+            corrupt_rng: 0,
             current_span: SpanKind::App,
             span_cycles: [0; SpanKind::COUNT],
         }
@@ -182,10 +301,66 @@ impl Memory {
     /// struct; the machine owner must also call [`crate::Registers::reset`].
     /// The cut itself is disarmed: the next boot runs untorn until a new
     /// deadline is armed.
+    ///
+    /// Under a [`CorruptionModel`] with `sram_decay < 1.0`, each SRAM
+    /// byte decays (is clobbered) independently with that probability
+    /// and *retains its pre-failure value* otherwise — modelling the
+    /// data remanence of short outages, where stale-but-plausible SRAM
+    /// contents are far more dangerous than obvious garbage.
     pub fn power_fail(&mut self) {
-        self.sram.fill(SRAM_CLOBBER);
+        match self.corruption {
+            Some(c) if c.sram_decay < 1.0 => {
+                for byte in &mut self.sram {
+                    if unit(splitmix64(&mut self.corrupt_rng)) < c.sram_decay {
+                        *byte = SRAM_CLOBBER;
+                    }
+                }
+            }
+            _ => self.sram.fill(SRAM_CLOBBER),
+        }
         self.stats.power_failures += 1;
         self.cut_at = None;
+    }
+
+    /// Arms (or disarms, with `None`) the brown-out corruption model and
+    /// reseeds its RNG stream from the model's seed.
+    pub fn set_corruption(&mut self, model: Option<CorruptionModel>) {
+        self.corrupt_rng = model.map_or(0, |m| m.seed);
+        self.corruption = model;
+    }
+
+    /// The armed corruption model, if any.
+    #[must_use]
+    pub fn corruption(&self) -> Option<&CorruptionModel> {
+        self.corruption.as_ref()
+    }
+
+    /// Decides what dirty power does to a store of `len` bytes issued
+    /// right now. Only consulted (and only advances the RNG) when a cut
+    /// is armed, fewer than `window` cycles remain before it, and the
+    /// store is longer than the controller's atomic write buffer.
+    fn store_fate(&mut self, len: usize) -> StoreFate {
+        let Some(c) = self.corruption else {
+            return StoreFate::Keep;
+        };
+        let Some(cut) = self.cut_at else {
+            return StoreFate::Keep;
+        };
+        if len <= ATOMIC_STORE_BYTES || cut.saturating_sub(self.cycles) > c.window {
+            return StoreFate::Keep;
+        }
+        let draw = unit(splitmix64(&mut self.corrupt_rng));
+        if draw < c.drop_prob {
+            StoreFate::Drop
+        } else if draw < c.drop_prob + c.flip_prob {
+            let r = splitmix64(&mut self.corrupt_rng);
+            StoreFate::Flip {
+                offset: (r >> 8) as usize % len,
+                mask: 1 << (r & 7),
+            }
+        } else {
+            StoreFate::Keep
+        }
     }
 
     /// Arms (or disarms, with `None`) the power-cut boundary at an
@@ -295,10 +470,19 @@ impl Memory {
     pub fn write_bytes(&mut self, addr: Addr, buf: &[u8]) -> Result<(), MemoryError> {
         let len = buf.len() as u32;
         let committed = self.committed_prefix(addr, len) as usize;
+        let fate = self.store_fate(committed);
         // Bounds-check the whole range — the MCU decodes the access before
         // the bus starts moving words, so an unmapped tail still faults.
         let dst = self.slice_mut(addr, len)?;
-        dst[..committed].copy_from_slice(&buf[..committed]);
+        match fate {
+            StoreFate::Keep => dst[..committed].copy_from_slice(&buf[..committed]),
+            StoreFate::Flip { offset, mask } => {
+                dst[..committed].copy_from_slice(&buf[..committed]);
+                dst[offset] ^= mask;
+                self.stats.corrupted_writes += 1;
+            }
+            StoreFate::Drop => self.stats.corrupted_writes += 1,
+        }
         if committed < len as usize {
             self.stats.torn_writes += 1;
         }
@@ -404,8 +588,17 @@ impl Memory {
     /// Returns [`MemoryError::Unmapped`] if the range is not mapped.
     pub fn fill(&mut self, addr: Addr, len: u32, value: u8) -> Result<(), MemoryError> {
         let committed = self.committed_prefix(addr, len) as usize;
+        let fate = self.store_fate(committed);
         let dst = self.slice_mut(addr, len)?;
-        dst[..committed].fill(value);
+        match fate {
+            StoreFate::Keep => dst[..committed].fill(value),
+            StoreFate::Flip { offset, mask } => {
+                dst[..committed].fill(value);
+                dst[offset] ^= mask;
+                self.stats.corrupted_writes += 1;
+            }
+            StoreFate::Drop => self.stats.corrupted_writes += 1,
+        }
         if committed < len as usize {
             self.stats.torn_writes += 1;
         }
@@ -444,13 +637,28 @@ impl Memory {
         ]))
     }
 
-    /// Debugger-style write: no cycles, no statistics.
+    /// Debugger-style write: no cycles, no traffic statistics. Exempt
+    /// from torn-write truncation, but *not* from the brown-out
+    /// [`CorruptionModel`] — poke-path stores are real bus traffic
+    /// electrically (checkpoint banks are written this way), so an
+    /// undervolted window can still flip or drop them, counted in
+    /// [`MemoryStats::corrupted_writes`].
     ///
     /// # Errors
     ///
     /// Returns [`MemoryError::Unmapped`] if the range is not mapped.
     pub fn poke_bytes(&mut self, addr: Addr, buf: &[u8]) -> Result<(), MemoryError> {
-        self.slice_mut(addr, buf.len() as u32)?.copy_from_slice(buf);
+        let fate = self.store_fate(buf.len());
+        let dst = self.slice_mut(addr, buf.len() as u32)?;
+        match fate {
+            StoreFate::Keep => dst.copy_from_slice(buf),
+            StoreFate::Flip { offset, mask } => {
+                dst.copy_from_slice(buf);
+                dst[offset] ^= mask;
+                self.stats.corrupted_writes += 1;
+            }
+            StoreFate::Drop => self.stats.corrupted_writes += 1,
+        }
         Ok(())
     }
 
@@ -677,6 +885,128 @@ mod tests {
         assert!(m.span_cycles(SpanKind::UndoLog) > 0);
         assert!(m.span_cycles(SpanKind::App) > 0);
         assert_eq!(m.span_cycles(SpanKind::Rollback), 0);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit_inside_the_window() {
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        m.set_corruption(Some(CorruptionModel::new(1_000, 1.0, 0.0, 7)));
+        m.set_power_cut(Some(m.cycles() + 500)); // inside the window
+        let payload = [0u8; 32];
+        m.poke_bytes(a, &payload).unwrap();
+        let got = m.peek_bytes(a, 32).unwrap();
+        let flipped: u32 = got
+            .iter()
+            .zip(payload.iter())
+            .map(|(g, p)| (g ^ p).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "exactly one bit should flip: {got:?}");
+        assert_eq!(m.stats().corrupted_writes, 1);
+    }
+
+    #[test]
+    fn corruption_drops_the_whole_store() {
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        m.poke_bytes(a, &[9; 12]).unwrap();
+        m.set_corruption(Some(CorruptionModel::new(1_000, 0.0, 1.0, 7)));
+        m.set_power_cut(Some(m.cycles() + 10));
+        m.poke_bytes(a, &[1; 12]).unwrap();
+        assert_eq!(m.peek_bytes(a, 12).unwrap(), vec![9; 12]);
+        assert_eq!(m.stats().corrupted_writes, 1);
+    }
+
+    #[test]
+    fn word_sized_stores_are_immune_to_corruption() {
+        // The FRAM controller's write buffer commits up to two words
+        // atomically — control-word pokes (flags, counters, undo slots)
+        // can never be flipped or dropped, only burst stores can.
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        m.set_corruption(Some(CorruptionModel::new(u64::MAX, 0.5, 0.5, 7)));
+        m.set_power_cut(Some(m.cycles() + 10));
+        for i in 0..50u32 {
+            m.poke_bytes(a, &i.to_le_bytes()).unwrap();
+            assert_eq!(m.peek_i32(a).unwrap() as u32, i);
+            m.poke_bytes(a, &u64::from(i).to_le_bytes()).unwrap();
+            assert_eq!(m.peek_u64(a).unwrap(), u64::from(i));
+        }
+        assert_eq!(m.stats().corrupted_writes, 0);
+    }
+
+    #[test]
+    fn corruption_is_inert_outside_the_window_or_without_a_cut() {
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        m.set_corruption(Some(CorruptionModel::new(100, 1.0, 0.0, 7)));
+        // No cut armed: clean.
+        m.poke_bytes(a, &[7; 16]).unwrap();
+        assert_eq!(m.peek_bytes(a, 16).unwrap(), vec![7; 16]);
+        // Cut armed far beyond the window: still clean.
+        m.set_power_cut(Some(m.cycles() + 1_000_000));
+        m.poke_bytes(a, &[8; 16]).unwrap();
+        assert_eq!(m.peek_bytes(a, 16).unwrap(), vec![8; 16]);
+        assert_eq!(m.stats().corrupted_writes, 0);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut m = mem();
+            let a = m.layout().fram.start;
+            m.set_corruption(Some(CorruptionModel::new(10_000, 0.5, 0.25, seed)));
+            m.set_power_cut(Some(m.cycles() + 100));
+            for i in 0..16u8 {
+                m.poke_bytes(a.offset(16 * u32::from(i)), &[i; 16]).unwrap();
+            }
+            (m.peek_bytes(a, 256).unwrap(), m.stats().corrupted_writes)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0, "different seeds should diverge");
+    }
+
+    #[test]
+    fn cycle_accounted_writes_are_also_at_risk() {
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        m.set_corruption(Some(CorruptionModel::new(u64::MAX, 0.0, 1.0, 3)));
+        m.set_power_cut(Some(m.cycles() + 1_000_000));
+        m.write_bytes(a, &[0x77; 12]).unwrap();
+        assert_eq!(
+            m.peek_bytes(a, 12).unwrap(),
+            vec![0; 12],
+            "dropped store leaves zeroes"
+        );
+        assert_eq!(m.stats().corrupted_writes, 1);
+    }
+
+    #[test]
+    fn sram_decay_retains_some_bytes_across_an_outage() {
+        let mut m = mem();
+        let a = m.layout().sram.start;
+        let len = m.layout().sram.len();
+        m.fill(a, len, 0x3C).unwrap();
+        m.set_corruption(Some(
+            CorruptionModel::new(0, 0.0, 0.0, 11).with_sram_decay(0.5),
+        ));
+        m.power_fail();
+        let bytes = m.peek_bytes(a, len).unwrap();
+        let decayed = bytes.iter().filter(|&&b| b == SRAM_CLOBBER).count();
+        let retained = bytes.iter().filter(|&&b| b == 0x3C).count();
+        assert_eq!(decayed + retained, len as usize);
+        assert!(decayed > 0, "some bytes must decay");
+        assert!(retained > 0, "some bytes must survive");
+        assert_eq!(m.stats().power_failures, 1);
+
+        // decay = 0.0 retains everything; the default model clobbers all.
+        let mut m2 = mem();
+        m2.fill(a, len, 0x3C).unwrap();
+        m2.set_corruption(Some(
+            CorruptionModel::new(0, 0.0, 0.0, 11).with_sram_decay(0.0),
+        ));
+        m2.power_fail();
+        assert!(m2.peek_bytes(a, len).unwrap().iter().all(|&b| b == 0x3C));
     }
 
     #[test]

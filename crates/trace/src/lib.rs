@@ -164,6 +164,17 @@ pub enum TraceEvent {
         /// Bytes of state restored.
         bytes: u64,
     },
+    /// Checkpoint validation found corruption at reboot and the runtime
+    /// recovered instead of restoring garbage (timeline). One invalid
+    /// bank means the runtime fell back to the older valid bank; two
+    /// means both failed CRC validation and execution degraded to a
+    /// fresh start.
+    Recovery {
+        /// Number of checkpoint banks that failed validation (1 or 2).
+        invalid_banks: u32,
+        /// Whether recovery degraded to a fresh start from `main`.
+        fresh_start: bool,
+    },
     /// One undo-log entry of `bytes` bytes was appended (detail).
     UndoAppend {
         /// Bytes of old value logged.
@@ -274,6 +285,7 @@ impl TraceEvent {
             TraceEvent::PowerFailure { .. } => "power_failure",
             TraceEvent::CheckpointCommit { .. } => "checkpoint_commit",
             TraceEvent::Restore { .. } => "restore",
+            TraceEvent::Recovery { .. } => "recovery",
             TraceEvent::UndoAppend { .. } => "undo_append",
             TraceEvent::Rollback { .. } => "rollback",
             TraceEvent::TornWrite { .. } => "torn_write",
@@ -437,6 +449,10 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
                     | TraceEvent::UndoAppend { bytes }
                     | TraceEvent::Rollback { bytes } => format!("\"bytes\":{bytes}"),
                     TraceEvent::TornWrite { count } => format!("\"count\":{count}"),
+                    TraceEvent::Recovery {
+                        invalid_banks,
+                        fresh_start,
+                    } => format!("\"invalid_banks\":{invalid_banks},\"fresh_start\":{fresh_start}"),
                     TraceEvent::Mark { id } => format!("\"id\":{id}"),
                     TraceEvent::Send { value }
                     | TraceEvent::Sample { value }

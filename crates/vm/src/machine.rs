@@ -589,6 +589,11 @@ impl Machine {
     /// variables keep their values (the crt0 of an FRAM device preserves
     /// the persistent section across reboots).
     ///
+    /// The clear is issued word-by-word, matching crt0's `.bss`/`.data`
+    /// loops: each store fits the memory controller's atomic write
+    /// buffer, so startup initialization cannot be silently bit-flipped
+    /// by a brown-out the way a multi-word burst store can.
+    ///
     /// # Errors
     ///
     /// Returns [`VmError::Memory`] on bad addresses.
@@ -605,7 +610,13 @@ impl Machine {
                 continue;
             }
             let base = self.global_addr(offset);
-            self.mem.fill(base, size, 0)?;
+            let word = tics_mcu::ATOMIC_STORE_BYTES as u32;
+            let mut cleared = 0;
+            while cleared < size {
+                let n = (size - cleared).min(word);
+                self.mem.fill(base.offset(cleared), n, 0)?;
+                cleared += n;
+            }
             for (i, v) in init.iter().enumerate() {
                 self.mem.write_i32(base.offset(4 * i as u32), *v)?;
             }

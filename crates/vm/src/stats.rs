@@ -27,6 +27,11 @@ pub struct ExecStats {
     pub checkpoint_bytes: u64,
     /// Checkpoint restores performed after reboots.
     pub restores: u64,
+    /// Self-healing recoveries: boots that detected an invalid
+    /// checkpoint bank and fell back or fresh-started.
+    pub recoveries: u64,
+    /// Recoveries that degraded to a fresh start (every bank invalid).
+    pub fresh_starts: u64,
     /// Undo-log entries appended.
     pub undo_log_appends: u64,
     /// Undo-log entries rolled back after failures.
@@ -78,6 +83,12 @@ impl ExecStats {
                 self.checkpoint_bytes += bytes;
             }
             TraceEvent::Restore { .. } => self.restores += 1,
+            TraceEvent::Recovery { fresh_start, .. } => {
+                self.recoveries += 1;
+                if fresh_start {
+                    self.fresh_starts += 1;
+                }
+            }
             TraceEvent::UndoAppend { .. } => self.undo_log_appends += 1,
             TraceEvent::Rollback { .. } => self.undo_rollbacks += 1,
             TraceEvent::Mark { id } => self.marks_timed.push((id, at_us)),
