@@ -11,7 +11,7 @@
 //! checkpoint. The naive MementOS-style runtime deliberately does *not*
 //! use them: it is the experiment's un-hardened control.
 
-use tics_mcu::{crc32, Addr};
+use tics_mcu::{Addr, Crc32};
 use tics_trace::TraceEvent;
 use tics_vm::{Machine, VmError};
 
@@ -88,7 +88,7 @@ const VERIFY_ATTEMPTS: u32 = 16;
 pub(crate) fn verified_poke(m: &mut Machine, a: Addr, bytes: &[u8]) -> Result<bool> {
     for _ in 0..VERIFY_ATTEMPTS {
         m.mem.poke_bytes(a, bytes)?;
-        if m.mem.peek_bytes(a, bytes.len() as u32)? == bytes {
+        if m.mem.peek_slice(a, bytes.len() as u32)? == bytes {
             return Ok(true);
         }
     }
@@ -96,11 +96,11 @@ pub(crate) fn verified_poke(m: &mut Machine, a: Addr, bytes: &[u8]) -> Result<bo
 }
 
 fn bank_crc(seq: u64, payload: &[u8]) -> u32 {
-    let mut data = Vec::with_capacity(12 + payload.len());
-    data.extend_from_slice(&seq.to_le_bytes());
-    data.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    data.extend_from_slice(payload);
-    crc32(&data)
+    let mut h = Crc32::new();
+    h.update(&seq.to_le_bytes());
+    h.update(&(payload.len() as u32).to_le_bytes());
+    h.update(payload);
+    h.finish()
 }
 
 /// Stages `payload` into bank `buf` under sequence number `seq`, CRC
@@ -119,15 +119,15 @@ pub(crate) fn stage_bank(m: &mut Machine, buf: Addr, seq: u64, payload: &[u8]) -
 /// Validates bank `buf`: nonzero sequence, sane payload length (at most
 /// `max_payload`), matching CRC. Returns the sequence number if valid.
 pub(crate) fn validate_bank(m: &Machine, buf: Addr, max_payload: u32) -> Result<Option<u64>> {
-    let head = m.mem.peek_bytes(buf, BANK_HEADER)?;
+    let head = m.mem.peek_slice(buf, BANK_HEADER)?;
     let seq = u64::from_le_bytes(head[0..8].try_into().expect("8-byte seq"));
     let len = u32::from_le_bytes(head[8..12].try_into().expect("4-byte len"));
     let stored = u32::from_le_bytes(head[12..16].try_into().expect("4-byte crc"));
     if seq == 0 || len > max_payload {
         return Ok(None);
     }
-    let payload = m.mem.peek_bytes(buf.offset(BANK_HEADER), len)?;
-    if bank_crc(seq, &payload) != stored {
+    let payload = m.mem.peek_slice(buf.offset(BANK_HEADER), len)?;
+    if bank_crc(seq, payload) != stored {
         return Ok(None);
     }
     Ok(Some(seq))

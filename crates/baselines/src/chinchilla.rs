@@ -90,10 +90,10 @@ impl ChinchillaRuntime {
         }
         payload.extend_from_slice(&used.to_le_bytes());
         if used > 0 {
-            payload.extend_from_slice(&m.mem.peek_bytes(sram.start, used)?);
+            payload.extend_from_slice(m.mem.peek_slice(sram.start, used)?);
         }
         if statics_len > 0 {
-            payload.extend_from_slice(&m.mem.peek_bytes(m.data_base(), statics_len)?);
+            payload.extend_from_slice(m.mem.peek_slice(m.data_base(), statics_len)?);
         }
         let max_payload = self.buf_bytes - BANK_HEADER;
         let seq = next_seq(m, self.buf_a, self.buf_b, max_payload)?;
@@ -130,6 +130,12 @@ impl Default for ChinchillaRuntime {
 impl IntermittentRuntime for ChinchillaRuntime {
     fn name(&self) -> &'static str {
         "Chinchilla"
+    }
+
+    // `on_instruction` is the trait default (a no-op) for this runtime,
+    // so the decoded dispatcher may run its fused fast loop.
+    fn instruction_hook(&self) -> bool {
+        false
     }
 
     fn capabilities(&self) -> RuntimeCapabilities {

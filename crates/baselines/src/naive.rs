@@ -122,6 +122,12 @@ impl IntermittentRuntime for NaiveCheckpoint {
         "naive-mementos"
     }
 
+    // `on_instruction` is the trait default (a no-op) for this runtime,
+    // so the decoded dispatcher may run its fused fast loop.
+    fn instruction_hook(&self) -> bool {
+        false
+    }
+
     fn capabilities(&self) -> RuntimeCapabilities {
         RuntimeCapabilities {
             pointer_support: true,

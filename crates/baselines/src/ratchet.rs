@@ -85,7 +85,7 @@ impl RatchetRuntime {
         }
         payload.extend_from_slice(&frame_len.to_le_bytes());
         if frame_len > 0 {
-            payload.extend_from_slice(&m.mem.peek_bytes(m.regs.fp, frame_len)?);
+            payload.extend_from_slice(m.mem.peek_slice(m.regs.fp, frame_len)?);
         }
         let seq = next_seq(m, self.buf_a, self.buf_b, self.max_payload)?;
         if !stage_bank(m, buf, seq, &payload)? {
@@ -120,6 +120,12 @@ impl Default for RatchetRuntime {
 impl IntermittentRuntime for RatchetRuntime {
     fn name(&self) -> &'static str {
         "Ratchet"
+    }
+
+    // `on_instruction` is the trait default (a no-op) for this runtime,
+    // so the decoded dispatcher may run its fused fast loop.
+    fn instruction_hook(&self) -> bool {
+        false
     }
 
     fn capabilities(&self) -> RuntimeCapabilities {

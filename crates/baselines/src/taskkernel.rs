@@ -166,7 +166,7 @@ impl TaskKernel {
         }
         payload.extend_from_slice(&used.to_le_bytes());
         if used > 0 {
-            payload.extend_from_slice(&m.mem.peek_bytes(sram.start, used)?);
+            payload.extend_from_slice(m.mem.peek_slice(sram.start, used)?);
         }
         let max_payload = 16 + 4 + sram.len();
         let seq = next_seq(m, self.buf_a, self.buf_b, max_payload)?;
@@ -221,6 +221,12 @@ impl TaskKernel {
 impl IntermittentRuntime for TaskKernel {
     fn name(&self) -> &'static str {
         self.flavor.name()
+    }
+
+    // `on_instruction` is the trait default (a no-op) for this runtime,
+    // so the decoded dispatcher may run its fused fast loop.
+    fn instruction_hook(&self) -> bool {
+        false
     }
 
     fn capabilities(&self) -> RuntimeCapabilities {

@@ -1,0 +1,429 @@
+//! `exp_bench` — interpreter dispatch microbenchmark and regression
+//! guard.
+//!
+//! Sweeps the seven fault-corpus programs across the legacy-capable
+//! systems under continuous and periodic-intermittent supplies, running
+//! every cell under **both** dispatch engines (the reference
+//! interpreter and the decoded fast-dispatch engine), and records
+//! host-side throughput: simulated instructions per second and complete
+//! cell-runs per second.
+//!
+//! Two properties are enforced on every cell, so the benchmark doubles
+//! as a differential smoke test:
+//!
+//! 1. **Equivalence** — both engines must produce the same outcome,
+//!    simulated cycle count, instruction count, and trace stream.
+//!    Any mismatch exits non-zero.
+//! 2. **Speedup** (`--check`) — the per-cell speedup ratio
+//!    `decoded_ips / reference_ips` is compared against the committed
+//!    baseline `BENCH_interpreter.json`. Ratios are machine-independent
+//!    (both engines run on the same host), so the guard is meaningful
+//!    on any CI machine: a cell regressing to below 75% of its baseline
+//!    speedup fails the run.
+//!
+//! Flags: `--quick` (reduced measurement time for CI), `--check`
+//! (compare against the committed baseline), `--out PATH` (baseline
+//! path, default `BENCH_interpreter.json`), `--no-write` (measure and
+//! check only). The sweep is deliberately single-threaded: wall-clock
+//! throughput is the measurement, so cells must not contend for cores.
+//!
+//! To refresh the committed baseline after interpreter work:
+//! `cargo run --release -p tics-bench --bin exp_bench` and commit the
+//! rewritten `BENCH_interpreter.json`.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use tics_apps::SystemUnderTest;
+use tics_bench::fault::{build_fault_program, FaultProgram};
+use tics_bench::Json;
+use tics_energy::{ContinuousPower, PeriodicTrace, PowerSupply};
+use tics_minic::Program;
+use tics_trace::TraceRecord;
+use tics_vm::{DispatchEngine, Executor, Machine, MachineConfig};
+
+/// Systems that run the legacy fault corpus.
+const SYSTEMS: [SystemUnderTest; 5] = [
+    SystemUnderTest::PlainC,
+    SystemUnderTest::Mementos,
+    SystemUnderTest::Tics,
+    SystemUnderTest::Chinchilla,
+    SystemUnderTest::Ratchet,
+];
+
+/// Periodic supply shape for the intermittent half of the grid.
+const ON_US: u64 = 50_000;
+const OFF_US: u64 = 300;
+
+/// On-time budget: bounds starving cells (the guard below diagnoses
+/// them long before this).
+const BUDGET_US: u64 = 50_000_000;
+const GUARD_BOOTS: u64 = 48;
+
+/// A cell regressing below this fraction of its baseline speedup fails
+/// `--check`. Deliberately loose: single cells are noisy under `--quick`
+/// (few repetitions), so the per-cell gate only catches catastrophic
+/// regressions — the geomean gate below catches broad ones.
+const CHECK_TOLERANCE: f64 = 0.5;
+
+/// The grid-wide geomean speedup regressing below this fraction of the
+/// baseline's geomean fails `--check`. Averaging over every cell makes
+/// this stable even under `--quick` timing noise.
+const GEOMEAN_TOLERANCE: f64 = 0.85;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Supply {
+    Continuous,
+    Periodic,
+}
+
+impl Supply {
+    fn label(self) -> &'static str {
+        match self {
+            Supply::Continuous => "continuous",
+            Supply::Periodic => "periodic",
+        }
+    }
+
+    fn build(self) -> Box<dyn PowerSupply> {
+        match self {
+            Supply::Continuous => Box::new(ContinuousPower::new()),
+            Supply::Periodic => Box::new(PeriodicTrace::new(ON_US, OFF_US)),
+        }
+    }
+}
+
+/// What one timed engine measurement produced.
+struct EngineRun {
+    /// Observables of a single run, for cross-engine equality.
+    outcome: String,
+    cycles: u64,
+    instructions: u64,
+    trace: Vec<TraceRecord>,
+    /// Throughput over all repetitions.
+    ips: f64,
+    runs_per_sec: f64,
+}
+
+/// Runs one (program image, supply, engine) cell repeatedly until
+/// `min_host_ms` of wall clock has elapsed, and reports throughput.
+fn measure(prog: &Program, system: SystemUnderTest, supply: Supply, engine: DispatchEngine, min_host_ms: u64) -> EngineRun {
+    let mut first: Option<(String, u64, u64, Vec<TraceRecord>)> = None;
+    let mut total_instructions = 0u64;
+    let mut runs = 0u32;
+    let started = Instant::now();
+    loop {
+        let mut m = Machine::new(prog.clone(), MachineConfig::default()).expect("image loads");
+        let mut rt = tics_apps::build::make_runtime(system, prog);
+        let mut sup = supply.build();
+        let exec = Executor::new()
+            .with_engine(engine)
+            .with_time_budget(BUDGET_US)
+            .with_progress_guard(GUARD_BOOTS);
+        let outcome = match exec.run(&mut m, rt.as_mut(), sup.as_mut()) {
+            Ok(o) => format!("{o:?}"),
+            Err(e) => format!("error: {e}"),
+        };
+        total_instructions += m.stats().instructions;
+        runs += 1;
+        if first.is_none() {
+            first = Some((
+                outcome,
+                m.cycles(),
+                m.stats().instructions,
+                m.trace().records().to_vec(),
+            ));
+        }
+        if started.elapsed().as_millis() as u64 >= min_host_ms || runs >= 400 {
+            break;
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let (outcome, cycles, instructions, trace) = first.expect("at least one run");
+    EngineRun {
+        outcome,
+        cycles,
+        instructions,
+        trace,
+        ips: total_instructions as f64 / elapsed,
+        runs_per_sec: f64::from(runs) / elapsed,
+    }
+}
+
+struct CellResult {
+    program: &'static str,
+    system: &'static str,
+    supply: &'static str,
+    outcome: String,
+    cycles: u64,
+    instructions: u64,
+    reference_ips: f64,
+    decoded_ips: f64,
+    reference_runs_per_sec: f64,
+    decoded_runs_per_sec: f64,
+    speedup: f64,
+    /// Whether the decoded engine can use its fused burst loop (no
+    /// per-instruction runtime hook). TICS keeps the hook, so its cells
+    /// are excluded from the headline "fast grid" speedup.
+    hook_free: bool,
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0f64, 0u32);
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / f64::from(n)).exp()
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let no_write = args.iter().any(|a| a == "--no-write");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_interpreter.json".to_string(), Clone::clone);
+    let min_host_ms: u64 = if quick { 40 } else { 120 };
+
+    let mut cells: Vec<CellResult> = Vec::new();
+    let mut mismatches = 0u32;
+    let sweep_started = Instant::now();
+
+    for program in FaultProgram::ALL {
+        for system in SYSTEMS {
+            let prog = match build_fault_program(program, system) {
+                Ok(p) => p,
+                Err(_) => continue, // infeasible combination (e.g. recursion on Chinchilla)
+            };
+            for supply in [Supply::Continuous, Supply::Periodic] {
+                let reference =
+                    measure(&prog, system, supply, DispatchEngine::Reference, min_host_ms);
+                let decoded = measure(&prog, system, supply, DispatchEngine::Decoded, min_host_ms);
+
+                // Differential smoke: the engines must agree on every
+                // observable of the (deterministic) first run.
+                if reference.outcome != decoded.outcome
+                    || reference.cycles != decoded.cycles
+                    || reference.instructions != decoded.instructions
+                    || reference.trace != decoded.trace
+                {
+                    eprintln!(
+                        "ENGINE MISMATCH {}/{}/{}: ref=({}, {} cy, {} in, {} ev) dec=({}, {} cy, {} in, {} ev)",
+                        program.name(),
+                        system.name(),
+                        supply.label(),
+                        reference.outcome,
+                        reference.cycles,
+                        reference.instructions,
+                        reference.trace.len(),
+                        decoded.outcome,
+                        decoded.cycles,
+                        decoded.instructions,
+                        decoded.trace.len(),
+                    );
+                    mismatches += 1;
+                }
+
+                cells.push(CellResult {
+                    program: program.name(),
+                    system: system.name(),
+                    supply: supply.label(),
+                    outcome: decoded.outcome.clone(),
+                    cycles: decoded.cycles,
+                    instructions: decoded.instructions,
+                    reference_ips: reference.ips,
+                    decoded_ips: decoded.ips,
+                    reference_runs_per_sec: reference.runs_per_sec,
+                    decoded_runs_per_sec: decoded.runs_per_sec,
+                    speedup: decoded.ips / reference.ips.max(1e-9),
+                    hook_free: system != SystemUnderTest::Tics,
+                });
+            }
+        }
+    }
+
+    let geomean_all = geomean(cells.iter().map(|c| c.speedup));
+    let geomean_fast = geomean(cells.iter().filter(|c| c.hook_free).map(|c| c.speedup));
+    let min_speedup = cells.iter().map(|c| c.speedup).fold(f64::INFINITY, f64::min);
+
+    println!(
+        "{} cells in {:.1}s | speedup geomean {:.2}x (hook-free grid {:.2}x), min {:.2}x",
+        cells.len(),
+        sweep_started.elapsed().as_secs_f64(),
+        geomean_all,
+        geomean_fast,
+        min_speedup,
+    );
+    for c in &cells {
+        println!(
+            "  {:>14}/{:<10} {:<10} {:>7.2} Mips -> {:>7.2} Mips  ({:.2}x)  [{}]",
+            c.program,
+            c.system,
+            c.supply,
+            c.reference_ips / 1e6,
+            c.decoded_ips / 1e6,
+            c.speedup,
+            c.outcome,
+        );
+    }
+
+    let json = Json::obj()
+        .field("version", 1i64)
+        .field("quick", quick)
+        .field(
+            "grid",
+            Json::obj()
+                .field("programs", FaultProgram::ALL.map(|p| p.name()).to_vec())
+                .field("systems", SYSTEMS.map(SystemUnderTest::name).to_vec())
+                .field(
+                    "supplies",
+                    vec!["continuous".to_string(), format!("periodic:{ON_US}/{OFF_US}")],
+                )
+                .build(),
+        )
+        .field(
+            "cells",
+            Json::Arr(
+                cells
+                    .iter()
+                    .map(|c| {
+                        Json::obj()
+                            .field("program", c.program)
+                            .field("system", c.system)
+                            .field("supply", c.supply)
+                            .field("outcome", c.outcome.as_str())
+                            .field("cycles", c.cycles)
+                            .field("instructions", c.instructions)
+                            .field("reference_ips", c.reference_ips)
+                            .field("decoded_ips", c.decoded_ips)
+                            .field("reference_cells_per_sec", c.reference_runs_per_sec)
+                            .field("decoded_cells_per_sec", c.decoded_runs_per_sec)
+                            .field("speedup", c.speedup)
+                            .field("hook_free", c.hook_free)
+                            .build()
+                    })
+                    .collect(),
+            ),
+        )
+        .field(
+            "summary",
+            Json::obj()
+                .field("cells", cells.len())
+                .field("geomean_speedup", geomean_all)
+                .field("geomean_speedup_hook_free", geomean_fast)
+                .field("min_speedup", min_speedup)
+                .build(),
+        )
+        .build();
+
+    // Results copy for artifact upload alongside the other experiments.
+    tics_bench::write_json("bench_interpreter", &json);
+
+    let mut regressions = 0u32;
+    if check {
+        match std::fs::read_to_string(&out_path) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(baseline) => regressions = check_against(&baseline, &cells),
+                Err(e) => {
+                    eprintln!("cannot parse baseline {out_path}: {e:?}");
+                    regressions = 1;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read baseline {out_path}: {e}");
+                regressions = 1;
+            }
+        }
+    } else if !no_write {
+        if let Err(e) = std::fs::write(&out_path, json.to_pretty()) {
+            eprintln!("cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("baseline written to {out_path}");
+    }
+
+    if mismatches > 0 {
+        eprintln!("{mismatches} engine mismatch(es)");
+        return ExitCode::FAILURE;
+    }
+    if regressions > 0 {
+        eprintln!(
+            "{regressions} cell(s) regressed below {CHECK_TOLERANCE} of baseline speedup \
+             (re-baseline with `cargo run --release -p tics-bench --bin exp_bench` if intended)"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Compares measured speedups against the committed baseline. Cells are
+/// matched by (program, system, supply); unmatched cells on either side
+/// are reported but only regressions fail.
+fn check_against(baseline: &Json, cells: &[CellResult]) -> u32 {
+    let Some(rows) = baseline.get("cells").and_then(Json::as_arr) else {
+        eprintln!("baseline has no cells array");
+        return 1;
+    };
+    let baseline_speedup = |c: &CellResult| -> Option<f64> {
+        rows.iter().find_map(|row| {
+            let matches = row.get("program").and_then(Json::as_str) == Some(c.program)
+                && row.get("system").and_then(Json::as_str) == Some(c.system)
+                && row.get("supply").and_then(Json::as_str) == Some(c.supply);
+            if matches {
+                row.get("speedup").and_then(Json::as_f64)
+            } else {
+                None
+            }
+        })
+    };
+    let mut regressions = 0u32;
+    for c in cells {
+        let Some(base) = baseline_speedup(c) else {
+            println!("note: cell {}/{}/{} not in baseline", c.program, c.system, c.supply);
+            continue;
+        };
+        if c.speedup < base * CHECK_TOLERANCE {
+            eprintln!(
+                "REGRESSION {}/{}/{}: speedup {:.2}x < {:.0}% of baseline {:.2}x",
+                c.program,
+                c.system,
+                c.supply,
+                c.speedup,
+                CHECK_TOLERANCE * 100.0,
+                base,
+            );
+            regressions += 1;
+        }
+    }
+    let base_geomean = baseline
+        .get("summary")
+        .and_then(|s| s.get("geomean_speedup"))
+        .and_then(Json::as_f64);
+    match base_geomean {
+        Some(base) => {
+            let measured = geomean(cells.iter().map(|c| c.speedup));
+            if measured < base * GEOMEAN_TOLERANCE {
+                eprintln!(
+                    "REGRESSION geomean: speedup {measured:.2}x < {:.0}% of baseline {base:.2}x",
+                    GEOMEAN_TOLERANCE * 100.0,
+                );
+                regressions += 1;
+            }
+        }
+        None => {
+            eprintln!("baseline has no summary.geomean_speedup");
+            regressions += 1;
+        }
+    }
+    regressions
+}

@@ -6,7 +6,7 @@ use tics_clock::{CapacitorRtc, PerfectClock, Timekeeper, VolatileClock};
 use tics_energy::PowerSupply;
 use tics_minic::opt::OptLevel;
 use tics_trace::{SpanKind, TraceRecord};
-use tics_vm::{ExecStats, Executor, Machine, MachineConfig, RunOutcome, VmError};
+use tics_vm::{DispatchEngine, ExecStats, Executor, Machine, MachineConfig, RunOutcome, VmError};
 
 /// Which timekeeper the device carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +57,10 @@ pub struct RunConfig {
     pub time_budget_us: u64,
     /// Machine seed.
     pub seed: u64,
+    /// Interpreter dispatch engine. Defaults from `TICS_VM_ENGINE`
+    /// (decoded unless the env var asks for the reference oracle), so a
+    /// whole experiment binary can be flipped without code changes.
+    pub engine: DispatchEngine,
 }
 
 impl Default for RunConfig {
@@ -68,6 +72,7 @@ impl Default for RunConfig {
             sensor_trace: Vec::new(),
             time_budget_us: 10_000_000_000,
             seed: 0x5EED,
+            engine: DispatchEngine::from_env(),
         }
     }
 }
@@ -161,7 +166,9 @@ pub fn run_app(
         }
     };
     let mut runtime = tics_apps::build::make_runtime(system, &prog);
-    let exec = Executor::new().with_time_budget(config.time_budget_us);
+    let exec = Executor::new()
+        .with_engine(config.engine)
+        .with_time_budget(config.time_budget_us);
     let outcome: Result<RunOutcome, VmError> = exec.run(&mut machine, runtime.as_mut(), supply);
     let (outcome_str, exit_code) = match &outcome {
         Ok(RunOutcome::Finished(c)) => ("finished".to_string(), Some(*c)),

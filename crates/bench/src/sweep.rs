@@ -288,6 +288,7 @@ impl Cell {
             sensor_trace: self.sensor_trace(),
             time_budget_us: self.time_budget_us,
             seed: self.seed,
+            ..RunConfig::default()
         }
     }
 }

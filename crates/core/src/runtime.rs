@@ -1,6 +1,6 @@
 //! The TICS [`IntermittentRuntime`] implementation.
 
-use tics_mcu::{crc32, Addr};
+use tics_mcu::{Addr, Crc32};
 use tics_minic::isa::{CkptSite, VarId};
 use tics_minic::program::{Instrumentation, Program};
 use tics_trace::{CkptCause, SpanKind, TraceEvent};
@@ -137,10 +137,10 @@ impl TicsRuntime {
 
     /// CRC-32 over a full bank image with the CRC field itself skipped.
     fn bank_crc(bank: &[u8]) -> u32 {
-        let mut data = Vec::with_capacity(bank.len() - 4);
-        data.extend_from_slice(&bank[..ckpt::CRC as usize]);
-        data.extend_from_slice(&bank[ckpt::SEG_IMAGE as usize..]);
-        crc32(&data)
+        let mut h = Crc32::new();
+        h.update(&bank[..ckpt::CRC as usize]);
+        h.update(&bank[ckpt::SEG_IMAGE as usize..]);
+        h.finish()
     }
 
     /// Pokes `bytes` at `a` and reads them back, retrying until the
@@ -151,7 +151,7 @@ impl TicsRuntime {
     fn verified_poke(m: &mut Machine, a: Addr, bytes: &[u8]) -> Result<bool> {
         for _ in 0..VERIFY_ATTEMPTS {
             m.mem.poke_bytes(a, bytes)?;
-            if m.mem.peek_bytes(a, bytes.len() as u32)? == bytes {
+            if m.mem.peek_slice(a, bytes.len() as u32)? == bytes {
                 return Ok(true);
             }
         }
@@ -163,12 +163,12 @@ impl TicsRuntime {
     /// number if valid.
     fn validate_bank(m: &Machine, l: &RuntimeLayout, which: u32) -> Result<Option<u64>> {
         let buf = l.ckpt_buffer(which);
-        let bank = m.mem.peek_bytes(buf, ckpt::HEADER + l.seg_size)?;
+        let bank = m.mem.peek_slice(buf, ckpt::HEADER + l.seg_size)?;
         let s = ckpt::SEQ as usize;
         let c = ckpt::CRC as usize;
         let seq = u64::from_le_bytes(bank[s..s + 8].try_into().expect("8-byte seq"));
         let stored = u32::from_le_bytes(bank[c..c + 4].try_into().expect("4-byte crc"));
-        if seq == 0 || Self::bank_crc(&bank) != stored {
+        if seq == 0 || Self::bank_crc(bank) != stored {
             return Ok(None);
         }
         Ok(Some(seq))
@@ -200,7 +200,7 @@ impl TicsRuntime {
         bank.extend_from_slice(&seq.to_le_bytes());
         bank.extend_from_slice(&[0u8; 4]); // CRC, stamped below
         let seg = l.segment(self.working_seg);
-        bank.extend_from_slice(&m.mem.peek_bytes(seg.start, l.seg_size)?);
+        bank.extend_from_slice(m.mem.peek_slice(seg.start, l.seg_size)?);
         let crc = Self::bank_crc(&bank);
         bank[ckpt::CRC as usize..ckpt::SEG_IMAGE as usize].copy_from_slice(&crc.to_le_bytes());
         if !Self::verified_poke(m, buf, &bank)? {

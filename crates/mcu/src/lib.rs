@@ -42,9 +42,9 @@ pub mod region;
 pub mod registers;
 
 pub use costs::CostModel;
-pub use crc::crc32;
+pub use crc::{crc32, Crc32};
 pub use layout::MemoryLayout;
-pub use memory::{CorruptionModel, Memory, MemoryError, ATOMIC_STORE_BYTES};
+pub use memory::{CorruptionModel, Memory, MemoryError, WordBurst, ATOMIC_STORE_BYTES};
 pub use region::{Addr, Region};
 pub use registers::Registers;
 

@@ -548,6 +548,169 @@ impl Memory {
         self.write_u32(addr, v as u32)
     }
 
+    // ---- word fast path ----
+    //
+    // The decoded interpreter issues almost all of its traffic as aligned
+    // single words. These two methods are semantically identical to
+    // `read_u32`/`write_u32` — same bounds decisions, same cycle charges,
+    // same span attribution, same torn-store outcomes — specialized to
+    // `len == 4` so the hot path avoids the generic slice machinery and
+    // the per-store `committed_prefix` division. A 4-byte store is at or
+    // below [`ATOMIC_STORE_BYTES`], so `store_fate` would return `Keep`
+    // *without advancing the corruption RNG*; skipping it here is exact.
+
+    /// Reads a little-endian `u32` — the decoded interpreter's fast path.
+    /// Byte-for-byte and cycle-for-cycle equivalent to [`Memory::read_u32`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if any byte is not mapped.
+    #[inline]
+    pub fn read_word(&mut self, addr: Addr) -> Result<u32, MemoryError> {
+        let (v, cost) = if self.layout.sram.contains_range(addr, 4) {
+            let off = (addr.0 - self.layout.sram.start.0) as usize;
+            let b = [
+                self.sram[off],
+                self.sram[off + 1],
+                self.sram[off + 2],
+                self.sram[off + 3],
+            ];
+            self.stats.sram_reads += 4;
+            (u32::from_le_bytes(b), self.costs.sram_access_per_word)
+        } else if self.layout.fram.contains_range(addr, 4) {
+            let off = (addr.0 - self.layout.fram.start.0) as usize;
+            let b = [
+                self.fram[off],
+                self.fram[off + 1],
+                self.fram[off + 2],
+                self.fram[off + 3],
+            ];
+            self.stats.fram_reads += 4;
+            (u32::from_le_bytes(b), self.costs.fram_read_per_word)
+        } else {
+            return Err(MemoryError::Unmapped { addr, len: 4 });
+        };
+        self.cycles += cost;
+        self.span_cycles[self.current_span.index()] += cost;
+        Ok(v)
+    }
+
+    /// Writes a little-endian `u32` — the decoded interpreter's fast path.
+    /// Byte-for-byte and cycle-for-cycle equivalent to [`Memory::write_u32`],
+    /// including torn-store behavior: if an armed power cut leaves fewer
+    /// cycles than one word's write cost, nothing commits and the store
+    /// counts as torn (the full cost is still charged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if any byte is not mapped.
+    #[inline]
+    pub fn write_word(&mut self, addr: Addr, v: u32) -> Result<(), MemoryError> {
+        let volatile = if self.layout.sram.contains_range(addr, 4) {
+            true
+        } else if self.layout.fram.contains_range(addr, 4) {
+            false
+        } else {
+            return Err(MemoryError::Unmapped { addr, len: 4 });
+        };
+        let cost = if volatile {
+            self.costs.sram_access_per_word
+        } else {
+            self.costs.fram_write_per_word
+        };
+        // `committed_prefix` specialized to one word: the word commits iff
+        // no cut is armed, the per-word cost is zero, or at least one
+        // word's worth of cycles remains before the cut.
+        let commits = match self.cut_at {
+            None => true,
+            Some(cut) => cost == 0 || cut.saturating_sub(self.cycles) >= cost,
+        };
+        if commits {
+            let b = v.to_le_bytes();
+            if volatile {
+                let off = (addr.0 - self.layout.sram.start.0) as usize;
+                self.sram[off..off + 4].copy_from_slice(&b);
+            } else {
+                let off = (addr.0 - self.layout.fram.start.0) as usize;
+                self.fram[off..off + 4].copy_from_slice(&b);
+            }
+        } else {
+            self.stats.torn_writes += 1;
+        }
+        if volatile {
+            self.stats.sram_writes += 4;
+        } else {
+            self.stats.fram_writes += 4;
+        }
+        self.cycles += cost;
+        self.span_cycles[self.current_span.index()] += cost;
+        Ok(())
+    }
+
+    /// Reads a word without charging cycles or touching stats — the
+    /// non-allocating equivalent of [`Memory::peek_i32`], used by the
+    /// decoded interpreter for `Dup` (which peeks the stack top) so the
+    /// hot path avoids `peek_bytes`'s temporary `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if any byte is not mapped.
+    #[inline]
+    pub fn peek_word(&self, addr: Addr) -> Result<u32, MemoryError> {
+        let bytes = self.slice(addr, 4)?;
+        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    /// Opens a [`WordBurst`]: a register-resident accounting view for
+    /// the decoded interpreter's burst loop. Region bounds, per-word
+    /// costs, the armed power cut, and the current span are resolved
+    /// once; cycle and traffic counters accumulate in locals and land
+    /// back here on [`WordBurst::commit`]. Between `word_burst` and
+    /// `commit` this `Memory` must not be accessed (the borrow checker
+    /// enforces it), so the view cannot diverge from the canonical
+    /// counters.
+    #[must_use]
+    pub fn word_burst(&mut self) -> WordBurst<'_> {
+        // A region shorter than one word can never satisfy a 4-byte
+        // access; encode it as the empty interval [1, 0].
+        let word_bounds = |r: crate::region::Region| -> (u32, u32) {
+            if r.len() >= 4 {
+                (r.start.0, r.end.0 - 4)
+            } else {
+                (1, 0)
+            }
+        };
+        let (sram_start, sram_last) = word_bounds(self.layout.sram);
+        let (fram_start, fram_last) = word_bounds(self.layout.fram);
+        let span_idx = self.current_span.index();
+        WordBurst {
+            sram_start,
+            sram_last,
+            fram_start,
+            fram_last,
+            sram_cost: self.costs.sram_access_per_word,
+            fram_read_cost: self.costs.fram_read_per_word,
+            fram_write_cost: self.costs.fram_write_per_word,
+            instr_base: self.costs.instr_base,
+            // `u64::MAX` encodes "no cut armed": simulated cycle counts
+            // stay far below the point where `MAX - cycles < cost`
+            // could misclassify a commit.
+            cut_at: self.cut_at.unwrap_or(u64::MAX),
+            cycles: self.cycles,
+            start_cycles: self.cycles,
+            sram_reads: 0,
+            sram_writes: 0,
+            fram_reads: 0,
+            fram_writes: 0,
+            torn_writes: 0,
+            sram: &mut self.sram,
+            fram: &mut self.fram,
+            cycles_out: &mut self.cycles,
+            span_out: &mut self.span_cycles[span_idx],
+            stats_out: &mut self.stats,
+        }
+    }
+
     /// Reads a little-endian `u64`.
     ///
     /// # Errors
@@ -615,6 +778,18 @@ impl Memory {
         Ok(self.slice(addr, len)?.to_vec())
     }
 
+    /// Borrowing [`peek_bytes`](Memory::peek_bytes): the same
+    /// debugger-style read without the copy. The range must lie within
+    /// a single region (SRAM or FRAM) — the same constraint every other
+    /// accessor enforces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if the range is not mapped.
+    pub fn peek_slice(&self, addr: Addr, len: u32) -> Result<&[u8], MemoryError> {
+        self.slice(addr, len)
+    }
+
     /// Debugger-style `i32` read: no cycles, no statistics.
     ///
     /// # Errors
@@ -669,6 +844,182 @@ impl Memory {
     /// Returns [`MemoryError::Unmapped`] if any byte is not mapped.
     pub fn poke_i32(&mut self, addr: Addr, v: i32) -> Result<(), MemoryError> {
         self.poke_bytes(addr, &v.to_le_bytes())
+    }
+}
+
+/// Register-resident accounting view over a [`Memory`], opened with
+/// [`Memory::word_burst`].
+///
+/// The decoded interpreter's burst loop performs millions of word
+/// accesses between runtime interventions; routing each through the
+/// [`Memory`] methods costs a handful of read-modify-writes to
+/// heap-resident counters per access. This view resolves everything
+/// constant for the duration of a burst — region bounds, per-word
+/// costs, the armed power cut, the open span — into plain fields, and
+/// accumulates cycles and traffic counters in locals the optimizer can
+/// keep in registers. [`WordBurst::commit`] folds the deltas back.
+///
+/// Every method is arithmetic-identical to its [`Memory`] counterpart
+/// ([`Memory::read_word`], [`Memory::write_word`], [`Memory::peek_word`],
+/// [`Memory::add_cycles`]), including torn single-word commit math
+/// against the power cut. Word stores never consult the brown-out
+/// model (the MSP430FR write buffer commits single words atomically),
+/// so skipping the corruption check is semantics-preserving, not an
+/// approximation — the model's RNG stream advances identically.
+#[derive(Debug)]
+pub struct WordBurst<'a> {
+    sram_start: u32,
+    /// Highest address at which a 4-byte SRAM access still fits
+    /// (`[1, 0]`, the empty interval, for sub-word regions).
+    sram_last: u32,
+    fram_start: u32,
+    fram_last: u32,
+    sram_cost: u64,
+    fram_read_cost: u64,
+    fram_write_cost: u64,
+    instr_base: u64,
+    /// Armed power cut, `u64::MAX` when disarmed.
+    cut_at: u64,
+    /// Running absolute cycle counter (starts at the memory's value).
+    cycles: u64,
+    start_cycles: u64,
+    sram_reads: u64,
+    sram_writes: u64,
+    fram_reads: u64,
+    fram_writes: u64,
+    torn_writes: u64,
+    sram: &'a mut [u8],
+    fram: &'a mut [u8],
+    cycles_out: &'a mut u64,
+    span_out: &'a mut u64,
+    stats_out: &'a mut MemoryStats,
+}
+
+impl WordBurst<'_> {
+    /// Current absolute cycle count (the burst's local view).
+    #[inline(always)]
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Base cycle cost of one instruction (resolved from the cost model).
+    #[inline(always)]
+    #[must_use]
+    pub fn instr_base(&self) -> u64 {
+        self.instr_base
+    }
+
+    /// Charges `n` cycles of non-memory work to the open span.
+    #[inline(always)]
+    pub fn add_cycles(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
+    /// Reads a little-endian `u32`, charging cycles and traffic like
+    /// [`Memory::read_word`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if any byte is not mapped.
+    #[inline(always)]
+    pub fn read_word(&mut self, addr: Addr) -> Result<u32, MemoryError> {
+        let a = addr.0;
+        let (v, cost) = if a >= self.sram_start && a <= self.sram_last {
+            let off = (a - self.sram_start) as usize;
+            let b: [u8; 4] = self.sram[off..off + 4].try_into().expect("4-byte slice");
+            self.sram_reads += 4;
+            (u32::from_le_bytes(b), self.sram_cost)
+        } else if a >= self.fram_start && a <= self.fram_last {
+            let off = (a - self.fram_start) as usize;
+            let b: [u8; 4] = self.fram[off..off + 4].try_into().expect("4-byte slice");
+            self.fram_reads += 4;
+            (u32::from_le_bytes(b), self.fram_read_cost)
+        } else {
+            return Err(MemoryError::Unmapped { addr, len: 4 });
+        };
+        self.cycles += cost;
+        Ok(v)
+    }
+
+    /// Writes a little-endian `u32` with the torn-commit math of
+    /// [`Memory::write_word`]: against an armed cut the word commits
+    /// iff its full write cost still fits, else it tears (full cost
+    /// still charged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if any byte is not mapped.
+    #[inline(always)]
+    pub fn write_word(&mut self, addr: Addr, v: u32) -> Result<(), MemoryError> {
+        let a = addr.0;
+        let volatile = if a >= self.sram_start && a <= self.sram_last {
+            true
+        } else if a >= self.fram_start && a <= self.fram_last {
+            false
+        } else {
+            return Err(MemoryError::Unmapped { addr, len: 4 });
+        };
+        let cost = if volatile {
+            self.sram_cost
+        } else {
+            self.fram_write_cost
+        };
+        let commits = cost == 0 || self.cut_at.saturating_sub(self.cycles) >= cost;
+        if commits {
+            let b = v.to_le_bytes();
+            if volatile {
+                let off = (a - self.sram_start) as usize;
+                self.sram[off..off + 4].copy_from_slice(&b);
+            } else {
+                let off = (a - self.fram_start) as usize;
+                self.fram[off..off + 4].copy_from_slice(&b);
+            }
+        } else {
+            self.torn_writes += 1;
+        }
+        if volatile {
+            self.sram_writes += 4;
+        } else {
+            self.fram_writes += 4;
+        }
+        self.cycles += cost;
+        Ok(())
+    }
+
+    /// Reads a word without charging cycles or stats (`Dup`'s stack
+    /// peek), mirroring [`Memory::peek_word`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] if any byte is not mapped.
+    #[inline(always)]
+    pub fn peek_word(&self, addr: Addr) -> Result<u32, MemoryError> {
+        let a = addr.0;
+        let b: [u8; 4] = if a >= self.sram_start && a <= self.sram_last {
+            let off = (a - self.sram_start) as usize;
+            self.sram[off..off + 4].try_into().expect("4-byte slice")
+        } else if a >= self.fram_start && a <= self.fram_last {
+            let off = (a - self.fram_start) as usize;
+            self.fram[off..off + 4].try_into().expect("4-byte slice")
+        } else {
+            return Err(MemoryError::Unmapped { addr, len: 4 });
+        };
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Folds the accumulated deltas back into the owning [`Memory`].
+    /// All burst cycles belong to the span that was open when the view
+    /// was created — span changes only happen through runtime code,
+    /// which never runs inside a burst.
+    pub fn commit(self) {
+        *self.cycles_out = self.cycles;
+        *self.span_out += self.cycles - self.start_cycles;
+        self.stats_out.sram_reads += self.sram_reads;
+        self.stats_out.sram_writes += self.sram_writes;
+        self.stats_out.fram_reads += self.fram_reads;
+        self.stats_out.fram_writes += self.fram_writes;
+        self.stats_out.torn_writes += self.torn_writes;
     }
 }
 
@@ -1015,5 +1366,105 @@ mod tests {
         let a = m.layout().fram.start;
         m.fill(a, 16, 0x7E).unwrap();
         assert!(m.peek_bytes(a, 16).unwrap().iter().all(|&b| b == 0x7E));
+    }
+
+    /// Drives both the generic and the word fast paths through the same
+    /// operation sequence and asserts identical contents, cycles, stats,
+    /// span attribution, and errors.
+    fn assert_word_paths_agree(configure: impl Fn(&mut Memory)) {
+        let mut slow = mem();
+        let mut fast = mem();
+        configure(&mut slow);
+        configure(&mut fast);
+        let sram = slow.layout().sram.start;
+        let fram = slow.layout().fram.start;
+        let unmapped = Addr(4);
+        let sram_end = Addr(slow.layout().sram.end.0 - 2);
+        let ops: Vec<(Addr, u32)> = (0..64)
+            .map(|i| {
+                let a = if i % 3 == 0 {
+                    sram.offset(4 * (i % 16))
+                } else {
+                    fram.offset(4 * (i % 64))
+                };
+                (a, 0xDEAD_0000 ^ i)
+            })
+            .collect();
+        for &(a, v) in &ops {
+            assert_eq!(
+                slow.write_u32(a, v).is_ok(),
+                fast.write_word(a, v).is_ok()
+            );
+            assert_eq!(slow.read_u32(a).ok(), fast.read_word(a).ok());
+        }
+        // Error cases must agree too (and charge nothing in either path).
+        assert!(slow.write_u32(unmapped, 1).is_err());
+        assert!(fast.write_word(unmapped, 1).is_err());
+        assert!(slow.read_u32(sram_end).is_err());
+        assert!(fast.read_word(sram_end).is_err());
+        assert_eq!(slow.cycles(), fast.cycles());
+        assert_eq!(slow.stats(), fast.stats());
+        assert_eq!(slow.span_cycles_all(), fast.span_cycles_all());
+        let len = slow.layout().fram.end.0 - slow.layout().fram.start.0;
+        assert_eq!(
+            slow.peek_bytes(fram, len).unwrap(),
+            fast.peek_bytes(fram, len).unwrap()
+        );
+    }
+
+    #[test]
+    fn word_fast_path_matches_generic_path() {
+        assert_word_paths_agree(|_| {});
+    }
+
+    #[test]
+    fn word_fast_path_matches_with_zero_cost_model() {
+        // `uniform()` zeroes the per-word costs: the `per_word == 0` edge
+        // of `committed_prefix` must commit in both paths.
+        assert_word_paths_agree(|m| {
+            *m = Memory::with_costs(MemoryLayout::default(), CostModel::uniform());
+            m.set_power_cut(Some(10));
+        });
+    }
+
+    #[test]
+    fn word_fast_path_matches_under_power_cut() {
+        // Arm a cut so some stores commit, some tear; the torn counters
+        // and memory contents must match exactly.
+        assert_word_paths_agree(|m| m.set_power_cut(Some(500)));
+        assert_word_paths_agree(|m| m.set_power_cut(Some(0)));
+    }
+
+    #[test]
+    fn word_fast_path_matches_with_corruption_armed() {
+        // Word stores are at or below ATOMIC_STORE_BYTES, so neither path
+        // may consult (or advance) the corruption RNG.
+        assert_word_paths_agree(|m| {
+            m.set_corruption(Some(CorruptionModel::new(10_000, 0.5, 0.5, 42)));
+            m.set_power_cut(Some(800));
+        });
+    }
+
+    #[test]
+    fn word_fast_path_respects_span_attribution() {
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        m.set_span(SpanKind::Checkpoint);
+        m.write_word(a, 7).unwrap();
+        m.read_word(a).unwrap();
+        assert_eq!(m.span_cycles(SpanKind::Checkpoint), m.cycles());
+        assert!(m.cycles() > 0);
+    }
+
+    #[test]
+    fn peek_word_is_free_and_matches_peek_i32() {
+        let mut m = mem();
+        let a = m.layout().fram.start.offset(8);
+        m.write_word(a, 0x1234_5678).unwrap();
+        let before = m.cycles();
+        assert_eq!(m.peek_word(a).unwrap(), 0x1234_5678);
+        assert_eq!(m.peek_i32(a).unwrap(), 0x1234_5678);
+        assert_eq!(m.cycles(), before);
+        assert!(m.peek_word(Addr(0)).is_err());
     }
 }

@@ -1,0 +1,695 @@
+//! One-time bytecode decoding for the fast-dispatch interpreter.
+//!
+//! [`DecodedProgram`] is built once per [`LoadedProgram`](crate::LoadedProgram)
+//! and shared (via `Arc`) by every machine running that image. It lowers
+//! [`Instr`] into a flat dense [`Op`] stream the executor can dispatch
+//! without touching the source program, and it runs a JVM-style abstract
+//! interpretation over every function to prove the operand-stack depth at
+//! each pc. Verified functions execute with the per-push/per-pop frame
+//! bound checks elided (each of which costs two `Vec` indexations through
+//! `function_at` in the reference interpreter); anything the verifier
+//! cannot prove falls back to [`Op::Ref`], which delegates to the
+//! reference `step` and is therefore always exact.
+//!
+//! # Invariants
+//!
+//! * `ops.len() == plain.len() == code.len()`: a pc is an index into
+//!   either stream, so checkpoint restores and jumps need no remapping.
+//! * `plain[pc]` never holds a superinstruction. `ops[pc]` may hold one
+//!   covering `[pc, pc + len)`; the covered slots `pc+1 ..` still hold
+//!   their individual plain ops, so control transfers *into* the middle
+//!   of a fused sequence execute unfused and stay exact.
+//! * Every op performs *identical simulated memory traffic* (addresses,
+//!   order, cycle charges, span attribution, torn-store outcomes) to the
+//!   reference interpreter. Decoding only removes host-side overhead:
+//!   dispatch, redundant range checks, and stack-bound bookkeeping.
+//! * In an unverified function every slot is [`Op::Ref`].
+
+use tics_minic::isa::Instr;
+use tics_minic::program::{Program, FRAME_HEADER_BYTES};
+
+/// A binary ALU/compare operation, shared by plain and fused ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply.
+    Mul,
+    /// Checked divide (traps on zero or overflow).
+    Div,
+    /// Checked remainder (traps on zero or overflow).
+    Mod,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left by `rhs & 31`.
+    Shl,
+    /// Arithmetic shift right by `rhs & 31`.
+    Shr,
+    /// Equality compare (pushes 0/1).
+    Eq,
+    /// Inequality compare.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl BinOp {
+    /// Maps an ISA instruction to its ALU operation, if it is one.
+    #[must_use]
+    pub fn from_instr(i: Instr) -> Option<BinOp> {
+        Some(match i {
+            Instr::Add => BinOp::Add,
+            Instr::Sub => BinOp::Sub,
+            Instr::Mul => BinOp::Mul,
+            Instr::Div => BinOp::Div,
+            Instr::Mod => BinOp::Mod,
+            Instr::BitAnd => BinOp::And,
+            Instr::BitOr => BinOp::Or,
+            Instr::BitXor => BinOp::Xor,
+            Instr::Shl => BinOp::Shl,
+            Instr::Shr => BinOp::Shr,
+            Instr::Eq => BinOp::Eq,
+            Instr::Ne => BinOp::Ne,
+            Instr::Lt => BinOp::Lt,
+            Instr::Le => BinOp::Le,
+            Instr::Gt => BinOp::Gt,
+            Instr::Ge => BinOp::Ge,
+            _ => return None,
+        })
+    }
+}
+
+/// A unary ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Wrapping negate.
+    Neg,
+    /// Bitwise not.
+    BitNot,
+    /// Logical not (pushes `1` iff the operand is `0`).
+    LogNot,
+}
+
+/// A decoded operation. Offsets are pre-resolved: local slots fold in the
+/// [`FRAME_HEADER_BYTES`] so execution is a single add to `fp`; global
+/// slots stay data-segment-relative (the data base differs per machine
+/// layout, the decoded image is shared).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Push a constant.
+    Const(i32),
+    /// Push the local at `fp + offset` (header already folded in).
+    LoadLocal(u32),
+    /// Pop into the local at `fp + offset`.
+    StoreLocal(u32),
+    /// Push the address of the local at `fp + offset`.
+    AddrLocal(u32),
+    /// Push the global at `data_base + offset`.
+    LoadGlobal(u32),
+    /// Pop into the global at `data_base + offset`.
+    StoreGlobal(u32),
+    /// Push the address of the global at `data_base + offset`.
+    AddrGlobal(u32),
+    /// Pop an address, push the word at it.
+    LoadInd,
+    /// Pop a value, pop an address, store the value.
+    StoreInd,
+    /// Duplicate the stack top.
+    Dup,
+    /// Pop and discard.
+    Pop,
+    /// Swap the top two entries.
+    Swap,
+    /// Pop rhs, pop lhs, push the result.
+    Bin(BinOp),
+    /// Pop, transform, push.
+    Un(UnOp),
+    /// Unconditional jump (absolute pc).
+    Jmp(u32),
+    /// Pop; jump if zero.
+    Jz(u32),
+    /// Pop; jump if non-zero.
+    Jnz(u32),
+
+    // ---- superinstructions (head slots of the `ops` stream only) ----
+    //
+    // Each one executes its constituent plain ops back to back — same
+    // memory traffic, same cycle charges, same trap points — but with a
+    // single dispatch. The selection comes from an n-gram census of the
+    // seven fault-corpus programs across all five systems: local/global
+    // load-immediate-ALU(-store) chains and compare-and-branch loop
+    // headers dominate.
+    /// `LoadLocal a; Const k; Bin op` (3 instructions).
+    LdLKBin {
+        /// Local offset of the lhs (header folded in).
+        a: u32,
+        /// Immediate rhs.
+        k: i32,
+        /// ALU operation.
+        op: BinOp,
+    },
+    /// `LoadLocal a; Const k; Bin op; StoreLocal d` (4 instructions) —
+    /// the `x = x OP imm` increment idiom.
+    LdLKBinSt {
+        /// Local offset of the lhs.
+        a: u32,
+        /// Immediate rhs.
+        k: i32,
+        /// ALU operation.
+        op: BinOp,
+        /// Local offset of the destination.
+        d: u32,
+    },
+    /// `LoadLocal a; Const k; Bin op; Jz/Jnz t` (4 instructions) — the
+    /// `while (i < N)` loop-header idiom.
+    LdLKBinBr {
+        /// Local offset of the lhs.
+        a: u32,
+        /// Immediate rhs.
+        k: i32,
+        /// Compare (or any ALU) operation feeding the branch.
+        op: BinOp,
+        /// Branch target (absolute pc).
+        t: u32,
+        /// `true` for `Jnz`, `false` for `Jz`.
+        on_nz: bool,
+    },
+    /// `LoadGlobal g; Const k; Bin op` (3 instructions).
+    LdGKBin {
+        /// Global offset of the lhs.
+        g: u32,
+        /// Immediate rhs.
+        k: i32,
+        /// ALU operation.
+        op: BinOp,
+    },
+    /// `LoadGlobal g; Const k; Bin op; StoreGlobal d` (4 instructions).
+    LdGKBinSt {
+        /// Global offset of the lhs.
+        g: u32,
+        /// Immediate rhs.
+        k: i32,
+        /// ALU operation.
+        op: BinOp,
+        /// Global offset of the destination.
+        d: u32,
+    },
+    /// `Const k; Bin op` (2 instructions) — immediate rhs applied to
+    /// whatever the preceding code left on the stack.
+    KBin {
+        /// Immediate rhs.
+        k: i32,
+        /// ALU operation.
+        op: BinOp,
+    },
+    /// `Const k; StoreLocal d` (2 instructions).
+    KStL {
+        /// Immediate value.
+        k: i32,
+        /// Local offset of the destination.
+        d: u32,
+    },
+    /// `Const k; StoreGlobal d` (2 instructions).
+    KStG {
+        /// Immediate value.
+        k: i32,
+        /// Global offset of the destination.
+        d: u32,
+    },
+
+    /// Delegate this pc to the reference interpreter's `step` — used for
+    /// calls, returns, syscalls, runtime-mediated instructions (logged
+    /// stores, checkpoints, atomics, time annotations), `Halt`, and every
+    /// pc of a function the verifier could not prove.
+    Ref,
+}
+
+/// Sentinel depth for pcs the verifier never reached (dead code) or pcs
+/// in unverified functions.
+pub const DEPTH_UNKNOWN: i32 = -1;
+
+/// The decoded image: dual op streams plus verification metadata. Built
+/// once in [`LoadedProgram::load`](crate::LoadedProgram::load) and shared
+/// across machines.
+#[derive(Debug)]
+pub struct DecodedProgram {
+    /// Dispatch stream with superinstructions at fusion head slots.
+    pub ops: Vec<Op>,
+    /// Dispatch stream with only individual ops — used when an ISR or an
+    /// instruction hook must run between every two instructions, and at
+    /// mid-fusion entry points.
+    pub plain: Vec<Op>,
+    /// Proven operand-stack depth (in words) at each pc, or
+    /// [`DEPTH_UNKNOWN`]. Only meaningful in verified functions.
+    pub depths: Vec<i32>,
+    /// Per-function: did depth verification succeed?
+    pub verified: Vec<bool>,
+    /// Number of superinstruction head slots in `ops` (diagnostics).
+    pub fused: usize,
+}
+
+impl DecodedProgram {
+    /// Decodes a flattened program. `code`, `entries`, and `owner` are the
+    /// [`LoadedProgram`](crate::LoadedProgram) fields (jump targets
+    /// already rebased to absolute pcs, one `Halt` appended per function).
+    #[must_use]
+    pub fn decode(program: &Program, code: &[Instr], entries: &[u32], owner: &[u16]) -> Self {
+        let mut dp = DecodedProgram {
+            ops: vec![Op::Ref; code.len()],
+            plain: vec![Op::Ref; code.len()],
+            depths: vec![DEPTH_UNKNOWN; code.len()],
+            verified: vec![false; program.functions.len()],
+            fused: 0,
+        };
+        for (fi, f) in program.functions.iter().enumerate() {
+            let base = entries[fi] as usize;
+            // Body plus the appended defensive Halt.
+            let len = f.code.len() + 1;
+            debug_assert!(base + len <= code.len() && owner[base] as usize == fi);
+            if verify_function(program, fi, &code[base..base + len], base, &mut dp.depths) {
+                dp.verified[fi] = true;
+                lower_function(&code[base..base + len], base, &mut dp);
+            }
+        }
+        dp.ops.clone_from(&dp.plain);
+        fuse(code, &mut dp);
+        dp
+    }
+
+    /// Whether the function owning `pc` was verified (used by the boot
+    /// consistency check in the executor).
+    #[must_use]
+    pub fn pc_verified(&self, owner: &[u16], pc: u32) -> bool {
+        owner
+            .get(pc as usize)
+            .is_some_and(|&fi| self.verified[fi as usize])
+    }
+}
+
+/// Net operand-stack effect of one instruction: `(min_depth_before,
+/// delta)`, or `None` for control transfers handled specially.
+fn stack_effect(program: &Program, i: Instr) -> (i32, i32) {
+    match i {
+        Instr::Const(_)
+        | Instr::LoadLocal(_)
+        | Instr::AddrLocal(_)
+        | Instr::LoadGlobal(_)
+        | Instr::AddrGlobal(_)
+        | Instr::ExpiresCheck(_) => (0, 1),
+        Instr::StoreLocal(_)
+        | Instr::StoreGlobal(_)
+        | Instr::StoreGlobalLogged(_)
+        | Instr::Pop => (1, -1),
+        Instr::LoadInd | Instr::Neg | Instr::BitNot | Instr::LogNot | Instr::TimelyCheck => (1, 0),
+        Instr::StoreInd | Instr::StoreIndLogged => (2, -2),
+        Instr::Dup => (1, 1),
+        Instr::Swap => (2, 0),
+        Instr::Add
+        | Instr::Sub
+        | Instr::Mul
+        | Instr::Div
+        | Instr::Mod
+        | Instr::BitAnd
+        | Instr::BitOr
+        | Instr::BitXor
+        | Instr::Shl
+        | Instr::Shr
+        | Instr::Eq
+        | Instr::Ne
+        | Instr::Lt
+        | Instr::Le
+        | Instr::Gt
+        | Instr::Ge => (2, -1),
+        Instr::Call(fidx) => {
+            let n = i32::from(program.functions[fidx as usize].n_args);
+            (n, 1 - n)
+        }
+        Instr::Syscall(s) => {
+            let n = s.arg_count() as i32;
+            (n, 1 - n)
+        }
+        Instr::Checkpoint(_)
+        | Instr::AtomicBegin
+        | Instr::AtomicEnd
+        | Instr::TimestampVar(_)
+        | Instr::ExpiresBlockEnd
+        | Instr::ExpiresBlockBegin(..)
+        | Instr::Jmp(_) => (0, 0),
+        Instr::Jz(_) | Instr::Jnz(_) => (1, -1),
+        // Terminal; no successor (Ret still needs its return value).
+        Instr::Ret => (1, 0),
+        Instr::Halt => (0, 0),
+    }
+}
+
+/// Abstract interpretation of one function's operand-stack depth: a
+/// worklist fixpoint proving an exact depth per reachable pc. Returns
+/// `false` (leaving the function unverified → all [`Op::Ref`]) on any
+/// join mismatch, underflow, or overflow past `max_ostack`; on success
+/// the global `depths` entries for this function are filled in.
+///
+/// Soundness note: the reference interpreter's per-push overflow check is
+/// `depth + 1 <= max_ostack` against the owning frame and its per-pop
+/// underflow check is `depth >= 1` — exactly the constraints enforced
+/// here, so eliding them on a verified path can never change behavior.
+fn verify_function(
+    program: &Program,
+    fi: usize,
+    code: &[Instr],
+    base: usize,
+    depths: &mut [i32],
+) -> bool {
+    let f = &program.functions[fi];
+    let max = i32::from(f.max_ostack);
+    let n = code.len();
+    let mut local: Vec<i32> = vec![DEPTH_UNKNOWN; n];
+    let mut work: Vec<usize> = vec![0];
+    local[0] = 0;
+    let join = |local: &mut Vec<i32>, work: &mut Vec<usize>, t: usize, d: i32| -> bool {
+        if t >= n {
+            return false;
+        }
+        if local[t] == DEPTH_UNKNOWN {
+            local[t] = d;
+            work.push(t);
+            true
+        } else {
+            local[t] == d
+        }
+    };
+    while let Some(pc) = work.pop() {
+        let d = local[pc];
+        let i = code[pc];
+        let (need, delta) = stack_effect(program, i);
+        if d < need {
+            return false;
+        }
+        let d2 = d + delta;
+        // Intermediate depths never exceed max(d, d2): every op pops its
+        // operands before pushing results (Swap/Dup pop first too), so
+        // checking the endpoints covers the whole op.
+        if d2 > max {
+            return false;
+        }
+        let ok = match i {
+            Instr::Halt | Instr::Ret => true,
+            Instr::Jmp(t) => join(&mut local, &mut work, t as usize - base, d2),
+            Instr::Jz(t) | Instr::Jnz(t) => {
+                join(&mut local, &mut work, t as usize - base, d2)
+                    && join(&mut local, &mut work, pc + 1, d2)
+            }
+            // The catch target is entered with the operand stack reset to
+            // empty (`sp = operand_base` on rollback).
+            Instr::ExpiresBlockBegin(_, t) => {
+                join(&mut local, &mut work, t as usize - base, 0)
+                    && join(&mut local, &mut work, pc + 1, d2)
+            }
+            _ => join(&mut local, &mut work, pc + 1, d2),
+        };
+        if !ok {
+            return false;
+        }
+    }
+    depths[base..base + n].copy_from_slice(&local);
+    true
+}
+
+/// Lowers one verified function's instructions into `plain` ops.
+/// Unreachable pcs and instructions outside the fast set stay
+/// [`Op::Ref`].
+fn lower_function(code: &[Instr], base: usize, dp: &mut DecodedProgram) {
+    for (off, &i) in code.iter().enumerate() {
+        let pc = base + off;
+        if dp.depths[pc] == DEPTH_UNKNOWN {
+            continue;
+        }
+        dp.plain[pc] = lower(i);
+    }
+}
+
+/// The plain decoding of one instruction.
+fn lower(i: Instr) -> Op {
+    if let Some(b) = BinOp::from_instr(i) {
+        return Op::Bin(b);
+    }
+    match i {
+        Instr::Const(v) => Op::Const(v),
+        Instr::LoadLocal(o) => Op::LoadLocal(FRAME_HEADER_BYTES + u32::from(o)),
+        Instr::StoreLocal(o) => Op::StoreLocal(FRAME_HEADER_BYTES + u32::from(o)),
+        Instr::AddrLocal(o) => Op::AddrLocal(FRAME_HEADER_BYTES + u32::from(o)),
+        Instr::LoadGlobal(o) => Op::LoadGlobal(o),
+        Instr::StoreGlobal(o) => Op::StoreGlobal(o),
+        Instr::AddrGlobal(o) => Op::AddrGlobal(o),
+        Instr::LoadInd => Op::LoadInd,
+        Instr::StoreInd => Op::StoreInd,
+        Instr::Dup => Op::Dup,
+        Instr::Pop => Op::Pop,
+        Instr::Swap => Op::Swap,
+        Instr::Neg => Op::Un(UnOp::Neg),
+        Instr::BitNot => Op::Un(UnOp::BitNot),
+        Instr::LogNot => Op::Un(UnOp::LogNot),
+        Instr::Jmp(t) => Op::Jmp(t),
+        Instr::Jz(t) => Op::Jz(t),
+        Instr::Jnz(t) => Op::Jnz(t),
+        // Runtime-mediated or frame-changing instructions: the reference
+        // interpreter is the implementation.
+        _ => Op::Ref,
+    }
+}
+
+/// Superinstruction selection: greedy longest-match over the original
+/// instruction stream, head slots rewritten in `ops`. A fused window
+/// never contains control-flow except as its final element, never spans
+/// a `Ref` slot, and only covers reachable verified pcs — but it does
+/// *not* need to avoid jump targets, because the covered slots keep their
+/// plain ops and a mid-window entry simply executes unfused.
+fn fuse(code: &[Instr], dp: &mut DecodedProgram) {
+    let n = code.len();
+    let mut pc = 0;
+    while pc < n {
+        if dp.depths[pc] == DEPTH_UNKNOWN || matches!(dp.plain[pc], Op::Ref) {
+            pc += 1;
+            continue;
+        }
+        let win = &code[pc..n.min(pc + 4)];
+        let (op, len) = match *win {
+            [Instr::LoadLocal(a), Instr::Const(k), b, Instr::StoreLocal(d), ..]
+                if BinOp::from_instr(b).is_some() =>
+            {
+                (
+                    Op::LdLKBinSt {
+                        a: FRAME_HEADER_BYTES + u32::from(a),
+                        k,
+                        op: BinOp::from_instr(b).unwrap(),
+                        d: FRAME_HEADER_BYTES + u32::from(d),
+                    },
+                    4,
+                )
+            }
+            [Instr::LoadLocal(a), Instr::Const(k), b, Instr::Jz(t), ..]
+                if BinOp::from_instr(b).is_some() =>
+            {
+                (
+                    Op::LdLKBinBr {
+                        a: FRAME_HEADER_BYTES + u32::from(a),
+                        k,
+                        op: BinOp::from_instr(b).unwrap(),
+                        t,
+                        on_nz: false,
+                    },
+                    4,
+                )
+            }
+            [Instr::LoadLocal(a), Instr::Const(k), b, Instr::Jnz(t), ..]
+                if BinOp::from_instr(b).is_some() =>
+            {
+                (
+                    Op::LdLKBinBr {
+                        a: FRAME_HEADER_BYTES + u32::from(a),
+                        k,
+                        op: BinOp::from_instr(b).unwrap(),
+                        t,
+                        on_nz: true,
+                    },
+                    4,
+                )
+            }
+            [Instr::LoadGlobal(g), Instr::Const(k), b, Instr::StoreGlobal(d), ..]
+                if BinOp::from_instr(b).is_some() =>
+            {
+                (
+                    Op::LdGKBinSt {
+                        g,
+                        k,
+                        op: BinOp::from_instr(b).unwrap(),
+                        d,
+                    },
+                    4,
+                )
+            }
+            [Instr::LoadLocal(a), Instr::Const(k), b, ..] if BinOp::from_instr(b).is_some() => (
+                Op::LdLKBin {
+                    a: FRAME_HEADER_BYTES + u32::from(a),
+                    k,
+                    op: BinOp::from_instr(b).unwrap(),
+                },
+                3,
+            ),
+            [Instr::LoadGlobal(g), Instr::Const(k), b, ..] if BinOp::from_instr(b).is_some() => (
+                Op::LdGKBin {
+                    g,
+                    k,
+                    op: BinOp::from_instr(b).unwrap(),
+                },
+                3,
+            ),
+            [Instr::Const(k), b, ..] if BinOp::from_instr(b).is_some() => (
+                Op::KBin {
+                    k,
+                    op: BinOp::from_instr(b).unwrap(),
+                },
+                2,
+            ),
+            [Instr::Const(k), Instr::StoreLocal(d), ..] => (
+                Op::KStL {
+                    k,
+                    d: FRAME_HEADER_BYTES + u32::from(d),
+                },
+                2,
+            ),
+            [Instr::Const(k), Instr::StoreGlobal(d), ..] => (Op::KStG { k, d }, 2),
+            _ => {
+                pc += 1;
+                continue;
+            }
+        };
+        // Every covered pc must be a reachable fast slot of the same
+        // function; the window length guarantee plus the appended Halt
+        // (which never matches a pattern element) keeps windows inside
+        // one function, but dead tails guard anyway.
+        if (pc..pc + len).all(|p| dp.depths[p] != DEPTH_UNKNOWN && !matches!(dp.plain[p], Op::Ref))
+        {
+            dp.ops[pc] = op;
+            dp.fused += 1;
+            pc += len;
+        } else {
+            pc += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loaded::LoadedProgram;
+    use tics_minic::{compile, opt::OptLevel};
+
+    fn decode_src(src: &str) -> (LoadedProgram, DecodedProgram) {
+        let prog = compile(src, OptLevel::O2).unwrap();
+        let loaded = LoadedProgram::load(prog).unwrap();
+        let dp = DecodedProgram::decode(
+            &loaded.program,
+            &loaded.code,
+            &loaded.entries,
+            &loaded.owner,
+        );
+        (loaded, dp)
+    }
+
+    #[test]
+    fn compiled_functions_verify() {
+        let (loaded, dp) = decode_src(
+            "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+             int g;
+             int main() { int s = 0; for (int i = 0; i < 10; i++) { s += fib(i); } g = s; return s; }",
+        );
+        assert!(dp.verified.iter().all(|&v| v), "compiler output verifies");
+        assert_eq!(dp.ops.len(), loaded.code.len());
+        assert_eq!(dp.plain.len(), loaded.code.len());
+        // Entry of every function is reachable at depth 0.
+        for &e in &loaded.entries {
+            assert_eq!(dp.depths[e as usize], 0);
+        }
+    }
+
+    #[test]
+    fn loops_get_fused() {
+        let (_, dp) = decode_src(
+            "int main() { int s = 0; for (int i = 0; i < 100; i++) { s = s + 3; } return s; }",
+        );
+        assert!(dp.fused > 0, "loop body should produce superinstructions");
+        // Covered slots keep their plain ops: no superinstruction ever
+        // appears in the plain stream.
+        assert!(dp.plain.iter().all(|op| !matches!(
+            op,
+            Op::LdLKBin { .. }
+                | Op::LdLKBinSt { .. }
+                | Op::LdLKBinBr { .. }
+                | Op::LdGKBin { .. }
+                | Op::LdGKBinSt { .. }
+                | Op::KBin { .. }
+                | Op::KStL { .. }
+                | Op::KStG { .. }
+        )));
+    }
+
+    #[test]
+    fn undersized_ostack_leaves_function_unverified() {
+        let prog = compile("int main() { return 1 + 2 + 3; }", OptLevel::O0).unwrap();
+        let mut bad = prog.clone();
+        bad.functions[0].max_ostack = 0;
+        let loaded = LoadedProgram::load(bad).unwrap();
+        let dp = DecodedProgram::decode(
+            &loaded.program,
+            &loaded.code,
+            &loaded.entries,
+            &loaded.owner,
+        );
+        assert!(!dp.verified[0]);
+        assert!(dp.ops.iter().all(|op| matches!(op, Op::Ref)));
+    }
+
+    #[test]
+    fn runtime_mediated_instrs_stay_ref() {
+        let (loaded, dp) = decode_src(
+            "int main() { int x = sample(); send(x); checkpoint(); return 0; }",
+        );
+        for (pc, i) in loaded.code.iter().enumerate() {
+            if matches!(
+                i,
+                Instr::Syscall(_) | Instr::Checkpoint(_) | Instr::Call(_) | Instr::Ret | Instr::Halt
+            ) {
+                assert!(matches!(dp.plain[pc], Op::Ref), "pc {pc}: {i:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn header_offset_is_folded_into_locals() {
+        let (loaded, dp) = decode_src("int main() { int x = 7; return x; }");
+        let found = loaded.code.iter().enumerate().any(|(pc, i)| {
+            matches!(i, Instr::LoadLocal(o)
+                if dp.plain[pc] == Op::LoadLocal(FRAME_HEADER_BYTES + u32::from(*o)))
+        });
+        // O2 may fuse or transform, but the plain stream must still hold
+        // the folded op wherever a LoadLocal survives.
+        for (pc, i) in loaded.code.iter().enumerate() {
+            if let Instr::LoadLocal(o) = i {
+                assert_eq!(dp.plain[pc], Op::LoadLocal(FRAME_HEADER_BYTES + u32::from(*o)));
+            }
+        }
+        let _ = found;
+    }
+}

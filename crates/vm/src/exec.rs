@@ -1,14 +1,57 @@
 //! The instruction interpreter and the intermittent executor.
+//!
+//! Two dispatch engines share this module:
+//!
+//! * the **reference** interpreter — [`step`], a per-instruction `match`
+//!   over [`Instr`] with fully checked stack accesses; and
+//! * the **decoded** interpreter — a tight loop over the pre-lowered
+//!   [`DecodedProgram`] op stream, with fused
+//!   superinstructions, elided stack-bound checks in verified functions,
+//!   and the word fast path in `tics-mcu`.
+//!
+//! The two are bit-exact: same simulated memory traffic, cycles, span
+//! attribution, traps, and trace events (`tests/differential_exec.rs`
+//! and `tests/decode_roundtrip.rs` enforce this). The decoded engine is
+//! the default; the reference engine survives as the differential-testing
+//! oracle, selectable per executor or via `TICS_VM_ENGINE=reference`.
+
+use std::sync::Arc;
 
 use tics_energy::PowerSupply;
-use tics_mcu::Addr;
+use tics_mcu::{Addr, Registers, WordBurst};
 use tics_minic::isa::{Instr, Syscall};
+use tics_minic::program::FRAME_HEADER_BYTES;
 use tics_trace::TraceEvent;
 
+use crate::decoded::{BinOp, DecodedProgram, Op, UnOp, DEPTH_UNKNOWN};
 use crate::error::VmError;
 use crate::machine::Machine;
 use crate::runtime::{CheckpointKind, IntermittentRuntime, ResumeAction};
 use crate::Result;
+
+/// Which interpreter drives the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchEngine {
+    /// The decoded fast-dispatch interpreter (default).
+    #[default]
+    Decoded,
+    /// The original per-instruction reference interpreter, kept as the
+    /// differential-testing oracle.
+    Reference,
+}
+
+impl DispatchEngine {
+    /// Engine selection from the `TICS_VM_ENGINE` environment variable:
+    /// `reference`/`ref` picks the oracle, anything else (or unset) the
+    /// decoded engine. Read once per [`Executor`] construction.
+    #[must_use]
+    pub fn from_env() -> DispatchEngine {
+        match std::env::var("TICS_VM_ENGINE").as_deref() {
+            Ok("reference" | "ref") => DispatchEngine::Reference,
+            _ => DispatchEngine::Decoded,
+        }
+    }
+}
 
 /// How a run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +108,9 @@ pub struct Executor {
     /// opportunity per on-period. `None` models a board without the
     /// comparator.
     pub voltage_warning_us: Option<u64>,
+    /// Which interpreter to dispatch with. Defaults from
+    /// [`DispatchEngine::from_env`].
+    pub engine: DispatchEngine,
 }
 
 impl Default for Executor {
@@ -75,6 +121,7 @@ impl Default for Executor {
             starvation_boots: u64::MAX,
             progress_guard_boots: u64::MAX,
             voltage_warning_us: None,
+            engine: DispatchEngine::from_env(),
         }
     }
 }
@@ -123,6 +170,14 @@ impl Executor {
         self
     }
 
+    /// Selects the dispatch engine explicitly (overriding the
+    /// `TICS_VM_ENGINE` default).
+    #[must_use]
+    pub fn with_engine(mut self, engine: DispatchEngine) -> Executor {
+        self.engine = engine;
+        self
+    }
+
     /// Runs to completion, budget exhaustion, supply exhaustion, or
     /// starvation.
     ///
@@ -163,6 +218,13 @@ impl Executor {
                 }
                 ResumeAction::Restored => {}
             }
+            // Engine choice is fixed per on-period, *after* boot/restore
+            // resolved the register file: a restore from a corrupted
+            // (un-CRC'd) checkpoint bank can leave registers violating the
+            // decoded engine's verified-depth invariant, in which case the
+            // period falls back to the reference interpreter — a dispatch
+            // decision only, bit-exact either way.
+            let mode = self.period_mode(m, rt);
             let mut voltage_fired = false;
             let warn_at = self
                 .voltage_warning_us
@@ -192,7 +254,26 @@ impl Executor {
                         rt.checkpoint(m, CheckpointKind::Voltage)?;
                     }
                 }
-                step(m, rt)?;
+                match mode {
+                    PeriodMode::Reference => step(m, rt)?,
+                    PeriodMode::Safe {
+                        ref decoded,
+                        isr,
+                        hook,
+                    } => step_decoded_safe(m, rt, decoded, isr, hook)?,
+                    PeriodMode::Fast { ref decoded } => {
+                        // The burst runs until the nearest stop boundary;
+                        // the outer checks above are idempotent and
+                        // disambiguate which one fired.
+                        let mut stop_at = deadline.min(self.max_total_us);
+                        if let Some(w) = warn_at {
+                            if !voltage_fired {
+                                stop_at = stop_at.min(w);
+                            }
+                        }
+                        run_burst(m, rt, decoded, stop_at, self.max_instructions)?;
+                    }
+                }
             }
             // Power failure at the end of the on-period.
             m.power_failure(period.off_us);
@@ -227,6 +308,75 @@ impl Executor {
     }
 }
 
+/// How one on-period is dispatched. Fixed at boot; see
+/// [`Executor::period_mode`].
+enum PeriodMode {
+    /// The original interpreter (engine override or failed boot check).
+    Reference,
+    /// Decoded plain ops, with the ISR poll and/or the per-instruction
+    /// runtime hook between every two instructions. No fusion: the hook
+    /// may observe or redirect the machine at every boundary.
+    Safe {
+        decoded: Arc<DecodedProgram>,
+        isr: bool,
+        hook: bool,
+    },
+    /// Decoded ops with superinstructions in an uninterrupted burst loop
+    /// — no ISR, no instruction hook.
+    Fast { decoded: Arc<DecodedProgram> },
+}
+
+impl Executor {
+    /// Picks the dispatch mode for the period that just booted.
+    fn period_mode(&self, m: &Machine, rt: &dyn IntermittentRuntime) -> PeriodMode {
+        if self.engine == DispatchEngine::Reference {
+            return PeriodMode::Reference;
+        }
+        if !boot_state_consistent(m) {
+            return PeriodMode::Reference;
+        }
+        let decoded = m.loaded().decoded.clone();
+        let isr = m.has_isr();
+        let hook = rt.instruction_hook();
+        if isr || hook {
+            PeriodMode::Safe { decoded, isr, hook }
+        } else {
+            PeriodMode::Fast { decoded }
+        }
+    }
+}
+
+/// Checks that the just-booted register file is consistent with the
+/// verifier's depth map: `pc` in range and, when the owning function was
+/// verified at a known depth, `sp` exactly where that depth puts it.
+/// A mismatch means a restore produced a state the reference interpreter
+/// would police with its per-access checks (e.g. a corrupted checkpoint
+/// bank that passed no CRC) — the period then runs on the reference
+/// engine so behavior stays identical.
+fn boot_state_consistent(m: &Machine) -> bool {
+    let loaded = m.loaded();
+    let dp = &loaded.decoded;
+    let pc = m.regs.pc as usize;
+    let Some(&fi) = loaded.owner.get(pc) else {
+        // Out-of-range pc traps with the same message in both engines.
+        return true;
+    };
+    if !dp.verified[fi as usize] {
+        // Unverified functions are all-Ref: reference semantics anyway.
+        return true;
+    }
+    let depth = dp.depths[pc];
+    if depth == DEPTH_UNKNOWN {
+        return false;
+    }
+    let f = &loaded.program.functions[fi as usize];
+    let operand_base = m
+        .regs
+        .fp
+        .offset(FRAME_HEADER_BYTES + f.arg_bytes() + u32::from(f.locals_bytes));
+    m.regs.sp.raw() == operand_base.raw().wrapping_add(4 * depth as u32)
+}
+
 /// Executes one instruction.
 ///
 /// # Errors
@@ -235,6 +385,13 @@ impl Executor {
 /// overflows from frame allocation, and memory errors.
 pub fn step(m: &mut Machine, rt: &mut dyn IntermittentRuntime) -> Result<()> {
     m.maybe_fire_isr(rt)?;
+    step_after_isr(m, rt)
+}
+
+/// The reference interpreter body: fetch, dispatch, instruction hook —
+/// everything in [`step`] except the ISR poll (which the decoded safe
+/// loop has already performed when it delegates here).
+fn step_after_isr(m: &mut Machine, rt: &mut dyn IntermittentRuntime) -> Result<()> {
     let pc = m.regs.pc;
     let instr = *m
         .loaded()
@@ -475,6 +632,452 @@ fn do_syscall(m: &mut Machine, rt: &mut dyn IntermittentRuntime, sys: Syscall) -
             rt.checkpoint(m, CheckpointKind::Site(tics_minic::isa::CkptSite::Manual))?;
         }
         Syscall::Alloc => unreachable!("Alloc is handled in step() for checkpoint safety"),
+    }
+    Ok(())
+}
+
+// ---- decoded dispatch ----
+//
+// Everything below must stay bit-exact with the reference interpreter:
+// same simulated memory operations in the same order, same cycle charges
+// and span attribution, same trap points with the machine in the same
+// state. The only things removed are host-side costs — the per-push
+// `function_at` bound checks (proven unnecessary by the decoder's depth
+// verification), the generic byte-slice memory path (replaced by the
+// word fast path), and per-instruction dispatch (fused away in bursts).
+
+/// Push without the frame-bound check: legal only at verified pcs, where
+/// the decoder proved `depth + 1 <= max_ostack` — exactly the reference
+/// check in [`Machine::push`].
+#[inline(always)]
+fn fast_push(m: &mut Machine, v: i32) -> Result<()> {
+    m.mem.write_word(m.regs.sp, v as u32)?;
+    m.regs.sp = Addr(m.regs.sp.raw() + 4);
+    Ok(())
+}
+
+/// Pop without the underflow check: legal only at verified pcs, where
+/// the decoder proved `depth >= 1`.
+#[inline(always)]
+fn fast_pop(m: &mut Machine) -> Result<i32> {
+    let sp = Addr(m.regs.sp.raw() - 4);
+    m.regs.sp = sp;
+    Ok(m.mem.read_word(sp)? as i32)
+}
+
+/// The ALU, shared by plain and fused ops; trap messages match the
+/// reference interpreter's exactly.
+#[inline(always)]
+fn bin_apply(op: BinOp, a: i32, b: i32) -> Result<i32> {
+    Ok(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => a
+            .checked_div(b)
+            .ok_or_else(|| VmError::Trap("division by zero or overflow".into()))?,
+        BinOp::Mod => a
+            .checked_rem(b)
+            .ok_or_else(|| VmError::Trap("remainder by zero or overflow".into()))?,
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 31),
+        BinOp::Shr => a.wrapping_shr(b as u32 & 31),
+        BinOp::Eq => i32::from(a == b),
+        BinOp::Ne => i32::from(a != b),
+        BinOp::Lt => i32::from(a < b),
+        BinOp::Le => i32::from(a <= b),
+        BinOp::Gt => i32::from(a > b),
+        BinOp::Ge => i32::from(a >= b),
+    })
+}
+
+/// Executes one plain (non-`Ref`, non-fused) decoded op, mirroring the
+/// reference `step_after_isr` body for that instruction: pc increment,
+/// instruction count, base cycle charge, then the op's memory traffic in
+/// reference order.
+#[inline(always)]
+fn exec_plain(m: &mut Machine, op: Op) -> Result<()> {
+    m.regs.pc += 1;
+    m.stats_mut().instructions += 1;
+    let base = m.mem.costs().instr_base;
+    m.mem.add_cycles(base);
+    match op {
+        Op::Const(v) => fast_push(m, v),
+        Op::LoadLocal(off) => {
+            let a = Addr(m.regs.fp.raw() + off);
+            let v = m.mem.read_word(a)? as i32;
+            fast_push(m, v)
+        }
+        Op::StoreLocal(off) => {
+            let v = fast_pop(m)?;
+            let a = Addr(m.regs.fp.raw() + off);
+            m.mem.write_word(a, v as u32)?;
+            Ok(())
+        }
+        Op::AddrLocal(off) => fast_push(m, (m.regs.fp.raw() + off) as i32),
+        Op::LoadGlobal(off) => {
+            let a = m.global_addr(off);
+            let v = m.mem.read_word(a)? as i32;
+            fast_push(m, v)
+        }
+        Op::StoreGlobal(off) => {
+            let v = fast_pop(m)?;
+            let a = m.global_addr(off);
+            m.mem.write_word(a, v as u32)?;
+            Ok(())
+        }
+        Op::AddrGlobal(off) => {
+            let a = m.global_addr(off);
+            fast_push(m, a.raw() as i32)
+        }
+        Op::LoadInd => {
+            let a = Addr(fast_pop(m)? as u32);
+            let v = m.mem.read_word(a)? as i32;
+            fast_push(m, v)
+        }
+        Op::StoreInd => {
+            let v = fast_pop(m)?;
+            let a = Addr(fast_pop(m)? as u32);
+            m.mem.write_word(a, v as u32)?;
+            Ok(())
+        }
+        Op::Dup => {
+            // `peek_top` charges nothing in the reference interpreter;
+            // only the push is bus traffic.
+            let v = m.mem.peek_word(Addr(m.regs.sp.raw() - 4))? as i32;
+            fast_push(m, v)
+        }
+        Op::Pop => {
+            fast_pop(m)?;
+            Ok(())
+        }
+        Op::Swap => {
+            let a = fast_pop(m)?;
+            let b = fast_pop(m)?;
+            fast_push(m, a)?;
+            fast_push(m, b)
+        }
+        Op::Bin(op) => {
+            let b = fast_pop(m)?;
+            let a = fast_pop(m)?;
+            let r = bin_apply(op, a, b)?;
+            fast_push(m, r)
+        }
+        Op::Un(op) => {
+            let a = fast_pop(m)?;
+            let r = match op {
+                UnOp::Neg => a.wrapping_neg(),
+                UnOp::BitNot => !a,
+                UnOp::LogNot => i32::from(a == 0),
+            };
+            fast_push(m, r)
+        }
+        Op::Jmp(t) => {
+            m.regs.pc = t;
+            Ok(())
+        }
+        Op::Jz(t) => {
+            if fast_pop(m)? == 0 {
+                m.regs.pc = t;
+            }
+            Ok(())
+        }
+        Op::Jnz(t) => {
+            if fast_pop(m)? != 0 {
+                m.regs.pc = t;
+            }
+            Ok(())
+        }
+        Op::Ref
+        | Op::LdLKBin { .. }
+        | Op::LdLKBinSt { .. }
+        | Op::LdLKBinBr { .. }
+        | Op::LdGKBin { .. }
+        | Op::LdGKBinSt { .. }
+        | Op::KBin { .. }
+        | Op::KStL { .. }
+        | Op::KStG { .. } => unreachable!("exec_plain only receives plain ops"),
+    }
+}
+
+/// The fast-mode burst loop: dispatches decoded ops (including fused
+/// superinstructions) until a stop boundary — period deadline, voltage
+/// warning, budget — or a halt via a `Ref` op.
+///
+/// Non-`Ref` stretches execute inside a *fast zone*: a
+/// [`WordBurst`](tics_mcu::WordBurst) view over the memory keeps the
+/// cycle and traffic counters in locals (registers), and the
+/// instruction count accumulates in a local too, folding back into the
+/// machine at every zone boundary — before any `Ref` dispatch, stop
+/// condition, or trap — so the machine state at every observable point
+/// is identical to the reference interpreter's.
+fn run_burst(
+    m: &mut Machine,
+    rt: &mut dyn IntermittentRuntime,
+    dp: &DecodedProgram,
+    stop_at: u64,
+    max_instr: u64,
+) -> Result<()> {
+    loop {
+        if m.cycles() >= stop_at || m.stats().instructions >= max_instr {
+            return Ok(());
+        }
+        let pc = m.regs.pc;
+        let Some(&op) = dp.ops.get(pc as usize) else {
+            return Err(VmError::Trap(format!("pc {pc} out of range")));
+        };
+        if let Op::Ref = op {
+            // Calls, returns, syscalls, runtime-mediated instructions,
+            // and everything in unverified functions. Fast mode has no
+            // ISR, so the skipped `maybe_fire_isr` is a no-op.
+            step_after_isr(m, rt)?;
+            if m.is_halted() {
+                return Ok(());
+            }
+            continue;
+        }
+        let data_base = m.data_base().raw();
+        let instr_left = max_instr.saturating_sub(m.stats().instructions);
+        let mut instr = 0u64;
+        let res = {
+            let (mem, regs) = m.burst_parts();
+            let mut bm = mem.word_burst();
+            let r = fast_zone(&mut bm, regs, dp, data_base, stop_at, instr_left, &mut instr);
+            bm.commit();
+            r
+        };
+        m.stats_mut().instructions += instr;
+        res?;
+    }
+}
+
+/// Executes decoded ops against a [`WordBurst`] until a stop boundary,
+/// a `Ref` op (returned to the caller's slow loop), or a trap. Between
+/// the sub-ops of a fused sequence the same boundary is checked; on
+/// trigger the pc already points at the next sub-instruction's slot
+/// (which holds its plain op), so execution resumes exactly where the
+/// reference interpreter would.
+fn fast_zone(
+    bm: &mut WordBurst<'_>,
+    regs: &mut Registers,
+    dp: &DecodedProgram,
+    data_base: u32,
+    stop_at: u64,
+    instr_left: u64,
+    instr: &mut u64,
+) -> Result<()> {
+    macro_rules! fused {
+        ($first:expr $(, $rest:expr)+) => {{
+            exec_burst(bm, regs, data_base, instr, $first)?;
+            $(
+                if bm.cycles() >= stop_at || *instr >= instr_left {
+                    continue;
+                }
+                exec_burst(bm, regs, data_base, instr, $rest)?;
+            )+
+        }};
+    }
+    loop {
+        if bm.cycles() >= stop_at || *instr >= instr_left {
+            return Ok(());
+        }
+        let pc = regs.pc;
+        let Some(&op) = dp.ops.get(pc as usize) else {
+            return Err(VmError::Trap(format!("pc {pc} out of range")));
+        };
+        match op {
+            Op::Ref => return Ok(()),
+            Op::LdLKBin { a, k, op } => {
+                fused!(Op::LoadLocal(a), Op::Const(k), Op::Bin(op));
+            }
+            Op::LdLKBinSt { a, k, op, d } => {
+                fused!(
+                    Op::LoadLocal(a),
+                    Op::Const(k),
+                    Op::Bin(op),
+                    Op::StoreLocal(d)
+                );
+            }
+            Op::LdLKBinBr { a, k, op, t, on_nz } => {
+                let br = if on_nz { Op::Jnz(t) } else { Op::Jz(t) };
+                fused!(Op::LoadLocal(a), Op::Const(k), Op::Bin(op), br);
+            }
+            Op::LdGKBin { g, k, op } => {
+                fused!(Op::LoadGlobal(g), Op::Const(k), Op::Bin(op));
+            }
+            Op::LdGKBinSt { g, k, op, d } => {
+                fused!(
+                    Op::LoadGlobal(g),
+                    Op::Const(k),
+                    Op::Bin(op),
+                    Op::StoreGlobal(d)
+                );
+            }
+            Op::KBin { k, op } => {
+                fused!(Op::Const(k), Op::Bin(op));
+            }
+            Op::KStL { k, d } => {
+                fused!(Op::Const(k), Op::StoreLocal(d));
+            }
+            Op::KStG { k, d } => {
+                fused!(Op::Const(k), Op::StoreGlobal(d));
+            }
+            plain => exec_burst(bm, regs, data_base, instr, plain)?,
+        }
+    }
+}
+
+/// Burst-view twin of [`exec_plain`]: same prologue (pc, instruction
+/// count, base charge) and the same memory traffic in the same order,
+/// but against the register-resident [`WordBurst`] counters.
+#[inline(always)]
+fn exec_burst(
+    bm: &mut WordBurst<'_>,
+    regs: &mut Registers,
+    data_base: u32,
+    instr: &mut u64,
+    op: Op,
+) -> Result<()> {
+    #[inline(always)]
+    fn bpush(bm: &mut WordBurst<'_>, regs: &mut Registers, v: i32) -> Result<()> {
+        bm.write_word(regs.sp, v as u32)?;
+        regs.sp = Addr(regs.sp.raw() + 4);
+        Ok(())
+    }
+    #[inline(always)]
+    fn bpop(bm: &mut WordBurst<'_>, regs: &mut Registers) -> Result<i32> {
+        let sp = Addr(regs.sp.raw() - 4);
+        regs.sp = sp;
+        Ok(bm.read_word(sp)? as i32)
+    }
+    regs.pc += 1;
+    *instr += 1;
+    bm.add_cycles(bm.instr_base());
+    match op {
+        Op::Const(v) => bpush(bm, regs, v),
+        Op::LoadLocal(off) => {
+            let a = Addr(regs.fp.raw() + off);
+            let v = bm.read_word(a)? as i32;
+            bpush(bm, regs, v)
+        }
+        Op::StoreLocal(off) => {
+            let v = bpop(bm, regs)?;
+            let a = Addr(regs.fp.raw() + off);
+            bm.write_word(a, v as u32)?;
+            Ok(())
+        }
+        Op::AddrLocal(off) => bpush(bm, regs, (regs.fp.raw() + off) as i32),
+        Op::LoadGlobal(off) => {
+            let a = Addr(data_base + off);
+            let v = bm.read_word(a)? as i32;
+            bpush(bm, regs, v)
+        }
+        Op::StoreGlobal(off) => {
+            let v = bpop(bm, regs)?;
+            let a = Addr(data_base + off);
+            bm.write_word(a, v as u32)?;
+            Ok(())
+        }
+        Op::AddrGlobal(off) => bpush(bm, regs, (data_base + off) as i32),
+        Op::LoadInd => {
+            let a = Addr(bpop(bm, regs)? as u32);
+            let v = bm.read_word(a)? as i32;
+            bpush(bm, regs, v)
+        }
+        Op::StoreInd => {
+            let v = bpop(bm, regs)?;
+            let a = Addr(bpop(bm, regs)? as u32);
+            bm.write_word(a, v as u32)?;
+            Ok(())
+        }
+        Op::Dup => {
+            // `peek_top` charges nothing in the reference interpreter;
+            // only the push is bus traffic.
+            let v = bm.peek_word(Addr(regs.sp.raw() - 4))? as i32;
+            bpush(bm, regs, v)
+        }
+        Op::Pop => {
+            bpop(bm, regs)?;
+            Ok(())
+        }
+        Op::Swap => {
+            let a = bpop(bm, regs)?;
+            let b = bpop(bm, regs)?;
+            bpush(bm, regs, a)?;
+            bpush(bm, regs, b)
+        }
+        Op::Bin(op) => {
+            let b = bpop(bm, regs)?;
+            let a = bpop(bm, regs)?;
+            let r = bin_apply(op, a, b)?;
+            bpush(bm, regs, r)
+        }
+        Op::Un(op) => {
+            let a = bpop(bm, regs)?;
+            let r = match op {
+                UnOp::Neg => a.wrapping_neg(),
+                UnOp::BitNot => !a,
+                UnOp::LogNot => i32::from(a == 0),
+            };
+            bpush(bm, regs, r)
+        }
+        Op::Jmp(t) => {
+            regs.pc = t;
+            Ok(())
+        }
+        Op::Jz(t) => {
+            if bpop(bm, regs)? == 0 {
+                regs.pc = t;
+            }
+            Ok(())
+        }
+        Op::Jnz(t) => {
+            if bpop(bm, regs)? != 0 {
+                regs.pc = t;
+            }
+            Ok(())
+        }
+        Op::Ref
+        | Op::LdLKBin { .. }
+        | Op::LdLKBinSt { .. }
+        | Op::LdLKBinBr { .. }
+        | Op::LdGKBin { .. }
+        | Op::LdGKBinSt { .. }
+        | Op::KBin { .. }
+        | Op::KStL { .. }
+        | Op::KStG { .. } => unreachable!("exec_burst only receives plain ops"),
+    }
+}
+
+/// The safe-mode stepper: one decoded plain op per call, with the ISR
+/// poll and/or the runtime's per-instruction hook at exactly the points
+/// the reference interpreter has them. Used whenever a runtime does real
+/// work in `on_instruction` (TICS timer checkpoints, expiration timers)
+/// or the machine has a periodic ISR armed — both may redirect the pc
+/// between any two instructions, so no fusion is allowed.
+fn step_decoded_safe(
+    m: &mut Machine,
+    rt: &mut dyn IntermittentRuntime,
+    dp: &DecodedProgram,
+    isr: bool,
+    hook: bool,
+) -> Result<()> {
+    if isr {
+        m.maybe_fire_isr(rt)?;
+    }
+    let pc = m.regs.pc;
+    let Some(&op) = dp.plain.get(pc as usize) else {
+        return Err(VmError::Trap(format!("pc {pc} out of range")));
+    };
+    if matches!(op, Op::Ref) {
+        // Includes the hook call at its end, like the reference step.
+        return step_after_isr(m, rt);
+    }
+    exec_plain(m, op)?;
+    if hook {
+        rt.on_instruction(m)?;
     }
     Ok(())
 }

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod caps;
+pub mod decoded;
 pub mod error;
 pub mod exec;
 pub mod loaded;
@@ -47,8 +48,9 @@ pub mod runtime;
 pub mod stats;
 
 pub use caps::{PortingEffort, RuntimeCapabilities};
+pub use decoded::DecodedProgram;
 pub use error::VmError;
-pub use exec::{Executor, RunOutcome};
+pub use exec::{DispatchEngine, Executor, RunOutcome};
 pub use loaded::LoadedProgram;
 pub use machine::{Machine, MachineConfig, SpanGuard};
 pub use runtime::{BareRuntime, CheckpointKind, IntermittentRuntime, ResumeAction};

@@ -1,8 +1,11 @@
 //! Program loading: flattening per-function code into one image.
 
+use std::sync::Arc;
+
 use tics_minic::isa::Instr;
 use tics_minic::program::{Function, Program};
 
+use crate::decoded::DecodedProgram;
 use crate::error::VmError;
 
 /// A sentinel return address marking the bottom frame: returning to it
@@ -22,6 +25,10 @@ pub struct LoadedProgram {
     pub entries: Vec<u32>,
     /// Function index owning each pc (same length as `code`).
     pub owner: Vec<u16>,
+    /// The decoded fast-dispatch image, built once here and shared (the
+    /// `Arc` makes cloning a loaded program — and thus running many
+    /// machines off one image — free of re-decoding).
+    pub decoded: Arc<DecodedProgram>,
 }
 
 impl LoadedProgram {
@@ -78,11 +85,13 @@ impl LoadedProgram {
             code.push(Instr::Halt);
             owner.push(fi as u16);
         }
+        let decoded = Arc::new(DecodedProgram::decode(&program, &code, &entries, &owner));
         Ok(LoadedProgram {
             program,
             code,
             entries,
             owner,
+            decoded,
         })
     }
 

@@ -198,6 +198,13 @@ impl Machine {
         self.data_base.offset(offset)
     }
 
+    /// Splits the machine into the disjoint `(memory, registers)` pair
+    /// the decoded burst loop mutates, so a [`tics_mcu::WordBurst`] over
+    /// the memory can coexist with register updates.
+    pub(crate) fn burst_parts(&mut self) -> (&mut Memory, &mut Registers) {
+        (&mut self.mem, &mut self.regs)
+    }
+
     /// Base of the persistent FRAM heap: first word is the allocator's
     /// bump pointer, allocations follow.
     #[must_use]
@@ -312,6 +319,12 @@ impl Machine {
     #[must_use]
     pub fn cycles(&self) -> u64 {
         self.mem.cycles()
+    }
+
+    /// Whether a periodic ISR is configured on this machine.
+    #[must_use]
+    pub fn has_isr(&self) -> bool {
+        self.isr.is_some()
     }
 
     /// Whether the machine is currently servicing an interrupt.
@@ -445,9 +458,9 @@ impl Machine {
     /// Returns [`VmError::Memory`] on bad addresses.
     pub fn read_header(&mut self, fp: Addr) -> Result<FrameHeader> {
         Ok(FrameHeader {
-            ret_pc: self.mem.read_u32(fp)?,
-            caller_fp: Addr(self.mem.read_u32(fp.offset(4))?),
-            caller_sp: Addr(self.mem.read_u32(fp.offset(8))?),
+            ret_pc: self.mem.read_word(fp)?,
+            caller_fp: Addr(self.mem.read_word(fp.offset(4))?),
+            caller_sp: Addr(self.mem.read_word(fp.offset(8))?),
         })
     }
 
@@ -457,9 +470,9 @@ impl Machine {
     ///
     /// Returns [`VmError::Memory`] on bad addresses.
     pub fn write_header(&mut self, fp: Addr, h: FrameHeader) -> Result<()> {
-        self.mem.write_u32(fp, h.ret_pc)?;
-        self.mem.write_u32(fp.offset(4), h.caller_fp.raw())?;
-        self.mem.write_u32(fp.offset(8), h.caller_sp.raw())?;
+        self.mem.write_word(fp, h.ret_pc)?;
+        self.mem.write_word(fp.offset(4), h.caller_fp.raw())?;
+        self.mem.write_word(fp.offset(8), h.caller_sp.raw())?;
         Ok(())
     }
 

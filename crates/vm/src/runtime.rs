@@ -114,6 +114,15 @@ pub trait IntermittentRuntime {
         Ok(())
     }
 
+    /// Whether [`IntermittentRuntime::on_instruction`] does real work for
+    /// this runtime. The decoded dispatcher only enters its fused fast
+    /// loop when this returns `false`; the default is conservatively
+    /// `true` so an overriding runtime that forgets to change it stays
+    /// correct (just slower). Must be constant for the lifetime of a run.
+    fn instruction_hook(&self) -> bool {
+        true
+    }
+
     /// A power failure just wiped volatile state; drop any volatile
     /// mirrors the runtime keeps outside simulated memory.
     fn on_power_failure(&mut self, m: &mut Machine) {
@@ -268,6 +277,10 @@ impl BareRuntime {
 impl IntermittentRuntime for BareRuntime {
     fn name(&self) -> &'static str {
         "plain-C"
+    }
+
+    fn instruction_hook(&self) -> bool {
+        false
     }
 
     fn capabilities(&self) -> RuntimeCapabilities {

@@ -1,0 +1,375 @@
+//! Differential equivalence: decoded fast dispatch vs the reference
+//! interpreter.
+//!
+//! The decoded engine is only allowed to change *host-side* work —
+//! dispatch and bounds-check overhead. Everything observable about the
+//! simulated device must be bit-identical to the reference interpreter:
+//! the trace event stream, the cycle counter, per-span cycle
+//! attribution, execution and memory statistics, the final contents of
+//! SRAM and FRAM, and the run outcome (including trap text and panic
+//! text from runs on corrupted state).
+//!
+//! Every test here runs the same image twice — once per engine, with
+//! freshly built machine/runtime/supply — and compares full machine
+//! snapshots. The grids cover the seven fault-corpus programs and the
+//! Table 1 applications across the legacy-capable systems, under
+//! continuous power, periodic intermittent power, adversarial fault
+//! plans with torn writes, brown-out store corruption, and an
+//! ISR-configured machine (the decoded engine's per-instruction "safe"
+//! mode).
+
+use tics_apps::build::{build_app, make_runtime, App, Scale, SystemUnderTest};
+use tics_bench::fault::{build_fault_program, FaultProgram};
+use tics_energy::{
+    AdversarialSupply, ContinuousPower, Corruption, FaultPlan, PeriodicTrace, PowerSupply,
+};
+use tics_mcu::memory::MemoryStats;
+use tics_mcu::CorruptionModel;
+use tics_minic::opt::OptLevel;
+use tics_minic::{compile, Program};
+use tics_trace::{SpanKind, TraceRecord};
+use tics_vm::{
+    BareRuntime, DispatchEngine, Executor, ExecStats, IntermittentRuntime, Machine, MachineConfig,
+};
+
+/// Generous on-time budget: every grid cell either finishes or is
+/// diagnosed (starved / budget-exhausted) well inside this.
+const BUDGET_US: u64 = 50_000_000;
+
+/// Reboots without progress before a run is declared starved. Both
+/// engines must starve at the identical boot count.
+const GUARD_BOOTS: u64 = 48;
+
+/// Legacy-capable systems (the task kernels run different images and
+/// are exercised by the fault/chaos suites, not this grid).
+const SYSTEMS: [SystemUnderTest; 5] = [
+    SystemUnderTest::PlainC,
+    SystemUnderTest::Mementos,
+    SystemUnderTest::Tics,
+    SystemUnderTest::Chinchilla,
+    SystemUnderTest::Ratchet,
+];
+
+// ---------------------------------------------------------------------
+// Snapshot plumbing
+// ---------------------------------------------------------------------
+
+/// Everything observable about a finished run. Two engines agree iff
+/// their snapshots are equal field-for-field.
+#[derive(Debug)]
+struct Snapshot {
+    outcome: String,
+    trace: Vec<TraceRecord>,
+    cycles: u64,
+    stats: ExecStats,
+    mem_stats: MemoryStats,
+    span: [u64; SpanKind::COUNT],
+    sram: Vec<u8>,
+    fram: Vec<u8>,
+}
+
+/// A rebuildable power-supply spec (each engine run needs a fresh one).
+#[derive(Debug, Clone)]
+enum Supply {
+    Continuous,
+    Periodic { on_us: u64, off_us: u64 },
+    Adversarial(FaultPlan),
+}
+
+impl Supply {
+    fn build(&self) -> Box<dyn PowerSupply> {
+        match self {
+            Supply::Continuous => Box::new(ContinuousPower::new()),
+            Supply::Periodic { on_us, off_us } => Box::new(PeriodicTrace::new(*on_us, *off_us)),
+            Supply::Adversarial(plan) => Box::new(AdversarialSupply::new(plan.clone())),
+        }
+    }
+}
+
+/// Runs one engine over a fresh machine/runtime/supply and snapshots
+/// the observable state. Panics from executing corrupted state are
+/// contained and compared as text, exactly like the fault harness.
+fn run_one(
+    prog: &Program,
+    cfg: &MachineConfig,
+    rt_of: &dyn Fn() -> Box<dyn IntermittentRuntime>,
+    engine: DispatchEngine,
+    supply: &Supply,
+    corruption: Option<&Corruption>,
+) -> Snapshot {
+    let mut m = Machine::new(prog.clone(), cfg.clone()).expect("machine construction");
+    if let Some(c) = corruption {
+        m.mem.set_corruption(Some(
+            CorruptionModel::new(c.window, c.flip_prob, c.drop_prob, c.seed)
+                .with_sram_decay(c.sram_decay),
+        ));
+    }
+    let mut rt = rt_of();
+    let mut sup = supply.build();
+    let exec = Executor::new()
+        .with_engine(engine)
+        .with_time_budget(BUDGET_US)
+        .with_progress_guard(GUARD_BOOTS);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        exec.run(&mut m, rt.as_mut(), sup.as_mut())
+    }));
+    let outcome = match result {
+        Ok(Ok(o)) => format!("{o:?}"),
+        Ok(Err(e)) => format!("error: {e}"),
+        Err(payload) => {
+            let text = payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            format!("panic: {text}")
+        }
+    };
+    let layout = *m.mem.layout();
+    let sram = m
+        .mem
+        .peek_bytes(layout.sram.start, layout.sram.len())
+        .expect("SRAM dump");
+    let fram = m
+        .mem
+        .peek_bytes(layout.fram.start, layout.fram.len())
+        .expect("FRAM dump");
+    Snapshot {
+        outcome,
+        trace: m.trace().records().to_vec(),
+        cycles: m.cycles(),
+        stats: m.stats().clone(),
+        mem_stats: m.mem.stats(),
+        span: m.mem.span_cycles_all(),
+        sram,
+        fram,
+    }
+}
+
+/// Runs both engines and asserts snapshot equality, reporting the first
+/// diverging trace event for debuggability.
+fn assert_engines_agree(
+    label: &str,
+    prog: &Program,
+    cfg: &MachineConfig,
+    rt_of: &dyn Fn() -> Box<dyn IntermittentRuntime>,
+    supply: &Supply,
+    corruption: Option<&Corruption>,
+) {
+    let reference = run_one(prog, cfg, rt_of, DispatchEngine::Reference, supply, corruption);
+    let decoded = run_one(prog, cfg, rt_of, DispatchEngine::Decoded, supply, corruption);
+
+    if reference.trace != decoded.trace {
+        let i = reference
+            .trace
+            .iter()
+            .zip(&decoded.trace)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| reference.trace.len().min(decoded.trace.len()));
+        panic!(
+            "[{label}] trace diverges at event {i}:\n  reference: {:?}\n  decoded:   {:?}\n  (lengths {} vs {})",
+            reference.trace.get(i),
+            decoded.trace.get(i),
+            reference.trace.len(),
+            decoded.trace.len(),
+        );
+    }
+    assert_eq!(reference.outcome, decoded.outcome, "[{label}] outcome");
+    assert_eq!(reference.cycles, decoded.cycles, "[{label}] cycle counter");
+    assert_eq!(reference.stats, decoded.stats, "[{label}] exec stats");
+    assert_eq!(reference.mem_stats, decoded.mem_stats, "[{label}] memory stats");
+    assert_eq!(reference.span, decoded.span, "[{label}] span cycle attribution");
+    assert!(
+        reference.sram == decoded.sram,
+        "[{label}] final SRAM contents differ"
+    );
+    assert!(
+        reference.fram == decoded.fram,
+        "[{label}] final FRAM contents differ"
+    );
+}
+
+/// The fault-corpus grid: every feasible (program, system) image.
+fn fault_grid() -> Vec<(String, Program, SystemUnderTest)> {
+    let mut cells = Vec::new();
+    for program in FaultProgram::ALL {
+        for system in SYSTEMS {
+            match build_fault_program(program, system) {
+                Ok(prog) => cells.push((
+                    format!("{}/{:?}", program.name(), system),
+                    prog,
+                    system,
+                )),
+                Err(_) => continue, // infeasible (e.g. recursion on Chinchilla)
+            }
+        }
+    }
+    assert!(cells.len() >= 30, "fault grid unexpectedly sparse");
+    cells
+}
+
+// ---------------------------------------------------------------------
+// Grids
+// ---------------------------------------------------------------------
+
+#[test]
+fn fault_corpus_agrees_on_continuous_power() {
+    let cfg = MachineConfig::default();
+    for (label, prog, system) in fault_grid() {
+        assert_engines_agree(
+            &format!("{label}/continuous"),
+            &prog,
+            &cfg,
+            &|| make_runtime(system, &prog),
+            &Supply::Continuous,
+            None,
+        );
+    }
+}
+
+#[test]
+fn fault_corpus_agrees_on_intermittent_power() {
+    let cfg = MachineConfig::default();
+    // Two on-period lengths: one roomy (few reboots), one tight enough
+    // that whole-state checkpointers starve on the big-state program —
+    // both engines must starve at the identical boot.
+    for (on_us, off_us) in [(60_000, 200), (9_000, 150)] {
+        for (label, prog, system) in fault_grid() {
+            assert_engines_agree(
+                &format!("{label}/periodic-{on_us}"),
+                &prog,
+                &cfg,
+                &|| make_runtime(system, &prog),
+                &Supply::Periodic { on_us, off_us },
+                None,
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_corpus_agrees_under_adversarial_cuts_and_corruption() {
+    let cfg = MachineConfig::default();
+    for (idx, (label, prog, system)) in fault_grid().into_iter().enumerate() {
+        // Anchor the cuts to the run's own length: a continuous run
+        // measures total cycles, then power dies at 1/4, 1/2, and 3/4
+        // of that — guaranteed mid-execution cuts with torn-write
+        // boundaries armed. (Engine choice is immaterial here: the
+        // continuous-power test proves cycle equality.)
+        let golden = run_one(
+            &prog,
+            &cfg,
+            &|| make_runtime(system, &prog),
+            DispatchEngine::Decoded,
+            &Supply::Continuous,
+            None,
+        );
+        let total = golden.cycles.max(8);
+        let plan = FaultPlan::new(vec![total / 4, total / 2, 3 * total / 4], 150);
+
+        // Torn writes only.
+        assert_engines_agree(
+            &format!("{label}/adversarial"),
+            &prog,
+            &cfg,
+            &|| make_runtime(system, &prog),
+            &Supply::Adversarial(plan.clone()),
+            None,
+        );
+
+        // Torn writes plus brown-out corruption: at-risk stores flip or
+        // drop, SRAM decays across outages. The corruption RNG stream
+        // advances per intercepted store, so agreement here proves the
+        // decoded engine issues the identical store sequence.
+        let corruption = Corruption::with_rate(2_000, 0.5, 0xC0FF_EE00 ^ idx as u64);
+        assert_engines_agree(
+            &format!("{label}/corrupted"),
+            &prog,
+            &cfg,
+            &|| make_runtime(system, &prog),
+            &Supply::Adversarial(plan),
+            Some(&corruption),
+        );
+    }
+}
+
+#[test]
+fn table1_apps_agree_across_engines() {
+    let cfg = MachineConfig::default();
+    for app in [App::Ar, App::Bc, App::Cuckoo, App::Ghm] {
+        for system in SYSTEMS {
+            let opt = if system == SystemUnderTest::Chinchilla {
+                OptLevel::O0
+            } else {
+                OptLevel::O2
+            };
+            let Ok(prog) = build_app(app, system, opt, Scale(8)) else {
+                continue; // infeasible combination
+            };
+            let label = format!("{}/{system:?}", app.name());
+            assert_engines_agree(
+                &format!("{label}/continuous"),
+                &prog,
+                &cfg,
+                &|| make_runtime(system, &prog),
+                &Supply::Continuous,
+                None,
+            );
+            assert_engines_agree(
+                &format!("{label}/periodic"),
+                &prog,
+                &cfg,
+                &|| make_runtime(system, &prog),
+                &Supply::Periodic {
+                    on_us: 40_000,
+                    off_us: 200,
+                },
+                None,
+            );
+        }
+    }
+}
+
+#[test]
+fn isr_machine_runs_in_safe_mode_and_agrees() {
+    // A periodic ISR forces the decoded engine into per-instruction
+    // "safe" dispatch (the ISR must be able to fire between any two
+    // instructions, exactly as in the reference interpreter).
+    let src = "
+        nv int ticks;
+        nv int acc;
+        int on_tick() {
+            ticks = ticks + 1;
+            return 0;
+        }
+        int main() {
+            for (int i = 0; i < 600; i++) {
+                acc = acc + i * 3;
+                if (i % 64 == 63) { send(acc); }
+            }
+            send(ticks);
+            return acc;
+        }
+    ";
+    let prog = compile(src, OptLevel::O2).expect("compile ISR program");
+    let cfg = MachineConfig {
+        isr: Some(("on_tick".to_string(), 700)),
+        ..MachineConfig::default()
+    };
+    for supply in [
+        Supply::Continuous,
+        Supply::Periodic {
+            on_us: 5_000,
+            off_us: 150,
+        },
+    ] {
+        assert_engines_agree(
+            "isr/bare",
+            &prog,
+            &cfg,
+            &|| Box::new(BareRuntime::new()),
+            &supply,
+            None,
+        );
+    }
+}
