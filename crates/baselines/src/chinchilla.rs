@@ -6,7 +6,7 @@ use tics_minic::program::{Instrumentation, Program};
 use tics_trace::{CkptCause, SpanKind, TraceEvent};
 use tics_vm::{
     CheckpointKind, IntermittentRuntime, Machine, PortingEffort, ResumeAction, RuntimeCapabilities,
-    VmError,
+    TxDriver, VmError,
 };
 
 use crate::bufs::{
@@ -36,6 +36,7 @@ pub struct ChinchillaRuntime {
     buf_a: Addr,
     buf_b: Addr,
     buf_bytes: u32,
+    tx: TxDriver,
 }
 
 impl ChinchillaRuntime {
@@ -50,6 +51,7 @@ impl ChinchillaRuntime {
             buf_a: Addr(0),
             buf_b: Addr(0),
             buf_bytes: 0,
+            tx: TxDriver::default(),
         }
     }
 
@@ -246,7 +248,17 @@ impl IntermittentRuntime for ChinchillaRuntime {
         Ok(())
     }
 
+    fn tx_driver(&mut self) -> Option<&mut TxDriver> {
+        Some(&mut self.tx)
+    }
+
     fn checkpoint(&mut self, m: &mut Machine, kind: CheckpointKind) -> Result<()> {
+        // Never checkpoint inside an open peripheral transaction: replay
+        // from such a checkpoint would re-drive wire bytes under the same
+        // attempt number.
+        if self.tx.in_txn() {
+            return Ok(());
+        }
         match kind {
             CheckpointKind::Site(CkptSite::Auto | CkptSite::VoltageCheck)
             | CheckpointKind::Timer

@@ -6,7 +6,7 @@ use tics_minic::program::{Instrumentation, Program};
 use tics_trace::{CkptCause, SpanKind, TraceEvent};
 use tics_vm::{
     CheckpointKind, IntermittentRuntime, Machine, PortingEffort, ResumeAction, RuntimeCapabilities,
-    VmError,
+    TxDriver, VmError,
 };
 
 use crate::bufs::{
@@ -33,6 +33,7 @@ pub struct RatchetRuntime {
     buf_b: Addr,
     max_payload: u32,
     stack: Region,
+    tx: TxDriver,
 }
 
 impl RatchetRuntime {
@@ -46,6 +47,7 @@ impl RatchetRuntime {
             buf_b: Addr(0),
             max_payload: 0,
             stack: Region::with_len(Addr(0), 0),
+            tx: TxDriver::default(),
         }
     }
 
@@ -216,7 +218,17 @@ impl IntermittentRuntime for RatchetRuntime {
         Ok(())
     }
 
+    fn tx_driver(&mut self) -> Option<&mut TxDriver> {
+        Some(&mut self.tx)
+    }
+
     fn checkpoint(&mut self, m: &mut Machine, kind: CheckpointKind) -> Result<()> {
+        // Boundaries inside an open peripheral transaction are deferred:
+        // replaying from one would re-drive wire bytes under the same
+        // attempt number.
+        if self.tx.in_txn() {
+            return Ok(());
+        }
         match kind {
             // Every idempotent boundary checkpoints — that is Ratchet.
             CheckpointKind::Site(CkptSite::Auto | CkptSite::Manual) => {

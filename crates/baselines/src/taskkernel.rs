@@ -6,7 +6,7 @@ use tics_minic::program::{Instrumentation, Program};
 use tics_trace::{CkptCause, SpanKind, TraceEvent};
 use tics_vm::{
     CheckpointKind, IntermittentRuntime, Machine, PortingEffort, ResumeAction, RuntimeCapabilities,
-    VmError,
+    TxDriver, VmError,
 };
 
 use crate::bufs::{
@@ -94,6 +94,7 @@ pub struct TaskKernel {
     buf_b: Addr,
     ts_base: Addr,
     undo_base: Addr,
+    tx: TxDriver,
 }
 
 impl TaskKernel {
@@ -116,6 +117,7 @@ impl TaskKernel {
             buf_b: Addr(0),
             ts_base: Addr(0),
             undo_base: Addr(0),
+            tx: TxDriver::default(),
         }
     }
 
@@ -367,7 +369,17 @@ impl IntermittentRuntime for TaskKernel {
         Ok(())
     }
 
+    fn tx_driver(&mut self) -> Option<&mut TxDriver> {
+        Some(&mut self.tx)
+    }
+
     fn checkpoint(&mut self, m: &mut Machine, kind: CheckpointKind) -> Result<()> {
+        // A task boundary inside an open peripheral transaction is
+        // deferred (transactions are expected to sit within one task
+        // body; this guards the manual-checkpoint escape hatch).
+        if self.tx.in_txn() {
+            return Ok(());
+        }
         match kind {
             CheckpointKind::Site(CkptSite::TaskBoundary | CkptSite::Manual) => {
                 self.commit_boundary(m)

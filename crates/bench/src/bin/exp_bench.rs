@@ -9,7 +9,9 @@
 //! cell-runs per second.
 //!
 //! Two properties are enforced on every cell, so the benchmark doubles
-//! as a differential smoke test:
+//! as a differential smoke test (an untimed pass over the torn-wire
+//! peripheral workloads rides along, so UART/I2C intrinsics and the
+//! transaction journal are also engine-differential):
 //!
 //! 1. **Equivalence** — both engines must produce the same outcome,
 //!    simulated cycle count, instruction count, and trace stream.
@@ -36,6 +38,7 @@ use std::time::Instant;
 
 use tics_apps::SystemUnderTest;
 use tics_bench::fault::{build_fault_program, FaultProgram};
+use tics_bench::periph::{build_periph_program, PeriphWorkload};
 use tics_bench::Json;
 use tics_energy::{ContinuousPower, PeriodicTrace, PowerSupply};
 use tics_minic::Program;
@@ -251,6 +254,47 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    // Differential smoke over the torn-wire peripheral workloads:
+    // untimed single runs, deliberately outside the throughput baseline
+    // — engine equality must also hold for the UART/I2C intrinsics and
+    // the transaction-journal syscalls, whose device-side state (FIFO
+    // contents, sensor cursor) is part of the observable trace.
+    let mut periph_cells = 0u32;
+    for workload in PeriphWorkload::ALL {
+        for system in SYSTEMS {
+            let Ok(prog) = build_periph_program(workload, system) else {
+                continue;
+            };
+            for supply in [Supply::Continuous, Supply::Periodic] {
+                let reference = measure(&prog, system, supply, DispatchEngine::Reference, 0);
+                let decoded = measure(&prog, system, supply, DispatchEngine::Decoded, 0);
+                periph_cells += 1;
+                if reference.outcome != decoded.outcome
+                    || reference.cycles != decoded.cycles
+                    || reference.instructions != decoded.instructions
+                    || reference.trace != decoded.trace
+                {
+                    eprintln!(
+                        "ENGINE MISMATCH (periph) {}/{}/{}: ref=({}, {} cy, {} in, {} ev) dec=({}, {} cy, {} in, {} ev)",
+                        workload.name(),
+                        system.name(),
+                        supply.label(),
+                        reference.outcome,
+                        reference.cycles,
+                        reference.instructions,
+                        reference.trace.len(),
+                        decoded.outcome,
+                        decoded.cycles,
+                        decoded.instructions,
+                        decoded.trace.len(),
+                    );
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    println!("periph differential smoke: {periph_cells} cells, {mismatches} mismatches so far");
 
     let geomean_all = geomean(cells.iter().map(|c| c.speedup));
     let geomean_fast = geomean(cells.iter().filter(|c| c.hook_free).map(|c| c.speedup));

@@ -440,6 +440,24 @@ pub enum Event {
     Print(i32),
     /// `led(x)` toggle.
     Led(i32),
+    /// `uart_tx(byte)` — the byte left the pin (`torn` marks a byte the
+    /// power deadline cut mid-symbol; it is still wire-visible garbage).
+    UartTx {
+        /// The byte driven onto the TX line.
+        byte: u8,
+        /// Whether the power deadline tore the byte mid-symbol.
+        torn: bool,
+    },
+    /// An I2C bus phase (`start`/`write`/`read`/`stop`/`reset`) with its
+    /// payload byte and the device's ACK.
+    I2c {
+        /// The bus phase.
+        op: tics_trace::I2cPhase,
+        /// Address or data byte carried by the phase.
+        value: u8,
+        /// Whether the device acknowledged.
+        ack: bool,
+    },
 }
 
 impl Event {
@@ -456,6 +474,8 @@ impl Event {
             TraceEvent::Sample { value } => Some(Event::Sample(value)),
             TraceEvent::Print { value } => Some(Event::Print(value)),
             TraceEvent::Led { value } => Some(Event::Led(value)),
+            TraceEvent::UartTx { byte, torn } => Some(Event::UartTx { byte, torn }),
+            TraceEvent::I2cOp { op, value, ack } => Some(Event::I2c { op, value, ack }),
             _ => None,
         }
     }

@@ -423,7 +423,7 @@ mod tests {
             undo_appends: 999,
             text_bytes: 2048,
             data_bytes: 512,
-            spans: [900_000, 120_000, 17_000, 5_000, 1_000, 400, 50],
+            spans: [900_000, 120_000, 17_000, 5_000, 1_000, 400, 50, 25],
             extra: vec![
                 ("violations".into(), Json::Int(3)),
                 ("panel".into(), Json::Str("left".into())),

@@ -31,6 +31,7 @@ pub mod fault;
 pub mod journal;
 pub mod json;
 pub mod oracle;
+pub mod periph;
 pub mod reviewer;
 pub mod runner;
 pub mod sweep;

@@ -270,6 +270,61 @@ fn resume_completes_an_interrupted_sweep_without_rerunning() {
     }
 }
 
+/// A `timeout` row is exactly what a resume exists to retry: the prior
+/// attempt died on the wall-clock watchdog, so `--resume` must re-run
+/// that cell instead of stitching the dead row back in.
+#[test]
+fn resume_retries_timeout_rows_instead_of_reusing_them() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let j = TempJournal::new("resume-timeout");
+    let build = |a: SweepArgs| {
+        let mut sweep = Sweep::new("resume-timeout").args(a).quiet();
+        for i in 0..5i64 {
+            sweep = sweep.cell(Cell::new(App::Bc, SystemUnderTest::Tics).param("i", i));
+        }
+        sweep
+    };
+
+    // First pass: cell 3 blows its 100 ms wall-clock budget.
+    let first = build(SweepArgs {
+        cell_timeout_ms: Some(100),
+        ..args(2, &j)
+    })
+    .run_with(|cell| {
+        if cell.param_i64("i") == 3 {
+            std::thread::sleep(std::time::Duration::from_millis(600));
+        }
+        Ok(CellOutput {
+            outcome: "fine".to_string(),
+            cycles: 1,
+            ..CellOutput::default()
+        })
+    });
+    assert_eq!(first.summary.timed_out, 1);
+    assert_eq!(first.rows[3].status, CellStatus::Timeout);
+
+    // Resume without the stall: only the timed-out cell may execute.
+    let ran = AtomicUsize::new(0);
+    let resumed = build(SweepArgs {
+        resume: true,
+        ..args(2, &j)
+    })
+    .run_with(|_| {
+        ran.fetch_add(1, Ordering::SeqCst);
+        Ok(CellOutput {
+            outcome: "fine".to_string(),
+            cycles: 1,
+            ..CellOutput::default()
+        })
+    });
+    assert_eq!(ran.load(Ordering::SeqCst), 1, "only the timed-out cell re-runs");
+    assert_eq!(resumed.summary.reused, 4);
+    assert_eq!(resumed.rows[3].status, CellStatus::Ok);
+    let from_disk = journal::read(&j.0).expect("journal reads");
+    assert_eq!(from_disk[3].status, CellStatus::Ok);
+}
+
 /// Resuming against a journal from a *different* grid or seed reuses
 /// nothing — coordinate mismatches degrade to a full re-run instead of
 /// stitching stale results.

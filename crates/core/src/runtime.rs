@@ -5,7 +5,8 @@ use tics_minic::isa::{CkptSite, VarId};
 use tics_minic::program::{Instrumentation, Program};
 use tics_trace::{CkptCause, SpanKind, TraceEvent};
 use tics_vm::{
-    CheckpointKind, IntermittentRuntime, Machine, ResumeAction, RuntimeCapabilities, VmError,
+    CheckpointKind, IntermittentRuntime, Machine, ResumeAction, RuntimeCapabilities, TxDriver,
+    VmError,
 };
 
 use crate::config::TicsConfig;
@@ -57,6 +58,7 @@ pub struct TicsRuntime {
     next_timer_at: u64,
     pending_shrink_ckpt: bool,
     expires_block: Option<ExpiresBlock>,
+    tx: TxDriver,
 }
 
 impl TicsRuntime {
@@ -74,6 +76,7 @@ impl TicsRuntime {
             next_timer_at: 0,
             pending_shrink_ckpt: false,
             expires_block: None,
+            tx: TxDriver::default(),
         }
     }
 
@@ -517,7 +520,17 @@ impl IntermittentRuntime for TicsRuntime {
         Ok(())
     }
 
+    fn tx_driver(&mut self) -> Option<&mut TxDriver> {
+        Some(&mut self.tx)
+    }
+
     fn checkpoint(&mut self, m: &mut Machine, kind: CheckpointKind) -> Result<()> {
+        // A checkpoint *inside* an open peripheral transaction would make
+        // replay re-drive wire bytes under the same attempt number; defer
+        // to the next site outside the transaction.
+        if self.tx.in_txn() {
+            return Ok(());
+        }
         match kind {
             CheckpointKind::Timer | CheckpointKind::Voltage if self.atomic_depth > 0 => Ok(()),
             CheckpointKind::Site(CkptSite::VoltageCheck) => Ok(()), // not a TICS site
@@ -528,14 +541,14 @@ impl IntermittentRuntime for TicsRuntime {
     }
 
     fn on_instruction(&mut self, m: &mut Machine) -> Result<()> {
-        if self.pending_shrink_ckpt {
+        if self.pending_shrink_ckpt && !self.tx.in_txn() {
             self.pending_shrink_ckpt = false;
             self.commit_checkpoint(m, CkptCause::Forced)?;
         }
         if let Some(period) = self.config.timer_period_us {
             if m.cycles() >= self.next_timer_at {
                 self.next_timer_at = m.cycles() + period;
-                if self.atomic_depth == 0 {
+                if self.atomic_depth == 0 && !self.tx.in_txn() {
                     self.commit_checkpoint(m, CkptCause::Timer)?;
                 }
             }
@@ -573,6 +586,9 @@ impl IntermittentRuntime for TicsRuntime {
         // Implicit checkpoint right after return-from-interrupt: if power
         // fails before it completes, the ISR appears not to have run.
         self.atomic_end(m)?;
+        if self.tx.in_txn() {
+            return Ok(());
+        }
         self.commit_checkpoint(m, CkptCause::Isr).map(|_| ())
     }
 
@@ -645,8 +661,11 @@ impl IntermittentRuntime for TicsRuntime {
     fn expires_block_end(&mut self, m: &mut Machine) -> Result<()> {
         if self.expires_block.take().is_some() {
             self.atomic_end(m)?;
-            // The paper seals time blocks with a checkpoint.
-            self.commit_checkpoint(m, CkptCause::Site)?;
+            // The paper seals time blocks with a checkpoint (deferred if a
+            // peripheral transaction is still open — see `checkpoint`).
+            if !self.tx.in_txn() {
+                self.commit_checkpoint(m, CkptCause::Site)?;
+            }
         }
         Ok(())
     }

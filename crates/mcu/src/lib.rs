@@ -38,6 +38,7 @@ pub mod costs;
 pub mod crc;
 pub mod layout;
 pub mod memory;
+pub mod periph;
 pub mod region;
 pub mod registers;
 
@@ -45,6 +46,7 @@ pub use costs::CostModel;
 pub use crc::{crc32, Crc32};
 pub use layout::MemoryLayout;
 pub use memory::{CorruptionModel, Memory, MemoryError, WordBurst, ATOMIC_STORE_BYTES};
+pub use periph::{I2c, I2cWireOp, PeripheralBus, ServedRead, Uart, WireByte};
 pub use region::{Addr, Region};
 pub use registers::Registers;
 

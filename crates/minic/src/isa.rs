@@ -57,6 +57,31 @@ pub enum Syscall {
     /// pointer is undo-logged by consistency-managing runtimes, so a
     /// rolled-back execution re-allocates the same addresses.
     Alloc = 12,
+    /// Clock one byte onto the UART TX wire; returns 1 if the byte
+    /// completed before the energy deadline, 0 if it tore.
+    UartTx = 13,
+    /// Read one byte from the UART RX FIFO; returns the byte or -1.
+    UartRx = 14,
+    /// I2C START + address phase; returns 0 on ACK, -1 on NACK.
+    I2cStart = 15,
+    /// Write one byte on the I2C bus; returns 0 on ACK, -1 on NACK.
+    I2cWrite = 16,
+    /// Read one byte from the addressed I2C device; returns the byte or
+    /// -1 outside a valid read phase.
+    I2cRead = 17,
+    /// I2C STOP; returns 0 if the device committed the transaction, -1
+    /// otherwise (torn phase or incomplete reading).
+    I2cStop = 18,
+    /// I2C bus-clear: aborts a half-completed device-side transaction
+    /// without committing it; returns 0.
+    I2cReset = 19,
+    /// Open (or re-enter) journaled peripheral transaction `id`.
+    /// Returns the attempt number (≥ 0: proceed), -1 (already
+    /// committed: skip), or -2 (poisoned: skip). Runtimes without a
+    /// transaction journal always return 0 — the un-hardened control.
+    TxBegin = 20,
+    /// Commit journaled peripheral transaction `id`; returns 0.
+    TxCommit = 21,
 }
 
 impl Syscall {
@@ -71,8 +96,21 @@ impl Syscall {
             | Syscall::TimeMs
             | Syscall::Rand
             | Syscall::CheckpointNow
-            | Syscall::TimeUs => 0,
-            Syscall::Send | Syscall::Led | Syscall::Mark | Syscall::Print | Syscall::Alloc => 1,
+            | Syscall::TimeUs
+            | Syscall::UartRx
+            | Syscall::I2cRead
+            | Syscall::I2cStop
+            | Syscall::I2cReset => 0,
+            Syscall::Send
+            | Syscall::Led
+            | Syscall::Mark
+            | Syscall::Print
+            | Syscall::Alloc
+            | Syscall::UartTx
+            | Syscall::I2cStart
+            | Syscall::I2cWrite
+            | Syscall::TxBegin
+            | Syscall::TxCommit => 1,
         }
     }
 
@@ -93,6 +131,15 @@ impl Syscall {
             "checkpoint" => Syscall::CheckpointNow,
             "time_us" => Syscall::TimeUs,
             "alloc" => Syscall::Alloc,
+            "uart_tx" => Syscall::UartTx,
+            "uart_rx" => Syscall::UartRx,
+            "i2c_start" => Syscall::I2cStart,
+            "i2c_write" => Syscall::I2cWrite,
+            "i2c_read" => Syscall::I2cRead,
+            "i2c_stop" => Syscall::I2cStop,
+            "i2c_reset" => Syscall::I2cReset,
+            "tx_begin" => Syscall::TxBegin,
+            "tx_commit" => Syscall::TxCommit,
             _ => return None,
         })
     }

@@ -50,11 +50,14 @@ pub enum SpanKind {
     StackSegment,
     /// Interrupt service routine execution.
     Isr,
+    /// Transactional peripheral-driver work: journal writes, boot-time
+    /// reconciliation, and retry backoff.
+    Driver,
 }
 
 impl SpanKind {
     /// Number of span kinds (length of [`SpanKind::ALL`]).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Every span kind, in index order.
     pub const ALL: [SpanKind; SpanKind::COUNT] = [
@@ -65,6 +68,7 @@ impl SpanKind {
         SpanKind::Rollback,
         SpanKind::StackSegment,
         SpanKind::Isr,
+        SpanKind::Driver,
     ];
 
     /// Dense index into a `[u64; SpanKind::COUNT]` accumulator.
@@ -78,6 +82,7 @@ impl SpanKind {
             SpanKind::Rollback => 4,
             SpanKind::StackSegment => 5,
             SpanKind::Isr => 6,
+            SpanKind::Driver => 7,
         }
     }
 
@@ -92,6 +97,7 @@ impl SpanKind {
             SpanKind::Rollback => "rollback",
             SpanKind::StackSegment => "stack_segment",
             SpanKind::Isr => "isr",
+            SpanKind::Driver => "driver",
         }
     }
 
@@ -243,6 +249,101 @@ pub enum TraceEvent {
         /// The span being closed.
         kind: SpanKind,
     },
+    /// One byte was clocked onto the UART wire (timeline, externally
+    /// visible — the byte left the chip). `torn` means the power cut
+    /// landed mid-byte: the device saw a half-clocked, unusable symbol.
+    UartTx {
+        /// The byte value the MCU attempted to transmit.
+        byte: u8,
+        /// Whether the byte was torn by the energy deadline.
+        torn: bool,
+    },
+    /// The MCU read one byte from the UART RX FIFO (timeline). `byte`
+    /// is `-1` when the FIFO and the device's outbound queue were both
+    /// empty.
+    UartRx {
+        /// The byte read, or `-1` for an empty read.
+        byte: i32,
+    },
+    /// One I2C bus phase executed (timeline, externally visible — bus
+    /// activity the device observed).
+    I2cOp {
+        /// Which phase (START/write/read/STOP/bus-clear).
+        op: I2cPhase,
+        /// Phase payload: address for START, data byte for write/read,
+        /// zero otherwise.
+        value: u8,
+        /// Whether the device acknowledged the phase. A NACK means a
+        /// protocol violation (e.g. START while the device was mid-
+        /// transaction from before a reboot) or a torn phase.
+        ack: bool,
+    },
+    /// A peripheral transaction descriptor was journaled (timeline).
+    TxnBegin {
+        /// Application transaction id.
+        id: u32,
+    },
+    /// A journaled transaction committed: its wire effects are now
+    /// exactly-once (timeline).
+    TxnCommit {
+        /// Application transaction id.
+        id: u32,
+    },
+    /// An in-flight transaction was found at reboot (or re-entered) and
+    /// classified retryable; the driver charged `backoff` cycles of
+    /// exponential backoff before attempt `attempt` (timeline).
+    TxnRetry {
+        /// Application transaction id.
+        id: u32,
+        /// Retry attempt number (1-based: attempt 0 was the original).
+        attempt: u32,
+        /// Backoff cycles charged before this attempt.
+        backoff: u64,
+    },
+    /// A transaction exhausted its retry budget and was poisoned — the
+    /// driver refuses further attempts and the application degrades
+    /// gracefully (timeline).
+    TxnPoisoned {
+        /// Application transaction id.
+        id: u32,
+    },
+    /// A transaction already marked committed was skipped on replay —
+    /// the duplicate side effect the journal exists to prevent
+    /// (timeline).
+    TxnSkip {
+        /// Application transaction id.
+        id: u32,
+    },
+}
+
+/// The I2C bus phases a [`TraceEvent::I2cOp`] can record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum I2cPhase {
+    /// START condition + address byte.
+    Start,
+    /// One data byte written to the device.
+    Write,
+    /// One data byte read from the device.
+    Read,
+    /// STOP condition: the device commits the transaction.
+    Stop,
+    /// Bus-clear (nine clock pulses): aborts any half-completed
+    /// device-side transaction without committing it.
+    Reset,
+}
+
+impl I2cPhase {
+    /// Stable lowercase label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            I2cPhase::Start => "start",
+            I2cPhase::Write => "write",
+            I2cPhase::Read => "read",
+            I2cPhase::Stop => "stop",
+            I2cPhase::Reset => "reset",
+        }
+    }
 }
 
 impl TraceEvent {
@@ -259,6 +360,8 @@ impl TraceEvent {
                 | TraceEvent::Sample { .. }
                 | TraceEvent::Print { .. }
                 | TraceEvent::Led { .. }
+                | TraceEvent::UartTx { .. }
+                | TraceEvent::I2cOp { .. }
         )
     }
 
@@ -303,6 +406,14 @@ impl TraceEvent {
             TraceEvent::StackShrink => "stack_shrink",
             TraceEvent::SpanEnter { .. } => "span_enter",
             TraceEvent::SpanExit { .. } => "span_exit",
+            TraceEvent::UartTx { .. } => "uart_tx",
+            TraceEvent::UartRx { .. } => "uart_rx",
+            TraceEvent::I2cOp { .. } => "i2c_op",
+            TraceEvent::TxnBegin { .. } => "txn_begin",
+            TraceEvent::TxnCommit { .. } => "txn_commit",
+            TraceEvent::TxnRetry { .. } => "txn_retry",
+            TraceEvent::TxnPoisoned { .. } => "txn_poisoned",
+            TraceEvent::TxnSkip { .. } => "txn_skip",
         }
     }
 }
@@ -458,6 +569,23 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
                     | TraceEvent::Sample { value }
                     | TraceEvent::Print { value }
                     | TraceEvent::Led { value } => format!("\"value\":{value}"),
+                    TraceEvent::UartTx { byte, torn } => {
+                        format!("\"byte\":{byte},\"torn\":{torn}")
+                    }
+                    TraceEvent::UartRx { byte } => format!("\"byte\":{byte}"),
+                    TraceEvent::I2cOp { op, value, ack } => format!(
+                        "\"op\":\"{}\",\"value\":{value},\"ack\":{ack}",
+                        op.label()
+                    ),
+                    TraceEvent::TxnBegin { id }
+                    | TraceEvent::TxnCommit { id }
+                    | TraceEvent::TxnPoisoned { id }
+                    | TraceEvent::TxnSkip { id } => format!("\"id\":{id}"),
+                    TraceEvent::TxnRetry {
+                        id,
+                        attempt,
+                        backoff,
+                    } => format!("\"id\":{id},\"attempt\":{attempt},\"backoff\":{backoff}"),
                     _ => String::new(),
                 };
                 push_chrome_event(&mut out, &mut first, 'i', ev.name(), r.at_us, &args);

@@ -18,10 +18,11 @@
 use std::sync::Arc;
 
 use tics_energy::PowerSupply;
+use tics_mcu::periph::{I2C_PHASE_CYCLES, UART_BYTE_CYCLES};
 use tics_mcu::{Addr, Registers, WordBurst};
 use tics_minic::isa::{Instr, Syscall};
 use tics_minic::program::FRAME_HEADER_BYTES;
-use tics_trace::TraceEvent;
+use tics_trace::{I2cPhase, TraceEvent};
 
 use crate::decoded::{BinOp, DecodedProgram, Op, UnOp, DEPTH_UNKNOWN};
 use crate::error::VmError;
@@ -217,6 +218,14 @@ impl Executor {
                     m.start_main(rt)?;
                 }
                 ResumeAction::Restored => {}
+            }
+            // Reconcile the peripheral transaction journal after boot
+            // recovery (for runtimes that harden wire I/O): in-flight
+            // descriptors from the previous life become retryable (with
+            // backoff charged against this period) or poisoned. One call
+            // site covers every runtime under both dispatch engines.
+            if let Some(d) = rt.tx_driver() {
+                d.reconcile(m)?;
             }
             // Engine choice is fixed per on-period, *after* boot/restore
             // resolved the register file: a restore from a corrupted
@@ -630,6 +639,104 @@ fn do_syscall(m: &mut Machine, rt: &mut dyn IntermittentRuntime, sys: Syscall) -
             // resumes at the next instruction.
             m.push(0)?;
             rt.checkpoint(m, CheckpointKind::Site(tics_minic::isa::CkptSite::Manual))?;
+        }
+        // ---- wire peripherals ----
+        //
+        // Wire traffic is charged with `charge_atomic`: a byte or bus
+        // phase whose cycles cross the period deadline is *torn* — the
+        // device saw a partial symbol. Torn traffic still reaches the
+        // wire log (and the trace: it left the pin), but devices NACK or
+        // garble it. Both engines route here via `Op::Ref`, so the wire
+        // behavior is bit-exact by construction.
+        Syscall::UartTx => {
+            let byte = (m.pop()? & 0xFF) as u8;
+            let torn = !m.charge_atomic(UART_BYTE_CYCLES);
+            let at = m.true_now_us();
+            m.periph.uart.tx(byte, torn, at);
+            m.emit(TraceEvent::UartTx { byte, torn });
+            m.push(i32::from(!torn))?;
+        }
+        Syscall::UartRx => {
+            let byte = m.periph.uart.rx();
+            m.emit(TraceEvent::UartRx { byte });
+            m.push(byte)?;
+        }
+        Syscall::I2cStart => {
+            let addr = (m.pop()? & 0x7F) as u8;
+            let torn = !m.charge_atomic(I2C_PHASE_CYCLES);
+            let at = m.true_now_us();
+            let ack = m.periph.i2c.start(addr, torn, at);
+            m.emit(TraceEvent::I2cOp {
+                op: I2cPhase::Start,
+                value: addr,
+                ack,
+            });
+            m.push(i32::from(ack))?;
+        }
+        Syscall::I2cWrite => {
+            let byte = (m.pop()? & 0xFF) as u8;
+            let torn = !m.charge_atomic(I2C_PHASE_CYCLES);
+            let at = m.true_now_us();
+            let ack = m.periph.i2c.write(byte, torn, at);
+            m.emit(TraceEvent::I2cOp {
+                op: I2cPhase::Write,
+                value: byte,
+                ack,
+            });
+            m.push(i32::from(ack))?;
+        }
+        Syscall::I2cRead => {
+            let torn = !m.charge_atomic(I2C_PHASE_CYCLES);
+            let at = m.true_now_us();
+            let r = m.periph.i2c.read(torn, at);
+            m.emit(TraceEvent::I2cOp {
+                op: I2cPhase::Read,
+                value: r.unwrap_or(0xFF),
+                ack: r.is_some(),
+            });
+            m.push(r.map_or(-1, i32::from))?;
+        }
+        Syscall::I2cStop => {
+            let torn = !m.charge_atomic(I2C_PHASE_CYCLES);
+            let at = m.true_now_us();
+            let ok = m.periph.i2c.stop(torn, at);
+            m.emit(TraceEvent::I2cOp {
+                op: I2cPhase::Stop,
+                value: 0,
+                ack: ok,
+            });
+            m.push(i32::from(ok))?;
+        }
+        Syscall::I2cReset => {
+            m.mem.add_cycles(I2C_PHASE_CYCLES);
+            let at = m.true_now_us();
+            let ok = m.periph.i2c.reset(at);
+            m.emit(TraceEvent::I2cOp {
+                op: I2cPhase::Reset,
+                value: 0,
+                ack: ok,
+            });
+            m.push(i32::from(ok))?;
+        }
+        // ---- transactional driver ----
+        //
+        // Without a driver (`tx_driver() == None`, the naive control),
+        // `tx_begin` always answers "proceed, attempt 0" and `tx_commit`
+        // journals nothing — legacy code's exposure to torn-wire replay.
+        Syscall::TxBegin => {
+            let id = m.pop()? as u32;
+            let r = match rt.tx_driver() {
+                Some(d) => d.begin(m, id)?,
+                None => 0,
+            };
+            m.push(r)?;
+        }
+        Syscall::TxCommit => {
+            let id = m.pop()? as u32;
+            if let Some(d) = rt.tx_driver() {
+                d.commit(m, id)?;
+            }
+            m.push(0)?;
         }
         Syscall::Alloc => unreachable!("Alloc is handled in step() for checkpoint safety"),
     }

@@ -40,6 +40,7 @@
 
 pub mod caps;
 pub mod decoded;
+pub mod driver;
 pub mod error;
 pub mod exec;
 pub mod loaded;
@@ -49,6 +50,7 @@ pub mod stats;
 
 pub use caps::{PortingEffort, RuntimeCapabilities};
 pub use decoded::DecodedProgram;
+pub use driver::{BackoffPolicy, TxDriver, TX_PROCEED, TX_SKIP_COMMITTED, TX_SKIP_POISONED};
 pub use error::VmError;
 pub use exec::{DispatchEngine, Executor, RunOutcome};
 pub use loaded::LoadedProgram;

@@ -3,7 +3,7 @@
 use std::ops::{Deref, DerefMut};
 
 use tics_clock::{PerfectClock, TimeMicros, Timekeeper};
-use tics_mcu::{Addr, CostModel, Memory, MemoryLayout, Registers};
+use tics_mcu::{Addr, CostModel, Memory, MemoryLayout, PeripheralBus, Registers};
 use tics_minic::program::{Program, FRAME_HEADER_BYTES};
 use tics_trace::{SpanKind, TraceEvent, TraceRecord, TraceSink};
 
@@ -75,6 +75,9 @@ pub struct Machine {
     pub mem: Memory,
     /// Volatile register file.
     pub regs: Registers,
+    /// Wire-level peripherals (UART, I2C sensor). Device-side state
+    /// persists across power failures; MCU-side FIFOs do not.
+    pub periph: PeripheralBus,
     loaded: LoadedProgram,
     clock: Box<dyn Timekeeper>,
     data_base: Addr,
@@ -156,6 +159,7 @@ impl Machine {
         let mut machine = Machine {
             mem,
             regs: Registers::new(),
+            periph: PeripheralBus::new(config.seed),
             loaded,
             clock,
             data_base,
@@ -651,6 +655,7 @@ impl Machine {
         }
         self.emit(TraceEvent::PowerFailure { off_us });
         self.mem.power_fail();
+        self.periph.power_fail();
         // Whatever span was open died with the power; the next boot
         // starts attributing to the application again.
         self.mem.set_span(SpanKind::App);

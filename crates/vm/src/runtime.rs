@@ -237,6 +237,17 @@ pub trait IntermittentRuntime {
         )))
     }
 
+    /// The runtime's transactional peripheral driver, if it hardens wire
+    /// I/O with the FRAM journal ([`crate::driver::TxDriver`]). The
+    /// executor uses this to reconcile in-flight transactions at boot, to
+    /// route `tx_begin`/`tx_commit`, and to suppress checkpoints while a
+    /// transaction is open. The default (`None`) is the un-hardened
+    /// behavior: `tx_begin` always proceeds with attempt 0 and nothing is
+    /// journaled — exactly what legacy code does today.
+    fn tx_driver(&mut self) -> Option<&mut crate::driver::TxDriver> {
+        None
+    }
+
     /// A `send(value)` is about to transmit. Return `true` if the
     /// runtime *virtualizes* the I/O — buffering it until the enclosing
     /// state is committed, so a rollback cannot leave a transmission the

@@ -65,6 +65,24 @@ pub struct ExecStats {
     pub timely_misses: u64,
     /// ISR invocations.
     pub isr_entries: u64,
+    /// UART bytes pushed onto the wire with `uart_tx` (wire byte and
+    /// true wall-clock time, µs; includes torn bytes — they left the
+    /// pin, so they count as externally visible).
+    pub uart_tx_timed: Vec<(u8, u64)>,
+    /// `uart_rx` polls that returned a byte (torn/empty polls excluded).
+    pub uart_rx_bytes: u64,
+    /// I2C bus operations driven (START/WRITE/READ/STOP/RESET phases).
+    pub i2c_ops: u64,
+    /// Transactions opened with `tx_begin` (attempt 0 only, not retries).
+    pub txn_begins: u64,
+    /// Transactions committed with `tx_commit`.
+    pub txn_commits: u64,
+    /// Transaction retries scheduled by reboot-time reconciliation.
+    pub txn_retries: u64,
+    /// Transactions poisoned after exhausting the retry budget.
+    pub txn_poisoned: u64,
+    /// Transactions skipped at `tx_begin` (already committed or poisoned).
+    pub txn_skips: u64,
 }
 
 impl ExecStats {
@@ -105,6 +123,18 @@ impl ExecStats {
             TraceEvent::TimelyMiss => self.timely_misses += 1,
             TraceEvent::StackGrow => self.stack_grows += 1,
             TraceEvent::StackShrink => self.stack_shrinks += 1,
+            TraceEvent::UartTx { byte, .. } => self.uart_tx_timed.push((byte, at_us)),
+            TraceEvent::UartRx { byte } => {
+                if byte >= 0 {
+                    self.uart_rx_bytes += 1;
+                }
+            }
+            TraceEvent::I2cOp { .. } => self.i2c_ops += 1,
+            TraceEvent::TxnBegin { .. } => self.txn_begins += 1,
+            TraceEvent::TxnCommit { .. } => self.txn_commits += 1,
+            TraceEvent::TxnRetry { .. } => self.txn_retries += 1,
+            TraceEvent::TxnPoisoned { .. } => self.txn_poisoned += 1,
+            TraceEvent::TxnSkip { .. } => self.txn_skips += 1,
             TraceEvent::TornWrite { .. }
             | TraceEvent::IsrExit
             | TraceEvent::SpanEnter { .. }
@@ -138,6 +168,8 @@ impl ExecStats {
             + self.samples_timed.len() as u64
             + self.prints.len() as u64
             + self.led_events
+            + self.uart_tx_timed.len() as u64
+            + self.i2c_ops
     }
 
     /// Mean checkpoint size in bytes, if any checkpoint was taken.
@@ -189,6 +221,32 @@ mod tests {
         assert_eq!(s.visible_events(), 3);
         assert_eq!(s.failure_times, vec![9]);
         assert_eq!(s.power_failures, 1);
+    }
+
+    #[test]
+    fn peripheral_events_fold_into_visible_count() {
+        let mut s = ExecStats::default();
+        s.fold_event(&TraceEvent::UartTx { byte: 0xA5, torn: false }, 10);
+        s.fold_event(&TraceEvent::UartTx { byte: 0x01, torn: true }, 20);
+        s.fold_event(&TraceEvent::UartRx { byte: -1 }, 25);
+        s.fold_event(&TraceEvent::UartRx { byte: 0x42 }, 26);
+        s.fold_event(
+            &TraceEvent::I2cOp {
+                op: tics_trace::I2cPhase::Start,
+                value: 0x40,
+                ack: true,
+            },
+            30,
+        );
+        s.fold_event(&TraceEvent::TxnBegin { id: 1 }, 31);
+        s.fold_event(&TraceEvent::TxnCommit { id: 1 }, 32);
+        // Torn TX bytes still left the pin: both count as visible.
+        assert_eq!(s.uart_tx_timed, vec![(0xA5, 10), (0x01, 20)]);
+        assert_eq!(s.uart_rx_bytes, 1);
+        assert_eq!(s.i2c_ops, 1);
+        assert_eq!(s.txn_begins, 1);
+        assert_eq!(s.txn_commits, 1);
+        assert_eq!(s.visible_events(), 3);
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! depth-0 block templates (arithmetic chains, local/global RMW
 //! patterns that the decoder fuses into superinstructions, pointer
 //! stores, compare-and-branch blocks, bounded counted loops, calls,
-//! possible divide-by-zero traps, and sends). A quarter of the
+//! possible divide-by-zero traps, sends, and peripheral intrinsics —
+//! UART tx/rx pairs and journaled I2C read transactions, so torn wire
+//! bytes, FIFO state, and the `tx_begin`/`tx_commit` no-driver path are
+//! all covered differentially). A quarter of the
 //! programs get a deliberately undersized operand stack so the decoder
 //! refuses to verify them and falls back to reference semantics — the
 //! runtime overflow trap must be identical.
@@ -92,7 +95,7 @@ fn emit_block(e: &mut Emitter, rng: &mut u64, locals: u16, globals: u32) {
     let gslot = |rng: &mut u64| (pick(rng, u64::from(globals)) as u32) * 4;
     let konst = |rng: &mut u64| (splitmix64(rng) as i32) % 1_000;
     let binop = |rng: &mut u64| BINOPS[pick(rng, BINOPS.len() as u64) as usize];
-    match pick(rng, 10) {
+    match pick(rng, 12) {
         // Constant chain folded through a binop into a local
         // (the decoder's KBin / KStL shapes).
         0 => {
@@ -184,6 +187,38 @@ fn emit_block(e: &mut Emitter, rng: &mut u64, locals: u16, globals: u32) {
             e.emit(Instr::Const(k), 1);
             e.emit(if pick(rng, 2) == 0 { Instr::Div } else { Instr::Mod }, -1);
             e.emit(Instr::StoreLocal(lslot(rng)), -1);
+        }
+        // UART traffic: tx a computed byte (the result — 1 unless the
+        // byte tore — lands in a local), then rx the loopback response
+        // into a global. Wire state and FIFO contents must match.
+        10 => {
+            e.emit(Instr::LoadLocal(lslot(rng)), 1);
+            e.emit(Instr::Syscall(Syscall::UartTx), 0);
+            e.emit(Instr::StoreLocal(lslot(rng)), -1);
+            e.emit(Instr::Syscall(Syscall::UartRx), 1);
+            e.emit(Instr::StoreGlobal(gslot(rng)), -1);
+        }
+        // Journaled I2C read transaction. With `BareRuntime` there is
+        // no transaction driver, so `tx_begin`/`tx_commit` take the
+        // no-driver path — which must still be engine-identical, as
+        // must the sensor's served-reading cursor.
+        11 => {
+            let id = 1 + pick(rng, 7) as i32;
+            e.emit(Instr::Const(id), 1);
+            e.emit(Instr::Syscall(Syscall::TxBegin), 0);
+            e.emit(Instr::Pop, -1);
+            e.emit(Instr::Syscall(Syscall::I2cReset), 1);
+            e.emit(Instr::Pop, -1);
+            e.emit(Instr::Const(0x40), 1);
+            e.emit(Instr::Syscall(Syscall::I2cStart), 0);
+            e.emit(Instr::Pop, -1);
+            e.emit(Instr::Syscall(Syscall::I2cRead), 1);
+            e.emit(Instr::StoreLocal(lslot(rng)), -1);
+            e.emit(Instr::Syscall(Syscall::I2cStop), 1);
+            e.emit(Instr::StoreGlobal(gslot(rng)), -1);
+            e.emit(Instr::Const(id), 1);
+            e.emit(Instr::Syscall(Syscall::TxCommit), 0);
+            e.emit(Instr::Pop, -1);
         }
         // Call into the helper (runtime-mediated: decoded falls back to
         // reference dispatch for the Call itself).
