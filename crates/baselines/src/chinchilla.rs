@@ -10,8 +10,9 @@ use tics_vm::{
 };
 
 use crate::bufs::{
-    bank_payload, next_seq, select_bank, stage_bank, verified_poke, BankChoice, CtrlBlock,
-    BANK_HEADER, CTRL_SIZE,
+    bank_payload_into, bank_seq, build_delta_payload, dirty_words, journal_capacity, replay_chain,
+    select_bank, stage_bank, verified_poke, BankChoice, CtrlBlock, DeltaJournal, BANK_HEADER,
+    CTRL_SIZE,
 };
 
 type Result<T> = std::result::Result<T, VmError>;
@@ -36,6 +37,7 @@ pub struct ChinchillaRuntime {
     buf_a: Addr,
     buf_b: Addr,
     buf_bytes: u32,
+    journal: DeltaJournal,
     tx: TxDriver,
 }
 
@@ -51,6 +53,7 @@ impl ChinchillaRuntime {
             buf_a: Addr(0),
             buf_b: Addr(0),
             buf_bytes: 0,
+            journal: DeltaJournal::default(),
             tx: TxDriver::default(),
         }
     }
@@ -65,7 +68,10 @@ impl ChinchillaRuntime {
         self.buf_bytes = BANK_HEADER + 16 + 4 + sram.len() + statics;
         self.buf_a = base.offset(CTRL_SIZE);
         self.buf_b = self.buf_a.offset(self.buf_bytes);
-        let end = self.buf_b.offset(self.buf_bytes);
+        let journal_bytes = journal_capacity(self.buf_bytes);
+        self.journal
+            .place(self.buf_b.offset(self.buf_bytes), journal_bytes);
+        let end = self.buf_b.offset(self.buf_bytes + journal_bytes);
         if !m.mem.layout().fram.contains(Addr(end.raw() - 1)) {
             return Err(VmError::Load(
                 "chinchilla double buffers do not fit in FRAM (statics too large)".into(),
@@ -77,33 +83,89 @@ impl ChinchillaRuntime {
         Ok(ctrl)
     }
 
+    /// The delta capture/replay regions: the whole SRAM window (a fixed
+    /// superset of the bank's live `[0, used)` prefix — extra words are
+    /// dead stack, sound to capture) plus the promoted statics.
+    fn regions(m: &Machine) -> [(Addr, u32); 2] {
+        let sram = m.mem.layout().sram;
+        [
+            (sram.start, sram.len()),
+            (m.data_base(), m.loaded().program.globals_size),
+        ]
+    }
+
     fn commit(&mut self, m: &mut Machine, cause: CkptCause) -> Result<()> {
         let ctrl = self.attach(m)?;
         let mut span = m.span(SpanKind::Checkpoint);
         let m = &mut *span;
-        let target = if ctrl.flag(m)? == 1 { 2 } else { 1 };
-        let buf = if target == 1 { self.buf_a } else { self.buf_b };
         let sram = m.mem.layout().sram;
         let used = m.regs.sp.raw().saturating_sub(sram.start.raw());
         let statics_len = m.loaded().program.globals_size;
-        let mut payload = Vec::with_capacity((20 + used + statics_len) as usize);
-        for w in m.regs.to_words() {
-            payload.extend_from_slice(&w.to_le_bytes());
+        let max_payload = self.buf_bytes - BANK_HEADER;
+        if self.journal.is_cold() {
+            self.journal
+                .prime_cold(m, ctrl, self.buf_a, self.buf_b, max_payload)?;
         }
-        payload.extend_from_slice(&used.to_le_bytes());
+        let mut misc = [0u8; 20];
+        for (i, w) in m.regs.to_words().iter().enumerate() {
+            misc[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        misc[16..20].copy_from_slice(&used.to_le_bytes());
+        let regions = Self::regions(m);
+        let full_bytes = 20 + used + statics_len;
+        let delta_payload = 4 + 20 + 8 * dirty_words(m, &regions);
+        if self.journal.can_delta(BANK_HEADER + delta_payload, full_bytes)
+            && 4 * delta_payload < 3 * full_bytes
+        {
+            let seq = self.journal.take_seq();
+            build_delta_payload(m, &misc, &regions, &mut self.journal.scratch);
+            let staged = stage_bank(m, self.journal.record_addr(), seq, &self.journal.scratch)?;
+            let plen = self.journal.scratch.len() as u32;
+            let costs = m.mem.costs();
+            let cost = costs.ckpt_base
+                + costs.ckpt_seg_fixed
+                + costs.ckpt_seg_per_byte * u64::from(plen);
+            self.last_ckpt_at = m.cycles();
+            if !m.charge_atomic(cost) {
+                return Ok(()); // died mid-commit: previous checkpoint stands
+            }
+            if !staged {
+                // Corruption defeated staging: skip this commit; the
+                // chain tip is untouched, so restores still replay to
+                // the previous committed state.
+                return Ok(());
+            }
+            ctrl.set_delta_tip(m, seq)?;
+            self.journal.committed_delta(BANK_HEADER + plen);
+            for (start, len) in regions {
+                m.mem.clear_dirty(start, len);
+            }
+            m.emit(TraceEvent::CheckpointCommit {
+                cause,
+                bytes: u64::from(plen),
+            });
+            return Ok(());
+        }
+        let target = if ctrl.flag(m)? == 1 { 2 } else { 1 };
+        let buf = if target == 1 { self.buf_a } else { self.buf_b };
+        let seq = self.journal.take_seq();
+        self.journal.scratch.clear();
+        self.journal.scratch.extend_from_slice(&misc);
         if used > 0 {
-            payload.extend_from_slice(m.mem.peek_slice(sram.start, used)?);
+            self.journal
+                .scratch
+                .extend_from_slice(m.mem.peek_slice(sram.start, used)?);
         }
         if statics_len > 0 {
-            payload.extend_from_slice(m.mem.peek_slice(m.data_base(), statics_len)?);
+            self.journal
+                .scratch
+                .extend_from_slice(m.mem.peek_slice(m.data_base(), statics_len)?);
         }
-        let max_payload = self.buf_bytes - BANK_HEADER;
-        let seq = next_seq(m, self.buf_a, self.buf_b, max_payload)?;
-        let staged = stage_bank(m, buf, seq, &payload)?;
-        let bytes = 20 + used + statics_len;
-        let costs = m.mem.costs().clone();
-        let cost =
-            costs.ckpt_base + costs.ckpt_seg_fixed + costs.ckpt_seg_per_byte * u64::from(bytes);
+        let staged = stage_bank(m, buf, seq, &self.journal.scratch)?;
+        let costs = m.mem.costs();
+        let cost = costs.ckpt_base
+            + costs.ckpt_seg_fixed
+            + costs.ckpt_seg_per_byte * u64::from(full_bytes);
         self.last_ckpt_at = m.cycles();
         if !m.charge_atomic(cost) {
             return Ok(()); // died mid-commit: previous checkpoint stands
@@ -115,9 +177,15 @@ impl ChinchillaRuntime {
             return Ok(());
         }
         ctrl.set_flag(m, target)?;
+        ctrl.set_delta_base(m, seq)?;
+        ctrl.set_delta_tip(m, 0)?;
+        self.journal.committed_full();
+        for (start, len) in regions {
+            m.mem.clear_dirty(start, len);
+        }
         m.emit(TraceEvent::CheckpointCommit {
             cause,
-            bytes: u64::from(bytes),
+            bytes: u64::from(full_bytes),
         });
         Ok(())
     }
@@ -179,42 +247,105 @@ impl IntermittentRuntime for ChinchillaRuntime {
                 // volatile-only reinit — so *all* statics must go back
                 // to their initializers here.
                 m.init_globals(true)?;
+                self.journal
+                    .prime_cold(m, ctrl, self.buf_a, self.buf_b, max_payload)?;
                 return Ok(ResumeAction::Restart {
                     reinit_globals: false,
                 });
             }
             BankChoice::Bank(buf) => buf,
         };
-        let payload = bank_payload(m, buf)?;
+        // Full-image restore first: rewriting the live stack prefix and
+        // the entire statics area wipes any uncommitted stores there.
+        bank_payload_into(m, buf, &mut self.journal.scratch)?;
         let mut words = [0u32; 4];
         for (i, w) in words.iter_mut().enumerate() {
-            *w = u32::from_le_bytes(payload[4 * i..4 * i + 4].try_into().expect("reg word"));
+            *w = u32::from_le_bytes(
+                self.journal.scratch[4 * i..4 * i + 4]
+                    .try_into()
+                    .expect("reg word"),
+            );
         }
-        let used = u32::from_le_bytes(payload[16..20].try_into().expect("used len"));
+        let used = u32::from_le_bytes(
+            self.journal.scratch[16..20]
+                .try_into()
+                .expect("used len"),
+        );
         let sram = m.mem.layout().sram;
-        if used > 0 && !verified_poke(m, sram.start, &payload[20..(20 + used) as usize])? {
+        if used > 0
+            && !verified_poke(m, sram.start, &self.journal.scratch[20..(20 + used) as usize])?
+        {
             return Err(VmError::Trap(
                 "Chinchilla: stack restore failed read-back verification".into(),
             ));
         }
         let statics_len = m.loaded().program.globals_size;
         if statics_len > 0
-            && !verified_poke(m, m.data_base(), &payload[(20 + used) as usize..])?
+            && !verified_poke(m, m.data_base(), &self.journal.scratch[(20 + used) as usize..])?
         {
             return Err(VmError::Trap(
                 "Chinchilla: statics restore failed read-back verification".into(),
             ));
         }
+        // Then the delta chain, if one extends this bank generation.
+        let base_seq = bank_seq(m, buf)?;
+        let chain_base = ctrl.delta_base(m)?;
+        let tip = ctrl.delta_tip(m)?;
+        let regions = Self::regions(m);
+        let mut replayed = 0u64;
+        if chain_base == base_seq && tip > base_seq {
+            let end = replay_chain(
+                m,
+                self.journal.base,
+                self.journal.capacity,
+                base_seq,
+                tip,
+                &regions,
+                &mut self.journal.misc,
+            )?;
+            if end.last_seq > base_seq {
+                for (i, w) in words.iter_mut().enumerate() {
+                    *w = u32::from_le_bytes(
+                        self.journal.misc[4 * i..4 * i + 4]
+                            .try_into()
+                            .expect("reg word"),
+                    );
+                }
+            }
+            replayed = u64::from(end.bytes);
+            if end.broken {
+                m.emit(TraceEvent::Recovery {
+                    invalid_banks: 1,
+                    fresh_start: false,
+                });
+                self.journal
+                    .prime(tip.max(end.last_seq) + 1, end.next_off, false);
+            } else {
+                self.journal.prime(end.last_seq + 1, end.next_off, true);
+            }
+        } else if chain_base == base_seq {
+            self.journal.prime(base_seq.max(tip) + 1, 0, true);
+        } else {
+            // The chain belongs to a different bank generation (bank
+            // fallback restored an older image): unusable, next
+            // checkpoint re-anchors with a full image.
+            self.journal
+                .prime(base_seq.max(chain_base).max(tip) + 1, 0, false);
+        }
         m.regs = Registers::from_words(words);
+        // The restored regions now equal the committed image: ack them.
+        for (start, len) in regions {
+            m.mem.clear_dirty(start, len);
+        }
         let mut span = m.span(SpanKind::Restore);
         let m = &mut *span;
-        let costs = m.mem.costs().clone();
+        let costs = m.mem.costs();
         let cost = costs.restore_base
             + costs.restore_seg_fixed
-            + costs.restore_seg_per_byte * u64::from(20 + used + statics_len);
+            + costs.restore_seg_per_byte * (u64::from(20 + used + statics_len) + replayed);
         let _ = m.charge_atomic(cost);
         m.emit(TraceEvent::Restore {
-            bytes: u64::from(20 + used + statics_len),
+            bytes: u64::from(20 + used + statics_len) + replayed,
         });
         Ok(ResumeAction::Restored)
     }

@@ -37,6 +37,9 @@ pub struct NaiveCheckpoint {
     buf_a: Addr,
     buf_b: Addr,
     buf_bytes: u32,
+    /// Reused staging buffer so steady-state commits and restores do
+    /// not allocate.
+    scratch: Vec<u8>,
 }
 
 impl NaiveCheckpoint {
@@ -50,7 +53,18 @@ impl NaiveCheckpoint {
             buf_a: Addr(0),
             buf_b: Addr(0),
             buf_bytes: 0,
+            scratch: Vec::new(),
         }
+    }
+
+    /// Copies `len` bytes from `src` to `dst` through the reused
+    /// scratch buffer (simulated memory cannot be borrowed for read and
+    /// write at once).
+    fn copy_via_scratch(&mut self, m: &mut Machine, src: Addr, dst: Addr, len: u32) -> Result<()> {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(m.mem.peek_slice(src, len)?);
+        m.mem.poke_bytes(dst, &self.scratch)?;
+        Ok(())
     }
 
     fn attach(&mut self, m: &mut Machine) -> Result<CtrlBlock> {
@@ -90,13 +104,12 @@ impl NaiveCheckpoint {
         }
         poke_u32(m, buf.offset(16), used)?;
         if used > 0 {
-            let stack = m.mem.peek_bytes(sram.start, used)?;
-            m.mem.poke_bytes(buf.offset(20), &stack)?;
+            self.copy_via_scratch(m, sram.start, buf.offset(20), used)?;
         }
         let globals_len = m.loaded().program.globals_size;
+        let data_base = m.data_base();
         if globals_len > 0 {
-            let globals = m.mem.peek_bytes(m.data_base(), globals_len)?;
-            m.mem.poke_bytes(buf.offset(20 + sram.len()), &globals)?;
+            self.copy_via_scratch(m, data_base, buf.offset(20 + sram.len()), globals_len)?;
         }
         let bytes = 20 + used + globals_len;
         let costs = m.mem.costs().clone();
@@ -171,13 +184,12 @@ impl IntermittentRuntime for NaiveCheckpoint {
         let used = peek_u32(m, buf.offset(16))?;
         let sram = m.mem.layout().sram;
         if used > 0 {
-            let stack = m.mem.peek_bytes(buf.offset(20), used)?;
-            m.mem.poke_bytes(sram.start, &stack)?;
+            self.copy_via_scratch(m, buf.offset(20), sram.start, used)?;
         }
         let globals_len = m.loaded().program.globals_size;
+        let data_base = m.data_base();
         if globals_len > 0 {
-            let globals = m.mem.peek_bytes(buf.offset(20 + sram.len()), globals_len)?;
-            m.mem.poke_bytes(m.data_base(), &globals)?;
+            self.copy_via_scratch(m, buf.offset(20 + sram.len()), data_base, globals_len)?;
         }
         m.regs = Registers::from_words(words);
         let mut span = m.span(SpanKind::Restore);

@@ -10,8 +10,9 @@ use tics_vm::{
 };
 
 use crate::bufs::{
-    bank_payload, next_seq, select_bank, stage_bank, verified_poke, BankChoice, CtrlBlock,
-    BANK_HEADER, CTRL_SIZE,
+    bank_payload_into, bank_seq, build_delta_payload, dirty_words, journal_capacity, replay_chain,
+    select_bank, stage_bank, verified_poke, BankChoice, CtrlBlock, DeltaJournal, BANK_HEADER,
+    CTRL_SIZE,
 };
 
 type Result<T> = std::result::Result<T, VmError>;
@@ -33,6 +34,11 @@ pub struct RatchetRuntime {
     buf_b: Addr,
     max_payload: u32,
     stack: Region,
+    journal: DeltaJournal,
+    /// Frame window `(fp, frame_len)` the open delta chain covers; a
+    /// boundary with a different window forces a full image so every
+    /// record in a chain shares the bank's region.
+    anchor: Option<(Addr, u32)>,
     tx: TxDriver,
 }
 
@@ -47,6 +53,8 @@ impl RatchetRuntime {
             buf_b: Addr(0),
             max_payload: 0,
             stack: Region::with_len(Addr(0), 0),
+            journal: DeltaJournal::default(),
+            anchor: None,
             tx: TxDriver::default(),
         }
     }
@@ -63,7 +71,10 @@ impl RatchetRuntime {
         let buf_bytes = BANK_HEADER + self.max_payload;
         self.buf_a = base.offset(CTRL_SIZE);
         self.buf_b = self.buf_a.offset(buf_bytes);
-        let stack_start = self.buf_b.offset(buf_bytes);
+        let journal_bytes = journal_capacity(buf_bytes);
+        self.journal
+            .place(self.buf_b.offset(buf_bytes), journal_bytes);
+        let stack_start = self.buf_b.offset(buf_bytes + journal_bytes);
         self.stack = Region::with_len(stack_start, self.stack_bytes);
         if !m.mem.layout().fram.contains(Addr(self.stack.end.raw() - 1)) {
             return Err(VmError::Load("ratchet FRAM stack does not fit".into()));
@@ -78,19 +89,60 @@ impl RatchetRuntime {
         let ctrl = self.attach(m)?;
         let mut span = m.span(SpanKind::Checkpoint);
         let m = &mut *span;
+        let frame_len = m.regs.sp.raw().saturating_sub(m.regs.fp.raw());
+        let fp = m.regs.fp;
+        if self.journal.is_cold() {
+            self.journal
+                .prime_cold(m, ctrl, self.buf_a, self.buf_b, self.max_payload)?;
+        }
+        let mut misc = [0u8; 20];
+        for (i, w) in m.regs.to_words().iter().enumerate() {
+            misc[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        misc[16..20].copy_from_slice(&frame_len.to_le_bytes());
+        let region = [(fp, frame_len)];
+        // Incremental commit: only the words the write monitor saw
+        // changing since the last commit, while the frame window is
+        // stable and the record is meaningfully smaller than a full
+        // frame image.
+        let delta_payload = 4 + 20 + 8 * dirty_words(m, &region);
+        if self.anchor == Some((fp, frame_len))
+            && self.journal.can_delta(BANK_HEADER + delta_payload, 20 + frame_len)
+            && 4 * delta_payload < 3 * (20 + frame_len)
+        {
+            let seq = self.journal.take_seq();
+            build_delta_payload(m, &misc, &region, &mut self.journal.scratch);
+            if !stage_bank(m, self.journal.record_addr(), seq, &self.journal.scratch)? {
+                return Err(VmError::Trap(
+                    "Ratchet: boundary checkpoint failed read-back verification".into(),
+                ));
+            }
+            let plen = self.journal.scratch.len() as u32;
+            let cost = m.mem.costs().ckpt_base + u64::from(plen) / 4;
+            if !m.charge_atomic(cost) {
+                return Ok(());
+            }
+            ctrl.set_delta_tip(m, seq)?;
+            self.journal.committed_delta(BANK_HEADER + plen);
+            m.mem.clear_dirty(fp, frame_len);
+            m.emit(TraceEvent::CheckpointCommit {
+                cause,
+                bytes: u64::from(plen),
+            });
+            return Ok(());
+        }
+        // Full image into the inactive bank.
         let target = if ctrl.flag(m)? == 1 { 2 } else { 1 };
         let buf = if target == 1 { self.buf_a } else { self.buf_b };
-        let frame_len = m.regs.sp.raw().saturating_sub(m.regs.fp.raw());
-        let mut payload = Vec::with_capacity(20 + frame_len as usize);
-        for w in m.regs.to_words() {
-            payload.extend_from_slice(&w.to_le_bytes());
-        }
-        payload.extend_from_slice(&frame_len.to_le_bytes());
+        let seq = self.journal.take_seq();
+        self.journal.scratch.clear();
+        self.journal.scratch.extend_from_slice(&misc);
         if frame_len > 0 {
-            payload.extend_from_slice(m.mem.peek_slice(m.regs.fp, frame_len)?);
+            self.journal
+                .scratch
+                .extend_from_slice(m.mem.peek_slice(fp, frame_len)?);
         }
-        let seq = next_seq(m, self.buf_a, self.buf_b, self.max_payload)?;
-        if !stage_bank(m, buf, seq, &payload)? {
+        if !stage_bank(m, buf, seq, &self.journal.scratch)? {
             // Ratchet's consistency *is* the boundary checkpoint: a
             // skipped commit before a WAR-closing store would silently
             // violate idempotence on the next reboot. Die loudly.
@@ -105,6 +157,11 @@ impl RatchetRuntime {
             return Ok(());
         }
         ctrl.set_flag(m, target)?;
+        ctrl.set_delta_base(m, seq)?;
+        ctrl.set_delta_tip(m, 0)?;
+        self.journal.committed_full();
+        m.mem.clear_dirty(fp, frame_len);
+        self.anchor = Some((fp, frame_len));
         m.emit(TraceEvent::CheckpointCommit {
             cause,
             bytes: u64::from(16 + 4 + frame_len),
@@ -153,38 +210,111 @@ impl IntermittentRuntime for RatchetRuntime {
 
     fn on_boot(&mut self, m: &mut Machine) -> Result<ResumeAction> {
         let ctrl = self.attach(m)?;
+        self.anchor = None;
         let buf = match select_bank(m, ctrl, self.buf_a, self.buf_b, self.max_payload)? {
             BankChoice::None => {
+                self.journal
+                    .prime_cold(m, ctrl, self.buf_a, self.buf_b, self.max_payload)?;
                 return Ok(ResumeAction::Restart {
                     reinit_globals: false,
-                })
+                });
             }
             BankChoice::FreshStart => {
+                self.journal
+                    .prime_cold(m, ctrl, self.buf_a, self.buf_b, self.max_payload)?;
                 return Ok(ResumeAction::Restart {
                     reinit_globals: true,
-                })
+                });
             }
             BankChoice::Bank(buf) => buf,
         };
-        let payload = bank_payload(m, buf)?;
+        // Full-image restore first: rewriting the whole frame window
+        // wipes any uncommitted stores inside it.
+        bank_payload_into(m, buf, &mut self.journal.scratch)?;
         let mut words = [0u32; 4];
         for (i, w) in words.iter_mut().enumerate() {
-            *w = u32::from_le_bytes(payload[4 * i..4 * i + 4].try_into().expect("reg word"));
+            *w = u32::from_le_bytes(
+                self.journal.scratch[4 * i..4 * i + 4]
+                    .try_into()
+                    .expect("reg word"),
+            );
         }
         m.regs = Registers::from_words(words);
-        let frame_len = u32::from_le_bytes(payload[16..20].try_into().expect("frame len"));
+        let frame_len = u32::from_le_bytes(
+            self.journal.scratch[16..20]
+                .try_into()
+                .expect("frame len"),
+        );
+        let fp = m.regs.fp;
         if frame_len > 0
-            && !verified_poke(m, m.regs.fp, &payload[20..20 + frame_len as usize])?
+            && !verified_poke(m, fp, &self.journal.scratch[20..20 + frame_len as usize])?
         {
             return Err(VmError::Trap(
                 "Ratchet: checkpoint restore failed read-back verification".into(),
             ));
         }
+        // Then the delta chain, if one extends this bank generation.
+        let base_seq = bank_seq(m, buf)?;
+        let chain_base = ctrl.delta_base(m)?;
+        let tip = ctrl.delta_tip(m)?;
+        let region = [(fp, frame_len)];
+        let mut replayed = 0u64;
+        if chain_base == base_seq && tip > base_seq {
+            let end = replay_chain(
+                m,
+                self.journal.base,
+                self.journal.capacity,
+                base_seq,
+                tip,
+                &region,
+                &mut self.journal.misc,
+            )?;
+            if end.last_seq > base_seq {
+                let mut words = [0u32; 4];
+                for (i, w) in words.iter_mut().enumerate() {
+                    *w = u32::from_le_bytes(
+                        self.journal.misc[4 * i..4 * i + 4]
+                            .try_into()
+                            .expect("reg word"),
+                    );
+                }
+                m.regs = Registers::from_words(words);
+            }
+            replayed = u64::from(end.bytes);
+            if end.broken {
+                // The tip claimed records the journal no longer holds
+                // intact: resume from the longest valid prefix (itself
+                // a committed checkpoint) and journal the detection.
+                m.emit(TraceEvent::Recovery {
+                    invalid_banks: 1,
+                    fresh_start: false,
+                });
+                self.journal
+                    .prime(tip.max(end.last_seq) + 1, end.next_off, false);
+            } else {
+                self.journal.prime(end.last_seq + 1, end.next_off, true);
+                self.anchor = Some((fp, frame_len));
+            }
+        } else if chain_base == base_seq {
+            // Bank is the chain base with no deltas yet: extendable.
+            self.journal.prime(base_seq.max(tip) + 1, 0, true);
+            self.anchor = Some((fp, frame_len));
+        } else {
+            // The chain belongs to a different bank generation (bank
+            // fallback restored an older image): unusable, next
+            // checkpoint re-anchors with a full image.
+            self.journal
+                .prime(base_seq.max(chain_base).max(tip) + 1, 0, false);
+        }
+        // The restored window now equals the committed image: ack it.
+        m.mem.clear_dirty(fp, frame_len);
         let mut span = m.span(SpanKind::Restore);
         let m = &mut *span;
-        let _ = m.charge_atomic(m.mem.costs().restore_base + u64::from(frame_len) / 4);
+        let _ = m.charge_atomic(
+            m.mem.costs().restore_base + (u64::from(frame_len) + replayed) / 4,
+        );
         m.emit(TraceEvent::Restore {
-            bytes: u64::from(16 + 4 + frame_len),
+            bytes: u64::from(16 + 4 + frame_len) + replayed,
         });
         Ok(ResumeAction::Restored)
     }

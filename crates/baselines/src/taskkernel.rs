@@ -10,8 +10,9 @@ use tics_vm::{
 };
 
 use crate::bufs::{
-    bank_payload, next_seq, peek_u32, poke_u32, select_bank, stage_bank, verified_poke, BankChoice,
-    CtrlBlock, BANK_HEADER, CTRL_SIZE,
+    bank_payload_into, bank_seq, build_delta_payload, dirty_words, journal_capacity, peek_u32,
+    poke_u32, replay_chain, select_bank, stage_bank, verified_poke, BankChoice, CtrlBlock,
+    DeltaJournal, BANK_HEADER, CTRL_SIZE,
 };
 
 type Result<T> = std::result::Result<T, VmError>;
@@ -94,6 +95,7 @@ pub struct TaskKernel {
     buf_b: Addr,
     ts_base: Addr,
     undo_base: Addr,
+    journal: DeltaJournal,
     tx: TxDriver,
 }
 
@@ -117,6 +119,7 @@ impl TaskKernel {
             buf_b: Addr(0),
             ts_base: Addr(0),
             undo_base: Addr(0),
+            journal: DeltaJournal::default(),
             tx: TxDriver::default(),
         }
     }
@@ -136,7 +139,10 @@ impl TaskKernel {
         let buf_bytes = BANK_HEADER + 16 + 4 + sram.len();
         self.buf_a = base.offset(CTRL_SIZE);
         self.buf_b = self.buf_a.offset(buf_bytes);
-        self.ts_base = self.buf_b.offset(buf_bytes);
+        let journal_bytes = journal_capacity(buf_bytes);
+        self.journal
+            .place(self.buf_b.offset(buf_bytes), journal_bytes);
+        self.ts_base = self.buf_b.offset(buf_bytes + journal_bytes);
         self.undo_base = self
             .ts_base
             .offset(8 * m.loaded().program.annotated.len() as u32);
@@ -158,25 +164,71 @@ impl TaskKernel {
         let ctrl = self.attach(m)?;
         let mut span = m.span(SpanKind::Checkpoint);
         let m = &mut *span;
-        let target = if ctrl.flag(m)? == 1 { 2 } else { 1 };
-        let buf = if target == 1 { self.buf_a } else { self.buf_b };
         let sram = m.mem.layout().sram;
         let used = m.regs.sp.raw().saturating_sub(sram.start.raw());
-        let mut payload = Vec::with_capacity(20 + used as usize);
-        for w in m.regs.to_words() {
-            payload.extend_from_slice(&w.to_le_bytes());
-        }
-        payload.extend_from_slice(&used.to_le_bytes());
-        if used > 0 {
-            payload.extend_from_slice(m.mem.peek_slice(sram.start, used)?);
-        }
         let max_payload = 16 + 4 + sram.len();
-        let seq = next_seq(m, self.buf_a, self.buf_b, max_payload)?;
-        let staged = stage_bank(m, buf, seq, &payload)?;
-        let bytes = 20 + used;
-        let costs = m.mem.costs().clone();
-        let cost =
-            costs.ckpt_base + costs.ckpt_seg_fixed + costs.ckpt_seg_per_byte * u64::from(bytes);
+        if self.journal.is_cold() {
+            self.journal
+                .prime_cold(m, ctrl, self.buf_a, self.buf_b, max_payload)?;
+        }
+        let mut misc = [0u8; 20];
+        for (i, w) in m.regs.to_words().iter().enumerate() {
+            misc[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        misc[16..20].copy_from_slice(&used.to_le_bytes());
+        // The dispatcher checkpoint covers the whole SRAM window (a
+        // fixed superset of the live `[0, used)` prefix, so every chain
+        // record shares the bank's region).
+        let region = [(sram.start, sram.len())];
+        let full_bytes = 20 + used;
+        let delta_payload = 4 + 20 + 8 * dirty_words(m, &region);
+        if self.journal.can_delta(BANK_HEADER + delta_payload, full_bytes)
+            && 4 * delta_payload < 3 * full_bytes
+        {
+            let seq = self.journal.take_seq();
+            build_delta_payload(m, &misc, &region, &mut self.journal.scratch);
+            let staged = stage_bank(m, self.journal.record_addr(), seq, &self.journal.scratch)?;
+            let plen = self.journal.scratch.len() as u32;
+            let costs = m.mem.costs();
+            let cost = costs.ckpt_base
+                + costs.ckpt_seg_fixed
+                + costs.ckpt_seg_per_byte * u64::from(plen);
+            if !m.charge_atomic(cost) {
+                return Ok(());
+            }
+            if !staged {
+                // Corruption defeated staging: skip this boundary
+                // commit. The chain tip is untouched and the undo log
+                // keeps privatizing, so a reboot rolls back to the
+                // still-valid previous checkpoint.
+                return Ok(());
+            }
+            ctrl.set_delta_tip(m, seq)?;
+            self.journal.committed_delta(BANK_HEADER + plen);
+            m.mem.clear_dirty(sram.start, sram.len());
+            self.undo_count = 0;
+            ctrl.set_scratch(m, 0)?;
+            m.emit(TraceEvent::CheckpointCommit {
+                cause: CkptCause::Site,
+                bytes: u64::from(plen),
+            });
+            return Ok(());
+        }
+        let target = if ctrl.flag(m)? == 1 { 2 } else { 1 };
+        let buf = if target == 1 { self.buf_a } else { self.buf_b };
+        let seq = self.journal.take_seq();
+        self.journal.scratch.clear();
+        self.journal.scratch.extend_from_slice(&misc);
+        if used > 0 {
+            self.journal
+                .scratch
+                .extend_from_slice(m.mem.peek_slice(sram.start, used)?);
+        }
+        let staged = stage_bank(m, buf, seq, &self.journal.scratch)?;
+        let costs = m.mem.costs();
+        let cost = costs.ckpt_base
+            + costs.ckpt_seg_fixed
+            + costs.ckpt_seg_per_byte * u64::from(full_bytes);
         if !m.charge_atomic(cost) {
             return Ok(());
         }
@@ -187,11 +239,15 @@ impl TaskKernel {
             return Ok(());
         }
         ctrl.set_flag(m, target)?;
+        ctrl.set_delta_base(m, seq)?;
+        ctrl.set_delta_tip(m, 0)?;
+        self.journal.committed_full();
+        m.mem.clear_dirty(sram.start, sram.len());
         self.undo_count = 0;
         ctrl.set_scratch(m, 0)?;
         m.emit(TraceEvent::CheckpointCommit {
             cause: CkptCause::Site,
-            bytes: u64::from(bytes),
+            bytes: u64::from(full_bytes),
         });
         Ok(())
     }
@@ -273,39 +329,97 @@ impl IntermittentRuntime for TaskKernel {
         let max_payload = 16 + 4 + sram.len();
         let buf = match select_bank(m, ctrl, self.buf_a, self.buf_b, max_payload)? {
             BankChoice::None => {
+                self.journal
+                    .prime_cold(m, ctrl, self.buf_a, self.buf_b, max_payload)?;
                 return Ok(ResumeAction::Restart {
                     reinit_globals: false,
-                })
+                });
             }
             BankChoice::FreshStart => {
+                self.journal
+                    .prime_cold(m, ctrl, self.buf_a, self.buf_b, max_payload)?;
                 return Ok(ResumeAction::Restart {
                     reinit_globals: true,
-                })
+                });
             }
             BankChoice::Bank(buf) => buf,
         };
-        let payload = bank_payload(m, buf)?;
+        // Full-image restore first, then the delta chain (if one
+        // extends this bank generation).
+        bank_payload_into(m, buf, &mut self.journal.scratch)?;
         let mut words = [0u32; 4];
         for (i, w) in words.iter_mut().enumerate() {
-            *w = u32::from_le_bytes(payload[4 * i..4 * i + 4].try_into().expect("reg word"));
+            *w = u32::from_le_bytes(
+                self.journal.scratch[4 * i..4 * i + 4]
+                    .try_into()
+                    .expect("reg word"),
+            );
         }
-        let used = u32::from_le_bytes(payload[16..20].try_into().expect("used len"));
-        if used > 0 && !verified_poke(m, sram.start, &payload[20..(20 + used) as usize])? {
+        let used = u32::from_le_bytes(
+            self.journal.scratch[16..20]
+                .try_into()
+                .expect("used len"),
+        );
+        if used > 0
+            && !verified_poke(m, sram.start, &self.journal.scratch[20..(20 + used) as usize])?
+        {
             return Err(VmError::Trap(format!(
                 "{}: stack restore failed read-back verification",
                 self.flavor.name()
             )));
         }
+        let base_seq = bank_seq(m, buf)?;
+        let chain_base = ctrl.delta_base(m)?;
+        let tip = ctrl.delta_tip(m)?;
+        let region = [(sram.start, sram.len())];
+        let mut replayed = 0u64;
+        if chain_base == base_seq && tip > base_seq {
+            let end = replay_chain(
+                m,
+                self.journal.base,
+                self.journal.capacity,
+                base_seq,
+                tip,
+                &region,
+                &mut self.journal.misc,
+            )?;
+            if end.last_seq > base_seq {
+                for (i, w) in words.iter_mut().enumerate() {
+                    *w = u32::from_le_bytes(
+                        self.journal.misc[4 * i..4 * i + 4]
+                            .try_into()
+                            .expect("reg word"),
+                    );
+                }
+            }
+            replayed = u64::from(end.bytes);
+            if end.broken {
+                m.emit(TraceEvent::Recovery {
+                    invalid_banks: 1,
+                    fresh_start: false,
+                });
+                self.journal
+                    .prime(tip.max(end.last_seq) + 1, end.next_off, false);
+            } else {
+                self.journal.prime(end.last_seq + 1, end.next_off, true);
+            }
+        } else if chain_base == base_seq {
+            self.journal.prime(base_seq.max(tip) + 1, 0, true);
+        } else {
+            self.journal
+                .prime(base_seq.max(chain_base).max(tip) + 1, 0, false);
+        }
         m.regs = Registers::from_words(words);
+        m.mem.clear_dirty(sram.start, sram.len());
         let mut span = m.span(SpanKind::Restore);
         let m = &mut *span;
-        let costs = m.mem.costs().clone();
+        let costs = m.mem.costs();
         let cost = costs.restore_base
             + costs.restore_seg_fixed
-            + costs.restore_seg_per_byte * u64::from(20 + used);
+            + costs.restore_seg_per_byte * (u64::from(20 + used) + replayed);
         let _ = m.charge_atomic(cost);
         m.emit(TraceEvent::Restore {
-            bytes: u64::from(20 + used),
+            bytes: u64::from(20 + used) + replayed,
         });
         Ok(ResumeAction::Restored)
     }

@@ -16,12 +16,16 @@
 //! 1. **Equivalence** — both engines must produce the same outcome,
 //!    simulated cycle count, instruction count, and trace stream.
 //!    Any mismatch exits non-zero.
-//! 2. **Speedup** (`--check`) — the per-cell speedup ratio
-//!    `decoded_ips / reference_ips` is compared against the committed
-//!    baseline `BENCH_interpreter.json`. Ratios are machine-independent
-//!    (both engines run on the same host), so the guard is meaningful
-//!    on any CI machine: a cell regressing to below 75% of its baseline
-//!    speedup fails the run.
+//! 2. **Speedup and checkpoint traffic** (`--check`) — the per-cell
+//!    speedup ratio `decoded_ips / reference_ips` is compared against
+//!    the committed baseline `BENCH_interpreter.json`. Ratios are
+//!    machine-independent (both engines run on the same host), so the
+//!    guard is meaningful on any CI machine. Each cell also records its
+//!    simulated checkpoint-bytes-written and checkpoint-span cycles;
+//!    since those are deterministic, `--check` fails tightly when a
+//!    cell's checkpoint traffic grows past its baseline — the guard
+//!    that keeps the dirty-word incremental imaging from silently
+//!    degrading back to full-image commits.
 //!
 //! Flags: `--quick` (reduced measurement time for CI), `--check`
 //! (compare against the committed baseline), `--out PATH` (baseline
@@ -42,7 +46,7 @@ use tics_bench::periph::{build_periph_program, PeriphWorkload};
 use tics_bench::Json;
 use tics_energy::{ContinuousPower, PeriodicTrace, PowerSupply};
 use tics_minic::Program;
-use tics_trace::TraceRecord;
+use tics_trace::{SpanKind, TraceRecord};
 use tics_vm::{DispatchEngine, Executor, Machine, MachineConfig};
 
 /// Systems that run the legacy fault corpus.
@@ -74,6 +78,14 @@ const CHECK_TOLERANCE: f64 = 0.5;
 /// this stable even under `--quick` timing noise.
 const GEOMEAN_TOLERANCE: f64 = 0.85;
 
+/// A cell whose checkpoint-bytes-written grows beyond this multiple of
+/// its baseline fails `--check`. Unlike the throughput ratios this is a
+/// deterministic simulated quantity (no host timing noise), so the
+/// tolerance only absorbs intentional small format changes — it exists
+/// to catch the incremental-checkpoint machinery silently degrading to
+/// full images.
+const CKPT_BYTES_TOLERANCE: f64 = 1.10;
+
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Supply {
     Continuous,
@@ -102,6 +114,10 @@ struct EngineRun {
     outcome: String,
     cycles: u64,
     instructions: u64,
+    /// Simulated bytes committed by checkpoints over one run.
+    checkpoint_bytes: u64,
+    /// Simulated cycles spent inside checkpoint spans over one run.
+    checkpoint_cycles: u64,
     trace: Vec<TraceRecord>,
     /// Throughput over all repetitions.
     ips: f64,
@@ -111,7 +127,7 @@ struct EngineRun {
 /// Runs one (program image, supply, engine) cell repeatedly until
 /// `min_host_ms` of wall clock has elapsed, and reports throughput.
 fn measure(prog: &Program, system: SystemUnderTest, supply: Supply, engine: DispatchEngine, min_host_ms: u64) -> EngineRun {
-    let mut first: Option<(String, u64, u64, Vec<TraceRecord>)> = None;
+    let mut first: Option<(String, u64, u64, u64, u64, Vec<TraceRecord>)> = None;
     let mut total_instructions = 0u64;
     let mut runs = 0u32;
     let started = Instant::now();
@@ -134,6 +150,8 @@ fn measure(prog: &Program, system: SystemUnderTest, supply: Supply, engine: Disp
                 outcome,
                 m.cycles(),
                 m.stats().instructions,
+                m.stats().checkpoint_bytes,
+                m.mem.span_cycles(SpanKind::Checkpoint),
                 m.trace().records().to_vec(),
             ));
         }
@@ -142,11 +160,14 @@ fn measure(prog: &Program, system: SystemUnderTest, supply: Supply, engine: Disp
         }
     }
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
-    let (outcome, cycles, instructions, trace) = first.expect("at least one run");
+    let (outcome, cycles, instructions, checkpoint_bytes, checkpoint_cycles, trace) =
+        first.expect("at least one run");
     EngineRun {
         outcome,
         cycles,
         instructions,
+        checkpoint_bytes,
+        checkpoint_cycles,
         trace,
         ips: total_instructions as f64 / elapsed,
         runs_per_sec: f64::from(runs) / elapsed,
@@ -160,6 +181,10 @@ struct CellResult {
     outcome: String,
     cycles: u64,
     instructions: u64,
+    /// Simulated checkpoint traffic per run — the quantity the
+    /// incremental-imaging work drives down and `--check` guards.
+    checkpoint_bytes: u64,
+    checkpoint_cycles: u64,
     reference_ips: f64,
     decoded_ips: f64,
     reference_runs_per_sec: f64,
@@ -218,6 +243,7 @@ fn main() -> ExitCode {
                 if reference.outcome != decoded.outcome
                     || reference.cycles != decoded.cycles
                     || reference.instructions != decoded.instructions
+                    || reference.checkpoint_bytes != decoded.checkpoint_bytes
                     || reference.trace != decoded.trace
                 {
                     eprintln!(
@@ -244,6 +270,8 @@ fn main() -> ExitCode {
                     outcome: decoded.outcome.clone(),
                     cycles: decoded.cycles,
                     instructions: decoded.instructions,
+                    checkpoint_bytes: decoded.checkpoint_bytes,
+                    checkpoint_cycles: decoded.checkpoint_cycles,
                     reference_ips: reference.ips,
                     decoded_ips: decoded.ips,
                     reference_runs_per_sec: reference.runs_per_sec,
@@ -299,24 +327,28 @@ fn main() -> ExitCode {
     let geomean_all = geomean(cells.iter().map(|c| c.speedup));
     let geomean_fast = geomean(cells.iter().filter(|c| c.hook_free).map(|c| c.speedup));
     let min_speedup = cells.iter().map(|c| c.speedup).fold(f64::INFINITY, f64::min);
+    let total_ckpt_bytes: u64 = cells.iter().map(|c| c.checkpoint_bytes).sum();
 
     println!(
-        "{} cells in {:.1}s | speedup geomean {:.2}x (hook-free grid {:.2}x), min {:.2}x",
+        "{} cells in {:.1}s | speedup geomean {:.2}x (hook-free grid {:.2}x), min {:.2}x | ckpt traffic {} B",
         cells.len(),
         sweep_started.elapsed().as_secs_f64(),
         geomean_all,
         geomean_fast,
         min_speedup,
+        total_ckpt_bytes,
     );
     for c in &cells {
         println!(
-            "  {:>14}/{:<10} {:<10} {:>7.2} Mips -> {:>7.2} Mips  ({:.2}x)  [{}]",
+            "  {:>14}/{:<10} {:<10} {:>7.2} Mips -> {:>7.2} Mips  ({:.2}x)  ckpt {:>7} B / {:>8} cy  [{}]",
             c.program,
             c.system,
             c.supply,
             c.reference_ips / 1e6,
             c.decoded_ips / 1e6,
             c.speedup,
+            c.checkpoint_bytes,
+            c.checkpoint_cycles,
             c.outcome,
         );
     }
@@ -348,6 +380,8 @@ fn main() -> ExitCode {
                             .field("outcome", c.outcome.as_str())
                             .field("cycles", c.cycles)
                             .field("instructions", c.instructions)
+                            .field("checkpoint_bytes", c.checkpoint_bytes)
+                            .field("checkpoint_cycles", c.checkpoint_cycles)
                             .field("reference_ips", c.reference_ips)
                             .field("decoded_ips", c.decoded_ips)
                             .field("reference_cells_per_sec", c.reference_runs_per_sec)
@@ -366,6 +400,7 @@ fn main() -> ExitCode {
                 .field("geomean_speedup", geomean_all)
                 .field("geomean_speedup_hook_free", geomean_fast)
                 .field("min_speedup", min_speedup)
+                .field("total_checkpoint_bytes", total_ckpt_bytes)
                 .build(),
         )
         .build();
@@ -402,8 +437,9 @@ fn main() -> ExitCode {
     }
     if regressions > 0 {
         eprintln!(
-            "{regressions} cell(s) regressed below {CHECK_TOLERANCE} of baseline speedup \
-             (re-baseline with `cargo run --release -p tics-bench --bin exp_bench` if intended)"
+            "{regressions} cell(s) regressed against the baseline (speedup or checkpoint \
+             traffic; re-baseline with `cargo run --release -p tics-bench --bin exp_bench` \
+             if intended)"
         );
         return ExitCode::FAILURE;
     }
@@ -418,35 +454,50 @@ fn check_against(baseline: &Json, cells: &[CellResult]) -> u32 {
         eprintln!("baseline has no cells array");
         return 1;
     };
-    let baseline_speedup = |c: &CellResult| -> Option<f64> {
-        rows.iter().find_map(|row| {
-            let matches = row.get("program").and_then(Json::as_str) == Some(c.program)
+    let baseline_row = |c: &CellResult| -> Option<&Json> {
+        rows.iter().find(|row| {
+            row.get("program").and_then(Json::as_str) == Some(c.program)
                 && row.get("system").and_then(Json::as_str) == Some(c.system)
-                && row.get("supply").and_then(Json::as_str) == Some(c.supply);
-            if matches {
-                row.get("speedup").and_then(Json::as_f64)
-            } else {
-                None
-            }
+                && row.get("supply").and_then(Json::as_str) == Some(c.supply)
         })
     };
     let mut regressions = 0u32;
     for c in cells {
-        let Some(base) = baseline_speedup(c) else {
+        let Some(row) = baseline_row(c) else {
             println!("note: cell {}/{}/{} not in baseline", c.program, c.system, c.supply);
             continue;
         };
-        if c.speedup < base * CHECK_TOLERANCE {
-            eprintln!(
-                "REGRESSION {}/{}/{}: speedup {:.2}x < {:.0}% of baseline {:.2}x",
-                c.program,
-                c.system,
-                c.supply,
-                c.speedup,
-                CHECK_TOLERANCE * 100.0,
-                base,
-            );
-            regressions += 1;
+        if let Some(base) = row.get("speedup").and_then(Json::as_f64) {
+            if c.speedup < base * CHECK_TOLERANCE {
+                eprintln!(
+                    "REGRESSION {}/{}/{}: speedup {:.2}x < {:.0}% of baseline {:.2}x",
+                    c.program,
+                    c.system,
+                    c.supply,
+                    c.speedup,
+                    CHECK_TOLERANCE * 100.0,
+                    base,
+                );
+                regressions += 1;
+            }
+        }
+        // Checkpoint traffic is simulated (deterministic), so the gate
+        // is tight. Cells whose baseline committed nothing are skipped —
+        // any growth there is caught by the pre-existing zero only if a
+        // baseline refresh records it.
+        if let Some(base_bytes) = row.get("checkpoint_bytes").and_then(Json::as_f64) {
+            if base_bytes > 0.0 && c.checkpoint_bytes as f64 > base_bytes * CKPT_BYTES_TOLERANCE {
+                eprintln!(
+                    "REGRESSION {}/{}/{}: checkpoint traffic {} B > {:.0}% of baseline {:.0} B",
+                    c.program,
+                    c.system,
+                    c.supply,
+                    c.checkpoint_bytes,
+                    CKPT_BYTES_TOLERANCE * 100.0,
+                    base_bytes,
+                );
+                regressions += 1;
+            }
         }
     }
     let base_geomean = baseline

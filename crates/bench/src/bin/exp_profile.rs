@@ -8,7 +8,9 @@
 //!    append, pointer classification, rollback, stack switch). The
 //!    measured value must land within ±1 cycle of the `CostModel`
 //!    price, which proves the runtime charges *exactly* what the model
-//!    says — per operation, not just in aggregate.
+//!    says — per operation, not just in aggregate. Checkpoint commits
+//!    split into two rows: full images are priced by segment size,
+//!    delta records by their own observed payload.
 //! 2. **Figure-9-style breakdown** — every app × system cell runs on
 //!    periodic power and reports where its cycles went (app vs each
 //!    runtime span). The span-total identity Σ(per-span cycles) ==
@@ -121,21 +123,53 @@ fn run_detailed(src: &str, cfg: TicsConfig, supply: &mut dyn PowerSupply) -> Vec
     m.trace().records().to_vec()
 }
 
-/// Average self-cycles of checkpoint-commit spans at segment size `seg`.
-fn measure_checkpoint(seg: u32) -> Option<u64> {
+/// Self-cycles and committed bytes of every checkpoint-commit span in a
+/// 12-checkpoint micro-loop at segment size `seg`. The first commit is
+/// a full image; the rest ride the delta chain, so the two populations
+/// are told apart by their committed byte counts.
+fn checkpoint_commit_spans(seg: u32) -> Vec<(u64, u64)> {
     let src = "int main() { for (int i = 0; i < 12; i++) { checkpoint(); } return 0; }";
     let records = run_detailed(
         src,
         TicsConfig::s2().with_seg_size(seg),
         &mut ContinuousPower::new(),
     );
-    average(
-        span_instances(&records)
-            .iter()
-            .filter(|s| s.kind == SpanKind::Checkpoint)
-            .filter(|s| s.has(|e| matches!(e, TraceEvent::CheckpointCommit { .. })))
-            .map(|s| s.cycles),
-    )
+    span_instances(&records)
+        .iter()
+        .filter(|s| s.kind == SpanKind::Checkpoint)
+        .filter_map(|s| {
+            s.events.iter().find_map(|e| match e {
+                TraceEvent::CheckpointCommit { bytes, .. } => Some((s.cycles, *bytes)),
+                _ => None,
+            })
+        })
+        .collect()
+}
+
+/// Model vs measured cost of a *full-image* checkpoint commit at
+/// segment size `seg` — the spans whose commit wrote the whole bank
+/// (the model prices these by segment size).
+fn measure_checkpoint_full(seg: u32) -> Option<(u64, u64)> {
+    let spans = checkpoint_commit_spans(seg);
+    let full = spans.iter().map(|&(_, b)| b).max()?;
+    let measured = average(spans.iter().filter(|&&(_, b)| b == full).map(|&(c, _)| c))?;
+    Some((CostModel::default().checkpoint_cost(seg), measured))
+}
+
+/// Model vs measured cost of *delta-record* commits. A delta is priced
+/// by its payload, not the segment size, so each span's model price is
+/// `checkpoint_cost(bytes − DELTA_HEADER)` for the bytes its own commit
+/// event reports; model and measured are averaged over the same spans.
+fn measure_checkpoint_delta(seg: u32) -> Option<(u64, u64)> {
+    let spans = checkpoint_commit_spans(seg);
+    let full = spans.iter().map(|&(_, b)| b).max()?;
+    let deltas: Vec<(u64, u64)> = spans.into_iter().filter(|&(_, b)| b < full).collect();
+    let model = average(deltas.iter().map(|&(_, b)| {
+        let plen = u32::try_from(b).expect("delta fits u32") - tics_core::DELTA_HEADER;
+        CostModel::default().checkpoint_cost(plen)
+    }))?;
+    let measured = average(deltas.iter().map(|&(c, _)| c))?;
+    Some((model, measured))
 }
 
 /// Average self-cycles of restore spans at segment size `seg` (power is
@@ -237,66 +271,73 @@ fn measure_stack_switch(grow: bool) -> Option<u64> {
 struct MicroOp {
     operation: &'static str,
     configuration: &'static str,
-    model_us: u64,
-    measure: fn() -> Option<u64>,
+    /// Returns `(model cycles, measured cycles)` — the model side is a
+    /// closure because delta-record commits are priced by their own
+    /// observed payload, which only the measurement run knows.
+    measure: fn() -> Option<(u64, u64)>,
 }
 
 fn micro_ops() -> Vec<MicroOp> {
-    let model = CostModel::default();
     vec![
         MicroOp {
             operation: "checkpoint logic",
             configuration: "64 B seg.",
-            model_us: model.checkpoint_cost(64),
-            measure: || measure_checkpoint(64),
+            measure: || measure_checkpoint_full(64),
         },
         MicroOp {
             operation: "checkpoint logic",
             configuration: "256 B seg.",
-            model_us: model.checkpoint_cost(256),
-            measure: || measure_checkpoint(256),
+            measure: || measure_checkpoint_full(256),
+        },
+        MicroOp {
+            operation: "checkpoint logic",
+            configuration: "delta rec.",
+            measure: || measure_checkpoint_delta(256),
         },
         MicroOp {
             operation: "restore logic",
             configuration: "64 B seg.",
-            model_us: model.restore_cost(64),
-            measure: || measure_restore(64),
+            measure: || {
+                measure_restore(64).map(|m| (CostModel::default().restore_cost(64), m))
+            },
         },
         MicroOp {
             operation: "restore logic",
             configuration: "256 B seg.",
-            model_us: model.restore_cost(256),
-            measure: || measure_restore(256),
+            measure: || {
+                measure_restore(256).map(|m| (CostModel::default().restore_cost(256), m))
+            },
         },
         MicroOp {
             operation: "pointer access",
             configuration: "no log",
-            model_us: model.ptr_check,
-            measure: measure_unlogged_store,
+            measure: || measure_unlogged_store().map(|m| (CostModel::default().ptr_check, m)),
         },
         MicroOp {
             operation: "pointer access",
             configuration: "log 4 B",
-            model_us: model.undo_log_cost(4),
-            measure: measure_logged_store,
+            measure: || {
+                measure_logged_store().map(|m| (CostModel::default().undo_log_cost(4), m))
+            },
         },
         MicroOp {
             operation: "roll back from undo log",
             configuration: "4 B entry",
-            model_us: model.rollback_cost(4),
-            measure: measure_rollback,
+            measure: || measure_rollback().map(|m| (CostModel::default().rollback_cost(4), m)),
         },
         MicroOp {
             operation: "stack segment grow",
             configuration: "4 B args",
-            model_us: model.stack_switch_cost(4),
-            measure: || measure_stack_switch(true),
+            measure: || {
+                measure_stack_switch(true).map(|m| (CostModel::default().stack_switch_cost(4), m))
+            },
         },
         MicroOp {
             operation: "stack segment shrink",
             configuration: "",
-            model_us: model.stack_switch_cost(0),
-            measure: || measure_stack_switch(false),
+            measure: || {
+                measure_stack_switch(false).map(|m| (CostModel::default().stack_switch_cost(0), m))
+            },
         },
     ]
 }
@@ -440,8 +481,7 @@ fn main() -> ExitCode {
                 .param("phase", "table4")
                 .param("op_index", i)
                 .param("operation", op.operation)
-                .param("configuration", op.configuration)
-                .param("model_us", op.model_us),
+                .param("configuration", op.configuration),
         );
     }
     for app in APPS {
@@ -470,8 +510,8 @@ fn main() -> ExitCode {
                     .to_string(),
                 ..CellOutput::default()
             };
-            if let Some(m) = measured {
-                out = out.with("measured_us", m);
+            if let Some((model, m)) = measured {
+                out = out.with("model_us", model).with("measured_us", m);
             }
             Ok(out)
         } else {

@@ -20,8 +20,14 @@ pub mod ctrl {
     pub const UNDO_COUNT: u32 = 16;
     /// `u32` count of buffered (uncommitted) virtualized sends.
     pub const IO_COUNT: u32 = 20;
+    /// `u64` sequence number of the full bank the delta chain extends.
+    pub const DELTA_BASE: u32 = 24;
+    /// `u64` highest committed delta sequence (0 = no chain). Both
+    /// delta words are 8-byte pokes — within the atomic-store size, so
+    /// their updates are single corruption-immune stores.
+    pub const DELTA_TIP: u32 = 32;
     /// Control block size.
-    pub const SIZE: u32 = 24;
+    pub const SIZE: u32 = 40;
 }
 
 /// Offsets within one checkpoint buffer (bank).
@@ -62,6 +68,10 @@ pub struct RuntimeLayout {
     pub ckpt_a: Addr,
     /// Checkpoint buffer B base.
     pub ckpt_b: Addr,
+    /// Delta journal base (incremental checkpoint records).
+    pub journal: Addr,
+    /// Delta journal capacity in bytes.
+    pub journal_capacity: u32,
     /// Timestamp table base (`u64` per annotated variable).
     pub timestamps: Addr,
     /// Undo log base (8-byte entries: address, old value).
@@ -91,7 +101,12 @@ impl RuntimeLayout {
         let control = base;
         let ckpt_a = control.offset(ctrl::SIZE);
         let ckpt_b = ckpt_a.offset(ckpt_buf_bytes);
-        let timestamps = ckpt_b.offset(ckpt_buf_bytes);
+        // The delta journal sits right after the banks: roomy enough for
+        // many incremental records between full images, bounded so
+        // boot-time chain replay stays O(image).
+        let journal = ckpt_b.offset(ckpt_buf_bytes);
+        let journal_capacity = (2 * ckpt_buf_bytes).clamp(1_024, 8_192);
+        let timestamps = journal.offset(journal_capacity);
         let undo = timestamps.offset(8 * program.annotated.len() as u32);
         let io_capacity = if config.virtualize_io { 32 } else { 0 };
         let io_buffer = undo.offset(config.undo_log_bytes());
@@ -101,6 +116,8 @@ impl RuntimeLayout {
             control,
             ckpt_a,
             ckpt_b,
+            journal,
+            journal_capacity,
             timestamps,
             undo,
             io_buffer,
@@ -191,12 +208,17 @@ mod tests {
         let l = layout();
         assert!(l.control < l.ckpt_a);
         assert!(l.ckpt_a < l.ckpt_b);
-        assert!(l.ckpt_b < l.timestamps);
+        assert!(l.ckpt_b < l.journal);
+        assert!(l.journal < l.timestamps);
         assert!(l.timestamps < l.undo);
         assert!(l.undo < l.segments);
         assert!(l.segments < l.end);
         // Checkpoint buffers hold header + a full segment.
         assert_eq!(l.ckpt_b.raw() - l.ckpt_a.raw(), ckpt::HEADER + 256);
+        // The journal sits between the banks and the timestamp table.
+        assert_eq!(l.journal.raw() - l.ckpt_b.raw(), ckpt::HEADER + 256);
+        assert_eq!(l.timestamps.raw() - l.journal.raw(), l.journal_capacity);
+        assert_eq!(l.journal_capacity, 1_024);
     }
 
     #[test]

@@ -19,6 +19,11 @@ struct ExpiresBlock {
     catch_pc: u32,
     expire_at_us: u64,
     undo_mark: u32,
+    /// Externally visible output events (prints + published sends) at
+    /// block entry. Once the body's output has escaped, the expiry
+    /// abort is defused: running the catch arm then would duplicate
+    /// output the outside world already observed.
+    output_mark: usize,
 }
 
 /// Why a checkpoint commit did or did not reach phase 2.
@@ -38,6 +43,16 @@ enum CommitOutcome {
 /// attempt re-draws the corruption RNG, so retries converge whenever the
 /// per-store corruption probability is below 1.
 const VERIFY_ATTEMPTS: u32 = 16;
+
+/// Delta record header: `u64` sequence, `u32` payload length, `u32`
+/// CRC-32 over sequence + length + payload. Public so profilers can
+/// recover a record's payload length from its committed byte count.
+pub const DELTA_HEADER: u32 = 16;
+
+/// Fixed misc block of every delta payload: 4 × `u32` registers,
+/// `u32` atomic depth, `u32` working segment — the bank header fields a
+/// restore needs, re-captured at each incremental commit.
+const DELTA_MISC: u32 = 24;
 
 /// The TICS runtime: stack segmentation, undo-log memory consistency,
 /// double-buffered checkpoints, and time-sensitivity semantics.
@@ -59,6 +74,20 @@ pub struct TicsRuntime {
     pending_shrink_ckpt: bool,
     expires_block: Option<ExpiresBlock>,
     tx: TxDriver,
+    /// Next commit sequence number (cache of the delta-chain cursor);
+    /// 0 = cold, re-primed from the control block. Sequence numbers are
+    /// burned by *attempts*, not commits, so a staged-but-uncommitted
+    /// record can never collide with a later committed one.
+    journal_next_seq: u64,
+    /// Staging offset of the next delta record (end of the chain).
+    journal_write_off: u32,
+    /// Whether a committed full bank anchors the chain — deltas are
+    /// only taken while anchored and while the working segment still
+    /// matches the anchoring bank's.
+    journal_anchored: bool,
+    /// Reusable staging buffer — commit/restore allocate nothing in
+    /// steady state.
+    scratch: Vec<u8>,
 }
 
 impl TicsRuntime {
@@ -77,6 +106,10 @@ impl TicsRuntime {
             pending_shrink_ckpt: false,
             expires_block: None,
             tx: TxDriver::default(),
+            journal_next_seq: 0,
+            journal_write_off: 0,
+            journal_anchored: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -118,6 +151,10 @@ impl TicsRuntime {
                 .poke_bytes(l.control.offset(ctrl::CKPT_SEQ), &0u64.to_le_bytes())?;
             m.mem
                 .poke_bytes(l.control.offset(ctrl::UNDO_COUNT), &0u32.to_le_bytes())?;
+            m.mem
+                .poke_bytes(l.control.offset(ctrl::DELTA_BASE), &0u64.to_le_bytes())?;
+            m.mem
+                .poke_bytes(l.control.offset(ctrl::DELTA_TIP), &0u64.to_le_bytes())?;
         }
         self.layout = Some(l);
         Ok(l)
@@ -144,6 +181,59 @@ impl TicsRuntime {
         h.update(&bank[..ckpt::CRC as usize]);
         h.update(&bank[ckpt::SEG_IMAGE as usize..]);
         h.finish()
+    }
+
+    /// CRC-32 over a delta record: sequence + length + payload.
+    fn record_crc(seq: u64, payload: &[u8]) -> u32 {
+        let mut h = Crc32::new();
+        h.update(&seq.to_le_bytes());
+        h.update(&(payload.len() as u32).to_le_bytes());
+        h.update(payload);
+        h.finish()
+    }
+
+    /// Re-primes the delta-chain cursor from non-volatile state alone:
+    /// next sequence past everything ever committed, chain not anchored
+    /// — the next checkpoint is a full image.
+    fn prime_journal_cold(&mut self, m: &Machine, l: &RuntimeLayout) -> Result<()> {
+        let seq = m.mem.peek_u64(l.control.offset(ctrl::CKPT_SEQ))?;
+        let tip = m.mem.peek_u64(l.control.offset(ctrl::DELTA_TIP))?;
+        self.journal_next_seq = seq.max(tip) + 1;
+        self.journal_write_off = 0;
+        self.journal_anchored = false;
+        Ok(())
+    }
+
+    /// Validates the delta record at journal offset `off`: in bounds,
+    /// sequence exactly `expected`, structurally a delta payload (misc
+    /// block plus a whole number of 8-byte word entries), CRC intact.
+    /// Returns the payload length if valid.
+    fn validate_delta_record(
+        m: &Machine,
+        l: &RuntimeLayout,
+        off: u32,
+        expected: u64,
+    ) -> Result<Option<u32>> {
+        if off + DELTA_HEADER > l.journal_capacity {
+            return Ok(None);
+        }
+        let rec = l.journal.offset(off);
+        let head = m.mem.peek_slice(rec, DELTA_HEADER)?;
+        let seq = u64::from_le_bytes(head[0..8].try_into().expect("8-byte seq"));
+        let len = u32::from_le_bytes(head[8..12].try_into().expect("4-byte len"));
+        let stored = u32::from_le_bytes(head[12..16].try_into().expect("4-byte crc"));
+        if seq != expected
+            || len < DELTA_MISC
+            || !(len - DELTA_MISC).is_multiple_of(8)
+            || off + DELTA_HEADER + len > l.journal_capacity
+        {
+            return Ok(None);
+        }
+        let payload = m.mem.peek_slice(rec.offset(DELTA_HEADER), len)?;
+        if Self::record_crc(seq, payload) != stored {
+            return Ok(None);
+        }
+        Ok(Some(len))
     }
 
     /// Pokes `bytes` at `a` and reads them back, retrying until the
@@ -177,56 +267,156 @@ impl TicsRuntime {
         Ok(Some(seq))
     }
 
-    /// Commits a checkpoint: registers + runtime state + the working
-    /// segment into the inactive buffer, stamped with a monotonic
-    /// sequence number and a CRC-32 and verified by read-back, then flips
-    /// the valid flag (two-phase commit, §4). Clears the undo log.
+    /// Commits a checkpoint (two-phase, §4): either a *full* image —
+    /// registers + runtime state + the working segment into the inactive
+    /// buffer — or, when a committed full bank of this very segment
+    /// anchors the delta chain, an *incremental* record carrying only
+    /// the words the dirty-word monitor saw change since the previous
+    /// commit. Both are stamped with a monotonic sequence number and a
+    /// CRC-32 and verified by read-back; phase 2 is a single ≤ 8-byte
+    /// (corruption-immune) store. Clears the undo log.
     fn commit_checkpoint(&mut self, m: &mut Machine, cause: CkptCause) -> Result<CommitOutcome> {
         let l = self.attach(m)?;
         let mut span = m.span(SpanKind::Checkpoint);
         let m = &mut *span;
-        let active = Self::peek_u32(m, l.control.offset(ctrl::CKPT_FLAG))?;
-        let target = if active == 1 { 2 } else { 1 };
-        let buf = l.ckpt_buffer(target);
-        let seq = m.mem.peek_u64(l.control.offset(ctrl::CKPT_SEQ))? + 1;
-        // Phase 1: assemble the whole bank host-side (registers, runtime
-        // state, sequence number, CRC, segment image), then stage it into
-        // the inactive buffer with read-back verification — a brown-out
-        // can corrupt the multi-word burst store, and a corrupted bank
-        // must never become the restore point.
-        let mut bank = Vec::with_capacity((ckpt::HEADER + l.seg_size) as usize);
-        for w in m.regs.to_words() {
-            bank.extend_from_slice(&w.to_le_bytes());
+        if self.journal_next_seq == 0 {
+            self.prime_journal_cold(m, &l)?;
         }
-        bank.extend_from_slice(&self.atomic_depth.to_le_bytes());
-        bank.extend_from_slice(&self.working_seg.to_le_bytes());
-        bank.extend_from_slice(&seq.to_le_bytes());
-        bank.extend_from_slice(&[0u8; 4]); // CRC, stamped below
         let seg = l.segment(self.working_seg);
-        bank.extend_from_slice(m.mem.peek_slice(seg.start, l.seg_size)?);
-        let crc = Self::bank_crc(&bank);
-        bank[ckpt::CRC as usize..ckpt::SEG_IMAGE as usize].copy_from_slice(&crc.to_le_bytes());
-        if !Self::verified_poke(m, buf, &bank)? {
-            // Corruption defeated every staging attempt. Abort cleanly:
-            // the previous checkpoint and the undo log are intact.
-            return Ok(CommitOutcome::VerifyAbort);
+        let full_bytes = ckpt::HEADER + l.seg_size;
+        let dirty = m.mem.count_dirty_words(seg.start, l.seg_size);
+        let plen = DELTA_MISC + 8 * dirty;
+        // Incremental path: the chain must be anchored by a committed
+        // full image of this very segment, the record must fit the
+        // journal, and the delta must be meaningfully smaller than a
+        // full image — so restore stays O(image): one full-image
+        // restore plus a bounded chain replay.
+        // The chain is byte-capped well below the journal's capacity:
+        // every boot replays the whole chain after the full-image
+        // restore, so unbounded chains would inflate the restore charge
+        // past what a short on-period can cover — the exact livelock
+        // incremental checkpointing exists to prevent.
+        let chain_cap = l.journal_capacity.min(full_bytes.max(512));
+        let take_delta = self.journal_anchored
+            && self.last_ckpt_seg == Some(self.working_seg)
+            && self.journal_write_off + DELTA_HEADER + plen <= chain_cap
+            && 4 * plen < 3 * full_bytes;
+        // Sequence numbers are burned per attempt (shared between full
+        // banks and delta records), so an aborted attempt can never
+        // collide with a later committed record.
+        let seq = self.journal_next_seq;
+        self.journal_next_seq += 1;
+        let committed_bytes;
+        if take_delta {
+            // Phase 1: stage the delta record — the misc block (the
+            // bank-header fields a restore needs) plus one
+            // (address, value) entry per dirty word — at the end of the
+            // chain, CRC-stamped and read-back verified.
+            self.scratch.clear();
+            for w in m.regs.to_words() {
+                self.scratch.extend_from_slice(&w.to_le_bytes());
+            }
+            self.scratch
+                .extend_from_slice(&self.atomic_depth.to_le_bytes());
+            self.scratch
+                .extend_from_slice(&self.working_seg.to_le_bytes());
+            {
+                let scratch = &mut self.scratch;
+                let seg_end = seg.start.raw() + l.seg_size;
+                m.mem.for_each_dirty_word(seg.start, l.seg_size, |w| {
+                    let lo = w.raw().max(seg.start.raw());
+                    let n = (w.raw() + 4).min(seg_end) - lo;
+                    let src = m
+                        .mem
+                        .peek_slice(Addr(lo), n)
+                        .expect("dirty word inside the working segment");
+                    let mut val = [0u8; 4];
+                    val[..n as usize].copy_from_slice(src);
+                    scratch.extend_from_slice(&lo.to_le_bytes());
+                    scratch.extend_from_slice(&val);
+                });
+            }
+            let rec = l.journal.offset(self.journal_write_off);
+            let mut head = [0u8; DELTA_HEADER as usize];
+            head[0..8].copy_from_slice(&seq.to_le_bytes());
+            head[8..12].copy_from_slice(&(self.scratch.len() as u32).to_le_bytes());
+            head[12..16].copy_from_slice(&Self::record_crc(seq, &self.scratch).to_le_bytes());
+            if !(Self::verified_poke(m, rec, &head)?
+                && Self::verified_poke(m, rec.offset(DELTA_HEADER), &self.scratch)?)
+            {
+                // Corruption defeated every staging attempt. Abort
+                // cleanly: the committed chain is untouched.
+                return Ok(CommitOutcome::VerifyAbort);
+            }
+            // Phase 2: the 8-byte tip store makes the record part of
+            // the restore point — but only if the energy budget covers
+            // the whole commit.
+            let cost = m.mem.costs().checkpoint_cost(plen);
+            if !m.charge_atomic(cost) {
+                return Ok(CommitOutcome::EnergyAbort);
+            }
+            m.mem
+                .poke_bytes(l.control.offset(ctrl::DELTA_TIP), &seq.to_le_bytes())?;
+            self.journal_write_off += DELTA_HEADER + plen;
+            committed_bytes = u64::from(DELTA_HEADER + plen);
+        } else {
+            let active = Self::peek_u32(m, l.control.offset(ctrl::CKPT_FLAG))?;
+            let target = if active == 1 { 2 } else { 1 };
+            let buf = l.ckpt_buffer(target);
+            // Phase 1: assemble the whole bank host-side (registers,
+            // runtime state, sequence number, CRC, segment image), then
+            // stage it into the inactive buffer with read-back
+            // verification — a brown-out can corrupt the multi-word
+            // burst store, and a corrupted bank must never become the
+            // restore point.
+            self.scratch.clear();
+            for w in m.regs.to_words() {
+                self.scratch.extend_from_slice(&w.to_le_bytes());
+            }
+            self.scratch
+                .extend_from_slice(&self.atomic_depth.to_le_bytes());
+            self.scratch
+                .extend_from_slice(&self.working_seg.to_le_bytes());
+            self.scratch.extend_from_slice(&seq.to_le_bytes());
+            self.scratch.extend_from_slice(&[0u8; 4]); // CRC, stamped below
+            self.scratch
+                .extend_from_slice(m.mem.peek_slice(seg.start, l.seg_size)?);
+            let crc = Self::bank_crc(&self.scratch);
+            self.scratch[ckpt::CRC as usize..ckpt::SEG_IMAGE as usize]
+                .copy_from_slice(&crc.to_le_bytes());
+            if !Self::verified_poke(m, buf, &self.scratch)? {
+                // Corruption defeated every staging attempt. Abort
+                // cleanly: the previous checkpoint and the undo log are
+                // intact.
+                return Ok(CommitOutcome::VerifyAbort);
+            }
+            // Phase 2: a single flag write makes it the restore point —
+            // but only if the energy budget covers the whole commit.
+            // Dying mid-commit leaves the previous checkpoint valid.
+            let cost = m.mem.costs().checkpoint_cost(l.seg_size);
+            if !m.charge_atomic(cost) {
+                return Ok(CommitOutcome::EnergyAbort);
+            }
+            Self::poke_u32(m, l.control.offset(ctrl::CKPT_FLAG), target)?;
+            m.mem
+                .poke_bytes(l.control.offset(ctrl::CKPT_SEQ), &seq.to_le_bytes())?;
+            // The new full image anchors a fresh (empty) delta chain.
+            m.mem
+                .poke_bytes(l.control.offset(ctrl::DELTA_BASE), &seq.to_le_bytes())?;
+            m.mem
+                .poke_bytes(l.control.offset(ctrl::DELTA_TIP), &0u64.to_le_bytes())?;
+            self.journal_write_off = 0;
+            self.journal_anchored = true;
+            committed_bytes = u64::from(full_bytes);
         }
-        // Phase 2: a single flag write makes it the restore point — but
-        // only if the energy budget covers the whole commit. Dying
-        // mid-commit leaves the previous checkpoint valid.
-        let cost = m.mem.costs().checkpoint_cost(l.seg_size);
-        if !m.charge_atomic(cost) {
-            return Ok(CommitOutcome::EnergyAbort);
-        }
-        Self::poke_u32(m, l.control.offset(ctrl::CKPT_FLAG), target)?;
-        m.mem
-            .poke_bytes(l.control.offset(ctrl::CKPT_SEQ), &seq.to_le_bytes())?;
-        // The log only needs to undo writes newer than this checkpoint.
+        // The words this commit captured are clean again, and the log
+        // only needs to undo writes newer than this checkpoint.
+        m.mem.clear_dirty(seg.start, l.seg_size);
         self.set_undo_count(m, &l, 0)?;
         self.last_ckpt_seg = Some(self.working_seg);
         m.emit(TraceEvent::CheckpointCommit {
             cause,
-            bytes: u64::from(ckpt::HEADER + l.seg_size),
+            bytes: committed_bytes,
         });
         // Virtualized I/O: the commit is the transmission point — every
         // buffered send now becomes externally visible, exactly once.
@@ -315,6 +505,7 @@ impl IntermittentRuntime for TicsRuntime {
             // be restored): plain restart, not a recovery.
             self.working_seg = 0;
             self.last_ckpt_seg = None;
+            self.prime_journal_cold(m, &l)?;
             return Ok(ResumeAction::Restart {
                 reinit_globals: false,
             });
@@ -360,6 +551,7 @@ impl IntermittentRuntime for TicsRuntime {
                     });
                     self.working_seg = 0;
                     self.last_ckpt_seg = None;
+                    self.prime_journal_cold(m, &l)?;
                     return Ok(ResumeAction::Restart {
                         reinit_globals: true,
                     });
@@ -367,6 +559,11 @@ impl IntermittentRuntime for TicsRuntime {
             }
         };
         let buf = l.ckpt_buffer(restore_from);
+        let bank_seq = match restore_from {
+            1 => v_a,
+            _ => v_b,
+        }
+        .expect("selected bank passed validation");
         let mut words = [0u32; 4];
         for (i, w) in words.iter_mut().enumerate() {
             *w = Self::peek_u32(m, buf.offset(ckpt::REGS + 4 * i as u32))?;
@@ -376,20 +573,104 @@ impl IntermittentRuntime for TicsRuntime {
         let mut span = m.span(SpanKind::Restore);
         let m = &mut *span;
         let seg = l.segment(self.working_seg);
-        let image = m.mem.peek_bytes(buf.offset(ckpt::SEG_IMAGE), l.seg_size)?;
-        if !Self::verified_poke(m, seg.start, &image)? {
+        // The full image restores the *entire* segment, wiping every
+        // uncommitted store — the precondition for replaying the delta
+        // chain on top of it.
+        self.scratch.clear();
+        self.scratch
+            .extend_from_slice(m.mem.peek_slice(buf.offset(ckpt::SEG_IMAGE), l.seg_size)?);
+        if !Self::verified_poke(m, seg.start, &self.scratch)? {
             return Err(VmError::Trap(
                 "checkpoint restore failed read-back verification".into(),
             ));
         }
+        let chain_base = m.mem.peek_u64(l.control.offset(ctrl::DELTA_BASE))?;
+        let tip = m.mem.peek_u64(l.control.offset(ctrl::DELTA_TIP))?;
+        let mut replayed = 0u32;
+        if chain_base == bank_seq && tip > bank_seq {
+            // Replay the delta chain in sequence order. Each record is
+            // validated before it is trusted; a record that fails ends
+            // the walk — the state is then the longest valid prefix,
+            // itself a committed checkpoint — with a journaled
+            // Recovery, never a silent restore of stale words.
+            let seg_end = seg.start.raw() + l.seg_size;
+            let mut off = 0u32;
+            let mut last = bank_seq;
+            let mut expected = bank_seq + 1;
+            let mut broken = false;
+            let mut last_misc: Option<[u8; DELTA_MISC as usize]> = None;
+            while expected <= tip {
+                let Some(plen) = Self::validate_delta_record(m, &l, off, expected)? else {
+                    broken = true;
+                    break;
+                };
+                let rec = l.journal.offset(off);
+                let mut misc = [0u8; DELTA_MISC as usize];
+                misc.copy_from_slice(m.mem.peek_slice(rec.offset(DELTA_HEADER), DELTA_MISC)?);
+                last_misc = Some(misc);
+                let mut p = DELTA_MISC;
+                while p + 8 <= plen {
+                    let e = m.mem.peek_slice(rec.offset(DELTA_HEADER + p), 8)?;
+                    let lo = u32::from_le_bytes(e[0..4].try_into().expect("4-byte addr"));
+                    let val: [u8; 4] = e[4..8].try_into().expect("4-byte value");
+                    if lo >= seg.start.raw() && lo < seg_end {
+                        let n = ((lo & !3) + 4).min(seg_end) - lo;
+                        m.mem.poke_bytes(Addr(lo), &val[..n as usize])?;
+                    }
+                    p += 8;
+                }
+                last = expected;
+                expected += 1;
+                replayed += DELTA_HEADER + plen;
+                off += DELTA_HEADER + plen;
+            }
+            if let Some(misc) = last_misc {
+                // The last valid record's misc block holds the
+                // registers at that commit.
+                for (i, w) in words.iter_mut().enumerate() {
+                    *w = u32::from_le_bytes(
+                        misc[4 * i..4 * i + 4].try_into().expect("4-byte word"),
+                    );
+                }
+                self.atomic_depth =
+                    u32::from_le_bytes(misc[16..20].try_into().expect("4-byte depth"));
+            }
+            if broken {
+                m.emit(TraceEvent::Recovery {
+                    invalid_banks: 1,
+                    fresh_start: false,
+                });
+                self.journal_next_seq = tip.max(last) + 1;
+                self.journal_write_off = off;
+                self.journal_anchored = false;
+            } else {
+                self.journal_next_seq = last + 1;
+                self.journal_write_off = off;
+                self.journal_anchored = true;
+            }
+        } else if chain_base == bank_seq {
+            // Empty chain anchored at this bank: extendable in place.
+            self.journal_next_seq = bank_seq.max(tip) + 1;
+            self.journal_write_off = 0;
+            self.journal_anchored = true;
+        } else {
+            // The chain belongs to a different full image (e.g. the
+            // active bank was corrupted and restore fell back to the
+            // older one): ignore it; the next checkpoint is a full
+            // image that re-anchors the chain.
+            self.journal_next_seq = bank_seq.max(chain_base).max(tip) + 1;
+            self.journal_write_off = 0;
+            self.journal_anchored = false;
+        }
+        m.mem.clear_dirty(seg.start, l.seg_size);
         m.regs = tics_mcu::Registers::from_words(words);
         self.last_ckpt_seg = Some(self.working_seg);
         // A restore whose cost exceeds the on-period dies mid-way; the
         // executor injects the failure before any instruction runs.
-        let cost = m.mem.costs().restore_cost(l.seg_size);
+        let cost = m.mem.costs().restore_cost(l.seg_size + replayed);
         let _completed = m.charge_atomic(cost);
         m.emit(TraceEvent::Restore {
-            bytes: u64::from(ckpt::HEADER + l.seg_size),
+            bytes: u64::from(ckpt::HEADER + l.seg_size) + u64::from(replayed),
         });
         Ok(ResumeAction::Restored)
     }
@@ -555,6 +836,16 @@ impl IntermittentRuntime for TicsRuntime {
         }
         if let Some(block) = self.expires_block {
             if m.now().as_micros() >= block.expire_at_us {
+                if m.stats().prints.len() + m.stats().sends_timed.len() > block.output_mark {
+                    // The body's output escaped while the reading was
+                    // still fresh; aborting now cannot un-print it, and
+                    // the catch arm would emit a duplicate. Let the
+                    // block run to its normal end instead.
+                    if let Some(b) = self.expires_block.as_mut() {
+                        b.expire_at_us = u64::MAX;
+                    }
+                    return Ok(());
+                }
                 // Expiration timer fired: undo the block's writes and
                 // transfer control to the catch handler (§3.2.3).
                 self.rollback_to_mark(m, block.undo_mark)?;
@@ -594,9 +885,16 @@ impl IntermittentRuntime for TicsRuntime {
 
     fn timestamp_var(&mut self, m: &mut Machine, var: VarId) -> Result<()> {
         let l = self.attach(m)?;
+        let slot = l.timestamp_slot(var);
+        // Undo-log the old timestamp before overwriting: a replayed life
+        // re-timestamps the same slot, and if the next boot rewinds the
+        // data without rewinding the timestamp, a rolled-back reading
+        // pairs with the newer timestamp and passes an expiry check it
+        // should fail (write-after-restore hazard on the slot).
+        self.logged_store(m, slot, 4)?;
+        self.logged_store(m, slot.offset(4), 4)?;
         let now = m.now().as_micros();
-        m.mem
-            .poke_bytes(l.timestamp_slot(var), &now.to_le_bytes())?;
+        m.mem.poke_bytes(slot, &now.to_le_bytes())?;
         m.mem.add_cycles(10);
         Ok(())
     }
@@ -654,6 +952,7 @@ impl IntermittentRuntime for TicsRuntime {
             catch_pc,
             expire_at_us,
             undo_mark: self.undo_count,
+            output_mark: m.stats().prints.len() + m.stats().sends_timed.len(),
         });
         Ok(())
     }
@@ -766,6 +1065,41 @@ mod tests {
             "test must actually fail power"
         );
         assert!(m.stats().restores > 0);
+    }
+
+    /// Batched detail emission must be invisible to any observer: the
+    /// fully detailed trace of an intermittent run is byte-identical to
+    /// the per-event-emission trace, and the derived stats match.
+    #[test]
+    fn batched_emission_matches_per_event_stream() {
+        let src = "int g;
+             int main() {
+                 for (int i = 0; i < 40; i++) { g = g + i; checkpoint(); }
+                 return g;
+             }";
+        let run = |batching: bool| {
+            let mut m = tics_machine(src, MachineConfig::default());
+            m.trace_mut().set_detailed(true);
+            m.set_detail_batching(batching);
+            let mut rt = TicsRuntime::new(TicsConfig::default());
+            let out = Executor::new()
+                .with_time_budget(500_000_000)
+                .run(&mut m, &mut rt, &mut PeriodicTrace::new(3_000, 500))
+                .unwrap();
+            (out, m)
+        };
+        let (out_b, m_b) = run(true);
+        let (out_u, m_u) = run(false);
+        assert_eq!(out_b.exit_code(), Some(780));
+        assert_eq!(out_u.exit_code(), Some(780));
+        assert!(m_b.stats().power_failures > 0, "must exercise outages");
+        assert!(
+            m_b.trace().records().iter().any(|r| r.event.is_detail()),
+            "detailed sink must capture detail events"
+        );
+        assert_eq!(m_b.trace().records(), m_u.trace().records());
+        assert_eq!(m_b.stats().instructions, m_u.stats().instructions);
+        assert_eq!(m_b.stats().checkpoint_bytes, m_u.stats().checkpoint_bytes);
     }
 
     #[test]
@@ -1030,8 +1364,18 @@ mod tests {
 
     #[test]
     fn checkpoint_is_double_buffered() {
+        // Each loop dirties most of the working segment, so both
+        // checkpoints take the full-image path (a small delta would
+        // extend the chain without flipping the bank flag).
         let mut m = tics_machine(
-            "int main() { checkpoint(); checkpoint(); return 0; }",
+            "int main() {
+                 int pad[30];
+                 for (int i = 0; i < 30; i++) { pad[i] = 1; }
+                 checkpoint();
+                 for (int i = 0; i < 30; i++) { pad[i] = 2; }
+                 checkpoint();
+                 return 0;
+             }",
             MachineConfig::default(),
         );
         let mut rt = TicsRuntime::new(TicsConfig::default());
@@ -1040,19 +1384,50 @@ mod tests {
             .unwrap();
         assert_eq!(out.exit_code(), Some(0));
         assert_eq!(m.stats().checkpoints, 2);
-        // After two checkpoints the flag points at buffer B (2).
+        // After two full checkpoints the flag points at buffer B (2).
         let l = rt.layout().unwrap();
         let flag = TicsRuntime::peek_u32(&m, l.control.offset(ctrl::CKPT_FLAG)).unwrap();
         assert_eq!(flag, 2);
     }
 
+    #[test]
+    fn small_checkpoints_are_incremental() {
+        // After the first full image, site checkpoints in a tight loop
+        // dirty only a few stack words each — they commit as delta
+        // records an order of magnitude smaller than a full bank.
+        let mut m = tics_machine(
+            "int main() { int s = 0; for (int i = 0; i < 50; i++) { s += i; checkpoint(); } return s; }",
+            MachineConfig::default(),
+        );
+        let mut rt = TicsRuntime::new(TicsConfig::default());
+        let out = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap();
+        assert_eq!(out.exit_code(), Some(1225));
+        assert_eq!(m.stats().checkpoints, 50);
+        let full = f64::from(ckpt::HEADER + rt.config().seg_size);
+        let mean = m.stats().mean_checkpoint_bytes().unwrap();
+        assert!(
+            mean < full / 2.0,
+            "steady-state commits must be incremental, mean {mean} vs full {full}"
+        );
+    }
+
     // ---- brown-out corruption: detect-or-die ----
 
-    /// Runs two checkpoints on continuous power so both banks hold
-    /// committed generations (A at seq 1, B at seq 2, flag = 2).
+    /// Runs two full checkpoints on continuous power so both banks hold
+    /// committed generations (flag = 2). Each loop dirties most of the
+    /// working segment, keeping both commits on the full-image path.
     fn machine_with_two_committed_banks() -> (Machine, TicsRuntime) {
         let mut m = tics_machine(
-            "int g; int main() { g = 1; checkpoint(); g = 2; checkpoint(); return 0; }",
+            "int main() {
+                 int pad[30];
+                 for (int i = 0; i < 30; i++) { pad[i] = 1; }
+                 checkpoint();
+                 for (int i = 0; i < 30; i++) { pad[i] = 2; }
+                 checkpoint();
+                 return 0;
+             }",
             MachineConfig::default(),
         );
         let mut rt = TicsRuntime::new(TicsConfig::default());
@@ -1062,6 +1437,70 @@ mod tests {
         assert_eq!(out.exit_code(), Some(0));
         assert_eq!(ctrl_flag(&m, &rt), Some(2));
         (m, rt)
+    }
+
+    /// Runs one full checkpoint then one incremental on continuous
+    /// power: the flag still points at bank A, but the chain tip has
+    /// advanced past the bank's sequence number.
+    fn machine_with_delta_chain() -> (Machine, TicsRuntime) {
+        let mut m = tics_machine(
+            "int main() { int x = 1; checkpoint(); x = x + 1; checkpoint(); return x; }",
+            MachineConfig::default(),
+        );
+        let mut rt = TicsRuntime::new(TicsConfig::default());
+        let out = Executor::new()
+            .run(&mut m, &mut rt, &mut ContinuousPower::new())
+            .unwrap();
+        assert_eq!(out.exit_code(), Some(2));
+        assert_eq!(m.stats().checkpoints, 2);
+        assert_eq!(
+            ctrl_flag(&m, &rt),
+            Some(1),
+            "second commit must be incremental (flag not flipped)"
+        );
+        let l = rt.layout().unwrap();
+        let tip = m.mem.peek_u64(l.control.offset(ctrl::DELTA_TIP)).unwrap();
+        let base = m.mem.peek_u64(l.control.offset(ctrl::DELTA_BASE)).unwrap();
+        assert!(tip > base, "chain tip must have advanced past the bank");
+        (m, rt)
+    }
+
+    #[test]
+    fn delta_chain_replays_on_boot() {
+        let (mut m, mut rt) = machine_with_delta_chain();
+        let action = rt.on_boot(&mut m).unwrap();
+        assert_eq!(action, ResumeAction::Restored);
+        assert_eq!(m.stats().recoveries, 0, "a valid chain is not a recovery");
+    }
+
+    #[test]
+    fn corrupt_delta_record_falls_back_and_journals_recovery() {
+        // A corrupted *delta* record must truncate the chain to its
+        // longest valid prefix (here: the full bank alone) and journal
+        // a typed Recovery — never silently restore stale words.
+        let (mut m, mut rt) = machine_with_delta_chain();
+        let l = *rt.layout().unwrap();
+        let a = l.journal.offset(DELTA_HEADER + 2);
+        let b = m.mem.peek_bytes(a, 1).unwrap()[0];
+        m.mem.poke_bytes(a, &[b ^ 0x40]).unwrap();
+        let action = rt.on_boot(&mut m).unwrap();
+        assert_eq!(
+            action,
+            ResumeAction::Restored,
+            "the anchoring full bank is still a valid restore point"
+        );
+        assert_eq!(m.stats().recoveries, 1);
+        assert_eq!(m.stats().fresh_starts, 0);
+        let recovered = m.trace().records().iter().any(|r| {
+            matches!(
+                r.event,
+                TraceEvent::Recovery {
+                    invalid_banks: 1,
+                    fresh_start: false
+                }
+            )
+        });
+        assert!(recovered, "typed Recovery event must be on the trace");
     }
 
     fn clobber_bank(m: &mut Machine, rt: &TicsRuntime, which: u32) {

@@ -142,6 +142,37 @@ enum StoreFate {
     Drop,
 }
 
+/// Number of `u64` bitmap limbs needed to cover `region_bytes` of
+/// memory at one bit per 4-byte word.
+fn dirty_len(region_bytes: u32) -> usize {
+    (region_bytes.div_ceil(4) as usize).div_ceil(64)
+}
+
+/// Single-store twin of [`mark_dirty_bits`] for the word fast paths: a
+/// 4-byte store at region-relative byte offset `off` touches word
+/// `off / 4`, and — when unaligned — `(off + 3) / 4` as well.
+#[inline(always)]
+fn mark_word_dirty(bits: &mut [u64], off: usize) {
+    let first = off >> 2;
+    let last = (off + 3) >> 2;
+    bits[first >> 6] |= 1u64 << (first & 63);
+    bits[last >> 6] |= 1u64 << (last & 63);
+}
+
+/// Sets the dirty bits for every word a store of `len` bytes at
+/// region-relative byte offset `off` touches.
+#[inline]
+fn mark_dirty_bits(bits: &mut [u64], off: u32, len: u32) {
+    if len == 0 {
+        return;
+    }
+    let first = (off / 4) as usize;
+    let last = ((off + len - 1) / 4) as usize;
+    for w in first..=last {
+        bits[w >> 6] |= 1u64 << (w & 63);
+    }
+}
+
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
@@ -190,11 +221,28 @@ fn unit(x: u64) -> f64 {
 /// electrons do not care who issued the store). Corrupted stores are
 /// counted in [`MemoryStats::corrupted_writes`]; the model is seeded
 /// and fully deterministic.
+///
+/// # Dirty-word write monitor
+///
+/// A DiCA-style hardware write monitor rides on every store path: each
+/// region keeps a word-granular bitmap in which any byte that actually
+/// *lands* (committed torn prefixes and flipped bytes included; dropped
+/// stores excluded) marks its containing 4-byte word dirty. Runtimes
+/// query it with [`Memory::count_dirty_words`] /
+/// [`Memory::for_each_dirty_word`] to build incremental checkpoints and
+/// clear the words they imaged with [`Memory::clear_dirty`]. The
+/// monitor is pure bookkeeping: it charges no cycles, perturbs no
+/// statistics, and the corruption RNG stream never sees it.
 #[derive(Debug, Clone)]
 pub struct Memory {
     layout: MemoryLayout,
     sram: Vec<u8>,
     fram: Vec<u8>,
+    /// Dirty-word bitmap for SRAM: bit `w` set means 4-byte word `w`
+    /// (region-relative) has been stored to since the bit was cleared.
+    sram_dirty: Vec<u64>,
+    /// Dirty-word bitmap for FRAM (see `sram_dirty`).
+    fram_dirty: Vec<u64>,
     costs: CostModel,
     cycles: u64,
     stats: MemoryStats,
@@ -226,6 +274,8 @@ impl Memory {
             layout,
             sram: vec![0; layout.sram.len() as usize],
             fram: vec![0; layout.fram.len() as usize],
+            sram_dirty: vec![0; dirty_len(layout.sram.len())],
+            fram_dirty: vec![0; dirty_len(layout.fram.len())],
             costs,
             cycles: 0,
             stats: MemoryStats::default(),
@@ -420,6 +470,30 @@ impl Memory {
         }
     }
 
+    /// Marks the dirty bits for a store of `len` bytes at `addr` that
+    /// actually landed. Callers pass the *committed* length (zero for
+    /// dropped stores), so the bitmap only ever covers words whose
+    /// contents may differ from the last checkpoint image.
+    #[inline]
+    fn mark_dirty(&mut self, addr: Addr, len: u32) {
+        if len == 0 {
+            return;
+        }
+        if self.layout.sram.contains_range(addr, len) {
+            mark_dirty_bits(
+                &mut self.sram_dirty,
+                addr.0 - self.layout.sram.start.0,
+                len,
+            );
+        } else if self.layout.fram.contains_range(addr, len) {
+            mark_dirty_bits(
+                &mut self.fram_dirty,
+                addr.0 - self.layout.fram.start.0,
+                len,
+            );
+        }
+    }
+
     fn charge_read(&mut self, addr: Addr, len: u32) {
         let words = u64::from(len.div_ceil(4));
         let cost = if self.layout.is_volatile(addr) {
@@ -474,6 +548,7 @@ impl Memory {
         // Bounds-check the whole range — the MCU decodes the access before
         // the bus starts moving words, so an unmapped tail still faults.
         let dst = self.slice_mut(addr, len)?;
+        let mut landed = committed as u32;
         match fate {
             StoreFate::Keep => dst[..committed].copy_from_slice(&buf[..committed]),
             StoreFate::Flip { offset, mask } => {
@@ -481,11 +556,15 @@ impl Memory {
                 dst[offset] ^= mask;
                 self.stats.corrupted_writes += 1;
             }
-            StoreFate::Drop => self.stats.corrupted_writes += 1,
+            StoreFate::Drop => {
+                landed = 0;
+                self.stats.corrupted_writes += 1;
+            }
         }
         if committed < len as usize {
             self.stats.torn_writes += 1;
         }
+        self.mark_dirty(addr, landed);
         self.charge_write(addr, len);
         Ok(())
     }
@@ -630,9 +709,11 @@ impl Memory {
             if volatile {
                 let off = (addr.0 - self.layout.sram.start.0) as usize;
                 self.sram[off..off + 4].copy_from_slice(&b);
+                mark_word_dirty(&mut self.sram_dirty, off);
             } else {
                 let off = (addr.0 - self.layout.fram.start.0) as usize;
                 self.fram[off..off + 4].copy_from_slice(&b);
+                mark_word_dirty(&mut self.fram_dirty, off);
             }
         } else {
             self.stats.torn_writes += 1;
@@ -705,6 +786,8 @@ impl Memory {
             torn_writes: 0,
             sram: &mut self.sram,
             fram: &mut self.fram,
+            sram_dirty: &mut self.sram_dirty,
+            fram_dirty: &mut self.fram_dirty,
             cycles_out: &mut self.cycles,
             span_out: &mut self.span_cycles[span_idx],
             stats_out: &mut self.stats,
@@ -753,6 +836,7 @@ impl Memory {
         let committed = self.committed_prefix(addr, len) as usize;
         let fate = self.store_fate(committed);
         let dst = self.slice_mut(addr, len)?;
+        let mut landed = committed as u32;
         match fate {
             StoreFate::Keep => dst[..committed].fill(value),
             StoreFate::Flip { offset, mask } => {
@@ -760,11 +844,15 @@ impl Memory {
                 dst[offset] ^= mask;
                 self.stats.corrupted_writes += 1;
             }
-            StoreFate::Drop => self.stats.corrupted_writes += 1,
+            StoreFate::Drop => {
+                landed = 0;
+                self.stats.corrupted_writes += 1;
+            }
         }
         if committed < len as usize {
             self.stats.torn_writes += 1;
         }
+        self.mark_dirty(addr, landed);
         self.charge_write(addr, len);
         Ok(())
     }
@@ -825,6 +913,7 @@ impl Memory {
     pub fn poke_bytes(&mut self, addr: Addr, buf: &[u8]) -> Result<(), MemoryError> {
         let fate = self.store_fate(buf.len());
         let dst = self.slice_mut(addr, buf.len() as u32)?;
+        let mut landed = buf.len() as u32;
         match fate {
             StoreFate::Keep => dst.copy_from_slice(buf),
             StoreFate::Flip { offset, mask } => {
@@ -832,8 +921,12 @@ impl Memory {
                 dst[offset] ^= mask;
                 self.stats.corrupted_writes += 1;
             }
-            StoreFate::Drop => self.stats.corrupted_writes += 1,
+            StoreFate::Drop => {
+                landed = 0;
+                self.stats.corrupted_writes += 1;
+            }
         }
+        self.mark_dirty(addr, landed);
         Ok(())
     }
 
@@ -844,6 +937,103 @@ impl Memory {
     /// Returns [`MemoryError::Unmapped`] if any byte is not mapped.
     pub fn poke_i32(&mut self, addr: Addr, v: i32) -> Result<(), MemoryError> {
         self.poke_bytes(addr, &v.to_le_bytes())
+    }
+
+    // ---- dirty-word write monitor queries ----
+
+    /// Resolves `[addr, addr + len)` to its region bitmap and the
+    /// inclusive word-index range it covers. `None` for empty or
+    /// unmapped ranges (the monitor has nothing to say about them).
+    fn dirty_range(&self, addr: Addr, len: u32) -> Option<(&[u64], u32, u32, u32)> {
+        if len == 0 {
+            return None;
+        }
+        let (bits, base) = if self.layout.sram.contains_range(addr, len) {
+            (&self.sram_dirty, self.layout.sram.start.0)
+        } else if self.layout.fram.contains_range(addr, len) {
+            (&self.fram_dirty, self.layout.fram.start.0)
+        } else {
+            return None;
+        };
+        let off = addr.0 - base;
+        Some((bits, off / 4, (off + len - 1) / 4, base))
+    }
+
+    /// Masks `limb` down to the bits belonging to words
+    /// `[first, last]` when it is the first and/or last limb of the
+    /// range.
+    #[inline]
+    fn range_limb(limb: u64, li: usize, first: u32, last: u32) -> u64 {
+        let mut v = limb;
+        if li == (first >> 6) as usize {
+            v &= !0u64 << (first & 63);
+        }
+        if li == (last >> 6) as usize {
+            let top = last & 63;
+            if top < 63 {
+                v &= (1u64 << (top + 1)) - 1;
+            }
+        }
+        v
+    }
+
+    /// Whether the 4-byte word containing `addr` has been stored to
+    /// since its dirty bit was last cleared.
+    #[must_use]
+    pub fn is_word_dirty(&self, addr: Addr) -> bool {
+        self.count_dirty_words(addr, 1) != 0
+    }
+
+    /// Number of dirty words in `[addr, addr + len)` (word-granular:
+    /// partially covered words count). Zero for unmapped ranges.
+    #[must_use]
+    pub fn count_dirty_words(&self, addr: Addr, len: u32) -> u32 {
+        let Some((bits, first, last, _)) = self.dirty_range(addr, len) else {
+            return 0;
+        };
+        let fl = (first >> 6) as usize;
+        bits[fl..=(last >> 6) as usize]
+            .iter()
+            .enumerate()
+            .map(|(i, &limb)| Memory::range_limb(limb, fl + i, first, last).count_ones())
+            .sum()
+    }
+
+    /// Calls `f` with the base address of every dirty word in
+    /// `[addr, addr + len)`, in ascending address order. Base addresses
+    /// are region-word-aligned (`region.start + 4 * word_index`).
+    pub fn for_each_dirty_word(&self, addr: Addr, len: u32, mut f: impl FnMut(Addr)) {
+        let Some((bits, first, last, base)) = self.dirty_range(addr, len) else {
+            return;
+        };
+        let fl = (first >> 6) as usize;
+        for (i, &raw) in bits[fl..=(last >> 6) as usize].iter().enumerate() {
+            let li = fl + i;
+            let mut limb = Memory::range_limb(raw, li, first, last);
+            while limb != 0 {
+                let w = (li as u32) * 64 + limb.trailing_zeros();
+                f(Addr(base + 4 * w));
+                limb &= limb - 1;
+            }
+        }
+    }
+
+    /// Clears the dirty bits of every word in `[addr, addr + len)` —
+    /// the checkpoint-commit acknowledgement: those words are now
+    /// captured in persistent state. No-op for unmapped ranges.
+    pub fn clear_dirty(&mut self, addr: Addr, len: u32) {
+        let Some((_, first, last, base)) = self.dirty_range(addr, len) else {
+            return;
+        };
+        let bits = if base == self.layout.sram.start.0 {
+            &mut self.sram_dirty
+        } else {
+            &mut self.fram_dirty
+        };
+        let fl = (first >> 6) as usize;
+        for (i, limb) in bits[fl..=(last >> 6) as usize].iter_mut().enumerate() {
+            *limb &= !Memory::range_limb(!0u64, fl + i, first, last);
+        }
     }
 }
 
@@ -890,6 +1080,8 @@ pub struct WordBurst<'a> {
     torn_writes: u64,
     sram: &'a mut [u8],
     fram: &'a mut [u8],
+    sram_dirty: &'a mut [u64],
+    fram_dirty: &'a mut [u64],
     cycles_out: &'a mut u64,
     span_out: &'a mut u64,
     stats_out: &'a mut MemoryStats,
@@ -971,9 +1163,11 @@ impl WordBurst<'_> {
             if volatile {
                 let off = (a - self.sram_start) as usize;
                 self.sram[off..off + 4].copy_from_slice(&b);
+                mark_word_dirty(self.sram_dirty, off);
             } else {
                 let off = (a - self.fram_start) as usize;
                 self.fram[off..off + 4].copy_from_slice(&b);
+                mark_word_dirty(self.fram_dirty, off);
             }
         } else {
             self.torn_writes += 1;
@@ -1410,6 +1604,20 @@ mod tests {
             slow.peek_bytes(fram, len).unwrap(),
             fast.peek_bytes(fram, len).unwrap()
         );
+        assert_eq!(
+            all_dirty_words(&slow),
+            all_dirty_words(&fast),
+            "dirty-word bitmaps diverged between the generic and word paths"
+        );
+    }
+
+    /// Every dirty word base address across both regions, ascending.
+    fn all_dirty_words(m: &Memory) -> Vec<Addr> {
+        let l = *m.layout();
+        let mut v = Vec::new();
+        m.for_each_dirty_word(l.sram.start, l.sram.len(), |a| v.push(a));
+        m.for_each_dirty_word(l.fram.start, l.fram.len(), |a| v.push(a));
+        v
     }
 
     #[test]
@@ -1454,6 +1662,179 @@ mod tests {
         m.read_word(a).unwrap();
         assert_eq!(m.span_cycles(SpanKind::Checkpoint), m.cycles());
         assert!(m.cycles() > 0);
+    }
+
+    #[test]
+    fn dirty_monitor_marks_stores_and_clears_on_ack() {
+        let mut m = mem();
+        let a = m.layout().fram.start.offset(16);
+        assert_eq!(m.count_dirty_words(a, 16), 0);
+        m.write_u32(a, 7).unwrap();
+        assert!(m.is_word_dirty(a));
+        assert_eq!(m.count_dirty_words(a, 16), 1);
+        m.poke_bytes(a.offset(8), &[1u8; 8]).unwrap();
+        assert_eq!(m.count_dirty_words(a, 16), 3);
+        let mut seen = Vec::new();
+        m.for_each_dirty_word(a, 16, |w| seen.push(w));
+        assert_eq!(seen, vec![a, a.offset(8), a.offset(12)]);
+        m.clear_dirty(a, 16);
+        assert_eq!(m.count_dirty_words(a, 16), 0);
+        // Reads never mark.
+        m.read_u32(a).unwrap();
+        m.peek_word(a).unwrap();
+        assert_eq!(m.count_dirty_words(a, 16), 0);
+    }
+
+    #[test]
+    fn torn_store_marks_only_the_committed_prefix() {
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        let per_word = m.costs().fram_write_per_word;
+        m.set_power_cut(Some(m.cycles() + per_word));
+        m.write_u64(a, 0xAAAA_BBBB_CCCC_DDDD).unwrap();
+        assert!(m.is_word_dirty(a), "committed low word must be dirty");
+        assert!(
+            !m.is_word_dirty(a.offset(4)),
+            "torn-away high word must stay clean"
+        );
+    }
+
+    #[test]
+    fn dropped_store_marks_nothing() {
+        let mut m = mem();
+        let a = m.layout().fram.start;
+        m.set_corruption(Some(CorruptionModel::new(1_000, 0.0, 1.0, 7)));
+        m.set_power_cut(Some(m.cycles() + 10));
+        m.poke_bytes(a, &[1; 12]).unwrap();
+        assert_eq!(m.stats().corrupted_writes, 1);
+        assert_eq!(m.count_dirty_words(a, 12), 0);
+    }
+
+    /// The dirty-word property: after any seeded sequence of stores
+    /// (generic, word-path, burst, poke, fill — with torn cuts armed
+    /// and disarmed along the way), the bitmap must cover every word
+    /// whose post-state differs from the last acknowledged snapshot,
+    /// and every marked word must have been the target of some store.
+    fn dirty_bitmap_property(seed: u64) {
+        use std::collections::HashSet;
+        let mut m = mem();
+        let l = *m.layout();
+        let snapshot = |m: &Memory| {
+            (
+                m.peek_bytes(l.sram.start, l.sram.len()).unwrap(),
+                m.peek_bytes(l.fram.start, l.fram.len()).unwrap(),
+            )
+        };
+        let mut rng = seed;
+        let mut targeted: HashSet<u32> = HashSet::new();
+        // Track every word a store *could* have touched (commit or not).
+        let note = |targeted: &mut HashSet<u32>, addr: Addr, len: u32| {
+            let (start, end) = if addr.0 >= l.fram.start.0 {
+                (l.fram.start.0, l.fram.end.0)
+            } else {
+                (l.sram.start.0, l.sram.end.0)
+            };
+            let _ = end;
+            let first = (addr.0 - start) / 4;
+            let last = (addr.0 + len - 1 - start) / 4;
+            for w in first..=last {
+                targeted.insert(start + 4 * w);
+            }
+        };
+        let (mut sram0, mut fram0) = snapshot(&m);
+        for step in 0..400u32 {
+            let r = splitmix64(&mut rng);
+            let in_fram = r & 1 == 0;
+            let (base, limit) = if in_fram {
+                (l.fram.start, l.fram.len())
+            } else {
+                (l.sram.start, l.sram.len())
+            };
+            let addr = base.offset(((r >> 8) as u32 % (limit - 64)) & !3);
+            match (r >> 40) % 6 {
+                0 => {
+                    m.write_u32(addr, r as u32).unwrap();
+                    note(&mut targeted, addr, 4);
+                }
+                1 => {
+                    m.write_word(addr, (r >> 16) as u32).unwrap();
+                    note(&mut targeted, addr, 4);
+                }
+                2 => {
+                    let len = 4 + (r >> 20) as u32 % 48;
+                    let buf: Vec<u8> = (0..len).map(|i| (r as u8).wrapping_add(i as u8)).collect();
+                    m.write_bytes(addr, &buf).unwrap();
+                    note(&mut targeted, addr, len);
+                }
+                3 => {
+                    let len = 4 + (r >> 20) as u32 % 32;
+                    m.fill(addr, len, r as u8).unwrap();
+                    note(&mut targeted, addr, len);
+                }
+                4 => {
+                    let buf = (r ^ 0x5A5A).to_le_bytes();
+                    m.poke_bytes(addr, &buf).unwrap();
+                    note(&mut targeted, addr, 8);
+                }
+                _ => {
+                    let mut bm = m.word_burst();
+                    for i in 0..4 {
+                        bm.write_word(addr.offset(4 * i), (r >> i) as u32).unwrap();
+                    }
+                    bm.commit();
+                    for i in 0..4 {
+                        note(&mut targeted, addr.offset(4 * i), 4);
+                    }
+                }
+            }
+            // Periodically arm a tight cut (some stores tear), disarm
+            // it again, and occasionally acknowledge a "checkpoint".
+            if step % 23 == 7 {
+                m.set_power_cut(Some(m.cycles() + (r >> 32) % 200));
+            }
+            if step % 23 == 15 {
+                m.set_power_cut(None);
+            }
+            if step % 97 == 96 {
+                m.set_power_cut(None);
+                m.clear_dirty(l.sram.start, l.sram.len());
+                m.clear_dirty(l.fram.start, l.fram.len());
+                targeted.clear();
+                let (s, f) = snapshot(&m);
+                sram0 = s;
+                fram0 = f;
+            }
+        }
+        m.set_power_cut(None);
+        let (sram1, fram1) = snapshot(&m);
+        let check = |old: &[u8], new: &[u8], start: u32| {
+            for w in 0..(old.len() / 4) as u32 {
+                let addr = Addr(start + 4 * w);
+                let o = &old[(4 * w) as usize..(4 * w + 4) as usize];
+                let n = &new[(4 * w) as usize..(4 * w + 4) as usize];
+                if o != n {
+                    assert!(
+                        m.is_word_dirty(addr),
+                        "word {addr} changed since last ack but is not marked dirty (seed {seed})"
+                    );
+                }
+                if m.is_word_dirty(addr) {
+                    assert!(
+                        targeted.contains(&addr.0),
+                        "word {addr} is marked dirty but no store targeted it (seed {seed})"
+                    );
+                }
+            }
+        };
+        check(&sram0, &sram1, l.sram.start.0);
+        check(&fram0, &fram1, l.fram.start.0);
+    }
+
+    #[test]
+    fn dirty_bitmap_exactly_covers_changed_words() {
+        for seed in [1, 42, 0xDEAD_BEEF, 7_777_777] {
+            dirty_bitmap_property(seed);
+        }
     }
 
     #[test]

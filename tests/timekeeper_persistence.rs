@@ -98,8 +98,10 @@ fn check_stats_agree(m: &Machine) {
 
 #[test]
 fn wall_clock_is_monotonic_across_adversarial_cuts() {
+    // The last cut stays below the workload's continuous-power finish
+    // (~341k on-cycles since incremental checkpointing) so all six land.
     let plan = FaultPlan::new(
-        vec![40_000, 90_000, 151_000, 152_000, 230_000, 400_000],
+        vec![40_000, 90_000, 151_000, 152_000, 230_000, 300_000],
         250_000,
     );
     let mut supply = AdversarialSupply::new(plan);
