@@ -265,7 +265,7 @@ mod tests {
         let mut m = Machine::new(
             prog,
             MachineConfig {
-                sensor_trace: trace,
+                sensor_trace: trace.into(),
                 ..MachineConfig::default()
             },
         )
@@ -305,7 +305,7 @@ mod tests {
         let mut m = Machine::new(
             prog,
             MachineConfig {
-                sensor_trace: trace,
+                sensor_trace: trace.into(),
                 ..MachineConfig::default()
             },
         )
@@ -348,7 +348,7 @@ mod tests {
             let mut m = Machine::new(
                 prog,
                 MachineConfig {
-                    sensor_trace: trace,
+                    sensor_trace: trace.into(),
                     ..MachineConfig::default()
                 },
             )

@@ -186,7 +186,7 @@ mod tests {
         Machine::new(
             prog,
             MachineConfig {
-                sensor_trace: ghm_trace(rounds, READINGS, 5),
+                sensor_trace: ghm_trace(rounds, READINGS, 5).into(),
                 ..MachineConfig::default()
             },
         )
@@ -249,7 +249,7 @@ mod tests {
         let mut m = Machine::new(
             prog,
             MachineConfig {
-                sensor_trace: ghm_trace(rounds, READINGS, 5),
+                sensor_trace: ghm_trace(rounds, READINGS, 5).into(),
                 ..MachineConfig::default()
             },
         )
@@ -275,7 +275,7 @@ mod tests {
         let mut m = Machine::new(
             prog,
             MachineConfig {
-                sensor_trace: ghm_trace(rounds, READINGS, 5),
+                sensor_trace: ghm_trace(rounds, READINGS, 5).into(),
                 ..MachineConfig::default()
             },
         )

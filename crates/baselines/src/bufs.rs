@@ -299,6 +299,18 @@ impl DeltaJournal {
         self.capacity = capacity;
     }
 
+    /// Forgets the cached chain state (placement included), keeping the
+    /// staging allocations — for a runtime recycled onto a fresh device.
+    pub(crate) fn recycle(&mut self) {
+        self.base = Addr(0);
+        self.capacity = 0;
+        self.write_off = 0;
+        self.next_seq = 0;
+        self.anchored = false;
+        self.scratch.clear();
+        self.misc.clear();
+    }
+
     pub(crate) fn is_cold(&self) -> bool {
         self.next_seq == 0
     }

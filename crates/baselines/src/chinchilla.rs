@@ -234,6 +234,16 @@ impl IntermittentRuntime for ChinchillaRuntime {
         Ok(())
     }
 
+    fn recycle(&mut self) {
+        self.last_ckpt_at = 0;
+        self.ctrl = None;
+        self.buf_a = Addr(0);
+        self.buf_b = Addr(0);
+        self.buf_bytes = 0;
+        self.journal.recycle();
+        self.tx.recycle();
+    }
+
     fn on_boot(&mut self, m: &mut Machine) -> Result<ResumeAction> {
         let ctrl = self.attach(m)?;
         self.last_ckpt_at = m.cycles();

@@ -167,6 +167,15 @@ impl IntermittentRuntime for NaiveCheckpoint {
         Ok(())
     }
 
+    fn recycle(&mut self) {
+        self.last_ckpt_at = 0;
+        self.ctrl = None;
+        self.buf_a = Addr(0);
+        self.buf_b = Addr(0);
+        self.buf_bytes = 0;
+        self.scratch.clear();
+    }
+
     fn on_boot(&mut self, m: &mut Machine) -> Result<ResumeAction> {
         let ctrl = self.attach(m)?;
         self.last_ckpt_at = m.cycles();

@@ -208,6 +208,17 @@ impl IntermittentRuntime for RatchetRuntime {
         Ok(())
     }
 
+    fn recycle(&mut self) {
+        self.ctrl = None;
+        self.buf_a = Addr(0);
+        self.buf_b = Addr(0);
+        self.max_payload = 0;
+        self.stack = Region::with_len(Addr(0), 0);
+        self.journal.recycle();
+        self.anchor = None;
+        self.tx.recycle();
+    }
+
     fn on_boot(&mut self, m: &mut Machine) -> Result<ResumeAction> {
         let ctrl = self.attach(m)?;
         self.anchor = None;

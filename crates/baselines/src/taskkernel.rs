@@ -320,6 +320,17 @@ impl IntermittentRuntime for TaskKernel {
         Ok(())
     }
 
+    fn recycle(&mut self) {
+        self.undo_count = 0;
+        self.ctrl = None;
+        self.buf_a = Addr(0);
+        self.buf_b = Addr(0);
+        self.ts_base = Addr(0);
+        self.undo_base = Addr(0);
+        self.journal.recycle();
+        self.tx.recycle();
+    }
+
     fn on_boot(&mut self, m: &mut Machine) -> Result<ResumeAction> {
         let ctrl = self.attach(m)?;
         // Writes of the interrupted task are rolled back: the task

@@ -25,7 +25,7 @@ fn run_once(app: App, system: SystemUnderTest) {
     let mut m = Machine::new(
         prog.clone(),
         MachineConfig {
-            sensor_trace,
+            sensor_trace: sensor_trace.into(),
             ..MachineConfig::default()
         },
     )

@@ -134,7 +134,7 @@ fn run_timekeeper_error(cell: &Cell) -> Result<CellOutput, String> {
     let mut m = Machine::with_clock(
         prog.clone(),
         MachineConfig {
-            sensor_trace: trace,
+            sensor_trace: trace.into(),
             ..MachineConfig::default()
         },
         Box::new(RemanenceTimer::new(

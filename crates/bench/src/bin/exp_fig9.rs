@@ -46,7 +46,7 @@ fn run(
     let mut m = Machine::new(
         prog,
         MachineConfig {
-            sensor_trace: sensor_trace_for(app),
+            sensor_trace: sensor_trace_for(app).into(),
             ..MachineConfig::default()
         },
     )

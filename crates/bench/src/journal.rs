@@ -93,6 +93,11 @@ pub struct JournalRow {
     pub scale: u32,
     /// The cell's derived deterministic seed.
     pub seed: u64,
+    /// Fleet shard index, if this row summarizes one shard of a
+    /// sharded fleet sweep ([`crate::fleet`]). `None` for ordinary
+    /// sweep cells — and the field is then omitted from the wire form
+    /// entirely, so pre-fleet journals stay byte-identical.
+    pub shard: Option<u64>,
     /// How the cell ended.
     pub status: CellStatus,
     /// Run outcome text (`finished`, `out-of-energy`, error/panic text).
@@ -137,6 +142,7 @@ impl Default for JournalRow {
             supply: String::new(),
             scale: 0,
             seed: 0,
+            shard: None,
             status: CellStatus::Ok,
             outcome: String::new(),
             exit_code: None,
@@ -159,7 +165,7 @@ impl JournalRow {
     /// Serializes the row as one compact JSON object (no newline).
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let mut obj = Json::obj()
             .field("exp", self.exp.as_str())
             .field("cell", self.cell)
             .field("app", self.app.as_str())
@@ -170,8 +176,13 @@ impl JournalRow {
             .field("scale", self.scale)
             // Hex string: seeds use all 64 bits, beyond JSON's safe
             // integer range.
-            .field("seed", format!("{:#x}", self.seed))
-            .field("status", self.status.as_str())
+            .field("seed", format!("{:#x}", self.seed));
+        // Omitted (not null) when absent: non-fleet rows keep their
+        // exact pre-shard byte layout.
+        if let Some(shard) = self.shard {
+            obj = obj.field("shard", shard);
+        }
+        obj.field("status", self.status.as_str())
             .field("outcome", self.outcome.as_str())
             .field("exit_code", self.exit_code)
             .field("cycles", self.cycles)
@@ -227,6 +238,7 @@ impl JournalRow {
                 u64::from_str_radix(s.trim_start_matches("0x"), 16)
                     .map_err(|e| format!("bad seed {s:?}: {e}"))?
             },
+            shard: v.get("shard").and_then(Json::as_u64),
             status: CellStatus::parse(&str_field("status")?)?,
             outcome: str_field("outcome")?,
             exit_code: match v.get("exit_code") {
@@ -413,6 +425,7 @@ mod tests {
             supply: "rf:3/2/0.85".into(),
             scale: 200,
             seed: 0xDEAD_BEEF,
+            shard: None,
             status: CellStatus::Ok,
             outcome: "finished".into(),
             exit_code: Some(42),
@@ -484,6 +497,25 @@ mod tests {
         let stripped = Json::Obj(fields.into_iter().filter(|(k, _)| k != "spans").collect());
         let parsed = JournalRow::from_json(&stripped).unwrap();
         assert_eq!(parsed.spans, [0; SpanKind::COUNT]);
+    }
+
+    #[test]
+    fn shard_field_round_trips_and_is_omitted_when_none() {
+        // A shard-less row must serialize without any "shard" key at
+        // all — byte-identical to journals written before the field
+        // existed — while a sharded row round-trips it.
+        let plain = sample_row();
+        let line = plain.to_json().to_compact();
+        assert!(!line.contains("\"shard\""), "unexpected shard key: {line}");
+        assert_eq!(JournalRow::parse_line(&line).unwrap().shard, None);
+
+        let sharded = JournalRow {
+            shard: Some(42),
+            ..sample_row()
+        };
+        let line = sharded.to_json().to_compact();
+        assert!(line.contains("\"shard\":42"), "missing shard key: {line}");
+        assert_eq!(JournalRow::parse_line(&line).unwrap(), sharded);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod fleet;
 pub mod journal;
 pub mod json;
 pub mod oracle;
@@ -36,6 +37,7 @@ pub mod reviewer;
 pub mod runner;
 pub mod sweep;
 
+pub use fleet::{run_shard, Exemplar, FleetSpec, Reservoir, ShardStats, StreamingHistogram};
 pub use json::Json;
 pub use oracle::{count_violations, Violations};
 pub use runner::{run_app, ClockKind, RunConfig, RunResult};

@@ -51,8 +51,9 @@ pub struct RunConfig {
     pub opt: OptLevel,
     /// Timekeeper.
     pub clock: ClockKind,
-    /// Scripted sensor trace.
-    pub sensor_trace: Vec<i32>,
+    /// Scripted sensor trace (shared — cloning a `RunConfig` or passing
+    /// the trace into a machine copies a pointer, not the samples).
+    pub sensor_trace: std::sync::Arc<[i32]>,
     /// Total on-time budget (µs of cycles).
     pub time_budget_us: u64,
     /// Machine seed.
@@ -69,7 +70,7 @@ impl Default for RunConfig {
             scale: 24,
             opt: OptLevel::O2,
             clock: ClockKind::Perfect,
-            sensor_trace: Vec::new(),
+            sensor_trace: Vec::new().into(),
             time_budget_us: 10_000_000_000,
             seed: 0x5EED,
             engine: DispatchEngine::from_env(),

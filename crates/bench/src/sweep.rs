@@ -166,6 +166,10 @@ pub struct Cell {
     pub time_budget_us: u64,
     /// The derived seed (filled in by the engine before the runner).
     pub seed: u64,
+    /// Fleet shard index ([`crate::fleet`]): journaled into the row's
+    /// `shard` column and matched on `--resume` so an interrupted fleet
+    /// sweep never stitches shard summaries into the wrong slot.
+    pub shard: Option<u64>,
     /// Declarative per-cell parameters; journaled into `extra` and
     /// readable by custom runners via [`Cell::param`].
     pub params: Vec<(String, Json)>,
@@ -189,6 +193,7 @@ impl Cell {
             scale: 24,
             time_budget_us: 10_000_000_000,
             seed: 0,
+            shard: None,
             params: Vec::new(),
             label: None,
         }
@@ -236,6 +241,13 @@ impl Cell {
         self
     }
 
+    /// Marks the cell as one fleet shard (journaled; resume-matched).
+    #[must_use]
+    pub fn shard(mut self, shard: u64) -> Cell {
+        self.shard = Some(shard);
+        self
+    }
+
     /// Attaches a declarative parameter (journaled; visible to custom
     /// runners).
     #[must_use]
@@ -270,12 +282,8 @@ impl Cell {
     /// The standard scripted sensor trace for this cell's app — what
     /// the default runner feeds the machine.
     #[must_use]
-    pub fn sensor_trace(&self) -> Vec<i32> {
-        match self.app {
-            App::Ar => ar_trace(self.scale * 4, ar::WINDOW, 5, 1234).0,
-            App::Ghm | App::GhmTinyos => ghm_trace(64, ghm::READINGS, 11),
-            _ => Vec::new(),
-        }
+    pub fn sensor_trace(&self) -> std::sync::Arc<[i32]> {
+        standard_sensor_trace(self.app, self.scale)
     }
 
     /// The [`RunConfig`] this cell denotes.
@@ -290,6 +298,18 @@ impl Cell {
             seed: self.seed,
             ..RunConfig::default()
         }
+    }
+}
+
+/// The standard scripted sensor trace for `app` at `scale` — shared by
+/// [`Cell::sensor_trace`] and the fleet engine, which builds one trace
+/// per (program, config) image and shares it across every device.
+#[must_use]
+pub fn standard_sensor_trace(app: App, scale: u32) -> std::sync::Arc<[i32]> {
+    match app {
+        App::Ar => ar_trace(scale * 4, ar::WINDOW, 5, 1234).0.into(),
+        App::Ghm | App::GhmTinyos => ghm_trace(64, ghm::READINGS, 11).into(),
+        _ => Vec::new().into(),
     }
 }
 
@@ -761,6 +781,7 @@ impl Sweep {
                     row.supply = cell.supply.label();
                     row.scale = cell.scale;
                     row.seed = cell.seed;
+                    row.shard = cell.shard;
                     // Declarative cell params lead the extras so they
                     // keep a stable position for journal folding.
                     let mut extra = cell.params.clone();
@@ -867,6 +888,7 @@ fn resume_cache(
             && row.supply == cell.supply.label()
             && row.scale == cell.scale
             && row.seed == cell_seed(sweep_seed, i as u64)
+            && row.shard == cell.shard
             && matches!(row.status, CellStatus::Ok | CellStatus::BuildError);
         if matches {
             if cache[i].is_none() {

@@ -27,6 +27,12 @@ pub trait Timekeeper {
     fn is_time_known(&self) -> bool {
         true
     }
+
+    /// Returns the clock to its exact as-constructed state (time zero,
+    /// trust restored, any internal RNG re-wound to its seed). Machine
+    /// recycling relies on this being indistinguishable from building a
+    /// fresh timekeeper of the same configuration.
+    fn reset(&mut self);
 }
 
 /// Ground-truth wall clock. The simulation oracle.
@@ -60,6 +66,9 @@ impl Timekeeper for PerfectClock {
     }
     fn power_cycle(&mut self, true_off_us: u64) {
         self.now += TimeMicros(true_off_us);
+    }
+    fn reset(&mut self) {
+        *self = PerfectClock::default();
     }
 }
 
@@ -95,6 +104,9 @@ impl Timekeeper for VolatileClock {
     }
     fn is_time_known(&self) -> bool {
         !self.ever_failed
+    }
+    fn reset(&mut self) {
+        *self = VolatileClock::default();
     }
 }
 
@@ -158,6 +170,10 @@ impl Timekeeper for CapacitorRtc {
     fn is_time_known(&self) -> bool {
         self.known
     }
+    fn reset(&mut self) {
+        self.now = TimeMicros::ZERO;
+        self.known = true;
+    }
 }
 
 /// A remanence-based off-time estimator (TARDIS / CusTARD style).
@@ -184,6 +200,7 @@ pub struct RemanenceTimer {
     now: TimeMicros,
     max_measurable_us: u64,
     error_frac: f64,
+    seed: u64,
     rng_state: u64,
     saturated: bool,
     ever_saturated: bool,
@@ -210,6 +227,7 @@ impl RemanenceTimer {
             now: TimeMicros::ZERO,
             max_measurable_us,
             error_frac,
+            seed,
             rng_state: seed | 1,
             saturated: false,
             ever_saturated: false,
@@ -267,6 +285,12 @@ impl Timekeeper for RemanenceTimer {
         // measurement — every timestamp after that is fabricated, and
         // nothing can resynchronize a remanence timer.
         !self.ever_saturated
+    }
+    fn reset(&mut self) {
+        self.now = TimeMicros::ZERO;
+        self.rng_state = self.seed | 1;
+        self.saturated = false;
+        self.ever_saturated = false;
     }
 }
 
@@ -393,6 +417,42 @@ mod tests {
         t.power_cycle(12_345);
         t.advance_on(5);
         assert_eq!(t.now(), TimeMicros(12_350));
+    }
+
+    #[test]
+    fn reset_is_indistinguishable_from_fresh() {
+        // Drive each clock through history, reset it, and replay the
+        // same history on a freshly constructed twin: every observable
+        // must match at every step.
+        fn exercise(c: &mut dyn Timekeeper) -> Vec<(u64, bool)> {
+            let mut log = Vec::new();
+            for (on, off) in [(100, 900), (50, 2_000_000), (7, 3)] {
+                c.advance_on(on);
+                c.power_cycle(off);
+                log.push((c.now().as_micros(), c.is_time_known()));
+            }
+            log
+        }
+        let mut clocks: Vec<(Box<dyn Timekeeper>, Box<dyn Timekeeper>)> = vec![
+            (Box::new(PerfectClock::new()), Box::new(PerfectClock::new())),
+            (
+                Box::new(VolatileClock::new()),
+                Box::new(VolatileClock::new()),
+            ),
+            (
+                Box::new(CapacitorRtc::new(1_000_000)),
+                Box::new(CapacitorRtc::new(1_000_000)),
+            ),
+            (
+                Box::new(RemanenceTimer::new(10_000_000, 0.1, 42)),
+                Box::new(RemanenceTimer::new(10_000_000, 0.1, 42)),
+            ),
+        ];
+        for (used, fresh) in &mut clocks {
+            exercise(used.as_mut());
+            used.reset();
+            assert_eq!(exercise(used.as_mut()), exercise(fresh.as_mut()));
+        }
     }
 
     #[test]

@@ -484,6 +484,23 @@ impl IntermittentRuntime for TicsRuntime {
         Ok(())
     }
 
+    fn recycle(&mut self) {
+        self.layout = None;
+        self.working_seg = 0;
+        self.atomic_depth = 0;
+        self.last_ckpt_seg = None;
+        self.undo_count = 0;
+        self.io_count = 0;
+        self.next_timer_at = 0;
+        self.pending_shrink_ckpt = false;
+        self.expires_block = None;
+        self.tx.recycle();
+        self.journal_next_seq = 0;
+        self.journal_write_off = 0;
+        self.journal_anchored = false;
+        self.scratch.clear();
+    }
+
     fn on_boot(&mut self, m: &mut Machine) -> Result<ResumeAction> {
         let l = self.attach(m)?;
         self.atomic_depth = 0;

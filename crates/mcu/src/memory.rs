@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use tics_trace::SpanKind;
 
@@ -243,7 +244,8 @@ pub struct Memory {
     sram_dirty: Vec<u64>,
     /// Dirty-word bitmap for FRAM (see `sram_dirty`).
     fram_dirty: Vec<u64>,
-    costs: CostModel,
+    /// Shared so mass-instantiated machines don't duplicate the table.
+    costs: Arc<CostModel>,
     cycles: u64,
     stats: MemoryStats,
     /// Absolute cycle at which power dies; stores straddling it tear.
@@ -270,6 +272,13 @@ impl Memory {
     /// Creates zeroed memory with a custom cost model.
     #[must_use]
     pub fn with_costs(layout: MemoryLayout, costs: CostModel) -> Memory {
+        Memory::with_shared_costs(layout, Arc::new(costs))
+    }
+
+    /// Creates zeroed memory sharing an already-allocated cost model —
+    /// the fleet engine hands the same `Arc` to every device.
+    #[must_use]
+    pub fn with_shared_costs(layout: MemoryLayout, costs: Arc<CostModel>) -> Memory {
         Memory {
             layout,
             sram: vec![0; layout.sram.len() as usize],
@@ -297,6 +306,25 @@ impl Memory {
     #[must_use]
     pub fn costs(&self) -> &CostModel {
         &self.costs
+    }
+
+    /// Returns the memory to its exact as-constructed state — zeroed
+    /// regions, clear dirty bitmaps, zero cycles and statistics, no
+    /// armed cut or corruption model — while keeping every backing
+    /// allocation. Recycling a machine across fleet devices relies on
+    /// this being indistinguishable from a fresh [`Memory::with_costs`].
+    pub fn reset(&mut self) {
+        self.sram.fill(0);
+        self.fram.fill(0);
+        self.sram_dirty.fill(0);
+        self.fram_dirty.fill(0);
+        self.cycles = 0;
+        self.stats = MemoryStats::default();
+        self.cut_at = None;
+        self.corruption = None;
+        self.corrupt_rng = 0;
+        self.current_span = SpanKind::App;
+        self.span_cycles = [0; SpanKind::COUNT];
     }
 
     /// Total cycles spent so far (1 cycle = 1 µs at 1 MHz).

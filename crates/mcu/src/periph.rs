@@ -162,6 +162,17 @@ impl Uart {
     pub fn power_fail(&mut self) {
         self.rx_fifo.clear();
     }
+
+    /// Returns the UART — both sides of the wire — to its
+    /// as-constructed state, keeping the log allocations. Unlike
+    /// [`Uart::power_fail`], this models swapping in a *new device*,
+    /// not rebooting the same one: machine recycling only.
+    pub fn recycle(&mut self) {
+        self.rx_fifo.clear();
+        self.wire.clear();
+        self.device_out.clear();
+        self.responses.clear();
+    }
 }
 
 /// The sensor's transaction-phase state, persistent across MCU reboots.
@@ -324,6 +335,17 @@ impl I2c {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+
+    /// Replaces the sensor with a fresh one serving the `seed` stream,
+    /// keeping the log allocations. Distinct from [`I2c::reset`], which
+    /// is the *bus-clear operation* on the same device.
+    pub fn recycle(&mut self, seed: u64) {
+        self.state = I2cState::Idle;
+        self.sample_counter = 0;
+        self.seed = seed;
+        self.wire.clear();
+        self.served.clear();
+    }
 }
 
 /// The machine's peripheral complement: one UART, one I2C sensor.
@@ -351,6 +373,15 @@ impl PeripheralBus {
     /// *is* the torn-wire failure class.
     pub fn power_fail(&mut self) {
         self.uart.power_fail();
+    }
+
+    /// Swaps in factory-fresh peripherals with device streams derived
+    /// from `seed`, reusing the wire-log allocations. Must match
+    /// [`PeripheralBus::new`] observably — the machine-reset
+    /// differential test covers it.
+    pub fn recycle(&mut self, seed: u64) {
+        self.uart.recycle();
+        self.i2c.recycle(splitmix64(seed ^ 0x1C2C_5EED_0000_0001));
     }
 }
 

@@ -492,6 +492,16 @@ impl TraceSink {
         &self.records
     }
 
+    /// Returns the sink to its as-constructed state (timeline-only mode,
+    /// no records, zero visibility counter) while keeping the record
+    /// buffer's allocation — the fleet engine recycles one sink across
+    /// thousands of devices.
+    pub fn reset(&mut self) {
+        self.records.clear();
+        self.visible = 0;
+        self.detailed = false;
+    }
+
     /// Number of retained records.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -176,6 +176,15 @@ impl TxDriver {
         self.active.is_some()
     }
 
+    /// Forgets all host-side transaction state (policy kept), returning
+    /// the driver to its as-constructed state for a recycled machine.
+    /// The FRAM journal itself is wiped by [`crate::Machine::reset`].
+    pub fn recycle(&mut self) {
+        self.active = None;
+        self.attempt = 0;
+        self.seed = 0;
+    }
+
     /// Base address of the journal: the top `TXJ_BYTES` of FRAM, above
     /// every runtime area (which grow upward from the heap).
     fn base(m: &Machine) -> Addr {

@@ -54,7 +54,7 @@ pub use driver::{BackoffPolicy, TxDriver, TX_PROCEED, TX_SKIP_COMMITTED, TX_SKIP
 pub use error::VmError;
 pub use exec::{DispatchEngine, Executor, RunOutcome};
 pub use loaded::LoadedProgram;
-pub use machine::{Machine, MachineConfig, SpanGuard};
+pub use machine::{Machine, MachineConfig, MachineImage, SpanGuard};
 pub use runtime::{BareRuntime, CheckpointKind, IntermittentRuntime, ResumeAction};
 pub use stats::ExecStats;
 

@@ -1,6 +1,7 @@
 //! The simulated machine: memory + registers + clock + program image.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
 
 use tics_clock::{PerfectClock, TimeMicros, Timekeeper};
 use tics_mcu::{Addr, CostModel, Memory, MemoryLayout, PeripheralBus, Registers};
@@ -24,8 +25,9 @@ pub struct MachineConfig {
     pub seed: u64,
     /// Scripted sensor values consumed (in order) by the `sample*`
     /// builtins; when exhausted, synthetic values continue. Lets tests
-    /// and experiments fix the sensed data exactly.
-    pub sensor_trace: Vec<i32>,
+    /// and experiments fix the sensed data exactly. Shared: every
+    /// machine built from this config reads the same backing slice.
+    pub sensor_trace: Arc<[i32]>,
     /// Periodic interrupt: `(function_name, period_us)`. The named
     /// function is invoked as an ISR whenever the period elapses.
     pub isr: Option<(String, u64)>,
@@ -40,7 +42,7 @@ impl Default for MachineConfig {
             layout: MemoryLayout::default(),
             costs: CostModel::default(),
             seed: 0x5EED,
-            sensor_trace: Vec::new(),
+            sensor_trace: Vec::new().into(),
             isr: None,
             heap_bytes: 2_048,
         }
@@ -65,6 +67,80 @@ struct LoadedIsr {
     next_at: u64,
 }
 
+/// Everything about a device that is identical across a fleet: the
+/// loaded (and decoded) program, the memory layout and cost model, the
+/// scripted sensor trace, the ISR binding, and the heap reservation.
+///
+/// Built once per `(program, config)` pair with [`MachineImage::build`]
+/// and shared by `Arc`: [`Machine::from_image`] instantiates a device
+/// against it without re-loading the program or re-allocating any of the
+/// immutable state, and [`Machine::reset`] recycles an existing device's
+/// mutable block in place. One image plus one recycled machine is the
+/// whole per-device cost of a million-device Monte Carlo sweep.
+#[derive(Debug)]
+pub struct MachineImage {
+    loaded: LoadedProgram,
+    layout: MemoryLayout,
+    costs: Arc<CostModel>,
+    sensor_trace: Arc<[i32]>,
+    /// Resolved ISR binding: `(function index, period_us)`.
+    isr: Option<(u16, u64)>,
+    heap_bytes: u32,
+}
+
+impl MachineImage {
+    /// Loads `program` and captures the immutable device description
+    /// from `config`. The per-device `config.seed` is *not* part of the
+    /// image — every instantiation supplies its own.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Load`] under the same conditions as
+    /// [`Machine::new`]: malformed program, globals exceeding FRAM, or a
+    /// missing/arity-mismatched ISR function.
+    pub fn build(program: Program, config: &MachineConfig) -> Result<Arc<MachineImage>> {
+        let loaded = LoadedProgram::load(program)?;
+        if loaded.program.globals_size > config.layout.fram.len() {
+            return Err(VmError::Load("globals exceed FRAM".into()));
+        }
+        let isr = match &config.isr {
+            None => None,
+            Some((name, period_us)) => {
+                let (fidx, f) = loaded
+                    .program
+                    .function(name)
+                    .ok_or_else(|| VmError::Load(format!("ISR function `{name}` not found")))?;
+                if f.n_args != 0 {
+                    return Err(VmError::Load(format!(
+                        "ISR `{name}` must take no arguments"
+                    )));
+                }
+                Some((fidx, *period_us))
+            }
+        };
+        Ok(Arc::new(MachineImage {
+            loaded,
+            layout: config.layout,
+            costs: Arc::new(config.costs.clone()),
+            sensor_trace: config.sensor_trace.clone(),
+            isr,
+            heap_bytes: config.heap_bytes,
+        }))
+    }
+
+    /// The loaded program image.
+    #[must_use]
+    pub fn loaded(&self) -> &LoadedProgram {
+        &self.loaded
+    }
+
+    /// The physical memory layout devices are built with.
+    #[must_use]
+    pub fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+}
+
 /// The complete simulated device.
 ///
 /// The memory and register fields are public: runtime implementations in
@@ -78,13 +154,15 @@ pub struct Machine {
     /// Wire-level peripherals (UART, I2C sensor). Device-side state
     /// persists across power failures; MCU-side FIFOs do not.
     pub periph: PeripheralBus,
-    loaded: LoadedProgram,
+    /// Shared immutable half of the device (program, layout, costs,
+    /// sensor script); everything below is the per-device mutable block
+    /// that [`Machine::reset`] rewinds.
+    image: Arc<MachineImage>,
     clock: Box<dyn Timekeeper>,
     data_base: Addr,
     halted: Option<i32>,
     stats: ExecStats,
     rng_state: u64,
-    sensor_trace: Vec<i32>,
     sensor_pos: usize,
     last_clock_sync: u64,
     in_isr: bool,
@@ -92,7 +170,6 @@ pub struct Machine {
     isr: Option<LoadedIsr>,
     period_deadline: u64,
     total_off_us: u64,
-    heap_bytes: u32,
     trace: TraceSink,
     torn_reported: u64,
     /// Detail events batched since the last observable boundary. Fixed
@@ -136,42 +213,41 @@ impl Machine {
         config: MachineConfig,
         clock: Box<dyn Timekeeper>,
     ) -> Result<Machine> {
-        let loaded = LoadedProgram::load(program)?;
-        let mem = Memory::with_costs(config.layout, config.costs.clone());
-        let data_base = config.layout.fram.start;
-        if loaded.program.globals_size > config.layout.fram.len() {
-            return Err(VmError::Load("globals exceed FRAM".into()));
-        }
-        let isr = match &config.isr {
-            None => None,
-            Some((name, period_us)) => {
-                let (fidx, f) = loaded
-                    .program
-                    .function(name)
-                    .ok_or_else(|| VmError::Load(format!("ISR function `{name}` not found")))?;
-                if f.n_args != 0 {
-                    return Err(VmError::Load(format!(
-                        "ISR `{name}` must take no arguments"
-                    )));
-                }
-                Some(LoadedIsr {
-                    fidx,
-                    period_us: *period_us,
-                    next_at: *period_us,
-                })
-            }
-        };
+        let image = MachineImage::build(program, &config)?;
+        Machine::from_image(image, config.seed, clock)
+    }
+
+    /// Instantiates a device against a shared [`MachineImage`] — the
+    /// mass-production constructor. Only the mutable block is allocated;
+    /// the program, layout, costs, and sensor script are borrowed from
+    /// the image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Memory`] if global initialization fails (the
+    /// image's load-time checks make this unreachable in practice).
+    pub fn from_image(
+        image: Arc<MachineImage>,
+        seed: u64,
+        clock: Box<dyn Timekeeper>,
+    ) -> Result<Machine> {
+        let mem = Memory::with_shared_costs(image.layout, Arc::clone(&image.costs));
+        let data_base = image.layout.fram.start;
+        let isr = image.isr.map(|(fidx, period_us)| LoadedIsr {
+            fidx,
+            period_us,
+            next_at: period_us,
+        });
         let mut machine = Machine {
             mem,
             regs: Registers::new(),
-            periph: PeripheralBus::new(config.seed),
-            loaded,
+            periph: PeripheralBus::new(seed),
+            image,
             clock,
             data_base,
             halted: None,
             stats: ExecStats::default(),
-            rng_state: config.seed | 1,
-            sensor_trace: config.sensor_trace,
+            rng_state: seed | 1,
             sensor_pos: 0,
             last_clock_sync: 0,
             in_isr: false,
@@ -179,7 +255,6 @@ impl Machine {
             isr,
             period_deadline: u64::MAX,
             total_off_us: 0,
-            heap_bytes: config.heap_bytes,
             trace: TraceSink::new(),
             torn_reported: 0,
             pending_detail: Vec::with_capacity(64),
@@ -189,12 +264,52 @@ impl Machine {
         Ok(machine)
     }
 
+    /// Rewinds the device to the state [`Machine::from_image`] would
+    /// build with `seed`, reusing every backing allocation (memory
+    /// regions, dirty bitmaps, wire logs, stat streams, trace buffers).
+    /// The fleet engine recycles one machine across thousands of
+    /// devices; the reset differential test proves the recycled machine
+    /// trace-identical to a fresh construction on both dispatch engines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Memory`] if global initialization fails.
+    pub fn reset(&mut self, seed: u64) -> Result<()> {
+        self.mem.reset();
+        self.regs.reset();
+        self.periph.recycle(seed);
+        self.clock.reset();
+        self.halted = None;
+        self.stats.reset();
+        self.rng_state = seed | 1;
+        self.sensor_pos = 0;
+        self.last_clock_sync = 0;
+        self.in_isr = false;
+        self.isr_frame_fp = Addr(0);
+        if let Some(isr) = &mut self.isr {
+            isr.next_at = isr.period_us;
+        }
+        self.period_deadline = u64::MAX;
+        self.total_off_us = 0;
+        self.trace.reset();
+        self.torn_reported = 0;
+        self.pending_detail.clear();
+        self.detail_batching = true;
+        self.init_globals(true)
+    }
+
+    /// The shared immutable image this machine was instantiated from.
+    #[must_use]
+    pub fn image(&self) -> &Arc<MachineImage> {
+        &self.image
+    }
+
     // ---- accessors ----
 
     /// The loaded program image.
     #[must_use]
     pub fn loaded(&self) -> &LoadedProgram {
-        &self.loaded
+        &self.image.loaded
     }
 
     /// Base address of the data segment (globals).
@@ -220,7 +335,7 @@ impl Machine {
     /// bump pointer, allocations follow.
     #[must_use]
     pub fn heap_base(&self) -> Addr {
-        let raw = self.data_base.raw() + self.loaded.program.globals_size;
+        let raw = self.data_base.raw() + self.image.loaded.program.globals_size;
         Addr((raw + 7) & !7)
     }
 
@@ -228,7 +343,7 @@ impl Machine {
     /// runtime lays out its own persistent structures.
     #[must_use]
     pub fn runtime_area_base(&self) -> Addr {
-        let raw = self.heap_base().raw() + self.heap_bytes;
+        let raw = self.heap_base().raw() + self.image.heap_bytes;
         Addr((raw + 7) & !7)
     }
 
@@ -242,13 +357,13 @@ impl Machine {
     ///
     /// Propagates memory and logging errors.
     pub fn heap_alloc(&mut self, rt: &mut dyn IntermittentRuntime, bytes: u32) -> Result<u32> {
-        if self.heap_bytes < 8 {
+        if self.image.heap_bytes < 8 {
             return Ok(0);
         }
         let base = self.heap_base();
         let bump = self.mem.read_u32(base)?;
         let aligned = bytes.max(1).div_ceil(4) * 4;
-        if 4 + bump + aligned > self.heap_bytes {
+        if 4 + bump + aligned > self.image.heap_bytes {
             return Ok(0);
         }
         rt.logged_store(self, base, 4)?;
@@ -450,7 +565,7 @@ impl Machine {
     /// Returns [`VmError::Trap`] if the frame's operand area overflows
     /// (indicates a codegen bug) or [`VmError::Memory`] on bad addresses.
     pub fn push(&mut self, v: i32) -> Result<()> {
-        let f = self.loaded.function_at(self.regs.pc);
+        let f = self.image.loaded.function_at(self.regs.pc);
         let frame_end = self.regs.fp.offset(f.frame_size());
         if self.regs.sp.offset(4) > frame_end {
             return Err(VmError::Trap(format!(
@@ -469,7 +584,7 @@ impl Machine {
     ///
     /// Returns [`VmError::Trap`] on underflow.
     pub fn pop(&mut self) -> Result<i32> {
-        let f = self.loaded.function_at(self.regs.pc);
+        let f = self.image.loaded.function_at(self.regs.pc);
         let operand_base = self
             .regs
             .fp
@@ -538,11 +653,11 @@ impl Machine {
         fidx: u16,
         ret_pc: u32,
     ) -> Result<()> {
-        let f = &self.loaded.program.functions[fidx as usize];
+        let f = &self.image.loaded.program.functions[fidx as usize];
         let frame_size = f.frame_size();
         let arg_bytes = f.arg_bytes();
         let locals = u32::from(f.locals_bytes);
-        let entry = self.loaded.entry_of(fidx);
+        let entry = self.image.loaded.entry_of(fidx);
         let args_src = Addr(self.regs.sp.raw().wrapping_sub(arg_bytes));
         let caller_sp = args_src;
         let caller_fp = self.regs.fp;
@@ -610,7 +725,7 @@ impl Machine {
         self.in_isr = false;
         self.regs.sp = Addr(0);
         self.regs.fp = Addr(0);
-        let entry_fn = self.loaded.program.entry;
+        let entry_fn = self.image.loaded.program.entry;
         self.call_function(rt, entry_fn, RET_SENTINEL)
     }
 
@@ -662,6 +777,7 @@ impl Machine {
     /// Returns [`VmError::Memory`] on bad addresses.
     pub fn init_globals(&mut self, include_nv: bool) -> Result<()> {
         let globals: Vec<_> = self
+            .image
             .loaded
             .program
             .globals
@@ -732,8 +848,8 @@ impl Machine {
 
     /// Next sensor value: scripted trace first, then synthetic.
     pub fn next_sensor(&mut self) -> i32 {
-        let v = if self.sensor_pos < self.sensor_trace.len() {
-            let v = self.sensor_trace[self.sensor_pos];
+        let v = if self.sensor_pos < self.image.sensor_trace.len() {
+            let v = self.image.sensor_trace[self.sensor_pos];
             self.sensor_pos += 1;
             v
         } else {
@@ -857,7 +973,7 @@ mod tests {
         let mut m = Machine::new(
             prog,
             MachineConfig {
-                sensor_trace: vec![10, 20],
+                sensor_trace: vec![10, 20].into(),
                 ..MachineConfig::default()
             },
         )

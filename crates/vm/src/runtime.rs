@@ -56,6 +56,15 @@ pub trait IntermittentRuntime {
     /// Returns [`VmError::IncompatibleInstrumentation`] on mismatch.
     fn check_program(&self, program: &Program) -> Result<()>;
 
+    /// Returns the runtime to its as-constructed state so it can drive a
+    /// recycled machine ([`Machine::reset`]) as if freshly built, keeping
+    /// scratch allocations where possible. Runtimes whose entire state is
+    /// host-side caches of FRAM structures rebuilt on boot use the
+    /// default no-op only if they hold *no* such caches; everything
+    /// stateful must override. The reset differential test runs every
+    /// runtime through recycle-then-rerun to prove equivalence.
+    fn recycle(&mut self) {}
+
     /// Called at every boot (first boot and after every power failure).
     ///
     /// # Errors

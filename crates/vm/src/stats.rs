@@ -86,6 +86,76 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
+    /// Zeroes every counter and empties every timed stream while keeping
+    /// the `Vec` allocations, so a recycled machine starts from the same
+    /// observable state as `ExecStats::default()` without re-allocating.
+    pub fn reset(&mut self) {
+        let ExecStats {
+            boots,
+            power_failures,
+            instructions,
+            checkpoints,
+            checkpoint_bytes,
+            restores,
+            recoveries,
+            fresh_starts,
+            undo_log_appends,
+            undo_rollbacks,
+            stack_grows,
+            stack_shrinks,
+            marks_timed,
+            sends_timed,
+            samples_timed,
+            failure_times,
+            prints,
+            led_events,
+            samples,
+            expired_data_discards,
+            expires_catches,
+            timely_misses,
+            isr_entries,
+            uart_tx_timed,
+            uart_rx_bytes,
+            i2c_ops,
+            txn_begins,
+            txn_commits,
+            txn_retries,
+            txn_poisoned,
+            txn_skips,
+        } = self;
+        *boots = 0;
+        *power_failures = 0;
+        *instructions = 0;
+        *checkpoints = 0;
+        *checkpoint_bytes = 0;
+        *restores = 0;
+        *recoveries = 0;
+        *fresh_starts = 0;
+        *undo_log_appends = 0;
+        *undo_rollbacks = 0;
+        *stack_grows = 0;
+        *stack_shrinks = 0;
+        marks_timed.clear();
+        sends_timed.clear();
+        samples_timed.clear();
+        failure_times.clear();
+        prints.clear();
+        *led_events = 0;
+        *samples = 0;
+        *expired_data_discards = 0;
+        *expires_catches = 0;
+        *timely_misses = 0;
+        *isr_entries = 0;
+        uart_tx_timed.clear();
+        *uart_rx_bytes = 0;
+        *i2c_ops = 0;
+        *txn_begins = 0;
+        *txn_commits = 0;
+        *txn_retries = 0;
+        *txn_poisoned = 0;
+        *txn_skips = 0;
+    }
+
     /// Folds one trace event into the counters. This is the *only*
     /// update path for every field except `instructions`: the machine
     /// calls it from `emit`, so the stats and the trace cannot disagree.

@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut machine = Machine::with_clock(
         program.clone(),
         MachineConfig {
-            sensor_trace: trace,
+            sensor_trace: trace.into(),
             ..MachineConfig::default()
         },
         Box::new(CapacitorRtc::new(60_000_000)), // persistent timekeeper

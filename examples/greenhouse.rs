@@ -37,7 +37,7 @@ fn run(system: SystemUnderTest) -> [i32; 4] {
     let mut machine = Machine::new(
         program.clone(),
         MachineConfig {
-            sensor_trace: ghm_trace(64, ghm::READINGS, 3),
+            sensor_trace: ghm_trace(64, ghm::READINGS, 3).into(),
             ..MachineConfig::default()
         },
     )

@@ -30,7 +30,7 @@ fn cell(app: App, system: SystemUnderTest) -> String {
     let mut machine = Machine::new(
         program.clone(),
         MachineConfig {
-            sensor_trace,
+            sensor_trace: sensor_trace.into(),
             ..MachineConfig::default()
         },
     )

@@ -35,7 +35,7 @@ fn run_ar(
     let mut m = Machine::with_clock(
         prog,
         MachineConfig {
-            sensor_trace: trace,
+            sensor_trace: trace.into(),
             ..MachineConfig::default()
         },
         clock,

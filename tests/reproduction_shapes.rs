@@ -28,7 +28,7 @@ fn table1_shape_plain_inconsistent_tics_consistent() {
         let mut m = Machine::new(
             prog.clone(),
             MachineConfig {
-                sensor_trace: ghm_trace(32, ghm::READINGS, 11),
+                sensor_trace: ghm_trace(32, ghm::READINGS, 11).into(),
                 ..MachineConfig::default()
             },
         )
@@ -75,7 +75,7 @@ fn table2_shape_violations_eliminated() {
     let mut m = Machine::with_clock(
         prog,
         MachineConfig {
-            sensor_trace: trace.clone(),
+            sensor_trace: trace.clone().into(),
             ..MachineConfig::default()
         },
         Box::new(VolatileClock::new()),
@@ -103,7 +103,7 @@ fn table2_shape_violations_eliminated() {
     let mut m = Machine::new(
         prog,
         MachineConfig {
-            sensor_trace: trace,
+            sensor_trace: trace.into(),
             ..MachineConfig::default()
         },
     )

@@ -29,7 +29,7 @@ fn run_ar_tics(supply: &mut dyn PowerSupply) -> Machine {
     let mut m = Machine::with_clock(
         prog,
         MachineConfig {
-            sensor_trace: trace,
+            sensor_trace: trace.into(),
             ..MachineConfig::default()
         },
         Box::new(CapacitorRtc::new(120_000_000)),
@@ -145,7 +145,7 @@ fn detailed_mode_preserves_the_timeline_story() {
     let mut m = Machine::with_clock(
         prog,
         MachineConfig {
-            sensor_trace: trace,
+            sensor_trace: trace.into(),
             ..MachineConfig::default()
         },
         Box::new(CapacitorRtc::new(120_000_000)),
